@@ -1,0 +1,82 @@
+//! Baseline interval-pattern miners.
+//!
+//! The paper's evaluation compares P-TPMiner against the earlier algorithms
+//! of the interval-mining literature. This crate re-implements them from
+//! their publications so the comparison is runnable end-to-end:
+//!
+//! - [`TPrefixSpan`] (Wu & Chen 2007) — PrefixSpan-style growth over
+//!   endpoint sequences with *candidate verification scans* instead of
+//!   embedding-frontier projection;
+//! - [`IeMiner`] (IEMiner-style, Patel, Hsu & Lee 2008) — level-wise
+//!   Apriori candidate generation with one support scan per level;
+//! - [`HDfsMiner`] (H-DFS-style, Papapetrou et al. 2005) — vertical
+//!   id-list mining that materializes full occurrence lists;
+//! - [`NaiveMiner`] — brute-force enumerate-and-count oracle for small
+//!   inputs.
+//!
+//! Every baseline emits exactly the same `(pattern, support)` set as
+//! [`tpminer::TpMiner`] (property-tested in `tests/`); they differ — by
+//! design — in how much work they do, which is what the paper's runtime
+//! figures measure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hdfs;
+pub mod ieminer;
+pub mod naive;
+pub mod prefix_match;
+pub mod tprefixspan;
+
+pub use hdfs::HDfsMiner;
+pub use ieminer::IeMiner;
+pub use naive::NaiveMiner;
+pub use tprefixspan::TPrefixSpan;
+
+use serde::{Deserialize, Serialize};
+use tpminer::FrequentPattern;
+
+/// Work counters shared by the baseline miners.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineStats {
+    /// Candidate patterns generated (before support counting).
+    pub candidates_generated: u64,
+    /// Individual pattern-vs-sequence containment tests performed.
+    pub containment_tests: u64,
+    /// Occurrence tuples materialized (H-DFS id-lists) or embeddings stored.
+    pub occurrences_materialized: u64,
+    /// Wall-clock time in microseconds.
+    pub elapsed_micros: u64,
+}
+
+/// Result of a baseline run: patterns in canonical order plus counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineResult {
+    /// The frequent patterns, sorted by `(arity, pattern)` like
+    /// [`tpminer::MiningResult`].
+    pub patterns: Vec<FrequentPattern>,
+    /// Work counters.
+    pub stats: BaselineStats,
+}
+
+impl BaselineResult {
+    pub(crate) fn finish(
+        mut patterns: Vec<FrequentPattern>,
+        stats: BaselineStats,
+    ) -> BaselineResult {
+        patterns.sort_unstable_by(|a, b| {
+            (a.pattern.arity(), &a.pattern).cmp(&(b.pattern.arity(), &b.pattern))
+        });
+        BaselineResult { patterns, stats }
+    }
+
+    /// Number of frequent patterns found.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether no pattern reached the threshold.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}

@@ -1,0 +1,146 @@
+//! Brute-force oracle miner.
+//!
+//! Enumerates, per sequence, *every* subset of up to `max_arity` intervals,
+//! takes its arrangement, and support-counts the deduplicated candidate set
+//! with the ground-truth matcher. Exponential in `max_arity` — use it only
+//! on small inputs, as the correctness oracle it is.
+
+use crate::{BaselineResult, BaselineStats};
+use interval_core::{matcher, IntervalDatabase, TemporalPattern};
+use std::collections::HashSet;
+use std::time::Instant;
+use tpminer::FrequentPattern;
+
+/// The oracle miner. See the module docs.
+#[derive(Debug, Clone)]
+pub struct NaiveMiner {
+    min_support: usize,
+    max_arity: usize,
+}
+
+impl NaiveMiner {
+    /// Creates an oracle mining patterns of up to `max_arity` intervals at
+    /// the given absolute support threshold.
+    pub fn new(min_support: usize, max_arity: usize) -> Self {
+        Self {
+            min_support: min_support.max(1),
+            max_arity: max_arity.max(1),
+        }
+    }
+
+    /// Mines all frequent patterns of arity `1..=max_arity`.
+    pub fn mine(&self, db: &IntervalDatabase) -> BaselineResult {
+        let started = Instant::now();
+        let mut stats = BaselineStats::default();
+
+        // Candidate generation: arrangements of all small subsets.
+        let mut candidates: HashSet<TemporalPattern> = HashSet::new();
+        for seq in db.sequences() {
+            let ivs = seq.intervals();
+            let n = ivs.len();
+            let mut chosen = Vec::with_capacity(self.max_arity);
+            subsets(n, self.max_arity, &mut chosen, &mut |subset| {
+                let intervals: Vec<_> = subset.iter().map(|&i| ivs[i]).collect();
+                candidates.insert(TemporalPattern::arrangement_of(&intervals));
+            });
+        }
+        stats.candidates_generated = candidates.len() as u64;
+
+        // Support counting.
+        let mut patterns = Vec::new();
+        for pattern in candidates {
+            let mut support = 0usize;
+            for seq in db.sequences() {
+                stats.containment_tests += 1;
+                if matcher::contains(seq, &pattern) {
+                    support += 1;
+                }
+            }
+            if support >= self.min_support {
+                patterns.push(FrequentPattern { pattern, support });
+            }
+        }
+
+        stats.elapsed_micros = started.elapsed().as_micros() as u64;
+        BaselineResult::finish(patterns, stats)
+    }
+}
+
+/// Calls `f` with every non-empty subset of `0..n` of size at most `k`.
+fn subsets(n: usize, k: usize, chosen: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    fn rec(
+        start: usize,
+        n: usize,
+        k: usize,
+        chosen: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]),
+    ) {
+        if !chosen.is_empty() {
+            f(chosen);
+        }
+        if chosen.len() == k {
+            return;
+        }
+        for i in start..n {
+            chosen.push(i);
+            rec(i + 1, n, k, chosen, f);
+            chosen.pop();
+        }
+    }
+    rec(0, n, k, chosen, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_core::DatabaseBuilder;
+    use tpminer::{MinerConfig, TpMiner};
+
+    #[test]
+    fn subsets_enumerates_all_small_subsets() {
+        let mut seen = Vec::new();
+        let mut chosen = Vec::new();
+        subsets(4, 2, &mut chosen, &mut |s| seen.push(s.to_vec()));
+        // 4 singletons + 6 pairs
+        assert_eq!(seen.len(), 10);
+        assert!(seen.contains(&vec![1, 3]));
+    }
+
+    #[test]
+    fn agrees_with_tpminer_on_small_db() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 4)
+            .interval("B", 2, 6)
+            .interval("A", 5, 9);
+        b.sequence()
+            .interval("A", 0, 9)
+            .interval("B", 1, 3)
+            .interval("C", 2, 4);
+        b.sequence().interval("B", 0, 2).interval("A", 2, 4);
+        let db = b.build();
+        for min_sup in 1..=3 {
+            let naive = NaiveMiner::new(min_sup, 3).mine(&db);
+            let tp = TpMiner::new(MinerConfig::with_min_support(min_sup).max_arity(3)).mine(&db);
+            assert_eq!(naive.patterns, tp.patterns().to_vec(), "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn arity_cap_is_respected() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 2)
+            .interval("B", 3, 5)
+            .interval("C", 6, 8);
+        let db = b.build();
+        let result = NaiveMiner::new(1, 2).mine(&db);
+        assert!(result.patterns.iter().all(|p| p.pattern.arity() <= 2));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = IntervalDatabase::new();
+        assert!(NaiveMiner::new(1, 3).mine(&db).is_empty());
+    }
+}

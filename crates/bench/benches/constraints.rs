@@ -1,0 +1,46 @@
+//! Ablation bench for the constraint features: how the window and gap
+//! constraints change mining cost (they prune embeddings early, so
+//! constrained runs are typically *faster* despite the extra checks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synthgen::{QuestConfig, QuestGenerator};
+use tpminer::{DbIndex, MinerConfig, TpMiner};
+
+fn bench_constraints(c: &mut Criterion) {
+    let db =
+        QuestGenerator::new(QuestConfig::small().sequences(1_000).symbols(60).seed(42)).generate();
+    let index = DbIndex::build(&db);
+    let min_sup = db.absolute_support(0.05);
+
+    let configs: Vec<(&str, MinerConfig)> = vec![
+        ("unconstrained", MinerConfig::with_min_support(min_sup)),
+        (
+            "window-100",
+            MinerConfig::with_min_support(min_sup).max_window(100),
+        ),
+        (
+            "window-40",
+            MinerConfig::with_min_support(min_sup).max_window(40),
+        ),
+        ("gap-50", MinerConfig::with_min_support(min_sup).max_gap(50)),
+        ("gap-15", MinerConfig::with_min_support(min_sup).max_gap(15)),
+        (
+            "window-40+gap-15",
+            MinerConfig::with_min_support(min_sup)
+                .max_window(40)
+                .max_gap(15),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("constraints");
+    group.sample_size(10);
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, &cfg| {
+            b.iter(|| TpMiner::new(cfg).mine_indexed(&index))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constraints);
+criterion_main!(benches);

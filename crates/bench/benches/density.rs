@@ -1,0 +1,29 @@
+//! Criterion bench behind experiment E5: P-TPMiner runtime as sequences get
+//! denser (more intervals per sequence).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synthgen::{QuestConfig, QuestGenerator};
+use tpminer::{MinerConfig, TpMiner};
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5-density");
+    group.sample_size(10);
+    for density in [4.0f64, 8.0, 12.0, 16.0] {
+        let db = QuestGenerator::new(
+            QuestConfig::small()
+                .sequences(500)
+                .symbols(60)
+                .intervals_per_sequence(density)
+                .seed(42),
+        )
+        .generate();
+        let min_sup = db.absolute_support(0.10);
+        group.bench_with_input(BenchmarkId::from_parameter(density), &db, |b, db| {
+            b.iter(|| TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

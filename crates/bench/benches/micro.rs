@@ -1,0 +1,39 @@
+//! Microbenchmarks of the core primitives: endpoint transformation, index
+//! construction, containment matching and arrangement canonicalization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interval_core::{matcher, EndpointSeq, TemporalPattern};
+use synthgen::{QuestConfig, QuestGenerator};
+use tpminer::DbIndex;
+
+fn bench_micro(c: &mut Criterion) {
+    let db =
+        QuestGenerator::new(QuestConfig::small().sequences(1_000).symbols(60).seed(42)).generate();
+    let dense = db
+        .sequences()
+        .iter()
+        .max_by_key(|s| s.len())
+        .expect("non-empty db")
+        .clone();
+
+    c.bench_function("endpoint-transform", |b| {
+        b.iter(|| EndpointSeq::from_sequence(&dense))
+    });
+    c.bench_function("db-index-build", |b| b.iter(|| DbIndex::build(&db)));
+
+    let pattern = TemporalPattern::arrangement_of(&dense.intervals()[..3.min(dense.len())]);
+    c.bench_function("matcher-contains", |b| {
+        b.iter(|| {
+            db.sequences()
+                .iter()
+                .filter(|s| matcher::contains(s, &pattern))
+                .count()
+        })
+    });
+    c.bench_function("arrangement-canonicalize", |b| {
+        b.iter(|| TemporalPattern::arrangement_of(dense.intervals()))
+    });
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench behind experiment E1: miner runtime as the minimum
+//! support drops, P-TPMiner vs the three baselines.
+
+use baselines::{HDfsMiner, IeMiner, TPrefixSpan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synthgen::{QuestConfig, QuestGenerator};
+use tpminer::{MinerConfig, TpMiner};
+
+fn bench_minsup(c: &mut Criterion) {
+    let db =
+        QuestGenerator::new(QuestConfig::small().sequences(500).symbols(60).seed(42)).generate();
+    let mut group = c.benchmark_group("e1-minsup");
+    group.sample_size(10);
+    for rel in [0.20, 0.10, 0.05] {
+        let min_sup = db.absolute_support(rel);
+        group.bench_with_input(
+            BenchmarkId::new("p-tpminer", format!("{rel}")),
+            &min_sup,
+            |b, &s| b.iter(|| TpMiner::new(MinerConfig::with_min_support(s)).mine(&db)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tprefixspan", format!("{rel}")),
+            &min_sup,
+            |b, &s| b.iter(|| TPrefixSpan::new(s).mine(&db)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ieminer", format!("{rel}")),
+            &min_sup,
+            |b, &s| b.iter(|| IeMiner::new(s).mine(&db)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("h-dfs", format!("{rel}")),
+            &min_sup,
+            |b, &s| b.iter(|| HDfsMiner::new(s).mine(&db)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minsup);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench behind experiment E7: P-TPMiner over uncertain data,
+//! with and without the PT4 expected-support upper-bound screen.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synthgen::{QuestConfig, QuestGenerator, UncertaintyConfig};
+use tpminer::{ProbabilisticConfig, ProbabilisticMiner};
+
+fn bench_probabilistic(c: &mut Criterion) {
+    let udb = QuestGenerator::new(QuestConfig::small().sequences(300).symbols(40).seed(42))
+        .generate_uncertain(&UncertaintyConfig::default());
+    let mut group = c.benchmark_group("e7-probabilistic");
+    group.sample_size(10);
+    for rel in [0.20f64, 0.10] {
+        let min_esup = rel * udb.len() as f64;
+        for (name, pt4) in [("with-pt4", true), ("without-pt4", false)] {
+            group.bench_with_input(BenchmarkId::new(name, format!("{rel}")), &pt4, |b, &pt4| {
+                b.iter(|| {
+                    let mut cfg = ProbabilisticConfig::with_min_expected_support(min_esup);
+                    cfg.upper_bound_pruning = pt4;
+                    ProbabilisticMiner::new(cfg).mine(&udb)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probabilistic);
+criterion_main!(benches);

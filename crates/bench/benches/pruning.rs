@@ -1,0 +1,51 @@
+//! Criterion bench behind experiment E3: effect of each pruning technique
+//! on P-TPMiner (output-identical ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synthgen::{QuestConfig, QuestGenerator};
+use tpminer::{DbIndex, MinerConfig, PruningConfig, TpMiner};
+
+fn bench_pruning(c: &mut Criterion) {
+    let db =
+        QuestGenerator::new(QuestConfig::small().sequences(1_000).symbols(60).seed(42)).generate();
+    let index = DbIndex::build(&db);
+    let min_sup = db.absolute_support(0.05);
+    let configs = [
+        ("all", PruningConfig::all()),
+        (
+            "no-pair",
+            PruningConfig {
+                pair_pruning: false,
+                ..PruningConfig::all()
+            },
+        ),
+        (
+            "no-postfix",
+            PruningConfig {
+                postfix_pruning: false,
+                ..PruningConfig::all()
+            },
+        ),
+        (
+            "no-symbol",
+            PruningConfig {
+                symbol_pruning: false,
+                ..PruningConfig::all()
+            },
+        ),
+        ("none", PruningConfig::none()),
+    ];
+    let mut group = c.benchmark_group("e3-pruning");
+    group.sample_size(10);
+    for (name, pruning) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pruning, |b, &p| {
+            b.iter(|| {
+                TpMiner::new(MinerConfig::with_min_support(min_sup).pruning(p)).mine_indexed(&index)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench behind experiment E2: P-TPMiner runtime as the database
+//! grows (the paper's scalability figure; expected near-linear).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use synthgen::{QuestConfig, QuestGenerator};
+use tpminer::{MinerConfig, TpMiner};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2-scalability");
+    group.sample_size(10);
+    for n in [500usize, 1_000, 2_000, 4_000] {
+        let db =
+            QuestGenerator::new(QuestConfig::small().sequences(n).symbols(60).seed(42)).generate();
+        let min_sup = db.absolute_support(0.10);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

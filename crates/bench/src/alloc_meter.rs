@@ -1,0 +1,65 @@
+//! Peak-memory measurement for the memory experiment (E4).
+//!
+//! Uses the Linux `VmHWM` peak-RSS counter, resettable through
+//! `/proc/self/clear_refs`, so each mining run can be measured in isolation
+//! without a custom global allocator. On other platforms (or when `/proc` is
+//! unavailable) the functions return `None` and the experiment falls back to
+//! the miners' own allocation-free proxies (frontier states, occurrence
+//! lists).
+
+use std::fs;
+
+/// Resets the process's peak-RSS water mark. Returns `false` when the
+/// platform does not support it.
+pub fn reset_peak_rss() -> bool {
+    fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// The current peak RSS in bytes, if readable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Measures the peak RSS increase caused by `f`, in bytes (best effort).
+pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, Option<u64>) {
+    let supported = reset_peak_rss();
+    let before = peak_rss_bytes();
+    let value = f();
+    let after = peak_rss_bytes();
+    let peak = match (supported, before, after) {
+        // clear_refs resets the water mark to current usage, so the delta is
+        // the run's additional peak; fall back to the absolute peak.
+        (true, Some(b), Some(a)) => Some(a.saturating_sub(b)),
+        _ => None,
+    };
+    (value, peak.or(after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_readable_on_linux() {
+        // The repository's benchmarks run on Linux; elsewhere None is fine.
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().is_some());
+        }
+    }
+
+    #[test]
+    fn measure_peak_returns_value() {
+        let (v, _peak) = measure_peak(|| {
+            let big: Vec<u8> = vec![1; 4 << 20];
+            big.len()
+        });
+        assert_eq!(v, 4 << 20);
+    }
+}

@@ -1,0 +1,569 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- [--scale quick|full] [e1 e2 ... e8 | all]
+//! ```
+//!
+//! Each experiment prints the table/series the corresponding paper figure
+//! plots and appends machine-readable rows to `results/<exp>.jsonl`.
+
+use baselines::{HDfsMiner, IeMiner, TPrefixSpan};
+use bench::alloc_meter;
+use bench::chart::{Chart, Series};
+use bench::tables::{emit_json_row, fmt_bytes, fmt_micros, Table};
+use bench::workloads::{self, Scale};
+use interval_core::{IntervalDatabase, UncertainDatabase};
+use serde_json::json;
+use std::time::Instant;
+use tpminer::{
+    closed_patterns, DbIndex, MinerConfig, ProbabilisticConfig, ProbabilisticMiner, PruningConfig,
+    TpMiner,
+};
+
+fn main() {
+    let mut scale = Scale::Quick;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().unwrap_or_default();
+                scale = Scale::parse(&value).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{value}` (expected quick|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--scale quick|full] [e1 e2 e3 e4 e5 e6 e7 e8 | all]");
+                return;
+            }
+            other => experiments.push(other.to_owned()),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = (1..=8).map(|i| format!("e{i}")).collect();
+    }
+
+    println!("P-TPMiner reproduction harness (scale: {scale:?})");
+    println!("(see DESIGN.md §4 for the experiment index, EXPERIMENTS.md for recorded results)\n");
+    for exp in &experiments {
+        match exp.as_str() {
+            "e1" => e1(scale),
+            "e2" => e2(scale),
+            "e3" => e3(scale),
+            "e4" => e4(scale),
+            "e5" => e5(scale),
+            "e6" => e6(scale),
+            "e7" => e7(scale),
+            "e8" => e8(scale),
+            other => eprintln!("unknown experiment `{other}` (expected e1..e8)"),
+        }
+        println!();
+    }
+}
+
+fn run_tpminer(db: &IntervalDatabase, min_sup: usize) -> (u64, Vec<tpminer::FrequentPattern>) {
+    let started = Instant::now();
+    let result = TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(db);
+    (started.elapsed().as_micros() as u64, result.into_patterns())
+}
+
+fn check_agreement(
+    reference: &[tpminer::FrequentPattern],
+    other: &[tpminer::FrequentPattern],
+    who: &str,
+) {
+    if reference != other {
+        eprintln!(
+            "!! {who} disagrees with P-TPMiner ({} vs {} patterns) — this should never happen",
+            other.len(),
+            reference.len()
+        );
+    }
+}
+
+// ---------------------------------------------------------------- E1 ----
+fn e1(scale: Scale) {
+    let db = workloads::e1_database(scale);
+    let mut table = Table::new(
+        &format!(
+            "E1 (Fig: runtime vs minimum support) — {} ({} seqs, {} intervals)",
+            workloads::base_quest(scale).name(),
+            db.len(),
+            db.total_intervals()
+        ),
+        &[
+            "min_sup",
+            "abs",
+            "patterns",
+            "P-TPMiner",
+            "TPrefixSpan",
+            "IEMiner",
+            "H-DFS",
+        ],
+    );
+    let mut x = Vec::new();
+    let mut ys: [Vec<f64>; 4] = Default::default();
+    for rel in workloads::e1_support_sweep(scale) {
+        let min_sup = db.absolute_support(rel);
+
+        let (tp_us, tp_patterns) = run_tpminer(&db, min_sup);
+
+        let started = Instant::now();
+        let tps = TPrefixSpan::new(min_sup).mine(&db);
+        let tps_us = started.elapsed().as_micros() as u64;
+        check_agreement(&tp_patterns, &tps.patterns, "TPrefixSpan");
+
+        let started = Instant::now();
+        let ie = IeMiner::new(min_sup).mine(&db);
+        let ie_us = started.elapsed().as_micros() as u64;
+        check_agreement(&tp_patterns, &ie.patterns, "IEMiner");
+
+        let started = Instant::now();
+        let hdfs = HDfsMiner::new(min_sup).mine(&db);
+        let hdfs_us = started.elapsed().as_micros() as u64;
+        check_agreement(&tp_patterns, &hdfs.patterns, "H-DFS");
+
+        x.push(format!("{:.0}%", rel * 100.0));
+        for (y, us) in ys.iter_mut().zip([tp_us, tps_us, ie_us, hdfs_us]) {
+            y.push(us as f64);
+        }
+        table.row(vec![
+            format!("{:.0}%", rel * 100.0),
+            min_sup.to_string(),
+            tp_patterns.len().to_string(),
+            fmt_micros(tp_us),
+            fmt_micros(tps_us),
+            fmt_micros(ie_us),
+            fmt_micros(hdfs_us),
+        ]);
+        emit_json_row(
+            "e1",
+            &json!({
+                "rel_support": rel, "abs_support": min_sup,
+                "patterns": tp_patterns.len(),
+                "tpminer_us": tp_us, "tprefixspan_us": tps_us,
+                "ieminer_us": ie_us, "hdfs_us": hdfs_us,
+            }),
+        );
+    }
+    table.print();
+    Chart::new("runtime (us, log scale) vs minimum support", x)
+        .log_y()
+        .series(Series::new("P-TPMiner", &ys[0]))
+        .series(Series::new("TPrefixSpan", &ys[1]))
+        .series(Series::new("IEMiner", &ys[2]))
+        .series(Series::new("H-DFS", &ys[3]))
+        .print();
+}
+
+// ---------------------------------------------------------------- E2 ----
+fn e2(scale: Scale) {
+    let rel = workloads::e2_support(scale);
+    let mut table = Table::new(
+        &format!("E2 (Fig: scalability in |D|) — min_sup {:.0}%", rel * 100.0),
+        &[
+            "|D|",
+            "patterns",
+            "P-TPMiner",
+            "TPrefixSpan",
+            "IEMiner",
+            "H-DFS",
+        ],
+    );
+    let mut x = Vec::new();
+    let mut ys: [Vec<f64>; 4] = Default::default();
+    for n in workloads::e2_sizes(scale) {
+        let db = workloads::e2_database(scale, n);
+        let min_sup = db.absolute_support(rel);
+
+        let (tp_us, tp_patterns) = run_tpminer(&db, min_sup);
+
+        let started = Instant::now();
+        let tps = TPrefixSpan::new(min_sup).mine(&db);
+        let tps_us = started.elapsed().as_micros() as u64;
+        check_agreement(&tp_patterns, &tps.patterns, "TPrefixSpan");
+
+        let started = Instant::now();
+        let ie = IeMiner::new(min_sup).mine(&db);
+        let ie_us = started.elapsed().as_micros() as u64;
+        check_agreement(&tp_patterns, &ie.patterns, "IEMiner");
+
+        let started = Instant::now();
+        let hdfs = HDfsMiner::new(min_sup).mine(&db);
+        let hdfs_us = started.elapsed().as_micros() as u64;
+        check_agreement(&tp_patterns, &hdfs.patterns, "H-DFS");
+
+        x.push(n.to_string());
+        for (y, us) in ys.iter_mut().zip([tp_us, tps_us, ie_us, hdfs_us]) {
+            y.push(us as f64);
+        }
+        table.row(vec![
+            n.to_string(),
+            tp_patterns.len().to_string(),
+            fmt_micros(tp_us),
+            fmt_micros(tps_us),
+            fmt_micros(ie_us),
+            fmt_micros(hdfs_us),
+        ]);
+        emit_json_row(
+            "e2",
+            &json!({
+                "sequences": n, "patterns": tp_patterns.len(),
+                "tpminer_us": tp_us, "tprefixspan_us": tps_us,
+                "ieminer_us": ie_us, "hdfs_us": hdfs_us,
+            }),
+        );
+    }
+    table.print();
+    Chart::new("runtime (us, log scale) vs database size", x)
+        .log_y()
+        .series(Series::new("P-TPMiner", &ys[0]))
+        .series(Series::new("TPrefixSpan", &ys[1]))
+        .series(Series::new("IEMiner", &ys[2]))
+        .series(Series::new("H-DFS", &ys[3]))
+        .print();
+}
+
+// ---------------------------------------------------------------- E3 ----
+fn e3(scale: Scale) {
+    let db = workloads::e1_database(scale);
+    let index = DbIndex::build(&db);
+    let configs: Vec<(&str, PruningConfig)> = vec![
+        ("all", PruningConfig::all()),
+        (
+            "no-pair",
+            PruningConfig {
+                pair_pruning: false,
+                ..PruningConfig::all()
+            },
+        ),
+        (
+            "no-postfix",
+            PruningConfig {
+                postfix_pruning: false,
+                ..PruningConfig::all()
+            },
+        ),
+        (
+            "no-symbol",
+            PruningConfig {
+                symbol_pruning: false,
+                ..PruningConfig::all()
+            },
+        ),
+        ("none", PruningConfig::none()),
+    ];
+    let mut columns: Vec<&str> = vec!["min_sup", "patterns"];
+    columns.extend(configs.iter().map(|(n, _)| *n));
+    let mut table = Table::new("E3 (Fig: pruning-technique ablation)", &columns);
+    let mut x = Vec::new();
+    let mut ys: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for rel in workloads::e1_support_sweep(scale) {
+        let min_sup = db.absolute_support(rel);
+        let mut cells = vec![format!("{:.0}%", rel * 100.0)];
+        let mut reference: Option<Vec<tpminer::FrequentPattern>> = None;
+        let mut row_json = serde_json::Map::new();
+        row_json.insert("rel_support".into(), json!(rel));
+        x.push(format!("{:.0}%", rel * 100.0));
+        for (ci, (name, pruning)) in configs.iter().enumerate() {
+            let started = Instant::now();
+            let result = TpMiner::new(MinerConfig::with_min_support(min_sup).pruning(*pruning))
+                .mine_indexed(&index);
+            let us = started.elapsed().as_micros() as u64;
+            match &reference {
+                None => {
+                    cells.push(result.len().to_string());
+                    reference = Some(result.patterns().to_vec());
+                }
+                Some(r) => check_agreement(r, result.patterns(), name),
+            }
+            cells.push(fmt_micros(us));
+            ys[ci].push(us as f64);
+            row_json.insert(format!("{name}_us"), json!(us));
+        }
+        table.row(cells);
+        emit_json_row("e3", &serde_json::Value::Object(row_json));
+    }
+    table.print();
+    let mut chart = Chart::new("runtime (us, log scale) per pruning configuration", x).log_y();
+    for (ci, (name, _)) in configs.iter().enumerate() {
+        chart = chart.series(Series::new(name, &ys[ci]));
+    }
+    chart.print();
+}
+
+// ---------------------------------------------------------------- E4 ----
+fn e4(scale: Scale) {
+    let db = workloads::e1_database(scale);
+    // RSS deltas are best-effort (the allocator reuses already-mapped pages
+    // across runs); the structural proxies — live embedding states for the
+    // projected databases vs. materialized occurrence tuples for the
+    // id-lists — are the reliable series, mirroring what the paper's memory
+    // figure contrasts.
+    let mut table = Table::new(
+        "E4 (Fig: peak memory vs minimum support)",
+        &[
+            "min_sup",
+            "P-TPMiner peak states",
+            "states created",
+            "H-DFS occurrences",
+            "P-TPMiner RSS",
+            "H-DFS RSS",
+        ],
+    );
+    for rel in workloads::e1_support_sweep(scale) {
+        let min_sup = db.absolute_support(rel);
+        let (tp, tp_rss) = alloc_meter::measure_peak(|| {
+            TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(&db)
+        });
+        let (hd, hd_rss) = alloc_meter::measure_peak(|| HDfsMiner::new(min_sup).mine(&db));
+        let fmt_rss = |r: Option<u64>| match r {
+            Some(0) | None => "n/a".to_string(),
+            Some(b) => fmt_bytes(b),
+        };
+        table.row(vec![
+            format!("{:.0}%", rel * 100.0),
+            tp.stats().peak_node_states.to_string(),
+            tp.stats().states_created.to_string(),
+            hd.stats.occurrences_materialized.to_string(),
+            fmt_rss(tp_rss),
+            fmt_rss(hd_rss),
+        ]);
+        emit_json_row(
+            "e4",
+            &json!({
+                "rel_support": rel,
+                "tpminer_rss": tp_rss, "tpminer_peak_states": tp.stats().peak_node_states,
+                "tpminer_states_created": tp.stats().states_created,
+                "hdfs_rss": hd_rss, "hdfs_occurrences": hd.stats.occurrences_materialized,
+            }),
+        );
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------- E5 ----
+fn e5(scale: Scale) {
+    let rel = workloads::e2_support(scale);
+    let mut table = Table::new(
+        &format!(
+            "E5 (Fig: runtime vs intervals-per-sequence |C|) — min_sup {:.0}%",
+            rel * 100.0
+        ),
+        &["|C|", "patterns", "P-TPMiner", "TPrefixSpan", "H-DFS"],
+    );
+    let mut x = Vec::new();
+    let mut ys: [Vec<f64>; 3] = Default::default();
+    for c in workloads::e5_densities(scale) {
+        let db = workloads::e5_database(scale, c);
+        let min_sup = db.absolute_support(rel);
+
+        let (tp_us, tp_patterns) = run_tpminer(&db, min_sup);
+
+        let started = Instant::now();
+        let tps = TPrefixSpan::new(min_sup).mine(&db);
+        let tps_us = started.elapsed().as_micros() as u64;
+        check_agreement(&tp_patterns, &tps.patterns, "TPrefixSpan");
+
+        let started = Instant::now();
+        let hdfs = HDfsMiner::new(min_sup).mine(&db);
+        let hdfs_us = started.elapsed().as_micros() as u64;
+        check_agreement(&tp_patterns, &hdfs.patterns, "H-DFS");
+
+        x.push(format!("{c}"));
+        for (y, us) in ys.iter_mut().zip([tp_us, tps_us, hdfs_us]) {
+            y.push(us as f64);
+        }
+        table.row(vec![
+            format!("{c}"),
+            tp_patterns.len().to_string(),
+            fmt_micros(tp_us),
+            fmt_micros(tps_us),
+            fmt_micros(hdfs_us),
+        ]);
+        emit_json_row(
+            "e5",
+            &json!({
+                "density": c, "patterns": tp_patterns.len(),
+                "tpminer_us": tp_us, "tprefixspan_us": tps_us, "hdfs_us": hdfs_us,
+            }),
+        );
+    }
+    table.print();
+    Chart::new("runtime (us, log scale) vs sequence density", x)
+        .log_y()
+        .series(Series::new("P-TPMiner", &ys[0]))
+        .series(Series::new("TPrefixSpan", &ys[1]))
+        .series(Series::new("H-DFS", &ys[2]))
+        .print();
+}
+
+// ---------------------------------------------------------------- E6 ----
+fn e6(scale: Scale) {
+    let mut table = Table::new(
+        "E6 (Table: realistic datasets case study)",
+        &[
+            "dataset",
+            "seqs",
+            "intervals",
+            "symbols",
+            "min_sup",
+            "patterns",
+            "closed",
+            "runtime",
+        ],
+    );
+    let mut examples: Vec<String> = Vec::new();
+    for (name, db, max_arity) in workloads::e6_datasets(scale) {
+        for rel in workloads::e6_supports() {
+            let min_sup = db.absolute_support(rel);
+            let started = Instant::now();
+            let result =
+                TpMiner::new(MinerConfig::with_min_support(min_sup).max_arity(max_arity)).mine(&db);
+            let us = started.elapsed().as_micros() as u64;
+            let closed = closed_patterns(result.patterns());
+            table.row(vec![
+                name.to_string(),
+                db.len().to_string(),
+                db.total_intervals().to_string(),
+                db.symbols().len().to_string(),
+                format!("{:.0}%", rel * 100.0),
+                result.len().to_string(),
+                closed.len().to_string(),
+                fmt_micros(us),
+            ]);
+            emit_json_row(
+                "e6",
+                &json!({
+                    "dataset": name, "rel_support": rel, "abs_support": min_sup,
+                    "patterns": result.len(), "closed": closed.len(), "runtime_us": us,
+                }),
+            );
+            if (rel - 0.30).abs() < 1e-9 {
+                // Showcase the highest-arity patterns, as the paper's case
+                // study does.
+                let mut by_arity: Vec<_> = result.patterns().to_vec();
+                by_arity.sort_by_key(|p| std::cmp::Reverse((p.pattern.arity(), p.support)));
+                for p in by_arity.iter().take(2) {
+                    examples.push(format!(
+                        "  [{name}] {}   (support {}, {:.0}%)",
+                        p.pattern.display(db.symbols()),
+                        p.support,
+                        100.0 * p.support as f64 / db.len() as f64
+                    ));
+                }
+            }
+        }
+    }
+    table.print();
+    println!("example patterns at 30% support:");
+    for e in examples {
+        println!("{e}");
+    }
+}
+
+// ---------------------------------------------------------------- E7 ----
+fn e7(scale: Scale) {
+    let udb: UncertainDatabase = workloads::e7_database(scale);
+    let mut table = Table::new(
+        &format!(
+            "E7 (Fig: probabilistic mining) — uncertain {} seqs, {} intervals",
+            udb.len(),
+            udb.total_intervals()
+        ),
+        &[
+            "min_esup",
+            "patterns",
+            "with PT4",
+            "without PT4",
+            "candidates",
+            "screened",
+        ],
+    );
+    let mut x = Vec::new();
+    let mut ys: [Vec<f64>; 2] = Default::default();
+    for rel in workloads::e7_esup_sweep(scale) {
+        let min_esup = rel * udb.len() as f64;
+        let mut cfg = ProbabilisticConfig::with_min_expected_support(min_esup);
+        cfg.upper_bound_pruning = true;
+        let with = ProbabilisticMiner::new(cfg).mine(&udb);
+        cfg.upper_bound_pruning = false;
+        let without = ProbabilisticMiner::new(cfg).mine(&udb);
+        if with.patterns() != without.patterns() {
+            eprintln!("!! PT4 changed the probabilistic output — this should never happen");
+        }
+        x.push(format!("{:.0}%", rel * 100.0));
+        ys[0].push(with.stats().elapsed_micros as f64);
+        ys[1].push(without.stats().elapsed_micros as f64);
+        table.row(vec![
+            format!("{:.0}%", rel * 100.0),
+            with.len().to_string(),
+            fmt_micros(with.stats().elapsed_micros),
+            fmt_micros(without.stats().elapsed_micros),
+            with.stats().candidates.to_string(),
+            with.stats().pruned_by_bound.to_string(),
+        ]);
+        emit_json_row(
+            "e7",
+            &json!({
+                "rel_esup": rel, "min_esup": min_esup, "patterns": with.len(),
+                "with_pt4_us": with.stats().elapsed_micros,
+                "without_pt4_us": without.stats().elapsed_micros,
+                "candidates": with.stats().candidates,
+                "screened": with.stats().pruned_by_bound,
+            }),
+        );
+    }
+    table.print();
+    Chart::new("P-TPMiner runtime (us) vs expected-support threshold", x)
+        .log_y()
+        .series(Series::new("with PT4", &ys[0]))
+        .series(Series::new("without PT4", &ys[1]))
+        .print();
+}
+
+// ---------------------------------------------------------------- E8 ----
+fn e8(scale: Scale) {
+    let db = workloads::e1_database(scale);
+    let rel = *workloads::e1_support_sweep(scale)
+        .last()
+        .expect("non-empty sweep");
+    let min_sup = db.absolute_support(rel);
+    let result = TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(&db);
+    let closed = closed_patterns(result.patterns());
+    let hist = result.arity_histogram();
+    let mut closed_hist = vec![0usize; hist.len()];
+    for p in &closed {
+        closed_hist[p.pattern.arity()] += 1;
+    }
+    let mut table = Table::new(
+        &format!(
+            "E8 (Fig: pattern count by length) — min_sup {:.0}%",
+            rel * 100.0
+        ),
+        &["arity", "frequent", "closed"],
+    );
+    let mut x = Vec::new();
+    let mut freq_series = Vec::new();
+    let mut closed_series = Vec::new();
+    for arity in 1..hist.len() {
+        x.push(arity.to_string());
+        freq_series.push(hist[arity] as f64);
+        closed_series.push(closed_hist[arity] as f64);
+        table.row(vec![
+            arity.to_string(),
+            hist[arity].to_string(),
+            closed_hist[arity].to_string(),
+        ]);
+        emit_json_row(
+            "e8",
+            &json!({"arity": arity, "frequent": hist[arity], "closed": closed_hist[arity]}),
+        );
+    }
+    table.print();
+    Chart::new("pattern counts by arity", x)
+        .series(Series::new("frequent", &freq_series))
+        .series(Series::new("closed", &closed_series))
+        .print();
+}

@@ -1,0 +1,268 @@
+//! Terminal line charts for the repro harness: after each experiment's
+//! table, the corresponding *figure* is rendered as an ASCII chart (log-y
+//! for runtimes, linear otherwise), so the harness output visually mirrors
+//! the paper's plots.
+
+use std::fmt::Write as _;
+
+/// One named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// y-values, parallel to the chart's x labels. `None` = missing point.
+    pub values: Vec<Option<f64>>,
+}
+
+impl Series {
+    /// Builds a series from values (all present).
+    pub fn new(name: &str, values: &[f64]) -> Self {
+        Self {
+            name: name.to_owned(),
+            values: values.iter().copied().map(Some).collect(),
+        }
+    }
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_labels: Vec<String>,
+    series: Vec<Series>,
+    log_y: bool,
+    height: usize,
+}
+
+/// Per-series plot glyphs, cycled.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+impl Chart {
+    /// Creates a chart with the given title and x-axis labels.
+    pub fn new(title: &str, x_labels: Vec<String>) -> Self {
+        Self {
+            title: title.to_owned(),
+            x_labels,
+            series: Vec::new(),
+            log_y: false,
+            height: 12,
+        }
+    }
+
+    /// Uses a logarithmic y-axis (for runtime plots).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series (values parallel to the x labels).
+    pub fn series(mut self, s: Series) -> Self {
+        assert_eq!(
+            s.values.len(),
+            self.x_labels.len(),
+            "series length must match x labels"
+        );
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "-- {} --", self.title);
+        let points: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter().flatten().copied())
+            .filter(|v| v.is_finite() && (!self.log_y || *v > 0.0))
+            .collect();
+        if points.is_empty() || self.x_labels.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let transform = |v: f64| if self.log_y { v.log10() } else { v };
+        let lo = points
+            .iter()
+            .copied()
+            .map(transform)
+            .fold(f64::MAX, f64::min);
+        let hi = points
+            .iter()
+            .copied()
+            .map(transform)
+            .fold(f64::MIN, f64::max);
+        let span = (hi - lo).max(1e-9);
+
+        let col_width = self
+            .x_labels
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(1)
+            .max(3)
+            + 2;
+        let width = self.x_labels.len() * col_width;
+        let mut grid = vec![vec![' '; width]; self.height];
+
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            let mut prev: Option<(usize, usize)> = None;
+            for (xi, v) in s.values.iter().enumerate() {
+                let Some(v) = v else {
+                    prev = None;
+                    continue;
+                };
+                if !v.is_finite() || (self.log_y && *v <= 0.0) {
+                    prev = None;
+                    continue;
+                }
+                let y = ((transform(*v) - lo) / span * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - y.min(self.height - 1);
+                let col = xi * col_width + col_width / 2;
+                // connect to the previous point with a sparse trace
+                if let Some((prow, pcol)) = prev {
+                    let steps = col.saturating_sub(pcol);
+                    for step in 1..steps {
+                        let t = step as f64 / steps as f64;
+                        let irow = (prow as f64 + (row as f64 - prow as f64) * t).round() as usize;
+                        let icol = pcol + step;
+                        if grid[irow][icol] == ' ' {
+                            grid[irow][icol] = '.';
+                        }
+                    }
+                }
+                grid[row][col] = glyph;
+                prev = Some((row, col));
+            }
+        }
+
+        let y_label = |frac: f64| {
+            let v = lo + span * frac;
+            if self.log_y {
+                human(10f64.powf(v))
+            } else {
+                human(v)
+            }
+        };
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                y_label(1.0)
+            } else if i == self.height - 1 {
+                y_label(0.0)
+            } else if i == self.height / 2 {
+                y_label(0.5)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(out, "{label:>9} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(width));
+        let mut axis = String::new();
+        for l in &self.x_labels {
+            let _ = write!(axis, "{l:^col_width$}");
+        }
+        let _ = writeln!(out, "{:>9}  {axis}", "");
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.name))
+            .collect();
+        let _ = writeln!(out, "{:>9}  {}", "", legend.join("   "));
+        out
+    }
+
+    /// Prints the chart to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Short human form of a number (for axis labels).
+fn human(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.1}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else if a >= 10.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axis_and_legend() {
+        let chart = Chart::new("runtime", vec!["5%".into(), "10%".into(), "20%".into()])
+            .log_y()
+            .series(Series::new("fast", &[10.0, 20.0, 40.0]))
+            .series(Series::new("slow", &[100.0, 400.0, 1600.0]));
+        let text = chart.render();
+        assert!(text.contains("-- runtime --"));
+        assert!(text.contains("* fast"));
+        assert!(text.contains("o slow"));
+        assert!(text.contains("5%"));
+        assert!(text.contains("20%"));
+        // both glyphs appear as plotted points
+        assert!(text.matches('*').count() >= 3);
+        assert!(text.matches('o').count() >= 3);
+    }
+
+    #[test]
+    fn log_scale_orders_extremes() {
+        let chart = Chart::new("t", vec!["a".into(), "b".into()])
+            .log_y()
+            .series(Series::new("s", &[1.0, 1000.0]));
+        let text = chart.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // max label on the top row, min on the bottom grid row
+        assert!(lines[1].contains("1.0k"));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("1 |") || l.contains("1.00")));
+    }
+
+    #[test]
+    fn missing_points_are_skipped() {
+        let chart = Chart::new("t", vec!["a".into(), "b".into()]).series(Series {
+            name: "s".into(),
+            values: vec![Some(1.0), None],
+        });
+        let text = chart.render();
+        // one plotted point plus the legend glyph
+        assert_eq!(text.matches('*').count(), 2);
+    }
+
+    #[test]
+    fn empty_chart_degrades_gracefully() {
+        let chart = Chart::new("t", vec![]);
+        assert!(chart.render().contains("(no data)"));
+        let chart = Chart::new("t", vec!["a".into()]).series(Series {
+            name: "s".into(),
+            values: vec![None],
+        });
+        assert!(chart.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn human_labels() {
+        assert_eq!(human(1234.0), "1.2k");
+        assert_eq!(human(5.0), "5");
+        assert_eq!(human(0.25), "0.25");
+        assert_eq!(human(2_500_000.0), "2.5M");
+        assert_eq!(human(3_000_000_000.0), "3.0G");
+    }
+
+    #[test]
+    #[should_panic(expected = "series length")]
+    fn mismatched_series_panics() {
+        let _ = Chart::new("t", vec!["a".into()]).series(Series::new("s", &[1.0, 2.0]));
+    }
+}

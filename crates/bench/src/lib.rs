@@ -1,0 +1,12 @@
+//! Shared helpers for the benchmark harness (workload construction, result
+//! table formatting, and a byte-counting allocator for the memory
+//! experiment). The `repro` binary and the criterion benches both build on
+//! this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc_meter;
+pub mod chart;
+pub mod tables;
+pub mod workloads;

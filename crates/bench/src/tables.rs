@@ -1,0 +1,156 @@
+//! Result-table rendering and machine-readable row output.
+//!
+//! Every experiment prints a fixed-width table (what the paper's figure
+//! would plot) and appends JSON rows to `results/<experiment>.jsonl` so
+//! `EXPERIMENTS.md` numbers can be regenerated mechanically.
+
+use serde_json::Value;
+use std::fmt::Write as _;
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row/column mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (i, cell) in cells.iter().enumerate() {
+                if !first {
+                    out.push_str("  ");
+                }
+                first = false;
+                let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.columns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Appends one JSON row to `results/<experiment>.jsonl` under the workspace
+/// root (best effort: failures are reported to stderr, never fatal).
+pub fn emit_json_row(experiment: &str, row: &Value) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{experiment}.jsonl"));
+    let result = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{row}"));
+    if let Err(e) = result {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+/// The `results/` directory (workspace root when running via cargo, current
+/// directory otherwise).
+pub fn results_dir() -> PathBuf {
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    base.join("results")
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_micros(micros: u64) -> String {
+    if micros >= 10_000_000 {
+        format!("{:.2}s", micros as f64 / 1e6)
+    } else if micros >= 10_000 {
+        format!("{:.1}ms", micros as f64 / 1e3)
+    } else {
+        format!("{micros}us")
+    }
+}
+
+/// Formats a byte count in adaptive units.
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 100 * 1024 * 1024 {
+        format!("{:.2}GiB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 100 * 1024 {
+        format!("{:.2}MiB", bytes as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.1}KiB", bytes as f64 / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a-much-longer-name".into(), "123456".into()]);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("a-much-longer-name"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // data lines align on the right edge
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row/column mismatch")]
+    fn row_length_is_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_micros(900), "900us");
+        assert_eq!(fmt_micros(25_000), "25.0ms");
+        assert_eq!(fmt_micros(12_000_000), "12.00s");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert!(fmt_bytes(5 << 20).ends_with("MiB"));
+    }
+}

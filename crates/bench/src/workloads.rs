@@ -1,0 +1,225 @@
+//! The evaluation workloads, one constructor per experiment.
+//!
+//! The paper's synthetic datasets follow the QUEST naming convention
+//! (`D…-C…-S…-N…`). The absolute sizes here are scaled so the full harness
+//! completes on a laptop in minutes while preserving the *shape* of every
+//! curve (the baselines' asymptotic disadvantages kick in well before paper
+//! scale); `Scale::Full` restores paper-sized databases for the pattern
+//! miners that can handle them.
+
+use datasets::{
+    GestureConfig, GestureEmulator, LibraryConfig, LibraryEmulator, StockConfig, StockEmulator,
+};
+use interval_core::{IntervalDatabase, UncertainDatabase};
+use synthgen::{QuestConfig, QuestGenerator, UncertaintyConfig};
+
+/// Harness scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-friendly sizes (default; used for the checked-in
+    /// `EXPERIMENTS.md` numbers).
+    Quick,
+    /// Paper-sized databases (minutes to hours for the slow baselines).
+    Full,
+}
+
+impl Scale {
+    /// Parses `quick` / `full`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// The base synthetic workload shared by E1/E3/E4/E8.
+pub fn base_quest(scale: Scale) -> QuestConfig {
+    match scale {
+        Scale::Quick => QuestConfig {
+            num_sequences: 2_000,
+            avg_intervals_per_sequence: 8.0,
+            avg_pattern_arity: 4.0,
+            num_symbols: 100,
+            num_potential_patterns: 30,
+            corruption: 0.25,
+            noise: 0.15,
+            avg_duration: 20.0,
+            horizon: 500,
+            seed: 42,
+        },
+        Scale::Full => QuestConfig {
+            num_sequences: 10_000,
+            num_symbols: 1_000,
+            seed: 42,
+            ..QuestConfig::paper_default()
+        },
+    }
+}
+
+/// Generates the base synthetic database.
+pub fn e1_database(scale: Scale) -> IntervalDatabase {
+    QuestGenerator::new(base_quest(scale)).generate()
+}
+
+/// The relative minimum supports swept by E1/E3/E4 (descending, so the
+/// "runtime explodes as support drops" shape is visible left to right).
+pub fn e1_support_sweep(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.20, 0.15, 0.10, 0.07, 0.05],
+        Scale::Full => vec![0.10, 0.07, 0.05, 0.03, 0.02, 0.01],
+    }
+}
+
+/// Database sizes for the scalability experiment (E2).
+pub fn e2_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![1_000, 2_000, 4_000, 8_000, 16_000],
+        Scale::Full => vec![10_000, 25_000, 50_000, 75_000, 100_000],
+    }
+}
+
+/// The fixed relative support used by E2 and E5.
+pub fn e2_support(scale: Scale) -> f64 {
+    match scale {
+        Scale::Quick => 0.10,
+        Scale::Full => 0.05,
+    }
+}
+
+/// Generates a database of `n` sequences with the base parameters.
+pub fn e2_database(scale: Scale, n: usize) -> IntervalDatabase {
+    QuestGenerator::new(base_quest(scale).sequences(n)).generate()
+}
+
+/// Densities (intervals per sequence) swept by E5.
+pub fn e5_densities(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![4.0, 8.0, 12.0, 16.0, 20.0],
+        Scale::Full => vec![4.0, 8.0, 12.0, 16.0, 20.0, 24.0],
+    }
+}
+
+/// Generates a database with `c` average intervals per sequence.
+pub fn e5_database(scale: Scale, c: f64) -> IntervalDatabase {
+    let base = base_quest(scale);
+    let cfg = QuestConfig {
+        num_sequences: base.num_sequences / 2,
+        ..base
+    }
+    .intervals_per_sequence(c);
+    QuestGenerator::new(cfg).generate()
+}
+
+/// The three realistic datasets of the case study (E6), each with the
+/// pattern-arity cap its table reports.
+///
+/// The caps mirror how interval-mining case studies present results: the
+/// emulated domains contain *tiling* interval structure (a stock ticker's
+/// up/down/flat runs partition every window; a keen patron borrows the same
+/// category many times), so unbounded "x before x before x …" chains are
+/// frequent at any support and the uncapped frequent set is exponential.
+/// Reporting arrangements of up to 3–4 intervals is what the original case
+/// studies do.
+pub fn e6_datasets(scale: Scale) -> Vec<(&'static str, IntervalDatabase, usize)> {
+    let factor = match scale {
+        Scale::Quick => 1,
+        Scale::Full => 5,
+    };
+    vec![
+        (
+            "library",
+            LibraryEmulator::new(LibraryConfig {
+                patrons: 1_000 * factor,
+                ..Default::default()
+            })
+            .generate(),
+            4,
+        ),
+        (
+            "stock",
+            StockEmulator::new(StockConfig {
+                windows: 500 * factor,
+                days_per_window: 10,
+                ..Default::default()
+            })
+            .generate(),
+            3,
+        ),
+        (
+            "gesture",
+            GestureEmulator::new(GestureConfig {
+                utterances: 800 * factor,
+                ..Default::default()
+            })
+            .generate(),
+            4,
+        ),
+    ]
+}
+
+/// Relative supports reported per dataset in the E6 table. The emulated
+/// datasets have small alphabets (9–24 symbols), so moderate thresholds
+/// already admit rich pattern sets; below ~25% the pattern space of the
+/// densest dataset explodes combinatorially.
+pub fn e6_supports() -> Vec<f64> {
+    vec![0.50, 0.40, 0.30]
+}
+
+/// The uncertain workload of the probabilistic experiment (E7).
+pub fn e7_database(scale: Scale) -> UncertainDatabase {
+    let cfg = match scale {
+        Scale::Quick => base_quest(Scale::Quick).sequences(1_000),
+        Scale::Full => base_quest(Scale::Full).sequences(5_000),
+    };
+    QuestGenerator::new(cfg).generate_uncertain(&UncertaintyConfig::default())
+}
+
+/// Expected-support thresholds (relative) swept by E7.
+pub fn e7_esup_sweep(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.20, 0.15, 0.10, 0.07],
+        Scale::Full => vec![0.10, 0.07, 0.05, 0.03],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workloads_have_declared_sizes() {
+        let db = e1_database(Scale::Quick);
+        assert_eq!(db.len(), 2_000);
+        let db = e2_database(Scale::Quick, 1_000);
+        assert_eq!(db.len(), 1_000);
+    }
+
+    #[test]
+    fn sweeps_are_descending() {
+        for s in [Scale::Quick, Scale::Full] {
+            let sweep = e1_support_sweep(s);
+            assert!(sweep.windows(2).all(|w| w[0] > w[1]));
+            let esweep = e7_esup_sweep(s);
+            assert!(esweep.windows(2).all(|w| w[0] > w[1]));
+        }
+    }
+
+    #[test]
+    fn e6_provides_three_named_datasets() {
+        let sets = e6_datasets(Scale::Quick);
+        assert_eq!(sets.len(), 3);
+        for (name, db, max_arity) in sets {
+            assert!(!db.is_empty(), "{name} is empty");
+            assert!(max_arity >= 3, "{name} cap too tight for a case study");
+        }
+    }
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Minimal dependency-free argument parsing for the CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand, positional arguments, `--key value` /
+/// `--flag` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Parsed {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options; bare `--flag`s map to an empty string.
+    pub options: HashMap<String, String>,
+}
+
+/// Option keys that are flags (take no value).
+const FLAGS: &[&str] = &["uncertain", "closed", "maximal", "json", "help", "explain"];
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            if key.is_empty() {
+                return Err("empty option name `--`".into());
+            }
+            if FLAGS.contains(&key) {
+                parsed.options.insert(key.to_owned(), String::new());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{key} needs a value"))?;
+                parsed.options.insert(key.to_owned(), value.clone());
+            }
+        } else if parsed.command.is_empty() {
+            parsed.command = arg.clone();
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+impl Parsed {
+    /// Whether a flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// A string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A parsed numeric option with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// A parsed numeric option without a default.
+    pub fn opt_num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Rejects options outside the subcommand's known set, so a typo like
+    /// `--min-suport` fails loudly instead of being silently ignored.
+    pub fn expect_options(&self, known: &[&str]) -> Result<(), String> {
+        for key in self.options.keys() {
+            if !known.contains(&key.as_str()) {
+                let mut message = format!("unknown option --{key}");
+                if let Some(suggestion) = closest(key, known) {
+                    message.push_str(&format!(" (did you mean --{suggestion}?)"));
+                }
+                return Err(message);
+            }
+        }
+        Ok(())
+    }
+
+    /// The single required positional argument.
+    pub fn input(&self) -> Result<&str, String> {
+        match self.positional.as_slice() {
+            [one] => Ok(one),
+            [] => Err("missing input file".into()),
+            _ => Err("expected exactly one input file".into()),
+        }
+    }
+}
+
+/// The known option with the smallest edit distance to `key`, if close
+/// enough to be a plausible typo.
+fn closest<'a>(key: &str, known: &[&'a str]) -> Option<&'a str> {
+    known
+        .iter()
+        .map(|&k| (edit_distance(key, k), k))
+        .min()
+        .filter(|&(d, _)| d <= 2)
+        .map(|(_, k)| k)
+}
+
+/// Plain Levenshtein distance (options are short; O(nm) is fine).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut current = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            current.push((prev[j] + cost).min(prev[j + 1] + 1).min(current[j] + 1));
+        }
+        prev = current;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_command_positional_and_options() {
+        let p = parse(&argv("mine data.txt --min-support 0.1 --closed")).unwrap();
+        assert_eq!(p.command, "mine");
+        assert_eq!(p.positional, vec!["data.txt"]);
+        assert_eq!(p.get("min-support"), Some("0.1"));
+        assert!(p.flag("closed"));
+        assert!(!p.flag("maximal"));
+    }
+
+    #[test]
+    fn numeric_helpers() {
+        let p = parse(&argv("mine f --min-support 0.25 --top-k 10")).unwrap();
+        assert_eq!(p.num::<f64>("min-support", 1.0).unwrap(), 0.25);
+        assert_eq!(p.opt_num::<usize>("top-k").unwrap(), Some(10));
+        assert_eq!(p.opt_num::<usize>("max-arity").unwrap(), None);
+        assert!(p.num::<usize>("min-support", 1).is_err()); // 0.25 is not usize
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&argv("mine f --min-support")).is_err());
+        assert!(parse(&argv("mine --")).is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_with_suggestion() {
+        let p = parse(&argv("mine f --min-suport 0.1")).unwrap();
+        let err = p
+            .expect_options(&["min-support", "abs-support", "top-k"])
+            .unwrap_err();
+        assert!(err.contains("--min-suport"), "{err}");
+        assert!(err.contains("did you mean --min-support"), "{err}");
+        // known options pass
+        let p = parse(&argv("mine f --min-support 0.1")).unwrap();
+        assert!(p.expect_options(&["min-support"]).is_ok());
+        // wildly wrong options get no suggestion
+        let p = parse(&argv("mine f --zzz 1")).unwrap();
+        let err = p.expect_options(&["min-support"]).unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("min-suport", "min-support"), 1);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(parse(&argv("stats")).unwrap().input().is_err());
+        assert!(parse(&argv("stats a b")).unwrap().input().is_err());
+        assert_eq!(parse(&argv("stats a")).unwrap().input().unwrap(), "a");
+    }
+}

@@ -1,0 +1,355 @@
+//! `ptpminer-cli` — command-line interface to the P-TPMiner system.
+//!
+//! ```text
+//! ptpminer-cli generate --sequences 1000 --symbols 100 --seed 7 --out data.txt
+//! ptpminer-cli stats data.txt
+//! ptpminer-cli mine data.txt --min-support 0.1 --closed
+//! ptpminer-cli mine data.txt --top-k 20
+//! ptpminer-cli mine-prob data.csv --min-esup 0.1
+//! ```
+//!
+//! Input formats are auto-detected: `.csv` files use the long format
+//! (`sequence,symbol,start,end[,probability]`); anything else uses the
+//! native text format (one sequence per line; see `datasets::io`).
+
+mod args;
+
+use args::Parsed;
+use interval_core::{IntervalDatabase, UncertainDatabase};
+use std::path::Path;
+use std::process::ExitCode;
+use tpminer::{
+    closed_patterns, maximal_patterns, mine_top_k, MinerConfig, ProbabilisticConfig,
+    ProbabilisticMiner, TopKConfig, TpMiner,
+};
+
+const USAGE: &str = "\
+usage: ptpminer-cli <command> [options]
+
+commands:
+  generate   produce a QUEST-style synthetic dataset
+             --sequences N --intervals C --symbols N --patterns N --seed S
+             --uncertain  --format text|csv  --out FILE (stdout otherwise)
+  stats      summarize a dataset
+             <file> [--json]
+  mine       mine frequent temporal patterns
+             <file> --min-support FRAC | --abs-support N
+             [--max-arity K] [--window W] [--gap G] [--closed] [--maximal]
+             [--top-k K] [--rules CONF] [--explain] [--json]
+  mine-prob  mine probabilistic patterns from uncertain data
+             <file> --min-esup FRAC [--json]
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let parsed = args::parse(argv)?;
+    if parsed.flag("help") || parsed.command.is_empty() {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    match parsed.command.as_str() {
+        "generate" => {
+            parsed.expect_options(&[
+                "sequences", "intervals", "symbols", "patterns", "seed", "uncertain", "format",
+                "out",
+            ])?;
+            generate(&parsed)
+        }
+        "stats" => {
+            parsed.expect_options(&["json"])?;
+            stats(&parsed)
+        }
+        "mine" => {
+            parsed.expect_options(&[
+                "min-support", "abs-support", "max-arity", "window", "gap", "closed", "maximal",
+                "top-k", "rules", "explain", "json",
+            ])?;
+            mine(&parsed)
+        }
+        "mine-prob" => {
+            parsed.expect_options(&["min-esup", "json"])?;
+            mine_prob(&parsed)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_database(path: &str) -> Result<IntervalDatabase, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let db = if Path::new(path).extension().is_some_and(|e| e == "csv") {
+        datasets::csv::read_long_csv(&text)
+    } else {
+        datasets::io::read_database(&text)
+    };
+    db.map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_uncertain(path: &str) -> Result<UncertainDatabase, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let db = if Path::new(path).extension().is_some_and(|e| e == "csv") {
+        datasets::csv::read_long_csv_uncertain(&text)
+    } else {
+        datasets::io::read_uncertain_database(&text)
+    };
+    db.map_err(|e| format!("{path}: {e}"))
+}
+
+fn generate(p: &Parsed) -> Result<(), String> {
+    let config = synthgen::QuestConfig::small()
+        .sequences(p.num("sequences", 1_000usize)?)
+        .intervals_per_sequence(p.num("intervals", 8.0f64)?)
+        .symbols(p.num("symbols", 100usize)?)
+        .seed(p.num("seed", 1u64)?);
+    let config = synthgen::QuestConfig {
+        num_potential_patterns: p.num("patterns", 20usize)?,
+        ..config
+    };
+    let generator = synthgen::QuestGenerator::new(config);
+    let format = p.get("format").unwrap_or("text");
+    let output = if p.flag("uncertain") {
+        let udb = generator.generate_uncertain(&synthgen::UncertaintyConfig::default());
+        match format {
+            "text" => datasets::io::write_uncertain_database(&udb),
+            other => return Err(format!("--format {other} not supported with --uncertain")),
+        }
+    } else {
+        let db = generator.generate();
+        match format {
+            "text" => datasets::io::write_database(&db),
+            "csv" => datasets::csv::write_long_csv(&db),
+            other => return Err(format!("unknown --format `{other}`")),
+        }
+    };
+    match p.get("out") {
+        Some(path) => std::fs::write(path, output).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{output}"),
+    }
+    eprintln!("generated {}", config.name());
+    Ok(())
+}
+
+fn stats(p: &Parsed) -> Result<(), String> {
+    let db = load_database(p.input()?)?;
+    let profile = datasets::DatasetProfile::of(&db);
+    if p.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{profile}");
+    }
+    Ok(())
+}
+
+fn mine(p: &Parsed) -> Result<(), String> {
+    let db = load_database(p.input()?)?;
+    let mut config = MinerConfig::default();
+    if let Some(k) = p.opt_num::<usize>("max-arity")? {
+        config = config.max_arity(k);
+    }
+    if let Some(w) = p.opt_num::<i64>("window")? {
+        config = config.max_window(w);
+    }
+    if let Some(g) = p.opt_num::<i64>("gap")? {
+        config = config.max_gap(g);
+    }
+
+    if let Some(k) = p.opt_num::<usize>("top-k")? {
+        let top = mine_top_k(
+            &db,
+            TopKConfig {
+                k,
+                min_arity: 2,
+                base: config,
+            },
+        );
+        return render(p, &db, &top, "top-k");
+    }
+
+    config.min_support = match (
+        p.opt_num::<usize>("abs-support")?,
+        p.opt_num::<f64>("min-support")?,
+    ) {
+        (Some(n), _) => n,
+        (None, Some(frac)) => db.absolute_support(frac),
+        (None, None) => return Err("pass --min-support FRAC or --abs-support N".into()),
+    };
+    let result = TpMiner::new(config).mine(&db);
+    eprintln!(
+        "mined {} patterns in {:?} ({} nodes explored)",
+        result.len(),
+        result.stats().elapsed,
+        result.stats().nodes_explored
+    );
+
+    if let Some(min_confidence) = p.opt_num::<f64>("rules")? {
+        let rules = tpminer::generate_rules(
+            result.patterns(),
+            &tpminer::RuleConfig {
+                min_confidence,
+                single_extension_only: true,
+            },
+        );
+        return emit_lines(
+            std::iter::once(format!(
+                "{} rules at confidence >= {min_confidence}",
+                rules.len()
+            ))
+            .chain(
+                rules
+                    .iter()
+                    .map(|r| format!("  {}", r.display(db.symbols()))),
+            ),
+        );
+    }
+    let patterns: Vec<tpminer::FrequentPattern> = if p.flag("maximal") {
+        maximal_patterns(result.patterns())
+    } else if p.flag("closed") {
+        closed_patterns(result.patterns())
+    } else {
+        result.patterns().to_vec()
+    };
+    let kind = if p.flag("maximal") {
+        "maximal"
+    } else if p.flag("closed") {
+        "closed"
+    } else {
+        "frequent"
+    };
+    render(p, &db, &patterns, kind)?;
+
+    if p.flag("explain") {
+        explain(&db, &patterns)?;
+    }
+    Ok(())
+}
+
+/// Prints, for the largest pattern found, an ASCII timeline and one concrete
+/// witness embedding from the first supporting sequence.
+fn explain(db: &IntervalDatabase, patterns: &[tpminer::FrequentPattern]) -> Result<(), String> {
+    let Some(best) = patterns
+        .iter()
+        .max_by_key(|p| (p.pattern.arity(), p.support))
+    else {
+        return Ok(());
+    };
+    let mut lines = vec![
+        String::new(),
+        format!(
+            "largest pattern ({} intervals, support {}):",
+            best.pattern.arity(),
+            best.support
+        ),
+        best.pattern.ascii_timeline(db.symbols()),
+    ];
+    for (i, seq) in db.sequences().iter().enumerate() {
+        if let Some(witness) = interval_core::matcher::find_embedding(
+            seq,
+            &best.pattern,
+            interval_core::MatchConstraints::none(),
+        ) {
+            lines.push(format!("witness in sequence {i}:"));
+            for (slot, iv) in witness.iter().enumerate() {
+                lines.push(format!(
+                    "  slot {slot}: {} [{}, {})",
+                    db.symbols().name(iv.symbol),
+                    iv.start,
+                    iv.end
+                ));
+            }
+            break;
+        }
+    }
+    emit_lines(lines.into_iter())
+}
+
+/// Writes lines to stdout, treating a broken pipe (e.g. `| head`) as a
+/// graceful end of output rather than a panic.
+fn emit_lines(lines: impl Iterator<Item = String>) -> Result<(), String> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for line in lines {
+        match writeln!(lock, "{line}") {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
+            Err(e) => return Err(format!("stdout: {e}")),
+        }
+    }
+    Ok(())
+}
+
+fn render(
+    p: &Parsed,
+    db: &IntervalDatabase,
+    patterns: &[tpminer::FrequentPattern],
+    kind: &str,
+) -> Result<(), String> {
+    if p.flag("json") {
+        emit_lines(patterns.iter().map(|fp| {
+            serde_json::json!({
+                "pattern": fp.pattern.display(db.symbols()).to_string(),
+                "support": fp.support,
+                "arity": fp.pattern.arity(),
+                "kind": kind,
+            })
+            .to_string()
+        }))
+    } else {
+        let header = format!("{kind} patterns: {}", patterns.len());
+        emit_lines(std::iter::once(header).chain(patterns.iter().map(|fp| {
+            format!(
+                "  {}   (support {})",
+                fp.pattern.display(db.symbols()),
+                fp.support
+            )
+        })))
+    }
+}
+
+fn mine_prob(p: &Parsed) -> Result<(), String> {
+    let udb = load_uncertain(p.input()?)?;
+    let frac: f64 = p
+        .opt_num("min-esup")?
+        .ok_or_else(|| "pass --min-esup FRAC".to_string())?;
+    let min_esup = frac * udb.len() as f64;
+    let result = ProbabilisticMiner::new(ProbabilisticConfig::with_min_expected_support(min_esup))
+        .mine(&udb);
+    eprintln!(
+        "{} probabilistic patterns (candidates {}, screened {})",
+        result.len(),
+        result.stats().candidates,
+        result.stats().pruned_by_bound
+    );
+    if p.flag("json") {
+        emit_lines(result.patterns().iter().map(|pp| {
+            serde_json::json!({
+                "pattern": pp.pattern.display(udb.symbols()).to_string(),
+                "expected_support": pp.expected_support,
+                "world_support": pp.world_support,
+            })
+            .to_string()
+        }))
+    } else {
+        emit_lines(result.patterns().iter().map(|pp| {
+            format!(
+                "  {}   E[support] {:.2} (full world {})",
+                pp.pattern.display(udb.symbols()),
+                pp.expected_support,
+                pp.world_support
+            )
+        }))
+    }
+}

@@ -1,0 +1,242 @@
+//! CSV "long format" interop: one interval per row.
+//!
+//! The common exchange shape for interval data in the wild (spreadsheets,
+//! SQL exports) is one row per interval with a sequence key:
+//!
+//! ```csv
+//! sequence,symbol,start,end
+//! patient-1,fever,0,10
+//! patient-1,rash,5,20
+//! patient-2,fever,2,9
+//! ```
+//!
+//! An optional fifth column `probability` turns the file into an uncertain
+//! database. Sequences are emitted in first-appearance order; a header row
+//! is detected by its non-numeric `start` field and may be omitted.
+
+use interval_core::{
+    DatabaseBuilder, IntervalDatabase, IntervalError, Result, UncertainDatabase,
+    UncertainDatabaseBuilder,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn split_row(line: &str) -> Vec<&str> {
+    line.split(',').map(str::trim).collect()
+}
+
+fn is_header(fields: &[&str]) -> bool {
+    fields.len() >= 4 && fields[2].parse::<i64>().is_err()
+}
+
+/// Parses long-format CSV into a certain database.
+pub fn read_long_csv(text: &str) -> Result<IntervalDatabase> {
+    let mut builder = DatabaseBuilder::new();
+    let mut seq_index: HashMap<String, usize> = HashMap::new();
+    let mut pending: Vec<Vec<(String, i64, i64)>> = Vec::new();
+    let mut first_content_line = true;
+
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields = split_row(trimmed);
+        // The header may follow leading comment/blank lines.
+        if std::mem::take(&mut first_content_line) && is_header(&fields) {
+            continue;
+        }
+        if fields.len() != 4 {
+            return Err(IntervalError::Parse {
+                line: line_no,
+                message: format!(
+                    "expected `sequence,symbol,start,end`, got {} fields",
+                    fields.len()
+                ),
+            });
+        }
+        let (start, end) = parse_times(fields[2], fields[3], line_no)?;
+        let idx = *seq_index.entry(fields[0].to_owned()).or_insert_with(|| {
+            pending.push(Vec::new());
+            pending.len() - 1
+        });
+        pending[idx].push((fields[1].to_owned(), start, end));
+    }
+
+    for rows in pending {
+        let mut seq = builder.sequence();
+        for (symbol, start, end) in rows {
+            seq = seq.interval(&symbol, start, end);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Parses long-format CSV with a `probability` column into an uncertain
+/// database (missing column values default to 1).
+pub fn read_long_csv_uncertain(text: &str) -> Result<UncertainDatabase> {
+    let mut builder = UncertainDatabaseBuilder::new();
+    let mut seq_index: HashMap<String, usize> = HashMap::new();
+    let mut pending: Vec<Vec<(String, i64, i64, f64)>> = Vec::new();
+    let mut first_content_line = true;
+
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields = split_row(trimmed);
+        // The header may follow leading comment/blank lines.
+        if std::mem::take(&mut first_content_line) && is_header(&fields) {
+            continue;
+        }
+        if fields.len() != 4 && fields.len() != 5 {
+            return Err(IntervalError::Parse {
+                line: line_no,
+                message: format!(
+                    "expected `sequence,symbol,start,end[,probability]`, got {} fields",
+                    fields.len()
+                ),
+            });
+        }
+        let (start, end) = parse_times(fields[2], fields[3], line_no)?;
+        let p = if fields.len() == 5 {
+            fields[4].parse::<f64>().map_err(|_| IntervalError::Parse {
+                line: line_no,
+                message: format!("bad probability `{}`", fields[4]),
+            })?
+        } else {
+            1.0
+        };
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(IntervalError::Parse {
+                line: line_no,
+                message: format!("probability {p} outside (0, 1]"),
+            });
+        }
+        let idx = *seq_index.entry(fields[0].to_owned()).or_insert_with(|| {
+            pending.push(Vec::new());
+            pending.len() - 1
+        });
+        pending[idx].push((fields[1].to_owned(), start, end, p));
+    }
+
+    for rows in pending {
+        let mut seq = builder.sequence();
+        for (symbol, start, end, p) in rows {
+            seq = seq.interval(&symbol, start, end, p);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Serializes a certain database as long-format CSV (with header; sequence
+/// keys are `s<index>`).
+pub fn write_long_csv(db: &IntervalDatabase) -> String {
+    let mut out = String::from("sequence,symbol,start,end\n");
+    for (i, seq) in db.sequences().iter().enumerate() {
+        for iv in seq {
+            let _ = writeln!(
+                out,
+                "s{i},{},{},{}",
+                db.symbols().name(iv.symbol),
+                iv.start,
+                iv.end
+            );
+        }
+    }
+    out
+}
+
+fn parse_times(start: &str, end: &str, line: usize) -> Result<(i64, i64)> {
+    let start: i64 = start.parse().map_err(|_| IntervalError::Parse {
+        line,
+        message: format!("bad timestamp `{start}`"),
+    })?;
+    let end: i64 = end.parse().map_err(|_| IntervalError::Parse {
+        line,
+        message: format!("bad timestamp `{end}`"),
+    })?;
+    if start >= end {
+        return Err(IntervalError::Parse {
+            line,
+            message: format!("degenerate interval [{start}, {end})"),
+        });
+    }
+    Ok((start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_and_without_header() {
+        let with = "sequence,symbol,start,end\np1,fever,0,10\np1,rash,5,20\np2,fever,2,9\n";
+        let without = "p1,fever,0,10\np1,rash,5,20\np2,fever,2,9\n";
+        let a = read_long_csv(with).unwrap();
+        let b = read_long_csv(without).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.sequences()[0].len(), 2);
+    }
+
+    #[test]
+    fn sequence_order_is_first_appearance() {
+        let text = "z,A,0,1\na,B,0,1\nz,A,2,3\n";
+        let db = read_long_csv(text).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.sequences()[0].len(), 2); // "z" came first
+        assert_eq!(db.sequences()[1].len(), 1);
+    }
+
+    #[test]
+    fn round_trips_through_write() {
+        let text = "s0,A,0,5\ns0,B,3,8\ns1,A,1,2\n";
+        let db = read_long_csv(text).unwrap();
+        let back = read_long_csv(&write_long_csv(&db)).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = read_long_csv("p1,A,0,10\np1,B,ten,20\n").unwrap_err();
+        match err {
+            IntervalError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(read_long_csv("p1,A,5,5\n").is_err());
+        assert!(read_long_csv("p1,A,5\n").is_err());
+    }
+
+    #[test]
+    fn uncertain_variant_reads_probabilities() {
+        let text = "sequence,symbol,start,end,probability\np1,A,0,10,0.5\np1,B,5,20\n";
+        let db = read_long_csv_uncertain(text).unwrap();
+        let ivs = db.sequences()[0].intervals();
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].probability, 0.5);
+        assert_eq!(ivs[1].probability, 1.0);
+        assert!(read_long_csv_uncertain("p1,A,0,10,1.5\n").is_err());
+        assert!(read_long_csv_uncertain("p1,A,0,10,zero\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# export 2026-07-04\n\np1,A,0,10\n";
+        let db = read_long_csv(text).unwrap();
+        assert_eq!(db.total_intervals(), 1);
+    }
+
+    #[test]
+    fn header_after_leading_comments_is_skipped() {
+        let text = "# exported\n\nsequence,symbol,start,end\np1,A,0,10\n";
+        let db = read_long_csv(text).unwrap();
+        assert_eq!(db.total_intervals(), 1);
+        let text = "# exported\nsequence,symbol,start,end,probability\np1,A,0,10,0.5\n";
+        let udb = read_long_csv_uncertain(text).unwrap();
+        assert_eq!(udb.sequences()[0].intervals()[0].probability, 0.5);
+    }
+}

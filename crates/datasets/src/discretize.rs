@@ -1,0 +1,249 @@
+//! Discretization: turning numeric time series into state intervals.
+//!
+//! Interval-based mining consumes `(symbol, start, end)` triples, but raw
+//! data is usually a sampled numeric series (a vital sign, a price, a
+//! sensor). The standard preprocessing — used by the paper family's stock
+//! and ICU case studies — is to map each sample to a discrete *state* and
+//! merge maximal runs of equal state into intervals. This module provides
+//! that pipeline:
+//!
+//! - [`Discretizer`] — threshold-based value→state mapping with named bins;
+//! - [`delta_states`] — up/flat/down states from first differences;
+//! - [`runs_to_intervals`] — maximal-run merging;
+//! - [`sliding_windows`] — cutting one long series into mining sequences.
+
+use interval_core::{EventInterval, IntervalSequence, Result, SymbolTable, Time};
+
+/// Maps numeric values into named bins by thresholds.
+///
+/// `boundaries` must be strictly increasing; a value `v` falls into bin `i`
+/// where `i` is the number of boundaries `<= v`. There are
+/// `boundaries.len() + 1` bins, named by `labels`.
+///
+/// ```
+/// use datasets::discretize::Discretizer;
+///
+/// let d = Discretizer::new(vec![36.5, 38.0], vec!["hypothermia", "normal", "fever"]).unwrap();
+/// assert_eq!(d.label_of(35.0), "hypothermia");
+/// assert_eq!(d.label_of(37.0), "normal");
+/// assert_eq!(d.label_of(39.2), "fever");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discretizer {
+    boundaries: Vec<f64>,
+    labels: Vec<String>,
+}
+
+impl Discretizer {
+    /// Creates a discretizer; `labels.len()` must be `boundaries.len() + 1`
+    /// and boundaries must be strictly increasing and finite.
+    pub fn new<S: Into<String>>(boundaries: Vec<f64>, labels: Vec<S>) -> Result<Self> {
+        if labels.len() != boundaries.len() + 1 {
+            return Err(interval_core::IntervalError::Parse {
+                line: 0,
+                message: format!(
+                    "need {} labels for {} boundaries, got {}",
+                    boundaries.len() + 1,
+                    boundaries.len(),
+                    labels.len()
+                ),
+            });
+        }
+        if boundaries.iter().any(|b| !b.is_finite()) || boundaries.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(interval_core::IntervalError::Parse {
+                line: 0,
+                message: "boundaries must be finite and strictly increasing".into(),
+            });
+        }
+        Ok(Self {
+            boundaries,
+            labels: labels.into_iter().map(Into::into).collect(),
+        })
+    }
+
+    /// The bin index of `value`.
+    pub fn bin_of(&self, value: f64) -> usize {
+        self.boundaries.partition_point(|&b| b <= value)
+    }
+
+    /// The bin label of `value`.
+    pub fn label_of(&self, value: f64) -> &str {
+        &self.labels[self.bin_of(value)]
+    }
+
+    /// Discretizes a sampled series (one sample per time tick) into maximal
+    /// state intervals, interning `prefix`-qualified labels (e.g.
+    /// `temp-fever`) into `symbols`.
+    pub fn state_intervals(
+        &self,
+        values: &[f64],
+        prefix: &str,
+        symbols: &mut SymbolTable,
+    ) -> IntervalSequence {
+        let states: Vec<usize> = values.iter().map(|&v| self.bin_of(v)).collect();
+        let name_of = |bin: usize| format!("{prefix}-{}", self.labels[bin]);
+        runs_to_intervals(&states, |bin| symbols.intern(&name_of(bin)))
+    }
+}
+
+/// The three delta states produced by [`delta_states`].
+pub const DELTA_LABELS: [&str; 3] = ["down", "flat", "up"];
+
+/// Maps a series to per-step movement states by first differences:
+/// `|Δ| <= epsilon` is flat (state 1), rises are up (2), falls are down (0).
+/// The result has `values.len() - 1` states (empty for a 0/1-sample series).
+pub fn delta_states(values: &[f64], epsilon: f64) -> Vec<usize> {
+    values
+        .windows(2)
+        .map(|w| {
+            let d = w[1] - w[0];
+            if d.abs() <= epsilon {
+                1
+            } else if d > 0.0 {
+                2
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Merges maximal runs of equal state into intervals `[run_start, run_end)`
+/// (tick units); `intern` maps a state to its symbol.
+pub fn runs_to_intervals(
+    states: &[usize],
+    mut intern: impl FnMut(usize) -> interval_core::SymbolId,
+) -> IntervalSequence {
+    let mut seq = IntervalSequence::new();
+    let mut i = 0usize;
+    while i < states.len() {
+        let state = states[i];
+        let mut j = i + 1;
+        while j < states.len() && states[j] == state {
+            j += 1;
+        }
+        seq.push(EventInterval::new_unchecked(
+            intern(state),
+            i as Time,
+            j as Time,
+        ));
+        i = j;
+    }
+    seq
+}
+
+/// Cuts a long series into overlapping mining sequences of `window` samples
+/// every `stride` samples (the common way one continuous recording becomes a
+/// sequence database). Trailing partial windows are dropped.
+pub fn sliding_windows(values: &[f64], window: usize, stride: usize) -> Vec<&[f64]> {
+    if window == 0 || stride == 0 || values.len() < window {
+        return Vec::new();
+    }
+    (0..=values.len() - window)
+        .step_by(stride)
+        .map(|i| &values[i..i + window])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discretizer_validates_inputs() {
+        assert!(Discretizer::new(vec![1.0, 2.0], vec!["a", "b"]).is_err()); // wrong label count
+        assert!(Discretizer::new(vec![2.0, 1.0], vec!["a", "b", "c"]).is_err()); // not increasing
+        assert!(Discretizer::new(vec![f64::NAN], vec!["a", "b"]).is_err());
+        assert!(Discretizer::new(Vec::<f64>::new(), vec!["only"]).is_ok());
+    }
+
+    #[test]
+    fn bins_are_half_open_on_boundaries() {
+        let d = Discretizer::new(vec![0.0, 10.0], vec!["neg", "mid", "high"]).unwrap();
+        assert_eq!(d.label_of(-0.1), "neg");
+        assert_eq!(d.label_of(0.0), "mid"); // boundary belongs upward
+        assert_eq!(d.label_of(9.99), "mid");
+        assert_eq!(d.label_of(10.0), "high");
+    }
+
+    #[test]
+    fn state_intervals_merge_runs_and_tile() {
+        let d = Discretizer::new(vec![5.0], vec!["low", "high"]).unwrap();
+        let mut t = SymbolTable::new();
+        let seq = d.state_intervals(&[1.0, 2.0, 7.0, 8.0, 3.0], "x", &mut t);
+        let rendered: Vec<(String, i64, i64)> = seq
+            .iter()
+            .map(|iv| (t.name(iv.symbol).to_owned(), iv.start, iv.end))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                ("x-low".to_owned(), 0, 2),
+                ("x-high".to_owned(), 2, 4),
+                ("x-low".to_owned(), 4, 5),
+            ]
+        );
+        // intervals tile the sampled horizon
+        let covered: i64 = seq.iter().map(|iv| iv.duration()).sum();
+        assert_eq!(covered, 5);
+    }
+
+    #[test]
+    fn delta_states_classify_moves() {
+        let states = delta_states(&[1.0, 1.0, 2.0, 1.5, 1.45], 0.1);
+        assert_eq!(states, vec![1, 2, 0, 1]);
+        assert!(delta_states(&[1.0], 0.1).is_empty());
+        assert!(delta_states(&[], 0.1).is_empty());
+    }
+
+    #[test]
+    fn sliding_windows_cover_with_stride() {
+        let v: Vec<f64> = (0..10).map(f64::from).collect();
+        let w = sliding_windows(&v, 4, 3);
+        assert_eq!(w.len(), 3); // starts at 0, 3, 6
+        assert_eq!(w[0], &v[0..4]);
+        assert_eq!(w[2], &v[6..10]);
+        assert!(sliding_windows(&v, 11, 1).is_empty());
+        assert!(sliding_windows(&v, 0, 1).is_empty());
+        assert!(sliding_windows(&v, 4, 0).is_empty());
+    }
+
+    #[test]
+    fn end_to_end_discretize_then_mine() {
+        // One noisy sine-ish signal per "day"; discretized state patterns
+        // must be minable.
+        use tpminer_shim::*;
+        let d = Discretizer::new(vec![-0.3, 0.3], vec!["low", "mid", "high"]).unwrap();
+        let mut symbols = SymbolTable::new();
+        let mut sequences = Vec::new();
+        for day in 0..20 {
+            let values: Vec<f64> = (0..24)
+                .map(|h| ((h as f64 + day as f64) * 0.5).sin())
+                .collect();
+            sequences.push(d.state_intervals(&values, "sig", &mut symbols));
+        }
+        let db = interval_core::IntervalDatabase::from_parts(symbols, sequences);
+        assert!(
+            mine_count(&db) >= 2,
+            "discretized states must be shared across days"
+        );
+    }
+
+    /// Avoids a circular dev-dependency on the miner crate: count frequent
+    /// symbols as a stand-in for "minable".
+    mod tpminer_shim {
+        pub fn mine_count(db: &interval_core::IntervalDatabase) -> usize {
+            let mut counts = std::collections::HashMap::new();
+            for s in db.sequences() {
+                let mut syms: Vec<_> = s.iter().map(|iv| iv.symbol).collect();
+                syms.sort_unstable();
+                syms.dedup();
+                for sym in syms {
+                    *counts.entry(sym).or_insert(0usize) += 1;
+                }
+            }
+            counts.values().filter(|&&c| c >= db.len() / 2).count()
+        }
+    }
+}

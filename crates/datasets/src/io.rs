@@ -1,0 +1,318 @@
+//! Line-oriented text format for interval databases.
+//!
+//! - one sequence per line;
+//! - intervals separated by `;`;
+//! - an interval is `name start end` (certain) or `name start end p`
+//!   (uncertain);
+//! - blank lines and lines starting with `#` are ignored;
+//! - an empty sequence is written as a lone `-`.
+//!
+//! Symbol names must not contain whitespace, `;` or `,`, and must not start
+//! with `#` — such names would not survive a write/read round trip. All
+//! generators and emulators in this workspace satisfy this; validate names
+//! when ingesting external data through other paths.
+//!
+//! ```
+//! use datasets::io;
+//! use interval_core::DatabaseBuilder;
+//!
+//! let mut b = DatabaseBuilder::new();
+//! b.sequence().interval("fever", 0, 10).interval("rash", 5, 20);
+//! let db = b.build();
+//!
+//! let text = io::write_database(&db);
+//! let back = io::read_database(&text).unwrap();
+//! assert_eq!(db, back);
+//! ```
+
+use interval_core::{
+    DatabaseBuilder, IntervalDatabase, IntervalError, Result, UncertainDatabase,
+    UncertainDatabaseBuilder,
+};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Writes the `#! symbols:` header that preserves symbol-id assignment
+/// across a write/read round trip.
+fn symbols_header(symbols: &interval_core::SymbolTable) -> String {
+    let mut out = String::from("#! symbols:");
+    for (_, name) in symbols.iter() {
+        out.push(' ');
+        out.push_str(name);
+    }
+    out.push('\n');
+    out
+}
+
+/// Pre-interns the names of a `#! symbols:` header line, if `line` is one.
+fn apply_symbols_header(line: &str, symbols: &mut impl FnMut(&str)) -> bool {
+    if let Some(rest) = line.strip_prefix("#! symbols:") {
+        for name in rest.split_whitespace() {
+            symbols(name);
+        }
+        true
+    } else {
+        false
+    }
+}
+
+/// Serializes a certain database to the text format.
+pub fn write_database(db: &IntervalDatabase) -> String {
+    let mut out = symbols_header(db.symbols());
+    for seq in db.sequences() {
+        if seq.is_empty() {
+            out.push_str("-\n");
+            continue;
+        }
+        let mut first = true;
+        for iv in seq {
+            if !first {
+                out.push_str("; ");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{} {} {}",
+                db.symbols().name(iv.symbol),
+                iv.start,
+                iv.end
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes an uncertain database (probability as a fourth field).
+pub fn write_uncertain_database(db: &UncertainDatabase) -> String {
+    let mut out = symbols_header(db.symbols());
+    for seq in db.sequences() {
+        if seq.is_empty() {
+            out.push_str("-\n");
+            continue;
+        }
+        let mut first = true;
+        for u in seq.intervals() {
+            if !first {
+                out.push_str("; ");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{} {} {} {}",
+                db.symbols().name(u.interval.symbol),
+                u.interval.start,
+                u.interval.end,
+                u.probability
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text format into a certain database.
+pub fn read_database(text: &str) -> Result<IntervalDatabase> {
+    let mut builder = DatabaseBuilder::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let trimmed = line.trim();
+        if apply_symbols_header(trimmed, &mut |name| {
+            builder.intern_symbol(name);
+        }) {
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let seq = builder.sequence();
+        if trimmed == "-" {
+            continue;
+        }
+        let mut seq = seq;
+        for item in trimmed.split(';') {
+            let fields: Vec<&str> = item.split_whitespace().collect();
+            if fields.len() != 3 {
+                return Err(IntervalError::Parse {
+                    line: line_no,
+                    message: format!("expected `name start end`, got `{}`", item.trim()),
+                });
+            }
+            let start = parse_time(fields[1], line_no)?;
+            let end = parse_time(fields[2], line_no)?;
+            if start >= end {
+                return Err(IntervalError::Parse {
+                    line: line_no,
+                    message: format!("degenerate interval [{start}, {end})"),
+                });
+            }
+            seq = seq.interval(fields[0], start, end);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Parses the text format into an uncertain database. A missing fourth field
+/// defaults to probability 1.
+pub fn read_uncertain_database(text: &str) -> Result<UncertainDatabase> {
+    let mut builder = UncertainDatabaseBuilder::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let trimmed = line.trim();
+        if apply_symbols_header(trimmed, &mut |name| {
+            builder.intern_symbol(name);
+        }) {
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let seq = builder.sequence();
+        if trimmed == "-" {
+            continue;
+        }
+        let mut seq = seq;
+        for item in trimmed.split(';') {
+            let fields: Vec<&str> = item.split_whitespace().collect();
+            if fields.len() != 3 && fields.len() != 4 {
+                return Err(IntervalError::Parse {
+                    line: line_no,
+                    message: format!("expected `name start end [p]`, got `{}`", item.trim()),
+                });
+            }
+            let start = parse_time(fields[1], line_no)?;
+            let end = parse_time(fields[2], line_no)?;
+            if start >= end {
+                return Err(IntervalError::Parse {
+                    line: line_no,
+                    message: format!("degenerate interval [{start}, {end})"),
+                });
+            }
+            let p = if fields.len() == 4 {
+                fields[3].parse::<f64>().map_err(|_| IntervalError::Parse {
+                    line: line_no,
+                    message: format!("bad probability `{}`", fields[3]),
+                })?
+            } else {
+                1.0
+            };
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(IntervalError::Parse {
+                    line: line_no,
+                    message: format!("probability {p} outside (0, 1]"),
+                });
+            }
+            seq = seq.interval(fields[0], start, end, p);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Writes a certain database to a file.
+pub fn save_database(db: &IntervalDatabase, path: &Path) -> Result<()> {
+    std::fs::write(path, write_database(db))?;
+    Ok(())
+}
+
+/// Reads a certain database from a file.
+pub fn load_database(path: &Path) -> Result<IntervalDatabase> {
+    let text = std::fs::read_to_string(path)?;
+    read_database(&text)
+}
+
+fn parse_time(s: &str, line: usize) -> Result<i64> {
+    s.parse::<i64>().map_err(|_| IntervalError::Parse {
+        line,
+        message: format!("bad timestamp `{s}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_core::DatabaseBuilder;
+
+    fn demo() -> IntervalDatabase {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5).interval("B", -3, 8);
+        b.sequence();
+        b.sequence().interval("A", 1, 2);
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_certain() {
+        let db = demo();
+        let text = write_database(&db);
+        let back = read_database(&text).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn round_trip_uncertain() {
+        let mut b = interval_core::UncertainDatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5, 0.5)
+            .interval("B", 1, 2, 1.0);
+        let db = b.build();
+        let text = write_uncertain_database(&db);
+        let back = read_uncertain_database(&text).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\nA 0 5; B 3 8\n  \n# trailing\n";
+        let db = read_database(text).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.total_intervals(), 2);
+    }
+
+    #[test]
+    fn empty_sequence_marker_round_trips() {
+        let text = "-\nA 0 1\n";
+        let db = read_database(text).unwrap();
+        assert_eq!(db.len(), 2);
+        assert!(db.sequences()[0].is_empty());
+        assert_eq!(read_database(&write_database(&db)).unwrap(), db);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = read_database("A 0 5\nB zero 5\n").unwrap_err();
+        match err {
+            IntervalError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = read_database("A 5 5\n").unwrap_err();
+        assert!(err.to_string().contains("degenerate"));
+        let err = read_database("A 5\n").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn uncertain_parser_validates_probability() {
+        assert!(read_uncertain_database("A 0 5 0.0\n").is_err());
+        assert!(read_uncertain_database("A 0 5 1.5\n").is_err());
+        assert!(read_uncertain_database("A 0 5 nan\n").is_err());
+        let db = read_uncertain_database("A 0 5\n").unwrap();
+        assert_eq!(db.sequences()[0].intervals()[0].probability, 1.0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = demo();
+        let dir = std::env::temp_dir().join("ptpminer-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.txt");
+        save_database(&db, &path).unwrap();
+        assert_eq!(load_database(&path).unwrap(), db);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_database(Path::new("/definitely/not/here.txt")).unwrap_err();
+        assert!(matches!(err, IntervalError::Io(_)));
+    }
+}

@@ -1,0 +1,39 @@
+//! Realistic interval-dataset emulators and text I/O.
+//!
+//! The paper applies its miner to *real* datasets "to demonstrate the
+//! practicability of discussed patterns". Those datasets (library lending
+//! records, stock tick data, sign-language annotations) are not
+//! redistributable, so this crate provides deterministic, seeded *emulators*
+//! with the same statistical shape — bursty loans with genre preferences,
+//! market-factor-correlated price-state intervals, gesture annotations with
+//! heavy overlap. The experiments only consume `(symbol, start, end)`
+//! triples, so the emulators exercise exactly the code paths the real data
+//! would (see `DESIGN.md`, substitution table).
+//!
+//! The [`io`] module defines the simple line-oriented text format used to
+//! persist databases:
+//!
+//! ```text
+//! # one sequence per line; intervals `name start end [probability]`,
+//! # separated by `;`
+//! fever 0 10; rash 5 20
+//! fever 2 9
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod discretize;
+pub mod gesture;
+pub mod icu;
+pub mod io;
+pub mod library;
+pub mod profile;
+pub mod stock;
+
+pub use gesture::{GestureConfig, GestureEmulator};
+pub use icu::{IcuConfig, IcuEmulator};
+pub use library::{LibraryConfig, LibraryEmulator};
+pub use profile::DatasetProfile;
+pub use stock::{StockConfig, StockEmulator};

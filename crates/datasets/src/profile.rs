@@ -1,0 +1,185 @@
+//! Dataset profiling: the summary statistics a miner user wants to see
+//! before choosing thresholds (drives `ptpminer-cli stats`).
+
+use interval_core::{IntervalDatabase, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of an interval database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Number of sequences.
+    pub sequences: usize,
+    /// Total intervals.
+    pub intervals: usize,
+    /// Distinct symbols actually used (≤ symbol-table size).
+    pub used_symbols: usize,
+    /// Minimum / mean / maximum sequence length.
+    pub seq_len: (usize, f64, usize),
+    /// Minimum / mean / maximum interval duration.
+    pub duration: (Time, f64, Time),
+    /// Fraction of interval pairs within a sequence that overlap in time
+    /// (sampled exactly over all pairs) — the key difficulty knob for
+    /// interval miners.
+    pub overlap_density: f64,
+    /// The five most frequent symbols with their sequence-level supports.
+    pub top_symbols: Vec<(String, usize)>,
+}
+
+impl DatasetProfile {
+    /// Profiles a database in one pass (plus a pairwise overlap scan per
+    /// sequence, quadratic only in per-sequence length).
+    pub fn of(db: &IntervalDatabase) -> DatasetProfile {
+        let mut used: std::collections::HashMap<interval_core::SymbolId, usize> =
+            std::collections::HashMap::new();
+        let mut len_min = usize::MAX;
+        let mut len_max = 0usize;
+        let mut dur_min = Time::MAX;
+        let mut dur_max = Time::MIN;
+        let mut dur_sum = 0i128;
+        let mut overlapping_pairs = 0u64;
+        let mut total_pairs = 0u64;
+
+        for seq in db.sequences() {
+            len_min = len_min.min(seq.len());
+            len_max = len_max.max(seq.len());
+            let ivs = seq.intervals();
+            let mut seen = Vec::with_capacity(ivs.len());
+            for iv in ivs {
+                dur_min = dur_min.min(iv.duration());
+                dur_max = dur_max.max(iv.duration());
+                dur_sum += i128::from(iv.duration());
+                seen.push(iv.symbol);
+            }
+            seen.sort_unstable();
+            seen.dedup();
+            for s in seen {
+                *used.entry(s).or_insert(0) += 1;
+            }
+            for i in 0..ivs.len() {
+                for j in (i + 1)..ivs.len() {
+                    total_pairs += 1;
+                    if ivs[i].start < ivs[j].end && ivs[j].start < ivs[i].end {
+                        overlapping_pairs += 1;
+                    }
+                }
+            }
+        }
+
+        let intervals = db.total_intervals();
+        let mut by_support: Vec<(String, usize)> = used
+            .iter()
+            .map(|(&s, &c)| (db.symbols().name(s).to_owned(), c))
+            .collect();
+        by_support.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        by_support.truncate(5);
+
+        DatasetProfile {
+            sequences: db.len(),
+            intervals,
+            used_symbols: used.len(),
+            seq_len: (
+                if db.is_empty() { 0 } else { len_min },
+                db.mean_sequence_len(),
+                len_max,
+            ),
+            duration: (
+                if intervals == 0 { 0 } else { dur_min },
+                if intervals == 0 {
+                    0.0
+                } else {
+                    dur_sum as f64 / intervals as f64
+                },
+                if intervals == 0 { 0 } else { dur_max },
+            ),
+            overlap_density: if total_pairs == 0 {
+                0.0
+            } else {
+                overlapping_pairs as f64 / total_pairs as f64
+            },
+            top_symbols: by_support,
+        }
+    }
+}
+
+impl fmt::Display for DatasetProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sequences:          {}", self.sequences)?;
+        writeln!(f, "intervals:          {}", self.intervals)?;
+        writeln!(f, "used symbols:       {}", self.used_symbols)?;
+        writeln!(
+            f,
+            "sequence length:    min {} / mean {:.2} / max {}",
+            self.seq_len.0, self.seq_len.1, self.seq_len.2
+        )?;
+        writeln!(
+            f,
+            "interval duration:  min {} / mean {:.2} / max {}",
+            self.duration.0, self.duration.1, self.duration.2
+        )?;
+        writeln!(
+            f,
+            "overlap density:    {:.1}% of within-sequence pairs",
+            self.overlap_density * 100.0
+        )?;
+        writeln!(f, "top symbols by sequence support:")?;
+        for (name, count) in &self.top_symbols {
+            writeln!(f, "  {name:<20} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_core::DatabaseBuilder;
+
+    fn db() -> IntervalDatabase {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("a", 0, 10).interval("b", 5, 15); // overlap
+        b.sequence().interval("a", 0, 2).interval("c", 3, 4); // disjoint
+        b.sequence().interval("a", 0, 4);
+        b.build()
+    }
+
+    #[test]
+    fn profile_computes_basic_stats() {
+        let p = DatasetProfile::of(&db());
+        assert_eq!(p.sequences, 3);
+        assert_eq!(p.intervals, 5);
+        assert_eq!(p.used_symbols, 3);
+        assert_eq!(p.seq_len, (1, 5.0 / 3.0, 2));
+        assert_eq!(p.duration.0, 1); // c: [3,4)
+        assert_eq!(p.duration.2, 10);
+        // pairs: 2 (one overlapping, one disjoint) -> 50%
+        assert!((p.overlap_density - 0.5).abs() < 1e-12);
+        assert_eq!(p.top_symbols[0], ("a".to_owned(), 3));
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let text = DatasetProfile::of(&db()).to_string();
+        assert!(text.contains("sequences:          3"));
+        assert!(text.contains("overlap density"));
+        assert!(text.contains("top symbols"));
+    }
+
+    #[test]
+    fn empty_database_profile() {
+        let p = DatasetProfile::of(&IntervalDatabase::new());
+        assert_eq!(p.sequences, 0);
+        assert_eq!(p.intervals, 0);
+        assert_eq!(p.overlap_density, 0.0);
+        assert!(p.top_symbols.is_empty());
+        let _ = p.to_string();
+    }
+
+    #[test]
+    fn profile_round_trips_through_serde() {
+        let p = DatasetProfile::of(&db());
+        let text = serde_json::to_string(&p).unwrap();
+        let back: DatasetProfile = serde_json::from_str(&text).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,273 @@
+//! Allen's interval algebra: the 13 qualitative relations between two
+//! intervals, plus helpers to compute, invert and display them.
+//!
+//! Temporal patterns in this workspace are *not* stored as Allen-relation
+//! matrices (the endpoint representation is the canonical form precisely
+//! because matrices are ambiguous to grow), but the algebra remains the
+//! natural vocabulary for describing and displaying 2-interval relationships,
+//! and it is the ground truth the endpoint representation must agree with.
+
+use crate::interval::EventInterval;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of Allen's 13 relations, as `A rel B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AllenRelation {
+    /// `A` ends strictly before `B` starts.
+    Before,
+    /// `A` ends exactly when `B` starts.
+    Meets,
+    /// `A` starts first and the two intervals properly overlap.
+    Overlaps,
+    /// `A` and `B` start together; `A` ends first.
+    Starts,
+    /// `A` lies strictly inside `B`.
+    During,
+    /// `A` and `B` end together; `A` starts later.
+    Finishes,
+    /// Identical intervals.
+    Equals,
+    /// Inverse of [`AllenRelation::Finishes`].
+    FinishedBy,
+    /// Inverse of [`AllenRelation::During`].
+    Contains,
+    /// Inverse of [`AllenRelation::Starts`].
+    StartedBy,
+    /// Inverse of [`AllenRelation::Overlaps`].
+    OverlappedBy,
+    /// Inverse of [`AllenRelation::Meets`].
+    MetBy,
+    /// Inverse of [`AllenRelation::Before`].
+    After,
+}
+
+impl AllenRelation {
+    /// All 13 relations, in declaration order.
+    pub const ALL: [AllenRelation; 13] = [
+        AllenRelation::Before,
+        AllenRelation::Meets,
+        AllenRelation::Overlaps,
+        AllenRelation::Starts,
+        AllenRelation::During,
+        AllenRelation::Finishes,
+        AllenRelation::Equals,
+        AllenRelation::FinishedBy,
+        AllenRelation::Contains,
+        AllenRelation::StartedBy,
+        AllenRelation::OverlappedBy,
+        AllenRelation::MetBy,
+        AllenRelation::After,
+    ];
+
+    /// The seven *basic* relations (the canonical half plus `Equals`): every
+    /// relation is either basic or the inverse of a basic one.
+    pub const BASIC: [AllenRelation; 7] = [
+        AllenRelation::Before,
+        AllenRelation::Meets,
+        AllenRelation::Overlaps,
+        AllenRelation::Starts,
+        AllenRelation::During,
+        AllenRelation::Finishes,
+        AllenRelation::Equals,
+    ];
+
+    /// Computes the relation of `a` to `b`.
+    ///
+    /// ```
+    /// use interval_core::{AllenRelation, EventInterval, SymbolId};
+    ///
+    /// let a = EventInterval::new(SymbolId(0), 0, 5).unwrap();
+    /// let b = EventInterval::new(SymbolId(1), 3, 8).unwrap();
+    /// assert_eq!(AllenRelation::relate(&a, &b), AllenRelation::Overlaps);
+    /// assert_eq!(AllenRelation::relate(&b, &a), AllenRelation::OverlappedBy);
+    /// ```
+    pub fn relate(a: &EventInterval, b: &EventInterval) -> AllenRelation {
+        use std::cmp::Ordering::*;
+        match (
+            a.start.cmp(&b.start),
+            a.end.cmp(&b.end),
+            a.end.cmp(&b.start),
+            b.end.cmp(&a.start),
+        ) {
+            (Equal, Equal, _, _) => AllenRelation::Equals,
+            (Equal, Less, _, _) => AllenRelation::Starts,
+            (Equal, Greater, _, _) => AllenRelation::StartedBy,
+            (_, Equal, _, _) => {
+                if a.start < b.start {
+                    AllenRelation::FinishedBy
+                } else {
+                    AllenRelation::Finishes
+                }
+            }
+            (Less, _, Less, _) => AllenRelation::Before,
+            (Less, _, Equal, _) => AllenRelation::Meets,
+            (Greater, _, _, Less) => AllenRelation::After,
+            (Greater, _, _, Equal) => AllenRelation::MetBy,
+            (Less, Less, Greater, _) => AllenRelation::Overlaps,
+            (Less, Greater, _, _) => AllenRelation::Contains,
+            (Greater, Less, _, _) => AllenRelation::During,
+            (Greater, Greater, _, _) => AllenRelation::OverlappedBy,
+        }
+    }
+
+    /// The inverse relation: `A rel B` iff `B rel.inverse() A`.
+    pub fn inverse(self) -> AllenRelation {
+        match self {
+            AllenRelation::Before => AllenRelation::After,
+            AllenRelation::Meets => AllenRelation::MetBy,
+            AllenRelation::Overlaps => AllenRelation::OverlappedBy,
+            AllenRelation::Starts => AllenRelation::StartedBy,
+            AllenRelation::During => AllenRelation::Contains,
+            AllenRelation::Finishes => AllenRelation::FinishedBy,
+            AllenRelation::Equals => AllenRelation::Equals,
+            AllenRelation::FinishedBy => AllenRelation::Finishes,
+            AllenRelation::Contains => AllenRelation::During,
+            AllenRelation::StartedBy => AllenRelation::Starts,
+            AllenRelation::OverlappedBy => AllenRelation::Overlaps,
+            AllenRelation::MetBy => AllenRelation::Meets,
+            AllenRelation::After => AllenRelation::Before,
+        }
+    }
+
+    /// Whether the relation is one of the seven basic (non-inverse) forms.
+    pub fn is_basic(self) -> bool {
+        AllenRelation::BASIC.contains(&self)
+    }
+
+    /// Short mnemonic used by displays: `b m o s d f e fi di si oi mi bi`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AllenRelation::Before => "b",
+            AllenRelation::Meets => "m",
+            AllenRelation::Overlaps => "o",
+            AllenRelation::Starts => "s",
+            AllenRelation::During => "d",
+            AllenRelation::Finishes => "f",
+            AllenRelation::Equals => "e",
+            AllenRelation::FinishedBy => "fi",
+            AllenRelation::Contains => "di",
+            AllenRelation::StartedBy => "si",
+            AllenRelation::OverlappedBy => "oi",
+            AllenRelation::MetBy => "mi",
+            AllenRelation::After => "bi",
+        }
+    }
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AllenRelation::Before => "before",
+            AllenRelation::Meets => "meets",
+            AllenRelation::Overlaps => "overlaps",
+            AllenRelation::Starts => "starts",
+            AllenRelation::During => "during",
+            AllenRelation::Finishes => "finishes",
+            AllenRelation::Equals => "equals",
+            AllenRelation::FinishedBy => "finished-by",
+            AllenRelation::Contains => "contains",
+            AllenRelation::StartedBy => "started-by",
+            AllenRelation::OverlappedBy => "overlapped-by",
+            AllenRelation::MetBy => "met-by",
+            AllenRelation::After => "after",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SymbolId;
+
+    fn iv(start: i64, end: i64) -> EventInterval {
+        EventInterval::new(SymbolId(0), start, end).unwrap()
+    }
+
+    #[test]
+    fn all_thirteen_relations_are_reachable() {
+        let cases: [(EventInterval, EventInterval, AllenRelation); 13] = [
+            (iv(0, 1), iv(2, 3), AllenRelation::Before),
+            (iv(0, 2), iv(2, 3), AllenRelation::Meets),
+            (iv(0, 3), iv(2, 5), AllenRelation::Overlaps),
+            (iv(0, 2), iv(0, 5), AllenRelation::Starts),
+            (iv(2, 3), iv(0, 5), AllenRelation::During),
+            (iv(3, 5), iv(0, 5), AllenRelation::Finishes),
+            (iv(0, 5), iv(0, 5), AllenRelation::Equals),
+            (iv(0, 5), iv(3, 5), AllenRelation::FinishedBy),
+            (iv(0, 5), iv(2, 3), AllenRelation::Contains),
+            (iv(0, 5), iv(0, 2), AllenRelation::StartedBy),
+            (iv(2, 5), iv(0, 3), AllenRelation::OverlappedBy),
+            (iv(2, 3), iv(0, 2), AllenRelation::MetBy),
+            (iv(2, 3), iv(0, 1), AllenRelation::After),
+        ];
+        for (a, b, expected) in cases {
+            assert_eq!(AllenRelation::relate(&a, &b), expected, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn inverse_is_an_involution_and_matches_swapped_arguments() {
+        let samples = [
+            iv(0, 1),
+            iv(0, 2),
+            iv(0, 5),
+            iv(1, 3),
+            iv(2, 3),
+            iv(2, 5),
+            iv(3, 5),
+            iv(4, 6),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let r = AllenRelation::relate(a, b);
+                assert_eq!(r.inverse().inverse(), r);
+                assert_eq!(AllenRelation::relate(b, a), r.inverse());
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_relation_holds_between_any_pair() {
+        // Exhaustive over a small grid of endpoint configurations.
+        let mut seen = std::collections::HashSet::new();
+        for as_ in 0..6i64 {
+            for ae in (as_ + 1)..7 {
+                for bs in 0..6i64 {
+                    for be in (bs + 1)..7 {
+                        let r = AllenRelation::relate(&iv(as_, ae), &iv(bs, be));
+                        seen.insert(r);
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 13, "grid must realize all 13 relations");
+    }
+
+    #[test]
+    fn basic_relations_partition() {
+        for r in AllenRelation::ALL {
+            assert!(
+                r.is_basic() || r.inverse().is_basic(),
+                "{r} must be basic or have a basic inverse"
+            );
+        }
+        assert!(AllenRelation::Equals.is_basic());
+        assert_eq!(AllenRelation::Equals.inverse(), AllenRelation::Equals);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut s = std::collections::HashSet::new();
+        for r in AllenRelation::ALL {
+            assert!(s.insert(r.mnemonic()));
+        }
+    }
+
+    #[test]
+    fn display_names_are_human_readable() {
+        assert_eq!(AllenRelation::Overlaps.to_string(), "overlaps");
+        assert_eq!(AllenRelation::MetBy.to_string(), "met-by");
+    }
+}

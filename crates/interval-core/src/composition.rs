@@ -1,0 +1,306 @@
+//! Composition in Allen's interval algebra.
+//!
+//! Given `A r1 B` and `B r2 C`, the composition `r1 ∘ r2` is the set of
+//! relations possible between `A` and `C`. The full 13×13 table is the
+//! backbone of qualitative temporal reasoning (path consistency, constraint
+//! propagation) and a useful consistency oracle for arrangement patterns.
+//!
+//! Rather than transcribing the table (169 entries, classic source of
+//! typos), it is *derived once* by enumerating concrete interval triples
+//! over a small grid — 7 distinct endpoint values are enough to realize
+//! every composition entry — and cached behind a `OnceLock`.
+
+use crate::allen::AllenRelation;
+use crate::interval::EventInterval;
+use crate::symbols::SymbolId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A set of Allen relations, stored as a 13-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RelationSet(u16);
+
+impl RelationSet {
+    /// The empty set.
+    pub const EMPTY: RelationSet = RelationSet(0);
+    /// The full set of all 13 relations.
+    pub const FULL: RelationSet = RelationSet((1 << 13) - 1);
+
+    fn bit(r: AllenRelation) -> u16 {
+        1 << AllenRelation::ALL
+            .iter()
+            .position(|&x| x == r)
+            .expect("relation in ALL")
+    }
+
+    /// The singleton set `{r}`.
+    pub fn singleton(r: AllenRelation) -> RelationSet {
+        RelationSet(Self::bit(r))
+    }
+
+    /// Builds a set from an iterator of relations.
+    pub fn from_relations(rels: impl IntoIterator<Item = AllenRelation>) -> RelationSet {
+        let mut s = RelationSet::EMPTY;
+        for r in rels {
+            s = s.insert(r);
+        }
+        s
+    }
+
+    /// The set with `r` added.
+    #[must_use]
+    pub fn insert(self, r: AllenRelation) -> RelationSet {
+        RelationSet(self.0 | Self::bit(r))
+    }
+
+    /// Whether `r` is in the set.
+    pub fn contains(self, r: AllenRelation) -> bool {
+        self.0 & Self::bit(r) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: RelationSet) -> RelationSet {
+        RelationSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: RelationSet) -> RelationSet {
+        RelationSet(self.0 & other.0)
+    }
+
+    /// The set of inverses of the members.
+    #[must_use]
+    pub fn inverse(self) -> RelationSet {
+        RelationSet::from_relations(self.iter().map(AllenRelation::inverse))
+    }
+
+    /// Number of relations in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the members in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = AllenRelation> {
+        AllenRelation::ALL
+            .into_iter()
+            .filter(move |&r| self.contains(r))
+    }
+}
+
+impl fmt::Display for RelationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            write!(f, "{}", r.mnemonic())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<AllenRelation> for RelationSet {
+    fn from_iter<I: IntoIterator<Item = AllenRelation>>(iter: I) -> Self {
+        RelationSet::from_relations(iter)
+    }
+}
+
+/// `r1 ∘ r2`: the possible relations `A ? C` given `A r1 B` and `B r2 C`.
+///
+/// ```
+/// use interval_core::{compose, AllenRelation, RelationSet};
+///
+/// // before ∘ before = {before}
+/// assert_eq!(
+///     compose(AllenRelation::Before, AllenRelation::Before),
+///     RelationSet::singleton(AllenRelation::Before)
+/// );
+/// // equals is the identity
+/// for r in AllenRelation::ALL {
+///     assert_eq!(compose(AllenRelation::Equals, r), RelationSet::singleton(r));
+/// }
+/// ```
+pub fn compose(r1: AllenRelation, r2: AllenRelation) -> RelationSet {
+    let table = composition_table();
+    table[index(r1)][index(r2)]
+}
+
+fn index(r: AllenRelation) -> usize {
+    AllenRelation::ALL
+        .iter()
+        .position(|&x| x == r)
+        .expect("relation in ALL")
+}
+
+/// Derives and caches the 13×13 composition table by brute-force
+/// enumeration of interval triples over a 7-point grid.
+fn composition_table() -> &'static [[RelationSet; 13]; 13] {
+    static TABLE: OnceLock<[[RelationSet; 13]; 13]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [[RelationSet::EMPTY; 13]; 13];
+        let intervals: Vec<EventInterval> = all_intervals(7);
+        for a in &intervals {
+            for b in &intervals {
+                let r1 = AllenRelation::relate(a, b);
+                for c in &intervals {
+                    let r2 = AllenRelation::relate(b, c);
+                    let rc = AllenRelation::relate(a, c);
+                    table[index(r1)][index(r2)] = table[index(r1)][index(r2)].insert(rc);
+                }
+            }
+        }
+        table
+    })
+}
+
+/// All intervals with endpoints on `0..n` (`start < end`).
+fn all_intervals(n: i64) -> Vec<EventInterval> {
+    let mut out = Vec::new();
+    for s in 0..n {
+        for e in (s + 1)..n {
+            out.push(EventInterval::new_unchecked(SymbolId(0), s, e));
+        }
+    }
+    out
+}
+
+/// Checks an arrangement's pairwise relations for path consistency: for all
+/// slots `(i, j, k)`, `rel(i, k)` must be in `rel(i, j) ∘ rel(j, k)`.
+/// Always true for relations derived from a concrete arrangement — used as
+/// a sanity oracle in tests and by downstream constraint reasoning.
+pub fn is_path_consistent(matrix: &[Vec<AllenRelation>]) -> bool {
+    let n = matrix.len();
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                if !compose(matrix[i][j], matrix[j][k]).contains(matrix[i][k]) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::TemporalPattern;
+    use AllenRelation::*;
+
+    #[test]
+    fn relation_set_basics() {
+        let s = RelationSet::from_relations([Before, Meets]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Before));
+        assert!(!s.contains(After));
+        assert!(!s.is_empty());
+        assert!(RelationSet::EMPTY.is_empty());
+        assert_eq!(RelationSet::FULL.len(), 13);
+        assert_eq!(s.union(RelationSet::singleton(After)).len(), 3);
+        assert_eq!(s.intersect(RelationSet::singleton(Meets)).len(), 1);
+        assert_eq!(s.to_string(), "{b,m}");
+    }
+
+    #[test]
+    fn inverse_of_set() {
+        let s = RelationSet::from_relations([Before, Overlaps]);
+        assert_eq!(
+            s.inverse(),
+            RelationSet::from_relations([After, OverlappedBy])
+        );
+        assert_eq!(RelationSet::FULL.inverse(), RelationSet::FULL);
+    }
+
+    #[test]
+    fn equals_is_two_sided_identity() {
+        for r in AllenRelation::ALL {
+            assert_eq!(compose(Equals, r), RelationSet::singleton(r));
+            assert_eq!(compose(r, Equals), RelationSet::singleton(r));
+        }
+    }
+
+    #[test]
+    fn classic_entries() {
+        assert_eq!(compose(Before, Before), RelationSet::singleton(Before));
+        assert_eq!(compose(Meets, Meets), RelationSet::singleton(Before));
+        // during ∘ during = during
+        assert_eq!(compose(During, During), RelationSet::singleton(During));
+        // overlaps ∘ overlaps = {before, meets, overlaps}
+        assert_eq!(
+            compose(Overlaps, Overlaps),
+            RelationSet::from_relations([Before, Meets, Overlaps])
+        );
+        // before ∘ after = full ambiguity
+        assert_eq!(compose(Before, After), RelationSet::FULL);
+    }
+
+    #[test]
+    fn composition_respects_inversion_law() {
+        // (r1 ∘ r2)⁻¹ = r2⁻¹ ∘ r1⁻¹
+        for r1 in AllenRelation::ALL {
+            for r2 in AllenRelation::ALL {
+                assert_eq!(
+                    compose(r1, r2).inverse(),
+                    compose(r2.inverse(), r1.inverse()),
+                    "inversion law failed for {r1} ∘ {r2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_entry_is_nonempty_and_sound() {
+        // Soundness against an independent larger grid: any concrete triple's
+        // (A,C) relation must be in the table entry.
+        for r1 in AllenRelation::ALL {
+            for r2 in AllenRelation::ALL {
+                assert!(!compose(r1, r2).is_empty(), "{r1} ∘ {r2} empty");
+            }
+        }
+        let intervals = all_intervals(9);
+        for a in intervals.iter().step_by(3) {
+            for b in intervals.iter().step_by(2) {
+                for c in intervals.iter().step_by(3) {
+                    let entry = compose(AllenRelation::relate(a, b), AllenRelation::relate(b, c));
+                    assert!(entry.contains(AllenRelation::relate(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arrangements_are_path_consistent() {
+        let iv = |s: u32, a: i64, b: i64| EventInterval::new_unchecked(SymbolId(s), a, b);
+        for ivs in [
+            vec![iv(0, 0, 5), iv(1, 3, 8), iv(2, 4, 6)],
+            vec![iv(0, 0, 2), iv(0, 2, 4), iv(1, 1, 3), iv(2, 0, 4)],
+            vec![iv(0, 0, 9), iv(1, 1, 8), iv(2, 2, 7), iv(3, 3, 6)],
+        ] {
+            let p = TemporalPattern::arrangement_of(&ivs);
+            assert!(is_path_consistent(&p.relation_matrix()));
+        }
+    }
+
+    #[test]
+    fn inconsistent_matrix_is_detected() {
+        // A before B, B before C, but C before A: impossible.
+        let m = vec![
+            vec![Equals, Before, After],
+            vec![After, Equals, Before],
+            vec![Before, After, Equals],
+        ];
+        assert!(!is_path_consistent(&m));
+    }
+}

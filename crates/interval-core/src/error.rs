@@ -1,0 +1,93 @@
+//! Error types for the interval data model.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating intervals, patterns and
+/// databases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntervalError {
+    /// An event interval violated `start < end`.
+    DegenerateInterval {
+        /// The offending start time.
+        start: i64,
+        /// The offending end time.
+        end: i64,
+    },
+    /// A pattern endpoint sequence was not well-formed (unmatched starts or
+    /// finishes, finish before start, …).
+    MalformedPattern(String),
+    /// A probability was outside `(0, 1]`.
+    InvalidProbability(f64),
+    /// Parse error when reading a textual dataset or pattern.
+    Parse {
+        /// 1-based line number of the offending input line (0 when unknown).
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure while reading or writing a dataset.
+    Io(String),
+}
+
+impl fmt::Display for IntervalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalError::DegenerateInterval { start, end } => {
+                write!(f, "degenerate interval: start {start} must be < end {end}")
+            }
+            IntervalError::MalformedPattern(msg) => write!(f, "malformed pattern: {msg}"),
+            IntervalError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside the valid range (0, 1]")
+            }
+            IntervalError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            IntervalError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IntervalError {}
+
+impl From<std::io::Error> for IntervalError {
+    fn from(e: std::io::Error) -> Self {
+        IntervalError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, IntervalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = IntervalError::DegenerateInterval { start: 5, end: 5 };
+        assert!(e.to_string().contains("start 5"));
+        let e = IntervalError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = IntervalError::Parse {
+            line: 0,
+            message: "bad token".into(),
+        };
+        assert!(!e.to_string().contains("line"));
+        let e = IntervalError::InvalidProbability(1.5);
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: IntervalError = io.into();
+        assert!(matches!(e, IntervalError::Io(_)));
+    }
+}

@@ -1,0 +1,161 @@
+//! Event intervals: the atomic unit of interval-based data.
+
+use crate::error::{IntervalError, Result};
+use crate::symbols::SymbolId;
+use serde::{Deserialize, Serialize};
+
+/// Timestamps are signed 64-bit integers. Real datasets with sub-second
+/// resolution should be quantized by the caller; only the *order* (and
+/// equality) of endpoints matters to temporal patterns.
+pub type Time = i64;
+
+/// An event interval `(symbol, start, end)` with `start < end`.
+///
+/// Intervals are *proper*: the model follows the paper in requiring a strictly
+/// positive duration, which guarantees that an interval's start endpoint
+/// precedes its end endpoint in the endpoint representation.
+///
+/// ```
+/// use interval_core::{EventInterval, SymbolId};
+///
+/// let iv = EventInterval::new(SymbolId(0), 3, 9).unwrap();
+/// assert_eq!(iv.duration(), 6);
+/// assert!(EventInterval::new(SymbolId(0), 9, 3).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventInterval {
+    /// Start time (inclusive).
+    pub start: Time,
+    /// End time (exclusive by convention; only endpoint order matters).
+    pub end: Time,
+    /// The interned event symbol.
+    pub symbol: SymbolId,
+}
+
+impl EventInterval {
+    /// Creates an interval, validating `start < end`.
+    pub fn new(symbol: SymbolId, start: Time, end: Time) -> Result<Self> {
+        if start < end {
+            Ok(Self { start, end, symbol })
+        } else {
+            Err(IntervalError::DegenerateInterval { start, end })
+        }
+    }
+
+    /// Creates an interval without validation.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `start >= end`.
+    pub fn new_unchecked(symbol: SymbolId, start: Time, end: Time) -> Self {
+        debug_assert!(start < end, "degenerate interval [{start}, {end})");
+        Self { start, end, symbol }
+    }
+
+    /// Duration `end - start` (always positive).
+    #[inline]
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// Whether the two intervals share at least one time point, treating
+    /// intervals as closed (`meets` counts as intersecting).
+    #[inline]
+    pub fn intersects(&self, other: &EventInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Whether `self` fully contains `other` (non-strictly).
+    #[inline]
+    pub fn contains(&self, other: &EventInterval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+/// An interval paired with an existence probability, for uncertain databases.
+///
+/// The probability models tuple-level uncertainty: the interval exists in a
+/// possible world independently with probability `probability`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UncertainInterval {
+    /// The underlying event interval.
+    pub interval: EventInterval,
+    /// Existence probability, in `(0, 1]`.
+    pub probability: f64,
+}
+
+impl UncertainInterval {
+    /// Creates an uncertain interval, validating the probability range.
+    pub fn new(interval: EventInterval, probability: f64) -> Result<Self> {
+        if probability > 0.0 && probability <= 1.0 {
+            Ok(Self {
+                interval,
+                probability,
+            })
+        } else {
+            Err(IntervalError::InvalidProbability(probability))
+        }
+    }
+
+    /// A certain (probability-1) wrapper around `interval`.
+    pub fn certain(interval: EventInterval) -> Self {
+        Self {
+            interval,
+            probability: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start: Time, end: Time) -> EventInterval {
+        EventInterval::new(SymbolId(0), start, end).unwrap()
+    }
+
+    #[test]
+    fn new_validates_order() {
+        assert!(EventInterval::new(SymbolId(0), 1, 2).is_ok());
+        assert_eq!(
+            EventInterval::new(SymbolId(0), 2, 2),
+            Err(IntervalError::DegenerateInterval { start: 2, end: 2 })
+        );
+        assert!(EventInterval::new(SymbolId(0), 3, 2).is_err());
+    }
+
+    #[test]
+    fn duration_is_positive() {
+        assert_eq!(iv(-5, 5).duration(), 10);
+    }
+
+    #[test]
+    fn intersects_includes_touching() {
+        assert!(iv(0, 5).intersects(&iv(5, 10)));
+        assert!(iv(0, 5).intersects(&iv(3, 4)));
+        assert!(!iv(0, 5).intersects(&iv(6, 10)));
+    }
+
+    #[test]
+    fn contains_is_non_strict() {
+        assert!(iv(0, 10).contains(&iv(0, 10)));
+        assert!(iv(0, 10).contains(&iv(2, 8)));
+        assert!(!iv(2, 8).contains(&iv(0, 10)));
+    }
+
+    #[test]
+    fn uncertain_probability_is_validated() {
+        let base = iv(0, 1);
+        assert!(UncertainInterval::new(base, 0.5).is_ok());
+        assert!(UncertainInterval::new(base, 1.0).is_ok());
+        assert!(UncertainInterval::new(base, 0.0).is_err());
+        assert!(UncertainInterval::new(base, 1.1).is_err());
+        assert_eq!(UncertainInterval::certain(base).probability, 1.0);
+    }
+
+    #[test]
+    fn ordering_sorts_by_start_then_end() {
+        let mut v = vec![iv(3, 4), iv(0, 9), iv(0, 2)];
+        v.sort();
+        assert_eq!(v, vec![iv(0, 2), iv(0, 9), iv(3, 4)]);
+    }
+}

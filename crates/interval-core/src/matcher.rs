@@ -1,0 +1,736 @@
+//! Ground-truth pattern containment.
+//!
+//! A pattern `P` is contained in a sequence `S` (`P ⊑ S`) when there is an
+//! injective mapping from pattern slots to interval instances of `S`,
+//! symbol-preserving, such that the endpoint order/equality structure of the
+//! mapped instances is exactly the pattern's group structure.
+//!
+//! The matcher here is a direct backtracking search over slot assignments.
+//! It is deliberately simple — it serves as the *oracle* that every miner in
+//! the workspace is validated against, and as the support-counting engine of
+//! the naive baseline. The miners themselves never call it on their hot
+//! paths.
+
+use crate::database::IntervalDatabase;
+use crate::interval::EventInterval;
+use crate::pattern::{SlotInfo, TemporalPattern};
+use crate::sequence::IntervalSequence;
+use serde::{Deserialize, Serialize};
+
+/// Embedding constraints accepted by the constrained matcher entry points.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchConstraints {
+    /// Maximum embedding time span (latest end − earliest start).
+    pub max_window: Option<i64>,
+    /// Maximum gap between *consecutive distinct endpoint times* of the
+    /// embedding (equivalently, between consecutive pattern endpoint sets as
+    /// mapped into the sequence).
+    pub max_gap: Option<i64>,
+}
+
+impl MatchConstraints {
+    /// No constraints.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Only a window constraint.
+    pub fn window(w: i64) -> Self {
+        Self {
+            max_window: Some(w),
+            ..Self::default()
+        }
+    }
+
+    /// Only a gap constraint.
+    pub fn gap(g: i64) -> Self {
+        Self {
+            max_gap: Some(g),
+            ..Self::default()
+        }
+    }
+
+    fn is_none(&self) -> bool {
+        self.max_window.is_none() && self.max_gap.is_none()
+    }
+}
+
+/// Whether a complete assignment satisfies the gap constraint: consecutive
+/// distinct endpoint times may be at most `gap` apart.
+fn gap_ok(assigned: &[EventInterval], gap: i64) -> bool {
+    let mut times: Vec<i64> = assigned.iter().flat_map(|iv| [iv.start, iv.end]).collect();
+    times.sort_unstable();
+    times.dedup();
+    times.windows(2).all(|w| w[1] - w[0] <= gap)
+}
+
+/// Compares two pattern group indices and the corresponding concrete times,
+/// returning whether the concrete order matches the abstract one.
+#[inline]
+fn order_matches(g_a: u16, g_b: u16, t_a: i64, t_b: i64) -> bool {
+    g_a.cmp(&g_b) == t_a.cmp(&t_b)
+}
+
+/// Whether a candidate instance for `slot` is consistent with the instances
+/// already assigned to previous slots.
+fn consistent(
+    infos: &[SlotInfo],
+    assigned: &[EventInterval],
+    slot: usize,
+    candidate: &EventInterval,
+) -> bool {
+    let me = &infos[slot];
+    for (other_slot, other_iv) in assigned.iter().enumerate() {
+        let other = &infos[other_slot];
+        if !order_matches(
+            me.start_group,
+            other.start_group,
+            candidate.start,
+            other_iv.start,
+        ) || !order_matches(
+            me.start_group,
+            other.end_group,
+            candidate.start,
+            other_iv.end,
+        ) || !order_matches(
+            me.end_group,
+            other.start_group,
+            candidate.end,
+            other_iv.start,
+        ) || !order_matches(me.end_group, other.end_group, candidate.end, other_iv.end)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Backtracking search. `count_all = false` stops at the first embedding.
+///
+/// The window constraint is checked incrementally (the span of a partial
+/// assignment only grows, so violating prefixes are cut immediately); the
+/// gap constraint is checked on complete assignments only, because a later
+/// slot may legitimately *fill* a gap left by earlier ones.
+fn search(
+    infos: &[SlotInfo],
+    by_symbol: &[Vec<EventInterval>],
+    symbol_of_slot: &[usize],
+    assigned: &mut Vec<EventInterval>,
+    used: &mut Vec<Vec<bool>>,
+    count_all: bool,
+    constraints: MatchConstraints,
+) -> u64 {
+    let slot = assigned.len();
+    if slot == infos.len() {
+        if let Some(g) = constraints.max_gap {
+            if !gap_ok(assigned, g) {
+                return 0;
+            }
+        }
+        return 1;
+    }
+    let sym_idx = symbol_of_slot[slot];
+    let mut total = 0u64;
+    for i in 0..by_symbol[sym_idx].len() {
+        if used[sym_idx][i] {
+            continue;
+        }
+        let candidate = by_symbol[sym_idx][i];
+        if !consistent(infos, assigned, slot, &candidate) {
+            continue;
+        }
+        if let Some(w) = constraints.max_window {
+            let min_start = assigned
+                .iter()
+                .map(|iv| iv.start)
+                .chain([candidate.start])
+                .min()
+                .expect("non-empty");
+            let max_end = assigned
+                .iter()
+                .map(|iv| iv.end)
+                .chain([candidate.end])
+                .max()
+                .expect("non-empty");
+            if max_end - min_start > w {
+                continue;
+            }
+        }
+        used[sym_idx][i] = true;
+        assigned.push(candidate);
+        total += search(
+            infos,
+            by_symbol,
+            symbol_of_slot,
+            assigned,
+            used,
+            count_all,
+            constraints,
+        );
+        assigned.pop();
+        used[sym_idx][i] = false;
+        if !count_all && total > 0 {
+            return total;
+        }
+    }
+    total
+}
+
+/// Pre-resolved search inputs: slot views, per-symbol instance buckets, and
+/// each slot's bucket index.
+type Prepared = (Vec<SlotInfo>, Vec<Vec<EventInterval>>, Vec<usize>);
+
+fn prepare(seq: &IntervalSequence, pattern: &TemporalPattern) -> Option<Prepared> {
+    let infos = pattern.slot_infos();
+    let symbols = pattern.symbols();
+    // Bucket the sequence's instances by pattern symbol.
+    let mut by_symbol: Vec<Vec<EventInterval>> = vec![Vec::new(); symbols.len()];
+    for iv in seq.iter() {
+        if let Ok(idx) = symbols.binary_search(&iv.symbol) {
+            by_symbol[idx].push(*iv);
+        }
+    }
+    let mut symbol_of_slot = Vec::with_capacity(infos.len());
+    for info in &infos {
+        let idx = symbols.binary_search(&info.symbol).ok()?;
+        if by_symbol[idx].is_empty() {
+            return None;
+        }
+        symbol_of_slot.push(idx);
+    }
+    Some((infos, by_symbol, symbol_of_slot))
+}
+
+/// Whether `pattern ⊑ seq`.
+///
+/// ```
+/// use interval_core::{matcher, DatabaseBuilder, TemporalPattern, SymbolTable};
+///
+/// let mut b = DatabaseBuilder::new();
+/// b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+/// let db = b.build();
+/// let mut t = db.symbols().clone();
+/// let overlap = TemporalPattern::parse("A+ | B+ | A- | B-", &mut t).unwrap();
+/// let before = TemporalPattern::parse("A+ | A- | B+ | B-", &mut t).unwrap();
+/// assert!(matcher::contains(&db.sequences()[0], &overlap));
+/// assert!(!matcher::contains(&db.sequences()[0], &before));
+/// ```
+pub fn contains(seq: &IntervalSequence, pattern: &TemporalPattern) -> bool {
+    contains_constrained(seq, pattern, MatchConstraints::none())
+}
+
+/// Whether `pattern ⊑ seq` with an embedding whose total time span (latest
+/// end − earliest start) is at most `max_window` (`None` = unconstrained).
+pub fn contains_within_window(
+    seq: &IntervalSequence,
+    pattern: &TemporalPattern,
+    max_window: Option<i64>,
+) -> bool {
+    contains_constrained(
+        seq,
+        pattern,
+        MatchConstraints {
+            max_window,
+            max_gap: None,
+        },
+    )
+}
+
+/// Whether `pattern ⊑ seq` under arbitrary [`MatchConstraints`].
+pub fn contains_constrained(
+    seq: &IntervalSequence,
+    pattern: &TemporalPattern,
+    constraints: MatchConstraints,
+) -> bool {
+    if pattern.is_empty() {
+        return true;
+    }
+    let Some((infos, by_symbol, symbol_of_slot)) = prepare(seq, pattern) else {
+        return false;
+    };
+    let mut used: Vec<Vec<bool>> = by_symbol.iter().map(|v| vec![false; v.len()]).collect();
+    let mut assigned = Vec::with_capacity(infos.len());
+    search(
+        &infos,
+        &by_symbol,
+        &symbol_of_slot,
+        &mut assigned,
+        &mut used,
+        false,
+        constraints,
+    ) > 0
+}
+
+/// Finds one concrete embedding of `pattern` into `seq` under `constraints`:
+/// the returned vector maps each pattern slot (by index) to the interval
+/// instance realizing it. Returns `None` when the pattern is not contained.
+///
+/// This is the *witness* API behind "explain why this pattern matched".
+///
+/// ```
+/// use interval_core::{matcher, DatabaseBuilder, MatchConstraints, TemporalPattern};
+///
+/// let mut b = DatabaseBuilder::new();
+/// b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+/// let db = b.build();
+/// let mut t = db.symbols().clone();
+/// let overlap = TemporalPattern::parse("A+ | B+ | A- | B-", &mut t).unwrap();
+/// let witness = matcher::find_embedding(
+///     &db.sequences()[0],
+///     &overlap,
+///     MatchConstraints::none(),
+/// )
+/// .unwrap();
+/// assert_eq!(witness.len(), 2);
+/// assert_eq!((witness[0].start, witness[0].end), (0, 5)); // slot 0 = the A
+/// ```
+pub fn find_embedding(
+    seq: &IntervalSequence,
+    pattern: &TemporalPattern,
+    constraints: MatchConstraints,
+) -> Option<Vec<EventInterval>> {
+    if pattern.is_empty() {
+        return Some(Vec::new());
+    }
+    let (infos, by_symbol, symbol_of_slot) = prepare(seq, pattern)?;
+    let mut used: Vec<Vec<bool>> = by_symbol.iter().map(|v| vec![false; v.len()]).collect();
+    let mut assigned = Vec::with_capacity(infos.len());
+    let found = search_witness(
+        &infos,
+        &by_symbol,
+        &symbol_of_slot,
+        &mut assigned,
+        &mut used,
+        constraints,
+    );
+    found.then_some(assigned)
+}
+
+/// Like [`search`] with `count_all = false`, but leaves the successful
+/// assignment in `assigned` instead of unwinding it.
+fn search_witness(
+    infos: &[SlotInfo],
+    by_symbol: &[Vec<EventInterval>],
+    symbol_of_slot: &[usize],
+    assigned: &mut Vec<EventInterval>,
+    used: &mut Vec<Vec<bool>>,
+    constraints: MatchConstraints,
+) -> bool {
+    let slot = assigned.len();
+    if slot == infos.len() {
+        if let Some(g) = constraints.max_gap {
+            if !gap_ok(assigned, g) {
+                return false;
+            }
+        }
+        return true;
+    }
+    let sym_idx = symbol_of_slot[slot];
+    for i in 0..by_symbol[sym_idx].len() {
+        if used[sym_idx][i] {
+            continue;
+        }
+        let candidate = by_symbol[sym_idx][i];
+        if !consistent(infos, assigned, slot, &candidate) {
+            continue;
+        }
+        if let Some(w) = constraints.max_window {
+            let min_start = assigned
+                .iter()
+                .map(|iv| iv.start)
+                .chain([candidate.start])
+                .min()
+                .expect("non-empty");
+            let max_end = assigned
+                .iter()
+                .map(|iv| iv.end)
+                .chain([candidate.end])
+                .max()
+                .expect("non-empty");
+            if max_end - min_start > w {
+                continue;
+            }
+        }
+        used[sym_idx][i] = true;
+        assigned.push(candidate);
+        if search_witness(
+            infos,
+            by_symbol,
+            symbol_of_slot,
+            assigned,
+            used,
+            constraints,
+        ) {
+            return true;
+        }
+        assigned.pop();
+        used[sym_idx][i] = false;
+    }
+    false
+}
+
+/// The number of distinct embeddings of `pattern` into `seq` (slots of equal
+/// symbol are distinguishable, so a symmetric pattern may count a single
+/// physical occurrence more than once).
+pub fn count_embeddings(seq: &IntervalSequence, pattern: &TemporalPattern) -> u64 {
+    if pattern.is_empty() {
+        return 1;
+    }
+    let Some((infos, by_symbol, symbol_of_slot)) = prepare(seq, pattern) else {
+        return 0;
+    };
+    let mut used: Vec<Vec<bool>> = by_symbol.iter().map(|v| vec![false; v.len()]).collect();
+    let mut assigned = Vec::with_capacity(infos.len());
+    search(
+        &infos,
+        &by_symbol,
+        &symbol_of_slot,
+        &mut assigned,
+        &mut used,
+        true,
+        MatchConstraints::none(),
+    )
+}
+
+/// The absolute support of `pattern` in `db`: the number of sequences that
+/// contain it.
+pub fn support(db: &IntervalDatabase, pattern: &TemporalPattern) -> usize {
+    db.sequences()
+        .iter()
+        .filter(|s| contains(s, pattern))
+        .count()
+}
+
+/// The window-constrained support: sequences containing the pattern within
+/// `max_window`.
+pub fn support_within_window(
+    db: &IntervalDatabase,
+    pattern: &TemporalPattern,
+    max_window: Option<i64>,
+) -> usize {
+    support_constrained(
+        db,
+        pattern,
+        MatchConstraints {
+            max_window,
+            max_gap: None,
+        },
+    )
+}
+
+/// The constrained support: sequences containing the pattern under
+/// `constraints`.
+pub fn support_constrained(
+    db: &IntervalDatabase,
+    pattern: &TemporalPattern,
+    constraints: MatchConstraints,
+) -> usize {
+    if constraints.is_none() {
+        return support(db, pattern);
+    }
+    db.sequences()
+        .iter()
+        .filter(|s| contains_constrained(s, pattern, constraints))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseBuilder;
+    use crate::symbols::{SymbolId, SymbolTable};
+
+    fn pat(text: &str, table: &mut SymbolTable) -> TemporalPattern {
+        TemporalPattern::parse(text, table).unwrap()
+    }
+
+    #[test]
+    fn contains_respects_strict_order_vs_equality() {
+        let mut b = DatabaseBuilder::new();
+        // A meets B (A- and B+ coincide at 5)
+        b.sequence().interval("A", 0, 5).interval("B", 5, 9);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let meets = pat("A+ | A- B+ | B-", &mut t);
+        let before = pat("A+ | A- | B+ | B-", &mut t);
+        let overlaps = pat("A+ | B+ | A- | B-", &mut t);
+        let seq = &db.sequences()[0];
+        assert!(contains(seq, &meets));
+        assert!(!contains(seq, &before), "meets is not before");
+        assert!(!contains(seq, &overlaps), "meets is not overlaps");
+    }
+
+    #[test]
+    fn contains_finds_embedded_subpattern() {
+        let mut b = DatabaseBuilder::new();
+        // Lots of clutter around an A-overlaps-B core.
+        b.sequence()
+            .interval("X", -10, -5)
+            .interval("A", 0, 5)
+            .interval("Y", 1, 2)
+            .interval("B", 3, 8)
+            .interval("Z", 20, 30);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let overlap = pat("A+ | B+ | A- | B-", &mut t);
+        assert!(contains(&db.sequences()[0], &overlap));
+    }
+
+    #[test]
+    fn repeated_symbols_require_distinct_instances() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5);
+        b.sequence().interval("A", 0, 5).interval("A", 2, 8);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let two_crossing_as = pat("A+#0 | A+#1 | A-#0 | A-#1", &mut t);
+        assert!(!contains(&db.sequences()[0], &two_crossing_as));
+        assert!(contains(&db.sequences()[1], &two_crossing_as));
+    }
+
+    #[test]
+    fn crossing_does_not_match_nesting() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 10).interval("A", 2, 5); // nesting
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let crossing = pat("A+#0 | A+#1 | A-#0 | A-#1", &mut t);
+        let nesting = pat("A+#0 | A+#1 | A-#1 | A-#0", &mut t);
+        let seq = &db.sequences()[0];
+        assert!(!contains(seq, &crossing));
+        assert!(contains(seq, &nesting));
+    }
+
+    #[test]
+    fn count_embeddings_counts_all_assignments() {
+        let mut b = DatabaseBuilder::new();
+        // Two disjoint A's before one B: "A before B" embeds twice.
+        b.sequence()
+            .interval("A", 0, 1)
+            .interval("A", 2, 3)
+            .interval("B", 10, 12);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let before = pat("A+ | A- | B+ | B-", &mut t);
+        assert_eq!(count_embeddings(&db.sequences()[0], &before), 2);
+    }
+
+    #[test]
+    fn empty_pattern_is_everywhere() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 1);
+        b.sequence(); // empty sequence
+        let db = b.build();
+        let p = TemporalPattern::empty();
+        assert!(contains(&db.sequences()[0], &p));
+        assert!(contains(&db.sequences()[1], &p));
+        assert_eq!(support(&db, &p), 2);
+        assert_eq!(count_embeddings(&db.sequences()[1], &p), 1);
+    }
+
+    #[test]
+    fn support_counts_sequences_not_occurrences() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 1)
+            .interval("A", 2, 3)
+            .interval("A", 4, 5);
+        b.sequence().interval("A", 0, 1);
+        b.sequence().interval("B", 0, 1);
+        let db = b.build();
+        let p = TemporalPattern::singleton(SymbolId(0));
+        assert_eq!(support(&db, &p), 2);
+    }
+
+    #[test]
+    fn missing_symbol_short_circuits() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 1);
+        let db = b.build();
+        let p = TemporalPattern::singleton(SymbolId(99));
+        assert!(!contains(&db.sequences()[0], &p));
+    }
+
+    #[test]
+    fn pattern_matches_its_own_realization() {
+        let mut t = SymbolTable::new();
+        for text in [
+            "A+ | A-",
+            "A+ | B+ | A- | B-",
+            "A+ B+ | A- B-",
+            "A+ | A- B+ | B-",
+            "A+#0 | A+#1 | A-#0 | A-#1",
+            "A+#0 | A+#1 | A-#1 | A-#0",
+            "A+ | B+ | C+ | C- | B- | A-",
+        ] {
+            let p = pat(text, &mut t);
+            assert!(
+                contains(&p.realization_sequence(), &p),
+                "pattern {text} must match its realization"
+            );
+        }
+    }
+
+    #[test]
+    fn window_constraint_restricts_embeddings() {
+        let mut b = DatabaseBuilder::new();
+        // Two A-before-B realizations: tight (span 6) and wide (span 40).
+        b.sequence().interval("A", 0, 2).interval("B", 4, 6);
+        b.sequence().interval("A", 0, 2).interval("B", 30, 40);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let before = pat("A+ | A- | B+ | B-", &mut t);
+        assert!(contains_within_window(&db.sequences()[0], &before, Some(6)));
+        assert!(!contains_within_window(
+            &db.sequences()[1],
+            &before,
+            Some(6)
+        ));
+        assert!(contains_within_window(
+            &db.sequences()[1],
+            &before,
+            Some(40)
+        ));
+        assert_eq!(support_within_window(&db, &before, Some(10)), 1);
+        assert_eq!(support_within_window(&db, &before, None), 2);
+    }
+
+    #[test]
+    fn find_embedding_returns_a_valid_witness() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5)
+            .interval("A", 10, 20)
+            .interval("B", 12, 15);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        // A contains B: only the second A works.
+        let contains = pat("A+ | B+ | B- | A-", &mut t);
+        let seq = &db.sequences()[0];
+        let witness = find_embedding(seq, &contains, MatchConstraints::none()).unwrap();
+        assert_eq!(witness.len(), 2);
+        assert_eq!((witness[0].start, witness[0].end), (10, 20));
+        assert_eq!((witness[1].start, witness[1].end), (12, 15));
+        // the witness itself realizes the pattern
+        assert_eq!(
+            crate::pattern::TemporalPattern::arrangement_of(&witness),
+            contains
+        );
+        // no witness for an absent pattern
+        let absent = pat("B+ | B- | A+ | A-", &mut t);
+        assert!(find_embedding(seq, &absent, MatchConstraints::none()).is_none());
+        // constraints narrow the witness choice
+        let single_a = pat("A+ | A-", &mut t);
+        let tight = find_embedding(seq, &single_a, MatchConstraints::window(5)).unwrap();
+        assert_eq!((tight[0].start, tight[0].end), (0, 5));
+        // empty pattern has the empty witness
+        assert_eq!(
+            find_embedding(seq, &TemporalPattern::empty(), MatchConstraints::none()),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn gap_constraint_bounds_consecutive_endpoint_times() {
+        let mut b = DatabaseBuilder::new();
+        // A ends at 2; B starts at 4 (gap 2) / at 30 (gap 28).
+        b.sequence().interval("A", 0, 2).interval("B", 4, 6);
+        b.sequence().interval("A", 0, 2).interval("B", 30, 33);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let before = pat("A+ | A- | B+ | B-", &mut t);
+        assert!(contains_constrained(
+            &db.sequences()[0],
+            &before,
+            MatchConstraints::gap(2)
+        ));
+        assert!(!contains_constrained(
+            &db.sequences()[1],
+            &before,
+            MatchConstraints::gap(2)
+        ));
+        assert_eq!(
+            support_constrained(&db, &before, MatchConstraints::gap(28)),
+            2
+        );
+    }
+
+    #[test]
+    fn later_intervals_can_fill_gaps() {
+        // A..(gap)..C with B bridging the middle: the 3-pattern passes a gap
+        // limit that the 2-pattern A,C alone would fail. (Endpoint times of
+        // the 3-pattern embedding: 0,2,3,5,6,8 — max gap 2; of the 2-pattern:
+        // 0,2,6,8 — gap 4.)
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 2)
+            .interval("B", 3, 5)
+            .interval("C", 6, 8);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let ac = pat("A+ | A- | C+ | C-", &mut t);
+        let abc = pat("A+ | A- | B+ | B- | C+ | C-", &mut t);
+        let seq = &db.sequences()[0];
+        assert!(!contains_constrained(seq, &ac, MatchConstraints::gap(2)));
+        assert!(contains_constrained(seq, &abc, MatchConstraints::gap(2)));
+    }
+
+    #[test]
+    fn combined_window_and_gap() {
+        let mut b = DatabaseBuilder::new();
+        // endpoint times 0,1,2,3: all consecutive gaps are 1, span is 3.
+        b.sequence().interval("A", 0, 1).interval("B", 2, 3);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let before = pat("A+ | A- | B+ | B-", &mut t);
+        let seq = &db.sequences()[0];
+        let both = MatchConstraints {
+            max_window: Some(3),
+            max_gap: Some(1),
+        };
+        assert!(contains_constrained(seq, &before, both));
+        let tight_window = MatchConstraints {
+            max_window: Some(2),
+            max_gap: Some(1),
+        };
+        assert!(!contains_constrained(seq, &before, tight_window));
+        let tight_gap = MatchConstraints {
+            max_window: Some(3),
+            max_gap: Some(0),
+        };
+        assert!(!contains_constrained(seq, &before, tight_gap));
+    }
+
+    #[test]
+    fn window_picks_any_qualifying_embedding() {
+        let mut b = DatabaseBuilder::new();
+        // A wide A plus a tight A: the tight one satisfies the window.
+        b.sequence()
+            .interval("A", 0, 100)
+            .interval("A", 0, 3)
+            .interval("B", 4, 6);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let before = pat("A+ | A- | B+ | B-", &mut t);
+        assert!(contains_within_window(&db.sequences()[0], &before, Some(6)));
+        assert!(!contains_within_window(
+            &db.sequences()[0],
+            &before,
+            Some(2)
+        ));
+    }
+
+    #[test]
+    fn simultaneity_in_data_must_match_pattern() {
+        let mut b = DatabaseBuilder::new();
+        // A and B start together.
+        b.sequence().interval("A", 0, 5).interval("B", 0, 9);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let starts_together = pat("A+ B+ | A- | B-", &mut t);
+        let a_first = pat("A+ | B+ | A- | B-", &mut t);
+        let seq = &db.sequences()[0];
+        assert!(contains(seq, &starts_together));
+        assert!(!contains(seq, &a_first));
+    }
+}

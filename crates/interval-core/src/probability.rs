@@ -1,0 +1,399 @@
+//! Containment probabilities over uncertain interval sequences.
+//!
+//! Under tuple-level uncertainty (every interval exists independently with
+//! its probability) the *containment probability* `Pr[P ⊑ S]` is the
+//! probability that a random possible world of `S` contains the pattern.
+//! The **expected support** of `P` in an uncertain database is the sum of
+//! containment probabilities over all sequences; it is anti-monotone in the
+//! pattern, which is what makes probabilistic mining with pattern growth
+//! sound.
+//!
+//! Computing `Pr[P ⊑ S]` exactly is #P-hard in general, so this module
+//! offers the standard two-tier scheme:
+//!
+//! - **exact** enumeration over the *relevant* uncertain intervals (those
+//!   whose symbol occurs in the pattern) when there are at most
+//!   [`ProbabilityConfig::exact_limit`] of them;
+//! - **Monte-Carlo** possible-world sampling (seeded, deterministic)
+//!   otherwise.
+//!
+//! Both tiers exploit containment monotonicity: adding intervals to a world
+//! never destroys an embedding.
+
+use crate::database::UncertainDatabase;
+use crate::matcher;
+use crate::pattern::TemporalPattern;
+use crate::sequence::{IntervalSequence, UncertainSequence};
+use crate::symbols::SymbolId;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tuning for containment-probability computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilityConfig {
+    /// Maximum number of relevant *uncertain* (p < 1) intervals for which the
+    /// exact `2^n` enumeration is used.
+    pub exact_limit: usize,
+    /// Number of Monte-Carlo samples beyond the exact limit.
+    pub mc_samples: u32,
+    /// Base RNG seed; combined with a caller-supplied stream id so that
+    /// per-sequence estimates are independent yet reproducible.
+    pub seed: u64,
+}
+
+impl Default for ProbabilityConfig {
+    fn default() -> Self {
+        Self {
+            exact_limit: 12,
+            mc_samples: 512,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Splits a sequence's relevant intervals into always-present (p == 1) and
+/// genuinely uncertain ones, dropping intervals whose symbol the pattern
+/// never uses.
+fn relevant_split(
+    seq: &UncertainSequence,
+    symbols: &[SymbolId],
+) -> (
+    Vec<crate::interval::EventInterval>,
+    Vec<(crate::interval::EventInterval, f64)>,
+) {
+    let mut certain = Vec::new();
+    let mut uncertain = Vec::new();
+    for u in seq.intervals() {
+        if symbols.binary_search(&u.interval.symbol).is_ok() {
+            if u.probability >= 1.0 {
+                certain.push(u.interval);
+            } else {
+                uncertain.push((u.interval, u.probability));
+            }
+        }
+    }
+    (certain, uncertain)
+}
+
+/// `Pr[pattern ⊑ seq]`, exact when few uncertain intervals are relevant,
+/// Monte-Carlo otherwise. `stream` disambiguates the RNG across call sites
+/// (pass e.g. the sequence index).
+pub fn containment_probability(
+    seq: &UncertainSequence,
+    pattern: &TemporalPattern,
+    cfg: &ProbabilityConfig,
+    stream: u64,
+) -> f64 {
+    if pattern.is_empty() {
+        return 1.0;
+    }
+    let symbols = pattern.symbols();
+    let (certain, uncertain) = relevant_split(seq, &symbols);
+
+    // Quick monotone bounds: if the certain part already contains the
+    // pattern the probability is 1; if even the full world does not, it is 0.
+    let certain_seq = IntervalSequence::from_intervals(certain.clone());
+    if matcher::contains(&certain_seq, pattern) {
+        return 1.0;
+    }
+    if uncertain.is_empty() {
+        return 0.0;
+    }
+    let full_seq = IntervalSequence::from_intervals(
+        certain
+            .iter()
+            .copied()
+            .chain(uncertain.iter().map(|&(iv, _)| iv))
+            .collect(),
+    );
+    if !matcher::contains(&full_seq, pattern) {
+        return 0.0;
+    }
+
+    if uncertain.len() <= cfg.exact_limit {
+        exact_probability(&certain, &uncertain, pattern)
+    } else {
+        monte_carlo_probability(&certain, &uncertain, pattern, cfg, stream)
+    }
+}
+
+fn exact_probability(
+    certain: &[crate::interval::EventInterval],
+    uncertain: &[(crate::interval::EventInterval, f64)],
+    pattern: &TemporalPattern,
+) -> f64 {
+    let n = uncertain.len();
+    debug_assert!(n < usize::BITS as usize);
+    let mut total = 0.0f64;
+    let mut world = Vec::with_capacity(certain.len() + n);
+    for mask in 0u64..(1u64 << n) {
+        let mut p = 1.0f64;
+        world.clear();
+        world.extend_from_slice(certain);
+        for (i, &(iv, prob)) in uncertain.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                p *= prob;
+                world.push(iv);
+            } else {
+                p *= 1.0 - prob;
+            }
+        }
+        if p == 0.0 {
+            continue;
+        }
+        let seq = IntervalSequence::from_intervals(world.clone());
+        if matcher::contains(&seq, pattern) {
+            total += p;
+        }
+    }
+    total.clamp(0.0, 1.0)
+}
+
+fn monte_carlo_probability(
+    certain: &[crate::interval::EventInterval],
+    uncertain: &[(crate::interval::EventInterval, f64)],
+    pattern: &TemporalPattern,
+    cfg: &ProbabilityConfig,
+    stream: u64,
+) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        cfg.seed
+            .wrapping_add(stream.wrapping_mul(0xa076_1d64_78bd_642f)),
+    );
+    let mut hits = 0u32;
+    let mut world = Vec::with_capacity(certain.len() + uncertain.len());
+    for _ in 0..cfg.mc_samples {
+        world.clear();
+        world.extend_from_slice(certain);
+        for &(iv, prob) in uncertain {
+            if rng.gen::<f64>() < prob {
+                world.push(iv);
+            }
+        }
+        let seq = IntervalSequence::from_intervals(world.clone());
+        if matcher::contains(&seq, pattern) {
+            hits += 1;
+        }
+    }
+    f64::from(hits) / f64::from(cfg.mc_samples)
+}
+
+/// A cheap anti-monotone upper bound on `Pr[pattern ⊑ seq]`: the pattern
+/// needs at least `m_s` instances of every symbol `s` it uses, so the
+/// probability is at most `min_s Pr[#instances of s ≥ m_s]` (a
+/// Poisson-binomial tail per symbol).
+pub fn containment_upper_bound(seq: &UncertainSequence, pattern: &TemporalPattern) -> f64 {
+    if pattern.is_empty() {
+        return 1.0;
+    }
+    let infos = pattern.slot_infos();
+    let mut need: std::collections::HashMap<SymbolId, usize> = std::collections::HashMap::new();
+    for i in &infos {
+        *need.entry(i.symbol).or_insert(0) += 1;
+    }
+    let mut bound = 1.0f64;
+    for (&symbol, &m) in &need {
+        let probs: Vec<f64> = seq
+            .intervals()
+            .iter()
+            .filter(|u| u.interval.symbol == symbol)
+            .map(|u| u.probability)
+            .collect();
+        bound = bound.min(tail_at_least(&probs, m));
+        if bound == 0.0 {
+            return 0.0;
+        }
+    }
+    bound
+}
+
+/// `Pr[X ≥ m]` where `X` is the number of successes of independent Bernoulli
+/// trials with probabilities `probs` (Poisson-binomial tail).
+fn tail_at_least(probs: &[f64], m: usize) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    if probs.len() < m {
+        return 0.0;
+    }
+    // dp[k] = Pr[k successes so far]; bucket m absorbs "m or more".
+    let mut dp = vec![0.0f64; m + 1];
+    dp[0] = 1.0;
+    for &p in probs {
+        dp[m] += dp[m - 1] * p;
+        for k in (1..m).rev() {
+            dp[k] = dp[k] * (1.0 - p) + dp[k - 1] * p;
+        }
+        dp[0] *= 1.0 - p;
+    }
+    dp[m].clamp(0.0, 1.0)
+}
+
+/// Expected support of `pattern` in `db`: `Σ_S Pr[pattern ⊑ S]`.
+pub fn expected_support(
+    db: &UncertainDatabase,
+    pattern: &TemporalPattern,
+    cfg: &ProbabilityConfig,
+) -> f64 {
+    db.sequences()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| containment_probability(s, pattern, cfg, i as u64))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::UncertainDatabaseBuilder;
+    use crate::symbols::SymbolTable;
+
+    fn pat(text: &str, t: &mut SymbolTable) -> TemporalPattern {
+        TemporalPattern::parse(text, t).unwrap()
+    }
+
+    #[test]
+    fn tail_at_least_matches_binomial() {
+        // 3 fair coins: P[X >= 2] = 0.5
+        let p = tail_at_least(&[0.5, 0.5, 0.5], 2);
+        assert!((p - 0.5).abs() < 1e-12, "{p}");
+        assert_eq!(tail_at_least(&[0.5], 2), 0.0);
+        assert_eq!(tail_at_least(&[], 0), 1.0);
+        assert!((tail_at_least(&[0.3, 0.7], 1) - (1.0 - 0.7 * 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_pattern_has_probability_one() {
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5, 1.0)
+            .interval("B", 3, 8, 1.0);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let p = pat("A+ | B+ | A- | B-", &mut t);
+        let cfg = ProbabilityConfig::default();
+        let prob = containment_probability(&db.sequences()[0], &p, &cfg, 0);
+        assert_eq!(prob, 1.0);
+    }
+
+    #[test]
+    fn independent_pair_multiplies() {
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5, 0.5)
+            .interval("B", 3, 8, 0.4);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let p = pat("A+ | B+ | A- | B-", &mut t);
+        let cfg = ProbabilityConfig::default();
+        let prob = containment_probability(&db.sequences()[0], &p, &cfg, 0);
+        assert!((prob - 0.2).abs() < 1e-12, "{prob}");
+    }
+
+    #[test]
+    fn disjunction_of_alternative_instances() {
+        // Two alternative A's, either one supports the singleton.
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5, 0.5)
+            .interval("A", 10, 15, 0.5);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let p = pat("A+ | A-", &mut t);
+        let cfg = ProbabilityConfig::default();
+        let prob = containment_probability(&db.sequences()[0], &p, &cfg, 0);
+        assert!((prob - 0.75).abs() < 1e-12, "{prob}");
+    }
+
+    #[test]
+    fn impossible_pattern_has_probability_zero() {
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5, 0.9);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let p = pat("B+ | B-", &mut t);
+        let cfg = ProbabilityConfig::default();
+        assert_eq!(
+            containment_probability(&db.sequences()[0], &p, &cfg, 0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact() {
+        // Force the MC path by setting exact_limit to 0, compare to exact.
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5, 0.5)
+            .interval("B", 3, 8, 0.7)
+            .interval("B", 4, 9, 0.3);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let p = pat("A+ | B+ | A- | B-", &mut t);
+        let exact_cfg = ProbabilityConfig {
+            exact_limit: 16,
+            ..Default::default()
+        };
+        let mc_cfg = ProbabilityConfig {
+            exact_limit: 0,
+            mc_samples: 20_000,
+            ..Default::default()
+        };
+        let exact = containment_probability(&db.sequences()[0], &p, &exact_cfg, 0);
+        let mc = containment_probability(&db.sequences()[0], &p, &mc_cfg, 0);
+        assert!((exact - mc).abs() < 0.02, "exact={exact} mc={mc}");
+    }
+
+    #[test]
+    fn upper_bound_dominates_probability() {
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5, 0.6)
+            .interval("B", 3, 8, 0.4)
+            .interval("A", 10, 12, 0.5);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        for text in ["A+ | A-", "A+ | B+ | A- | B-", "A+#0 | A-#0 | A+#1 | A-#1"] {
+            let p = pat(text, &mut t);
+            let cfg = ProbabilityConfig::default();
+            let prob = containment_probability(&db.sequences()[0], &p, &cfg, 0);
+            let bound = containment_upper_bound(&db.sequences()[0], &p);
+            assert!(
+                bound >= prob - 1e-9,
+                "{text}: bound {bound} < probability {prob}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_support_sums_sequences() {
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5, 0.5);
+        b.sequence().interval("A", 0, 5, 0.25);
+        b.sequence().interval("B", 0, 5, 1.0);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let p = pat("A+ | A-", &mut t);
+        let cfg = ProbabilityConfig::default();
+        let esup = expected_support(&db, &p, &cfg);
+        assert!((esup - 0.75).abs() < 1e-12, "{esup}");
+    }
+
+    #[test]
+    fn empty_pattern_probability_is_one() {
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5, 0.1);
+        let db = b.build();
+        let cfg = ProbabilityConfig::default();
+        assert_eq!(
+            containment_probability(&db.sequences()[0], &TemporalPattern::empty(), &cfg, 0),
+            1.0
+        );
+        assert_eq!(
+            containment_upper_bound(&db.sequences()[0], &TemporalPattern::empty()),
+            1.0
+        );
+    }
+}

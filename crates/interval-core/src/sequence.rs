@@ -1,0 +1,215 @@
+//! Interval sequences: one entity's (patient, customer, stock, …) timeline of
+//! event intervals.
+
+use crate::interval::{EventInterval, Time, UncertainInterval};
+use crate::symbols::SymbolId;
+use serde::{Deserialize, Serialize};
+
+/// A normalized multiset of event intervals belonging to one entity.
+///
+/// Intervals are kept sorted by `(start, end, symbol)`; duplicates are
+/// allowed (the same symbol may occur any number of times, including with
+/// identical endpoints).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSequence {
+    intervals: Vec<EventInterval>,
+}
+
+impl IntervalSequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sequence from arbitrary-order intervals, normalizing order.
+    pub fn from_intervals(mut intervals: Vec<EventInterval>) -> Self {
+        intervals.sort_unstable();
+        Self { intervals }
+    }
+
+    /// Adds an interval, keeping the sequence normalized.
+    pub fn push(&mut self, interval: EventInterval) {
+        let pos = self.intervals.partition_point(|iv| iv <= &interval);
+        self.intervals.insert(pos, interval);
+    }
+
+    /// The intervals in normalized order.
+    pub fn intervals(&self) -> &[EventInterval] {
+        &self.intervals
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the sequence has no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Whether any interval carries `symbol`.
+    pub fn contains_symbol(&self, symbol: SymbolId) -> bool {
+        self.intervals.iter().any(|iv| iv.symbol == symbol)
+    }
+
+    /// The earliest start time, if any.
+    pub fn min_start(&self) -> Option<Time> {
+        self.intervals.first().map(|iv| iv.start)
+    }
+
+    /// The latest end time, if any.
+    pub fn max_end(&self) -> Option<Time> {
+        self.intervals.iter().map(|iv| iv.end).max()
+    }
+
+    /// Total time span covered (`max_end - min_start`), or 0 when empty.
+    pub fn span(&self) -> Time {
+        match (self.min_start(), self.max_end()) {
+            (Some(s), Some(e)) => e - s,
+            _ => 0,
+        }
+    }
+
+    /// Iterates over the intervals.
+    pub fn iter(&self) -> std::slice::Iter<'_, EventInterval> {
+        self.intervals.iter()
+    }
+}
+
+impl FromIterator<EventInterval> for IntervalSequence {
+    fn from_iter<I: IntoIterator<Item = EventInterval>>(iter: I) -> Self {
+        Self::from_intervals(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a IntervalSequence {
+    type Item = &'a EventInterval;
+    type IntoIter = std::slice::Iter<'a, EventInterval>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.intervals.iter()
+    }
+}
+
+/// A normalized sequence of [`UncertainInterval`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UncertainSequence {
+    intervals: Vec<UncertainInterval>,
+}
+
+impl UncertainSequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from arbitrary-order uncertain intervals, normalizing order by
+    /// the underlying interval.
+    pub fn from_intervals(mut intervals: Vec<UncertainInterval>) -> Self {
+        intervals.sort_unstable_by_key(|u| u.interval);
+        Self { intervals }
+    }
+
+    /// Adds an uncertain interval, keeping the sequence normalized.
+    pub fn push(&mut self, interval: UncertainInterval) {
+        let pos = self
+            .intervals
+            .partition_point(|u| u.interval <= interval.interval);
+        self.intervals.insert(pos, interval);
+    }
+
+    /// The uncertain intervals in normalized order.
+    pub fn intervals(&self) -> &[UncertainInterval] {
+        &self.intervals
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the sequence has no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The certain sequence obtained by keeping every interval (the "all
+    /// exist" possible world).
+    pub fn to_certain(&self) -> IntervalSequence {
+        IntervalSequence::from_intervals(self.intervals.iter().map(|u| u.interval).collect())
+    }
+}
+
+impl FromIterator<UncertainInterval> for UncertainSequence {
+    fn from_iter<I: IntoIterator<Item = UncertainInterval>>(iter: I) -> Self {
+        Self::from_intervals(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(sym: u32, start: Time, end: Time) -> EventInterval {
+        EventInterval::new(SymbolId(sym), start, end).unwrap()
+    }
+
+    #[test]
+    fn from_intervals_normalizes_order() {
+        let s = IntervalSequence::from_intervals(vec![iv(1, 5, 9), iv(0, 0, 3), iv(0, 0, 2)]);
+        let starts: Vec<_> = s.iter().map(|i| (i.start, i.end)).collect();
+        assert_eq!(starts, vec![(0, 2), (0, 3), (5, 9)]);
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut s = IntervalSequence::new();
+        s.push(iv(0, 5, 9));
+        s.push(iv(0, 0, 3));
+        s.push(iv(0, 2, 4));
+        let starts: Vec<_> = s.iter().map(|i| i.start).collect();
+        assert_eq!(starts, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let s = IntervalSequence::from_intervals(vec![iv(0, 2, 10), iv(1, 4, 6)]);
+        assert_eq!(s.min_start(), Some(2));
+        assert_eq!(s.max_end(), Some(10));
+        assert_eq!(s.span(), 8);
+        assert!(s.contains_symbol(SymbolId(1)));
+        assert!(!s.contains_symbol(SymbolId(2)));
+    }
+
+    #[test]
+    fn empty_sequence_stats() {
+        let s = IntervalSequence::new();
+        assert!(s.is_empty());
+        assert_eq!(s.min_start(), None);
+        assert_eq!(s.span(), 0);
+    }
+
+    #[test]
+    fn max_end_scans_all_intervals() {
+        // The interval with the latest end is not the last in sort order.
+        let s = IntervalSequence::from_intervals(vec![iv(0, 0, 100), iv(0, 5, 6)]);
+        assert_eq!(s.max_end(), Some(100));
+    }
+
+    #[test]
+    fn duplicates_are_allowed() {
+        let s = IntervalSequence::from_intervals(vec![iv(0, 1, 2), iv(0, 1, 2)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn uncertain_to_certain_drops_probabilities() {
+        let u = UncertainSequence::from_intervals(vec![
+            UncertainInterval::new(iv(0, 3, 5), 0.5).unwrap(),
+            UncertainInterval::new(iv(1, 0, 2), 0.9).unwrap(),
+        ]);
+        let c = u.to_certain();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.intervals()[0].start, 0);
+    }
+}

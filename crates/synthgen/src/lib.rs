@@ -1,0 +1,436 @@
+//! QUEST-style synthetic interval workload generator.
+//!
+//! The evaluation protocol of the interval-mining literature (and of the
+//! reproduced paper's family) uses IBM QUEST-style synthetic data named by
+//! its parameters, e.g. `D10k-C8-S4-N1k`:
+//!
+//! - `D` — number of sequences,
+//! - `C` — average number of event intervals per sequence,
+//! - `S` — average number of intervals per *potential pattern*,
+//! - `N` — alphabet size.
+//!
+//! Sequences are assembled from a pool of randomly drawn potential patterns
+//! (with corruption, time jitter and noise intervals), so that real frequent
+//! arrangements exist to be found. Everything is deterministic for a fixed
+//! seed (ChaCha8, portable across platforms).
+//!
+//! ```
+//! use synthgen::{QuestConfig, QuestGenerator};
+//!
+//! let db = QuestGenerator::new(QuestConfig::small().seed(7)).generate();
+//! assert_eq!(db.len(), QuestConfig::small().num_sequences);
+//! let again = QuestGenerator::new(QuestConfig::small().seed(7)).generate();
+//! assert_eq!(db, again); // fully deterministic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use interval_core::{
+    EventInterval, IntervalDatabase, IntervalSequence, SymbolId, SymbolTable, Time,
+    UncertainDatabase, UncertainInterval, UncertainSequence,
+};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the QUEST-style generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuestConfig {
+    /// `|D|` — number of sequences.
+    pub num_sequences: usize,
+    /// `|C|` — average intervals per sequence (Poisson mean).
+    pub avg_intervals_per_sequence: f64,
+    /// `|S|` — average intervals per potential pattern (Poisson mean,
+    /// clamped to at least 1).
+    pub avg_pattern_arity: f64,
+    /// `N` — alphabet size.
+    pub num_symbols: usize,
+    /// Size of the potential-pattern pool.
+    pub num_potential_patterns: usize,
+    /// Probability that an interval of a planted pattern is dropped when the
+    /// pattern is embedded into a sequence (QUEST's corruption level).
+    pub corruption: f64,
+    /// Fraction of a sequence's interval budget filled with uniform noise
+    /// intervals instead of planted patterns.
+    pub noise: f64,
+    /// Mean interval duration (geometric, at least 1 tick).
+    pub avg_duration: f64,
+    /// Time-horizon length per sequence.
+    pub horizon: Time,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QuestConfig {
+    /// The paper-style default workload `D10k-C8-S4-N1k`.
+    pub fn paper_default() -> Self {
+        Self {
+            num_sequences: 10_000,
+            avg_intervals_per_sequence: 8.0,
+            avg_pattern_arity: 4.0,
+            num_symbols: 1_000,
+            num_potential_patterns: 100,
+            corruption: 0.25,
+            noise: 0.15,
+            avg_duration: 20.0,
+            horizon: 1_000,
+            seed: 1,
+        }
+    }
+
+    /// A small workload for tests and examples (`D200-C6-S3-N50`).
+    pub fn small() -> Self {
+        Self {
+            num_sequences: 200,
+            avg_intervals_per_sequence: 6.0,
+            avg_pattern_arity: 3.0,
+            num_symbols: 50,
+            num_potential_patterns: 10,
+            corruption: 0.2,
+            noise: 0.15,
+            avg_duration: 10.0,
+            horizon: 200,
+            seed: 1,
+        }
+    }
+
+    /// Sets the number of sequences (`|D|`).
+    pub fn sequences(mut self, n: usize) -> Self {
+        self.num_sequences = n;
+        self
+    }
+
+    /// Sets the average intervals per sequence (`|C|`).
+    pub fn intervals_per_sequence(mut self, c: f64) -> Self {
+        self.avg_intervals_per_sequence = c;
+        self
+    }
+
+    /// Sets the alphabet size (`N`).
+    pub fn symbols(mut self, n: usize) -> Self {
+        self.num_symbols = n;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The conventional dataset name, e.g. `D10000-C8-S4-N1000`.
+    pub fn name(&self) -> String {
+        format!(
+            "D{}-C{}-S{}-N{}",
+            self.num_sequences,
+            self.avg_intervals_per_sequence,
+            self.avg_pattern_arity,
+            self.num_symbols
+        )
+    }
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// How existence probabilities are attached when generating uncertain data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UncertaintyConfig {
+    /// Fraction of intervals that stay certain (probability 1).
+    pub certain_fraction: f64,
+    /// Uncertain intervals draw probabilities uniformly from this range.
+    pub probability_range: (f64, f64),
+}
+
+impl Default for UncertaintyConfig {
+    fn default() -> Self {
+        Self {
+            certain_fraction: 0.3,
+            probability_range: (0.5, 1.0),
+        }
+    }
+}
+
+/// A potential pattern: concrete intervals relative to offset 0, to be
+/// embedded (with jitter/corruption) into sequences.
+#[derive(Debug, Clone)]
+struct PotentialPattern {
+    intervals: Vec<EventInterval>,
+}
+
+/// The generator. See the crate docs for the procedure.
+#[derive(Debug, Clone)]
+pub struct QuestGenerator {
+    config: QuestConfig,
+}
+
+impl QuestGenerator {
+    /// Creates a generator for `config`.
+    pub fn new(config: QuestConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &QuestConfig {
+        &self.config
+    }
+
+    /// Generates the certain database.
+    pub fn generate(&self) -> IntervalDatabase {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let symbols = SymbolTable::with_synthetic_symbols(self.config.num_symbols);
+        let pool = self.make_pool(&mut rng);
+        let sequences = (0..self.config.num_sequences)
+            .map(|_| self.make_sequence(&mut rng, &pool))
+            .collect();
+        IntervalDatabase::from_parts(symbols, sequences)
+    }
+
+    /// Generates the uncertain variant: the same intervals as
+    /// [`generate`](Self::generate) with probabilities attached per
+    /// `uncertainty` (deterministic for fixed seeds).
+    pub fn generate_uncertain(&self, uncertainty: &UncertaintyConfig) -> UncertainDatabase {
+        let certain = self.generate();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0xdead_beef_cafe_f00d);
+        let (lo, hi) = uncertainty.probability_range;
+        let sequences = certain
+            .sequences()
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .map(|&iv| {
+                        let p = if rng.gen::<f64>() < uncertainty.certain_fraction {
+                            1.0
+                        } else {
+                            rng.gen_range(lo.max(f64::MIN_POSITIVE)..=hi.min(1.0))
+                        };
+                        UncertainInterval::new(iv, p).expect("probability in range")
+                    })
+                    .collect::<UncertainSequence>()
+            })
+            .collect();
+        UncertainDatabase::from_parts(certain.symbols().clone(), sequences)
+    }
+
+    fn make_pool(&self, rng: &mut ChaCha8Rng) -> Vec<PotentialPattern> {
+        (0..self.config.num_potential_patterns.max(1))
+            .map(|_| {
+                let arity = poisson(rng, self.config.avg_pattern_arity.max(1.0)).max(1);
+                let mut intervals = Vec::with_capacity(arity);
+                let mut cursor: Time = 0;
+                for _ in 0..arity {
+                    let symbol = SymbolId(rng.gen_range(0..self.config.num_symbols as u32));
+                    // Mix of relation shapes: advance, stay, or step back a
+                    // little so overlaps / containments / meets all occur.
+                    let half = (self.config.avg_duration as i64 / 2).max(1);
+                    let drift = rng.gen_range(-half..=self.config.avg_duration as i64);
+                    cursor = (cursor + drift).max(0);
+                    let duration = duration(rng, self.config.avg_duration);
+                    intervals.push(EventInterval::new_unchecked(
+                        symbol,
+                        cursor,
+                        cursor + duration,
+                    ));
+                    cursor += rng.gen_range(0..=half);
+                }
+                PotentialPattern { intervals }
+            })
+            .collect()
+    }
+
+    fn make_sequence(&self, rng: &mut ChaCha8Rng, pool: &[PotentialPattern]) -> IntervalSequence {
+        let budget = poisson(rng, self.config.avg_intervals_per_sequence).max(1);
+        let mut intervals: Vec<EventInterval> = Vec::with_capacity(budget);
+        while intervals.len() < budget {
+            if rng.gen::<f64>() < self.config.noise {
+                intervals.push(self.noise_interval(rng));
+                continue;
+            }
+            // Embed a (possibly corrupted) potential pattern at a random
+            // offset. Skewed choice: earlier pool entries are more likely,
+            // mimicking QUEST's exponentially weighted pattern table.
+            let idx = (rng.gen::<f64>().powi(2) * pool.len() as f64) as usize;
+            let pattern = &pool[idx.min(pool.len() - 1)];
+            let offset = rng.gen_range(0..self.config.horizon.max(1));
+            let mut planted_any = false;
+            for iv in &pattern.intervals {
+                if intervals.len() >= budget {
+                    break;
+                }
+                if rng.gen::<f64>() < self.config.corruption {
+                    continue;
+                }
+                planted_any = true;
+                intervals.push(EventInterval::new_unchecked(
+                    iv.symbol,
+                    iv.start + offset,
+                    iv.end + offset,
+                ));
+            }
+            if !planted_any {
+                // Fully corrupted embedding: make progress with noise so the
+                // loop is guaranteed to terminate.
+                intervals.push(self.noise_interval(rng));
+            }
+        }
+        IntervalSequence::from_intervals(intervals)
+    }
+
+    fn noise_interval(&self, rng: &mut ChaCha8Rng) -> EventInterval {
+        let symbol = SymbolId(rng.gen_range(0..self.config.num_symbols as u32));
+        let start = rng.gen_range(0..self.config.horizon.max(1));
+        let dur = duration(rng, self.config.avg_duration);
+        EventInterval::new_unchecked(symbol, start, start + dur)
+    }
+}
+
+/// Geometric-ish duration with the given mean, at least 1.
+fn duration(rng: &mut ChaCha8Rng, mean: f64) -> Time {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    ((-u.ln() * mean.max(1.0)) as Time).max(1)
+}
+
+/// Knuth's Poisson sampler (fine for the small means used here).
+fn poisson(rng: &mut ChaCha8Rng, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = QuestConfig::small().seed(99);
+        let a = QuestGenerator::new(cfg).generate();
+        let b = QuestGenerator::new(cfg).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = QuestGenerator::new(QuestConfig::small().seed(1)).generate();
+        let b = QuestGenerator::new(QuestConfig::small().seed(2)).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_sequence_count_and_rough_density() {
+        let cfg = QuestConfig::small().sequences(500);
+        let db = QuestGenerator::new(cfg).generate();
+        assert_eq!(db.len(), 500);
+        let mean = db.mean_sequence_len();
+        assert!(
+            (mean - cfg.avg_intervals_per_sequence).abs() < 2.0,
+            "mean sequence length {mean} too far from {}",
+            cfg.avg_intervals_per_sequence
+        );
+    }
+
+    #[test]
+    fn symbols_stay_in_alphabet() {
+        let cfg = QuestConfig::small().symbols(17);
+        let db = QuestGenerator::new(cfg).generate();
+        for seq in db.sequences() {
+            for iv in seq {
+                assert!(iv.symbol.0 < 17);
+            }
+        }
+        assert_eq!(db.symbols().len(), 17);
+    }
+
+    #[test]
+    fn planted_patterns_create_frequent_symbol_pairs() {
+        // With low corruption and noise, some symbol pair must co-occur
+        // frequently — that is the generator's whole purpose.
+        let cfg = QuestConfig {
+            corruption: 0.05,
+            noise: 0.05,
+            num_potential_patterns: 3,
+            num_symbols: 20,
+            ..QuestConfig::small()
+        };
+        let db = QuestGenerator::new(cfg).generate();
+        let mut counts: std::collections::HashMap<(u32, u32), usize> =
+            std::collections::HashMap::new();
+        for seq in db.sequences() {
+            let mut syms: Vec<u32> = seq.iter().map(|iv| iv.symbol.0).collect();
+            syms.sort_unstable();
+            syms.dedup();
+            for i in 0..syms.len() {
+                for j in (i + 1)..syms.len() {
+                    *counts.entry((syms[i], syms[j])).or_insert(0) += 1;
+                }
+            }
+        }
+        let frequent = counts.values().filter(|&&c| c >= db.len() / 10).count();
+        assert!(
+            frequent > 0,
+            "expected at least one frequent symbol pair at 10% support"
+        );
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 20_000;
+        let sum: usize = (0..n).map(|_| poisson(&mut rng, 6.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 6.0).abs() < 0.2, "{mean}");
+    }
+
+    #[test]
+    fn durations_are_positive_with_requested_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 20_000;
+        let mut sum = 0i64;
+        for _ in 0..n {
+            let d = duration(&mut rng, 12.0);
+            assert!(d >= 1);
+            sum += d;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 12.0).abs() < 1.5, "{mean}");
+    }
+
+    #[test]
+    fn uncertain_generation_attaches_valid_probabilities() {
+        let cfg = QuestConfig::small().seed(3);
+        let udb = QuestGenerator::new(cfg).generate_uncertain(&UncertaintyConfig::default());
+        let certain = QuestGenerator::new(cfg).generate();
+        assert_eq!(udb.len(), certain.len());
+        assert_eq!(udb.total_intervals(), certain.total_intervals());
+        let mut certain_count = 0usize;
+        let mut total = 0usize;
+        for seq in udb.sequences() {
+            for u in seq.intervals() {
+                assert!(u.probability > 0.0 && u.probability <= 1.0);
+                if u.probability == 1.0 {
+                    certain_count += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = certain_count as f64 / total as f64;
+        assert!(frac > 0.15 && frac < 0.5, "certain fraction {frac}");
+    }
+
+    #[test]
+    fn config_name_is_conventional() {
+        assert_eq!(QuestConfig::paper_default().name(), "D10000-C8-S4-N1000");
+    }
+}

@@ -1,0 +1,163 @@
+//! Closed temporal patterns.
+//!
+//! A frequent pattern is **closed** when no proper super-pattern has the
+//! same support. The closed set is a lossless compression of the frequent
+//! set: every frequent pattern is a sub-pattern of some closed pattern with
+//! the same support, so the full set (with supports) can be reconstructed.
+//!
+//! This module post-filters a [`TpMiner`](crate::TpMiner) result. Because a
+//! proper super-pattern always has strictly larger arity (an embedding
+//! between equal-arity patterns uses every interval, forcing equality), only
+//! cross-arity pairs inside the same support class need checking.
+
+use crate::miner::FrequentPattern;
+
+/// Whether `candidate` is closed with respect to `all` (which must contain
+/// every frequent pattern of the same support, e.g. a full miner result).
+pub fn is_closed_in(candidate: &FrequentPattern, all: &[FrequentPattern]) -> bool {
+    !all.iter().any(|other| {
+        other.support == candidate.support
+            && other.pattern.arity() > candidate.pattern.arity()
+            && candidate.pattern.is_subpattern_of(&other.pattern)
+    })
+}
+
+/// Filters a frequent-pattern set down to its closed patterns.
+///
+/// ```
+/// use interval_core::DatabaseBuilder;
+/// use tpminer::{closed_patterns, MinerConfig, TpMiner};
+///
+/// let mut b = DatabaseBuilder::new();
+/// b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+/// b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+/// let db = b.build();
+/// let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+///
+/// // A and B alone are absorbed by "A overlaps B" (same support 2):
+/// let closed = closed_patterns(result.patterns());
+/// assert_eq!(closed.len(), 1);
+/// assert_eq!(closed[0].pattern.arity(), 2);
+/// ```
+pub fn closed_patterns(patterns: &[FrequentPattern]) -> Vec<FrequentPattern> {
+    // Bucket by support so the quadratic check only runs within classes.
+    use std::collections::HashMap;
+    let mut by_support: HashMap<usize, Vec<&FrequentPattern>> = HashMap::new();
+    for p in patterns {
+        by_support.entry(p.support).or_default().push(p);
+    }
+    let mut closed: Vec<FrequentPattern> = Vec::new();
+    for class in by_support.values() {
+        for p in class {
+            let absorbed = class.iter().any(|q| {
+                q.pattern.arity() > p.pattern.arity() && p.pattern.is_subpattern_of(&q.pattern)
+            });
+            if !absorbed {
+                closed.push((*p).clone());
+            }
+        }
+    }
+    closed.sort_unstable();
+    closed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MinerConfig, TpMiner};
+    use interval_core::{matcher, DatabaseBuilder};
+
+    #[test]
+    fn closed_set_is_subset_with_same_maximal_patterns() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5)
+            .interval("B", 3, 8)
+            .interval("C", 10, 12);
+        b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+        b.sequence().interval("C", 0, 1);
+        let db = b.build();
+        let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+        let closed = closed_patterns(result.patterns());
+        assert!(closed.len() <= result.len());
+        // every closed pattern is in the frequent set
+        for c in &closed {
+            assert!(result.patterns().contains(c));
+        }
+        // maximal-arity patterns are always closed
+        let max_arity = result
+            .patterns()
+            .iter()
+            .map(|p| p.pattern.arity())
+            .max()
+            .unwrap();
+        for p in result.patterns() {
+            if p.pattern.arity() == max_arity {
+                assert!(closed.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn closure_is_lossless() {
+        // Every frequent pattern must have a closed super-pattern with equal
+        // support.
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5)
+            .interval("B", 3, 8)
+            .interval("A", 7, 9);
+        b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+        b.sequence().interval("B", 0, 5);
+        let db = b.build();
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        let closed = closed_patterns(result.patterns());
+        for p in result.patterns() {
+            assert!(
+                closed
+                    .iter()
+                    .any(|c| c.support == p.support && p.pattern.is_subpattern_of(&c.pattern)),
+                "{} (support {}) has no closed cover",
+                p.pattern.display(db.symbols()),
+                p.support
+            );
+        }
+        // and closed supports agree with the oracle
+        for c in &closed {
+            assert_eq!(matcher::support(&db, &c.pattern), c.support);
+        }
+    }
+
+    #[test]
+    fn distinct_support_patterns_survive() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+        b.sequence().interval("A", 0, 5);
+        let db = b.build();
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        let closed = closed_patterns(result.patterns());
+        // A (support 2) is not absorbed by A-overlaps-B (support 1).
+        let a_single = closed
+            .iter()
+            .find(|c| c.pattern.arity() == 1 && c.support == 2);
+        assert!(a_single.is_some());
+    }
+
+    #[test]
+    fn is_closed_in_agrees_with_filter() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+        b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+        let db = b.build();
+        let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+        let closed = closed_patterns(result.patterns());
+        for p in result.patterns() {
+            assert_eq!(
+                is_closed_in(p, result.patterns()),
+                closed.contains(p),
+                "{}",
+                p.pattern.display(db.symbols())
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Miner configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which pruning techniques the miner applies.
+///
+/// All three techniques are *output-preserving*: toggling them changes how
+/// much of the search space is explored (and how fast), never which patterns
+/// are reported. This is what makes the pruning ablation (experiment E3)
+/// meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruningConfig {
+    /// **PT1 — pair pruning.** Maintain a global symbol co-occurrence table;
+    /// skip growing the pattern with a symbol that co-occurs with some symbol
+    /// already in the pattern in fewer than `min_support` sequences. Sound by
+    /// anti-monotonicity of the 2-symbol sub-pattern.
+    pub pair_pruning: bool,
+    /// **PT2 — postfix (dead-embedding) pruning.** Drop partial embeddings in
+    /// which some open slot's bound instance already ended before the current
+    /// endpoint set: such embeddings can never be completed, so they only
+    /// inflate intermediate candidate counts and search work.
+    pub postfix_pruning: bool,
+    /// **PT3 — infrequent-symbol pruning.** Restrict start-extension
+    /// enumeration to globally frequent symbols (computed in the first scan)
+    /// instead of gathering and rejecting their candidates one node at a
+    /// time.
+    pub symbol_pruning: bool,
+}
+
+impl PruningConfig {
+    /// All techniques enabled (the default).
+    pub fn all() -> Self {
+        Self {
+            pair_pruning: true,
+            postfix_pruning: true,
+            symbol_pruning: true,
+        }
+    }
+
+    /// All techniques disabled (the unpruned baseline of the ablation).
+    pub fn none() -> Self {
+        Self {
+            pair_pruning: false,
+            postfix_pruning: false,
+            symbol_pruning: false,
+        }
+    }
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Configuration of the deterministic miner ([`TpMiner`]).
+///
+/// [`TpMiner`]: crate::TpMiner
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinerConfig {
+    /// Absolute minimum support (number of sequences); values of 0 are
+    /// treated as 1.
+    pub min_support: usize,
+    /// Upper bound on pattern arity (number of intervals); `None` means
+    /// unbounded (the data itself bounds the search).
+    pub max_arity: Option<usize>,
+    /// Upper bound on the number of endpoint sets per pattern.
+    pub max_groups: Option<usize>,
+    /// Sliding-window constraint: a sequence supports a pattern only when
+    /// some embedding fits within this time span (latest end − earliest
+    /// start). `None` disables the constraint. Window-constrained support is
+    /// still anti-monotone (extending a pattern never shrinks an embedding's
+    /// span), so mining remains exact.
+    pub max_window: Option<i64>,
+    /// Gap constraint: consecutive endpoint sets of an embedding may be at
+    /// most this far apart in time. Gap-constrained support is anti-monotone
+    /// under the engine's suffix-only pattern growth (appending endpoints
+    /// never changes the gaps between existing consecutive sets), so mining
+    /// remains exact; note that it is *not* downward closed under arbitrary
+    /// sub-patterns (a later interval may bridge a gap).
+    pub max_gap: Option<i64>,
+    /// Which pruning techniques to apply.
+    pub pruning: PruningConfig,
+    /// Safety cap on the number of partial embeddings tracked per sequence
+    /// per pattern node. Exceeding the cap is *reported* in the stats (and
+    /// would make results approximate); it is set high enough that no
+    /// workload in this repository ever reaches it.
+    pub frontier_cap: usize,
+}
+
+impl MinerConfig {
+    /// A configuration with the given absolute minimum support and default
+    /// everything else.
+    pub fn with_min_support(min_support: usize) -> Self {
+        Self {
+            min_support,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the maximum pattern arity.
+    pub fn max_arity(mut self, arity: usize) -> Self {
+        self.max_arity = Some(arity);
+        self
+    }
+
+    /// Sets the maximum number of endpoint sets.
+    pub fn max_groups(mut self, groups: usize) -> Self {
+        self.max_groups = Some(groups);
+        self
+    }
+
+    /// Sets the sliding-window constraint (maximum embedding time span).
+    pub fn max_window(mut self, window: i64) -> Self {
+        self.max_window = Some(window);
+        self
+    }
+
+    /// Sets the gap constraint (maximum time between consecutive endpoint
+    /// sets of an embedding).
+    pub fn max_gap(mut self, gap: i64) -> Self {
+        self.max_gap = Some(gap);
+        self
+    }
+
+    /// Sets the pruning configuration.
+    pub fn pruning(mut self, pruning: PruningConfig) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// The effective minimum support (at least 1).
+    pub fn effective_min_support(&self) -> usize {
+        self.min_support.max(1)
+    }
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 1,
+            max_arity: None,
+            max_groups: None,
+            max_window: None,
+            max_gap: None,
+            pruning: PruningConfig::default(),
+            frontier_cap: 1 << 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_pruning() {
+        let c = MinerConfig::default();
+        assert!(c.pruning.pair_pruning);
+        assert!(c.pruning.postfix_pruning);
+        assert!(c.pruning.symbol_pruning);
+        assert_eq!(c.effective_min_support(), 1);
+    }
+
+    #[test]
+    fn zero_min_support_is_clamped() {
+        let c = MinerConfig::with_min_support(0);
+        assert_eq!(c.effective_min_support(), 1);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = MinerConfig::with_min_support(5)
+            .max_arity(3)
+            .max_groups(6)
+            .pruning(PruningConfig::none());
+        assert_eq!(c.min_support, 5);
+        assert_eq!(c.max_arity, Some(3));
+        assert_eq!(c.max_groups, Some(6));
+        assert!(!c.pruning.pair_pruning);
+    }
+}

@@ -1,0 +1,251 @@
+//! Mining index: the database transformed into endpoint representation plus
+//! the per-symbol access structures and global statistics the miner and its
+//! pruning techniques need.
+
+use interval_core::{EndpointSeq, IntervalDatabase, SymbolId};
+use std::collections::HashMap;
+
+/// Per-sequence mining index.
+#[derive(Debug)]
+pub struct SeqIndex {
+    /// The endpoint representation of the sequence.
+    pub endpoints: EndpointSeq,
+    /// Instance ids grouped by symbol, each group sorted by start group.
+    /// Layout: `symbol_offsets` maps a symbol to a range of `by_symbol`.
+    by_symbol: Vec<u32>,
+    symbol_offsets: HashMap<SymbolId, (u32, u32)>,
+    /// The distinct symbols of the sequence, sorted.
+    symbols_sorted: Vec<SymbolId>,
+}
+
+impl SeqIndex {
+    fn new(endpoints: EndpointSeq) -> Self {
+        let mut ids: Vec<u32> = (0..endpoints.instance_count() as u32).collect();
+        ids.sort_unstable_by_key(|&i| {
+            let info = endpoints.instance(i);
+            (info.symbol, info.start_group, i)
+        });
+        let mut symbol_offsets = HashMap::new();
+        let mut lo = 0usize;
+        while lo < ids.len() {
+            let symbol = endpoints.instance(ids[lo]).symbol;
+            let mut hi = lo + 1;
+            while hi < ids.len() && endpoints.instance(ids[hi]).symbol == symbol {
+                hi += 1;
+            }
+            symbol_offsets.insert(symbol, (lo as u32, hi as u32));
+            lo = hi;
+        }
+        let mut symbols_sorted: Vec<SymbolId> = symbol_offsets.keys().copied().collect();
+        symbols_sorted.sort_unstable();
+        Self {
+            endpoints,
+            by_symbol: ids,
+            symbol_offsets,
+            symbols_sorted,
+        }
+    }
+
+    /// Instance ids carrying `symbol`, sorted by start group.
+    #[inline]
+    pub fn instances_of(&self, symbol: SymbolId) -> &[u32] {
+        match self.symbol_offsets.get(&symbol) {
+            Some(&(lo, hi)) => &self.by_symbol[lo as usize..hi as usize],
+            None => &[],
+        }
+    }
+
+    /// Instance ids of `symbol` whose start group is **strictly after** `g`.
+    #[inline]
+    pub fn instances_starting_after(&self, symbol: SymbolId, g: u32) -> &[u32] {
+        let ids = self.instances_of(symbol);
+        let cut = ids.partition_point(|&i| self.endpoints.instance(i).start_group <= g);
+        &ids[cut..]
+    }
+
+    /// Instance ids of `symbol` whose start group is **exactly** `g`.
+    #[inline]
+    pub fn instances_starting_at(&self, symbol: SymbolId, g: u32) -> &[u32] {
+        let ids = self.instances_of(symbol);
+        let lo = ids.partition_point(|&i| self.endpoints.instance(i).start_group < g);
+        let hi = ids.partition_point(|&i| self.endpoints.instance(i).start_group <= g);
+        &ids[lo..hi]
+    }
+
+    /// The symbols occurring in this sequence (unsorted).
+    pub fn symbols(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.symbol_offsets.keys().copied()
+    }
+
+    /// The distinct symbols of the sequence, sorted ascending.
+    #[inline]
+    pub fn symbols_sorted(&self) -> &[SymbolId] {
+        &self.symbols_sorted
+    }
+}
+
+/// Whole-database mining index.
+#[derive(Debug)]
+pub struct DbIndex {
+    /// One [`SeqIndex`] per database sequence (same order).
+    pub sequences: Vec<SeqIndex>,
+    /// Sequence-level frequency of every symbol.
+    pub symbol_support: HashMap<SymbolId, u32>,
+    /// Sequence-level co-occurrence counts of unordered symbol pairs
+    /// (`a <= b` keys, including `a == b` meaning "two or more instances").
+    pub cooccurrence: HashMap<(SymbolId, SymbolId), u32>,
+}
+
+impl DbIndex {
+    /// Builds the index (one database scan plus per-sequence sorts).
+    pub fn build(db: &IntervalDatabase) -> Self {
+        let sequences: Vec<SeqIndex> = db
+            .sequences()
+            .iter()
+            .map(|s| SeqIndex::new(EndpointSeq::from_sequence(s)))
+            .collect();
+
+        let mut symbol_support: HashMap<SymbolId, u32> = HashMap::new();
+        let mut cooccurrence: HashMap<(SymbolId, SymbolId), u32> = HashMap::new();
+        let mut seq_symbols: Vec<SymbolId> = Vec::new();
+        for seq in &sequences {
+            seq_symbols.clear();
+            seq_symbols.extend(seq.symbols());
+            seq_symbols.sort_unstable();
+            for &s in &seq_symbols {
+                *symbol_support.entry(s).or_insert(0) += 1;
+                // A pattern with two instances of `s` needs two instances in
+                // the sequence; record the (s, s) "pair" accordingly.
+                if seq.instances_of(s).len() >= 2 {
+                    *cooccurrence.entry((s, s)).or_insert(0) += 1;
+                }
+            }
+            for i in 0..seq_symbols.len() {
+                for j in (i + 1)..seq_symbols.len() {
+                    *cooccurrence
+                        .entry((seq_symbols[i], seq_symbols[j]))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        Self {
+            sequences,
+            symbol_support,
+            cooccurrence,
+        }
+    }
+
+    /// Sequence-level support of `symbol`.
+    #[inline]
+    pub fn symbol_support(&self, symbol: SymbolId) -> u32 {
+        self.symbol_support.get(&symbol).copied().unwrap_or(0)
+    }
+
+    /// Sequence-level co-occurrence count of `a` and `b` (for `a == b`: the
+    /// number of sequences with at least two instances of the symbol).
+    #[inline]
+    pub fn cooccurrence(&self, a: SymbolId, b: SymbolId) -> u32 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.cooccurrence.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Symbols whose sequence-level support reaches `min_support`, sorted.
+    pub fn frequent_symbols(&self, min_support: usize) -> Vec<SymbolId> {
+        let mut v: Vec<SymbolId> = self
+            .symbol_support
+            .iter()
+            .filter(|&(_, &c)| c as usize >= min_support)
+            .map(|(&s, _)| s)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_core::DatabaseBuilder;
+
+    fn sample_db() -> IntervalDatabase {
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5)
+            .interval("B", 3, 8)
+            .interval("A", 6, 9);
+        b.sequence().interval("A", 0, 5).interval("C", 1, 2);
+        b.sequence().interval("B", 0, 5);
+        b.build()
+    }
+
+    #[test]
+    fn symbol_support_counts_sequences() {
+        let db = sample_db();
+        let idx = DbIndex::build(&db);
+        let a = db.symbols().lookup("A").unwrap();
+        let b = db.symbols().lookup("B").unwrap();
+        let c = db.symbols().lookup("C").unwrap();
+        assert_eq!(idx.symbol_support(a), 2);
+        assert_eq!(idx.symbol_support(b), 2);
+        assert_eq!(idx.symbol_support(c), 1);
+        assert_eq!(idx.symbol_support(SymbolId(99)), 0);
+    }
+
+    #[test]
+    fn cooccurrence_is_symmetric_and_counts_self_pairs() {
+        let db = sample_db();
+        let idx = DbIndex::build(&db);
+        let a = db.symbols().lookup("A").unwrap();
+        let b = db.symbols().lookup("B").unwrap();
+        let c = db.symbols().lookup("C").unwrap();
+        assert_eq!(idx.cooccurrence(a, b), 1);
+        assert_eq!(idx.cooccurrence(b, a), 1);
+        assert_eq!(idx.cooccurrence(a, c), 1);
+        assert_eq!(idx.cooccurrence(b, c), 0);
+        // sequence 0 has two A's
+        assert_eq!(idx.cooccurrence(a, a), 1);
+        assert_eq!(idx.cooccurrence(b, b), 0);
+    }
+
+    #[test]
+    fn frequent_symbols_filters_and_sorts() {
+        let db = sample_db();
+        let idx = DbIndex::build(&db);
+        let a = db.symbols().lookup("A").unwrap();
+        let b = db.symbols().lookup("B").unwrap();
+        assert_eq!(idx.frequent_symbols(2), vec![a, b]);
+        assert_eq!(idx.frequent_symbols(3), Vec::<SymbolId>::new());
+        assert_eq!(idx.frequent_symbols(1).len(), 3);
+    }
+
+    #[test]
+    fn per_sequence_instance_lookup() {
+        let db = sample_db();
+        let idx = DbIndex::build(&db);
+        let a = db.symbols().lookup("A").unwrap();
+        let seq0 = &idx.sequences[0];
+        let ids = seq0.instances_of(a);
+        assert_eq!(ids.len(), 2);
+        // sorted by start group
+        assert!(
+            seq0.endpoints.instance(ids[0]).start_group
+                <= seq0.endpoints.instance(ids[1]).start_group
+        );
+        // instances_starting_after cuts correctly
+        let g0 = seq0.endpoints.instance(ids[0]).start_group;
+        let after = seq0.instances_starting_after(a, g0);
+        assert_eq!(after.len(), 1);
+        let at = seq0.instances_starting_at(a, g0);
+        assert_eq!(at.len(), 1);
+        assert_eq!(at[0], ids[0]);
+    }
+
+    #[test]
+    fn missing_symbol_yields_empty_slices() {
+        let db = sample_db();
+        let idx = DbIndex::build(&db);
+        let seq = &idx.sequences[2];
+        assert!(seq.instances_of(SymbolId(42)).is_empty());
+        assert!(seq.instances_starting_after(SymbolId(42), 0).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! # TPMiner / P-TPMiner
+//!
+//! Reproduction of the mining algorithms of *"Mining temporal patterns in
+//! interval-based data"* (Chen, Peng, Lee — ICDE 2016): pattern-growth
+//! discovery of temporal (arrangement) patterns over the endpoint
+//! representation, with output-preserving pruning techniques, a
+//! probabilistic variant over uncertain databases, closed-pattern mining and
+//! a parallel driver.
+//!
+//! The two pattern types discovered (see `DESIGN.md` for the reconstruction
+//! rationale):
+//!
+//! 1. **Temporal patterns** — qualitative arrangements of event intervals,
+//!    mined by [`TpMiner`] from an [`interval_core::IntervalDatabase`];
+//! 2. **Probabilistic temporal patterns** — patterns whose *expected
+//!    support* over an [`interval_core::UncertainDatabase`] reaches a
+//!    threshold, mined by [`ProbabilisticMiner`].
+//!
+//! ```
+//! use interval_core::DatabaseBuilder;
+//! use tpminer::{MinerConfig, TpMiner};
+//!
+//! let mut b = DatabaseBuilder::new();
+//! b.sequence().interval("fever", 0, 10).interval("rash", 5, 20);
+//! b.sequence().interval("fever", 1, 9).interval("rash", 4, 15);
+//! let db = b.build();
+//!
+//! let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+//! println!("{}", result.render(db.symbols()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closed;
+pub mod config;
+pub mod index;
+pub mod maximal;
+pub mod miner;
+pub mod parallel;
+pub mod probabilistic;
+pub mod rules;
+pub mod search;
+pub mod stats;
+pub mod topk;
+
+pub use closed::{closed_patterns, is_closed_in};
+pub use config::{MinerConfig, PruningConfig};
+pub use index::{DbIndex, SeqIndex};
+pub use maximal::{is_maximal_in, maximal_patterns};
+pub use miner::{FrequentPattern, MiningResult, TpMiner};
+pub use parallel::ParallelTpMiner;
+pub use probabilistic::{ProbabilisticConfig, ProbabilisticMiner, ProbabilisticPattern};
+pub use rules::{generate_rules, RuleConfig, TemporalRule};
+pub use stats::MinerStats;
+pub use topk::{mine_top_k, TopKConfig};

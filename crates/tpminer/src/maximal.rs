@@ -1,0 +1,110 @@
+//! Maximal temporal patterns.
+//!
+//! A frequent pattern is **maximal** when no proper super-pattern is
+//! frequent at all. The maximal set is the most aggressive of the standard
+//! condensed representations: smaller than the closed set, but *lossy* —
+//! sub-pattern supports cannot be reconstructed, only the shape of the
+//! frequent border.
+
+use crate::miner::FrequentPattern;
+
+/// Filters a complete frequent-pattern set down to its maximal patterns.
+///
+/// `patterns` must be the *full* frequent set at one threshold (e.g. a
+/// [`TpMiner`](crate::TpMiner) result); a proper frequent super-pattern, if
+/// any, is then guaranteed to be in the set.
+///
+/// ```
+/// use interval_core::DatabaseBuilder;
+/// use tpminer::{maximal_patterns, MinerConfig, TpMiner};
+///
+/// let mut b = DatabaseBuilder::new();
+/// b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+/// b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+/// let db = b.build();
+/// let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+/// let maximal = maximal_patterns(result.patterns());
+/// // only "A overlaps B" is maximal; A and B alone are subsumed
+/// assert_eq!(maximal.len(), 1);
+/// assert_eq!(maximal[0].pattern.arity(), 2);
+/// ```
+pub fn maximal_patterns(patterns: &[FrequentPattern]) -> Vec<FrequentPattern> {
+    let mut maximal: Vec<FrequentPattern> = Vec::new();
+    for p in patterns {
+        let subsumed = patterns.iter().any(|q| {
+            q.pattern.arity() > p.pattern.arity() && p.pattern.is_subpattern_of(&q.pattern)
+        });
+        if !subsumed {
+            maximal.push(p.clone());
+        }
+    }
+    maximal.sort_unstable();
+    maximal
+}
+
+/// Whether `candidate` is maximal with respect to the complete frequent set
+/// `all`.
+pub fn is_maximal_in(candidate: &FrequentPattern, all: &[FrequentPattern]) -> bool {
+    !all.iter().any(|q| {
+        q.pattern.arity() > candidate.pattern.arity()
+            && candidate.pattern.is_subpattern_of(&q.pattern)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{closed_patterns, MinerConfig, TpMiner};
+    use interval_core::DatabaseBuilder;
+
+    fn db() -> interval_core::IntervalDatabase {
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5)
+            .interval("B", 3, 8)
+            .interval("C", 10, 12);
+        b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+        b.sequence().interval("C", 0, 2);
+        b.build()
+    }
+
+    #[test]
+    fn maximal_is_subset_of_closed() {
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db());
+        let closed = closed_patterns(result.patterns());
+        let maximal = maximal_patterns(result.patterns());
+        assert!(!maximal.is_empty());
+        assert!(maximal.len() <= closed.len());
+        for m in &maximal {
+            assert!(closed.contains(m), "maximal pattern not closed");
+        }
+    }
+
+    #[test]
+    fn every_frequent_pattern_has_a_maximal_cover() {
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db());
+        let maximal = maximal_patterns(result.patterns());
+        for p in result.patterns() {
+            assert!(
+                maximal
+                    .iter()
+                    .any(|m| p.pattern.is_subpattern_of(&m.pattern)),
+                "no maximal cover for a frequent pattern"
+            );
+        }
+    }
+
+    #[test]
+    fn maximal_patterns_have_no_frequent_extension() {
+        let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db());
+        let maximal = maximal_patterns(result.patterns());
+        for m in &maximal {
+            for q in result.patterns() {
+                if q.pattern.arity() > m.pattern.arity() {
+                    assert!(!m.pattern.is_subpattern_of(&q.pattern));
+                }
+            }
+            assert!(is_maximal_in(m, result.patterns()));
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Public mining API: [`TpMiner`] and [`MiningResult`].
+
+use crate::config::MinerConfig;
+use crate::index::DbIndex;
+use crate::search::SearchEngine;
+use crate::stats::MinerStats;
+use interval_core::{IntervalDatabase, SymbolTable, TemporalPattern};
+use serde::{Deserialize, Serialize};
+
+/// A frequent temporal pattern together with its absolute support.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FrequentPattern {
+    /// The pattern, in canonical form.
+    pub pattern: TemporalPattern,
+    /// Number of database sequences containing the pattern.
+    pub support: usize,
+}
+
+/// The outcome of a mining run: patterns plus work counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MiningResult {
+    patterns: Vec<FrequentPattern>,
+    stats: MinerStats,
+}
+
+impl MiningResult {
+    pub(crate) fn new(pairs: Vec<(TemporalPattern, usize)>, stats: MinerStats) -> Self {
+        let patterns = pairs
+            .into_iter()
+            .map(|(pattern, support)| FrequentPattern { pattern, support })
+            .collect();
+        Self { patterns, stats }
+    }
+
+    /// The frequent patterns, in canonical (arity, pattern) order.
+    pub fn patterns(&self) -> &[FrequentPattern] {
+        &self.patterns
+    }
+
+    /// Consumes the result, yielding the patterns.
+    pub fn into_patterns(self) -> Vec<FrequentPattern> {
+        self.patterns
+    }
+
+    /// Work counters of the run.
+    pub fn stats(&self) -> &MinerStats {
+        &self.stats
+    }
+
+    /// Number of frequent patterns found.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether no pattern reached the support threshold.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Patterns of a given arity.
+    pub fn of_arity(&self, arity: usize) -> impl Iterator<Item = &FrequentPattern> {
+        self.patterns
+            .iter()
+            .filter(move |p| p.pattern.arity() == arity)
+    }
+
+    /// Histogram of pattern counts by arity; index `k` counts `k`-interval
+    /// patterns (index 0 is always 0).
+    pub fn arity_histogram(&self) -> Vec<usize> {
+        let max = self
+            .patterns
+            .iter()
+            .map(|p| p.pattern.arity())
+            .max()
+            .unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for p in &self.patterns {
+            hist[p.pattern.arity()] += 1;
+        }
+        hist
+    }
+
+    /// Patterns that use `symbol` in at least one slot.
+    pub fn containing_symbol(
+        &self,
+        symbol: interval_core::SymbolId,
+    ) -> impl Iterator<Item = &FrequentPattern> {
+        self.patterns
+            .iter()
+            .filter(move |p| p.pattern.symbols().binary_search(&symbol).is_ok())
+    }
+
+    /// Patterns with support at least `min_support` (the result of a lower
+    /// threshold run can thus answer any higher threshold without re-mining).
+    pub fn with_min_support(&self, min_support: usize) -> impl Iterator<Item = &FrequentPattern> {
+        self.patterns
+            .iter()
+            .filter(move |p| p.support >= min_support)
+    }
+
+    /// Frequent proper super-patterns of `pattern` in this result.
+    pub fn super_patterns_of<'a>(
+        &'a self,
+        pattern: &'a TemporalPattern,
+    ) -> impl Iterator<Item = &'a FrequentPattern> {
+        self.patterns.iter().filter(move |p| {
+            p.pattern.arity() > pattern.arity() && pattern.is_subpattern_of(&p.pattern)
+        })
+    }
+
+    /// Frequent proper sub-patterns of `pattern` in this result.
+    pub fn sub_patterns_of<'a>(
+        &'a self,
+        pattern: &'a TemporalPattern,
+    ) -> impl Iterator<Item = &'a FrequentPattern> {
+        self.patterns.iter().filter(move |p| {
+            p.pattern.arity() < pattern.arity() && p.pattern.is_subpattern_of(pattern)
+        })
+    }
+
+    /// The recorded support of an exact pattern, if frequent.
+    pub fn support_of(&self, pattern: &TemporalPattern) -> Option<usize> {
+        self.patterns
+            .iter()
+            .find(|p| &p.pattern == pattern)
+            .map(|p| p.support)
+    }
+
+    /// Renders every pattern with its support, one per line — convenient for
+    /// examples and debugging output.
+    pub fn render(&self, symbols: &SymbolTable) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for p in &self.patterns {
+            let _ = writeln!(
+                out,
+                "{}  (support {})",
+                p.pattern.display(symbols),
+                p.support
+            );
+        }
+        out
+    }
+}
+
+/// The deterministic temporal-pattern miner (the paper's TPMiner).
+///
+/// ```
+/// use tpminer::{MinerConfig, TpMiner};
+/// use interval_core::DatabaseBuilder;
+///
+/// let mut b = DatabaseBuilder::new();
+/// b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+/// b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+/// let db = b.build();
+///
+/// let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+/// // A, B, and "A overlaps B" are all frequent:
+/// assert_eq!(result.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TpMiner {
+    config: MinerConfig,
+}
+
+impl TpMiner {
+    /// Creates a miner with the given configuration.
+    pub fn new(config: MinerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// Mines all frequent temporal patterns of `db`.
+    pub fn mine(&self, db: &IntervalDatabase) -> MiningResult {
+        let index = DbIndex::build(db);
+        self.mine_indexed(&index)
+    }
+
+    /// Mines over a prebuilt index (lets callers reuse the index across
+    /// several runs, e.g. for a support sweep).
+    pub fn mine_indexed(&self, index: &DbIndex) -> MiningResult {
+        let engine = SearchEngine::new(index, self.config);
+        let (pairs, stats) = engine.run();
+        MiningResult::new(pairs, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_core::{matcher, DatabaseBuilder};
+
+    fn demo_db() -> IntervalDatabase {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+        b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+        b.sequence().interval("B", 0, 4);
+        b.build()
+    }
+
+    #[test]
+    fn mine_reports_supports_matching_oracle() {
+        let db = demo_db();
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        for fp in result.patterns() {
+            assert_eq!(matcher::support(&db, &fp.pattern), fp.support);
+        }
+    }
+
+    #[test]
+    fn arity_histogram_counts() {
+        let db = demo_db();
+        let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+        let hist = result.arity_histogram();
+        assert_eq!(hist[1], 2); // A and B
+        assert_eq!(hist[2], 1); // A overlaps B
+        assert_eq!(result.of_arity(2).count(), 1);
+    }
+
+    #[test]
+    fn render_contains_pattern_text() {
+        let db = demo_db();
+        let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+        let text = result.render(db.symbols());
+        assert!(text.contains("A+ | B+ | A- | B-"));
+        assert!(text.contains("support 2"));
+    }
+
+    #[test]
+    fn mine_indexed_reuses_index() {
+        let db = demo_db();
+        let index = DbIndex::build(&db);
+        let r1 = TpMiner::new(MinerConfig::with_min_support(1)).mine_indexed(&index);
+        let r2 = TpMiner::new(MinerConfig::with_min_support(3)).mine_indexed(&index);
+        assert_eq!(r1.len(), 3); // A, B, A-overlaps-B
+        assert_eq!(r2.len(), 1); // only B appears in all three sequences
+    }
+
+    #[test]
+    fn query_api_filters_correctly() {
+        let db = demo_db();
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        let a = db.symbols().lookup("A").unwrap();
+        let b = db.symbols().lookup("B").unwrap();
+
+        // containing_symbol
+        let with_a: Vec<_> = result.containing_symbol(a).collect();
+        assert_eq!(with_a.len(), 2); // A and A-overlaps-B
+        assert!(with_a.iter().all(|p| p.pattern.symbols().contains(&a)));
+
+        // with_min_support answers a higher threshold without re-mining
+        let strict: Vec<_> = result.with_min_support(3).collect();
+        let remined = TpMiner::new(MinerConfig::with_min_support(3)).mine(&db);
+        assert_eq!(strict.len(), remined.len());
+
+        // super/sub pattern navigation
+        let a_pattern = interval_core::TemporalPattern::singleton(a);
+        let supers: Vec<_> = result.super_patterns_of(&a_pattern).collect();
+        assert_eq!(supers.len(), 1);
+        assert_eq!(supers[0].pattern.arity(), 2);
+        let overlap = supers[0].pattern.clone();
+        let subs: Vec<_> = result.sub_patterns_of(&overlap).collect();
+        assert_eq!(subs.len(), 2); // A and B
+
+        // support_of
+        assert_eq!(result.support_of(&a_pattern), Some(2));
+        assert_eq!(
+            result.support_of(&interval_core::TemporalPattern::singleton(b)),
+            Some(3)
+        );
+        assert_eq!(
+            result.support_of(&interval_core::TemporalPattern::singleton(
+                interval_core::SymbolId(99)
+            )),
+            None
+        );
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let db = demo_db();
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        assert!(result.stats().nodes_explored > 0);
+        assert_eq!(result.stats().patterns_emitted as usize, result.len());
+        assert_eq!(result.stats().frontier_cap_hits, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Parallel mining driver.
+//!
+//! The level-1 subtrees of the pattern-growth search (one per frequent root
+//! symbol) are independent, so the search parallelizes by partitioning root
+//! symbols across worker threads. Each worker runs a private
+//! [`SearchEngine`] over the shared, read-only
+//! [`DbIndex`]; results and counters are merged at the end. Output is
+//! identical to the sequential miner (tested).
+
+use crate::config::MinerConfig;
+use crate::index::DbIndex;
+use crate::miner::MiningResult;
+use crate::search::SearchEngine;
+use crate::stats::MinerStats;
+use interval_core::{IntervalDatabase, SymbolId, TemporalPattern};
+
+/// Multi-threaded variant of [`TpMiner`](crate::TpMiner).
+#[derive(Debug, Clone)]
+pub struct ParallelTpMiner {
+    config: MinerConfig,
+    threads: usize,
+}
+
+impl ParallelTpMiner {
+    /// Creates a parallel miner using `threads` workers (values of 0 use the
+    /// machine's available parallelism).
+    pub fn new(config: MinerConfig, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        Self { config, threads }
+    }
+
+    /// Mines all frequent temporal patterns of `db` using the worker pool.
+    pub fn mine(&self, db: &IntervalDatabase) -> MiningResult {
+        let index = DbIndex::build(db);
+        self.mine_indexed(&index)
+    }
+
+    /// Mines over a prebuilt index.
+    pub fn mine_indexed(&self, index: &DbIndex) -> MiningResult {
+        let roots = SearchEngine::new(index, self.config).root_symbols();
+        if roots.is_empty() {
+            return MiningResult::new(Vec::new(), MinerStats::default());
+        }
+        let workers = self.threads.min(roots.len()).max(1);
+
+        // Round-robin assignment spreads heavy symbols across workers.
+        let chunks: Vec<Vec<SymbolId>> = (0..workers)
+            .map(|w| roots.iter().copied().skip(w).step_by(workers).collect())
+            .collect();
+
+        let mut all: Vec<(TemporalPattern, usize)> = Vec::new();
+        let mut stats = MinerStats::default();
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let config = self.config;
+                    scope.spawn(move |_| SearchEngine::new(index, config).run_roots(chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope panicked");
+
+        for (pairs, worker_stats) in results {
+            all.extend(pairs);
+            stats.merge(&worker_stats);
+        }
+        all.sort_unstable_by(|a, b| (a.0.arity(), &a.0).cmp(&(b.0.arity(), &b.0)));
+        MiningResult::new(all, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TpMiner;
+    use interval_core::DatabaseBuilder;
+
+    fn demo_db() -> IntervalDatabase {
+        let mut b = DatabaseBuilder::new();
+        for i in 0..8i64 {
+            b.sequence()
+                .interval("A", i, i + 5)
+                .interval("B", i + 3, i + 8)
+                .interval("C", i + 6, i + 10)
+                .interval("A", i + 7, i + 12);
+        }
+        b.sequence().interval("D", 0, 1);
+        b.build()
+    }
+
+    #[test]
+    fn parallel_output_matches_sequential() {
+        let db = demo_db();
+        for threads in [1, 2, 4] {
+            for min_sup in [1, 4, 8] {
+                let config = MinerConfig::with_min_support(min_sup);
+                let seq = TpMiner::new(config).mine(&db);
+                let par = ParallelTpMiner::new(config, threads).mine(&db);
+                assert_eq!(
+                    seq.patterns(),
+                    par.patterns(),
+                    "threads={threads} min_sup={min_sup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let miner = ParallelTpMiner::new(MinerConfig::with_min_support(1), 0);
+        assert!(miner.threads >= 1);
+        let db = demo_db();
+        assert!(!miner.mine(&db).is_empty());
+    }
+
+    #[test]
+    fn empty_database_yields_empty_result() {
+        let db = IntervalDatabase::new();
+        let result = ParallelTpMiner::new(MinerConfig::with_min_support(1), 4).mine(&db);
+        assert!(result.is_empty());
+    }
+}

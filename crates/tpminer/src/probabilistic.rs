@@ -1,0 +1,314 @@
+//! P-TPMiner: probabilistic temporal pattern mining over uncertain interval
+//! databases.
+//!
+//! The miner discovers every pattern whose **expected support**
+//! `Σ_S Pr[P ⊑ S]` reaches a threshold. It runs in two stages:
+//!
+//! 1. **Skeleton mining.** By containment monotonicity, a pattern can only
+//!    have positive containment probability in a sequence if it is contained
+//!    in the sequence's *full world* (all intervals present), and the
+//!    expected support never exceeds the full-world support. The
+//!    deterministic [`TpMiner`] therefore enumerates a
+//!    complete candidate set at threshold `⌈min_esup⌉`.
+//! 2. **Probabilistic evaluation.** Each candidate is first screened with
+//!    the cheap anti-monotone expected-support **upper bound** (PT4: a
+//!    per-symbol Poisson-binomial availability bound); survivors get the
+//!    exact / Monte-Carlo expected support from
+//!    [`interval_core::probability`].
+//!
+//! With every probability equal to 1 the expected support coincides with the
+//! ordinary support and P-TPMiner reduces exactly to TPMiner (tested).
+
+use crate::config::MinerConfig;
+use crate::miner::TpMiner;
+use crate::stats::MinerStats;
+use interval_core::probability::{
+    containment_probability, containment_upper_bound, ProbabilityConfig,
+};
+use interval_core::{IntervalDatabase, TemporalPattern, UncertainDatabase};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of [`ProbabilisticMiner`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilisticConfig {
+    /// Minimum expected support (may be fractional).
+    pub min_expected_support: f64,
+    /// Structural limits and pruning for the deterministic skeleton stage.
+    pub base: MinerConfig,
+    /// Exact-enumeration limit, Monte-Carlo sample count and seed for the
+    /// evaluation stage.
+    pub probability: ProbabilityConfig,
+    /// Whether to apply the PT4 expected-support upper-bound screen before
+    /// the expensive evaluation (output-preserving; the ablation knob of
+    /// experiment E7).
+    pub upper_bound_pruning: bool,
+}
+
+impl ProbabilisticConfig {
+    /// A configuration with the given expected-support threshold and default
+    /// everything else.
+    pub fn with_min_expected_support(min_expected_support: f64) -> Self {
+        Self {
+            min_expected_support,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProbabilisticConfig {
+    fn default() -> Self {
+        Self {
+            min_expected_support: 1.0,
+            base: MinerConfig::default(),
+            probability: ProbabilityConfig::default(),
+            upper_bound_pruning: true,
+        }
+    }
+}
+
+/// A probabilistically frequent pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilisticPattern {
+    /// The pattern, in canonical form.
+    pub pattern: TemporalPattern,
+    /// Its expected support `Σ_S Pr[pattern ⊑ S]`.
+    pub expected_support: f64,
+    /// Its support in the full world (every interval present) — an upper
+    /// bound on the expected support.
+    pub world_support: usize,
+}
+
+/// Work counters of a probabilistic run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilisticStats {
+    /// Counters of the deterministic skeleton stage.
+    pub skeleton: MinerStats,
+    /// Candidates produced by the skeleton.
+    pub candidates: u64,
+    /// Candidates eliminated by the PT4 upper-bound screen.
+    pub pruned_by_bound: u64,
+    /// Candidates that went through full expected-support evaluation.
+    pub evaluated: u64,
+    /// Patterns meeting the expected-support threshold.
+    pub emitted: u64,
+    /// Total wall-clock time in microseconds (skeleton + evaluation).
+    pub elapsed_micros: u64,
+}
+
+/// Result of a probabilistic mining run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbabilisticResult {
+    patterns: Vec<ProbabilisticPattern>,
+    stats: ProbabilisticStats,
+}
+
+impl ProbabilisticResult {
+    /// The probabilistically frequent patterns in canonical order.
+    pub fn patterns(&self) -> &[ProbabilisticPattern] {
+        &self.patterns
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &ProbabilisticStats {
+        &self.stats
+    }
+
+    /// Number of patterns found.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether no pattern met the threshold.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+/// The probabilistic miner (the paper's P-TPMiner).
+#[derive(Debug, Clone)]
+pub struct ProbabilisticMiner {
+    config: ProbabilisticConfig,
+}
+
+impl ProbabilisticMiner {
+    /// Creates a miner with the given configuration.
+    pub fn new(config: ProbabilisticConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProbabilisticConfig {
+        &self.config
+    }
+
+    /// Mines all probabilistically frequent patterns of `db`.
+    pub fn mine(&self, db: &UncertainDatabase) -> ProbabilisticResult {
+        let started = Instant::now();
+        let min_esup = self.config.min_expected_support.max(f64::MIN_POSITIVE);
+
+        // Stage 1: skeleton over the full world.
+        let full_world = full_world(db);
+        let mut skeleton_config = self.config.base;
+        skeleton_config.min_support = (min_esup.ceil() as usize).max(1);
+        let skeleton = TpMiner::new(skeleton_config).mine(&full_world);
+
+        let mut stats = ProbabilisticStats {
+            skeleton: skeleton.stats().clone(),
+            candidates: skeleton.len() as u64,
+            ..Default::default()
+        };
+
+        // Stage 2: probabilistic evaluation.
+        let mut patterns = Vec::new();
+        for candidate in skeleton.patterns() {
+            if self.config.upper_bound_pruning {
+                let mut bound = 0.0f64;
+                for seq in db.sequences() {
+                    bound += containment_upper_bound(seq, &candidate.pattern);
+                    if bound >= min_esup {
+                        break; // bound can no longer reject
+                    }
+                }
+                if bound < min_esup {
+                    stats.pruned_by_bound += 1;
+                    continue;
+                }
+            }
+            stats.evaluated += 1;
+            let esup: f64 = db
+                .sequences()
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    containment_probability(
+                        s,
+                        &candidate.pattern,
+                        &self.config.probability,
+                        i as u64,
+                    )
+                })
+                .sum();
+            if esup >= min_esup {
+                patterns.push(ProbabilisticPattern {
+                    pattern: candidate.pattern.clone(),
+                    expected_support: esup,
+                    world_support: candidate.support,
+                });
+            }
+        }
+        stats.emitted = patterns.len() as u64;
+        stats.elapsed_micros = started.elapsed().as_micros() as u64;
+        patterns.sort_unstable_by(|a, b| {
+            (a.pattern.arity(), &a.pattern).cmp(&(b.pattern.arity(), &b.pattern))
+        });
+        ProbabilisticResult { patterns, stats }
+    }
+}
+
+/// The certain database in which every interval of `db` exists.
+fn full_world(db: &UncertainDatabase) -> IntervalDatabase {
+    let sequences = db.sequences().iter().map(|s| s.to_certain()).collect();
+    IntervalDatabase::from_parts(db.symbols().clone(), sequences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MinerConfig, TpMiner};
+    use interval_core::{DatabaseBuilder, UncertainDatabaseBuilder};
+
+    #[test]
+    fn reduces_to_deterministic_when_certain() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+        b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+        b.sequence().interval("B", 0, 4);
+        let db = b.build();
+        let udb = UncertainDatabase::from_certain(&db);
+
+        let det = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+        let prob =
+            ProbabilisticMiner::new(ProbabilisticConfig::with_min_expected_support(2.0)).mine(&udb);
+
+        assert_eq!(det.len(), prob.len());
+        for (d, p) in det.patterns().iter().zip(prob.patterns()) {
+            assert_eq!(d.pattern, p.pattern);
+            assert!((p.expected_support - d.support as f64).abs() < 1e-9);
+            assert_eq!(p.world_support, d.support);
+        }
+    }
+
+    #[test]
+    fn expected_support_filters_unlikely_patterns() {
+        let mut b = UncertainDatabaseBuilder::new();
+        // "A" certain everywhere; "B" unlikely everywhere.
+        for _ in 0..4 {
+            b.sequence()
+                .interval("A", 0, 5, 1.0)
+                .interval("B", 3, 8, 0.1);
+        }
+        let udb = b.build();
+        let result =
+            ProbabilisticMiner::new(ProbabilisticConfig::with_min_expected_support(2.0)).mine(&udb);
+        // A has expected support 4; B only 0.4; A-overlaps-B only 0.4.
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.patterns()[0].pattern.arity(), 1);
+        assert!((result.patterns()[0].expected_support - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_pruning_is_output_preserving() {
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 5, 0.9)
+            .interval("B", 3, 8, 0.5)
+            .interval("C", 1, 2, 0.2);
+        b.sequence()
+            .interval("A", 0, 5, 0.8)
+            .interval("B", 3, 8, 0.6);
+        b.sequence()
+            .interval("A", 0, 5, 0.7)
+            .interval("C", 6, 9, 0.3);
+        let udb = b.build();
+        let mut cfg = ProbabilisticConfig::with_min_expected_support(1.0);
+        cfg.upper_bound_pruning = true;
+        let with = ProbabilisticMiner::new(cfg).mine(&udb);
+        cfg.upper_bound_pruning = false;
+        let without = ProbabilisticMiner::new(cfg).mine(&udb);
+        assert_eq!(with.patterns(), without.patterns());
+        assert_eq!(without.stats().pruned_by_bound, 0);
+    }
+
+    #[test]
+    fn expected_supports_are_exact_on_small_data() {
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5, 0.5);
+        b.sequence().interval("A", 0, 5, 0.5);
+        b.sequence().interval("A", 0, 5, 0.5);
+        let udb = b.build();
+        let result =
+            ProbabilisticMiner::new(ProbabilisticConfig::with_min_expected_support(1.0)).mine(&udb);
+        assert_eq!(result.len(), 1);
+        assert!((result.patterns()[0].expected_support - 1.5).abs() < 1e-9);
+        assert_eq!(result.patterns()[0].world_support, 3);
+    }
+
+    #[test]
+    fn stats_track_stage_counts() {
+        let mut b = UncertainDatabaseBuilder::new();
+        for _ in 0..3 {
+            b.sequence()
+                .interval("A", 0, 5, 0.9)
+                .interval("B", 3, 8, 0.05);
+        }
+        let udb = b.build();
+        let result =
+            ProbabilisticMiner::new(ProbabilisticConfig::with_min_expected_support(2.0)).mine(&udb);
+        let s = result.stats();
+        assert!(s.candidates >= (s.evaluated + s.pruned_by_bound)); // screen partitions candidates
+        assert_eq!(s.evaluated + s.pruned_by_bound, s.candidates);
+        assert_eq!(s.emitted as usize, result.len());
+        assert!(s.pruned_by_bound > 0, "B-patterns should be screened out");
+    }
+}

@@ -1,0 +1,222 @@
+//! Temporal association rules.
+//!
+//! A rule `P ⇒ Q` (with `P` a proper sub-pattern of `Q`) reads: *sequences
+//! that contain the arrangement `P` also contain its extension `Q`* with
+//! confidence `sup(Q) / sup(P)`. This is the classic way the
+//! "practicability" of mined interval patterns is demonstrated — e.g.
+//! *patrons borrowing a textbook also borrow the exercise book while the
+//! textbook is still out (confidence 0.82)*.
+//!
+//! Rules are derived from a complete miner result; no further database
+//! scans are needed.
+
+use crate::miner::FrequentPattern;
+use interval_core::{SymbolTable, TemporalPattern};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A temporal association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalRule {
+    /// The antecedent pattern `P`.
+    pub antecedent: TemporalPattern,
+    /// The consequent pattern `Q` (a proper super-pattern of `P`).
+    pub consequent: TemporalPattern,
+    /// Support of the consequent (and hence of the rule).
+    pub support: usize,
+    /// `sup(Q) / sup(P)` in `(0, 1]`.
+    pub confidence: f64,
+}
+
+impl TemporalRule {
+    /// Renders the rule with symbol names.
+    pub fn display<'a>(&'a self, symbols: &'a SymbolTable) -> RuleDisplay<'a> {
+        RuleDisplay {
+            rule: self,
+            symbols,
+        }
+    }
+}
+
+/// Display adaptor for [`TemporalRule`].
+#[derive(Debug)]
+pub struct RuleDisplay<'a> {
+    rule: &'a TemporalRule,
+    symbols: &'a SymbolTable,
+}
+
+impl fmt::Display for RuleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}  =>  {}   (conf {:.2}, sup {})",
+            self.rule.antecedent.display(self.symbols),
+            self.rule.consequent.display(self.symbols),
+            self.rule.confidence,
+            self.rule.support
+        )
+    }
+}
+
+/// Configuration for rule generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuleConfig {
+    /// Minimum confidence in `(0, 1]`.
+    pub min_confidence: f64,
+    /// Only emit rules whose consequent adds exactly one interval to the
+    /// antecedent (the most interpretable form); `false` emits every
+    /// sub/super pair.
+    pub single_extension_only: bool,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        Self {
+            min_confidence: 0.5,
+            single_extension_only: true,
+        }
+    }
+}
+
+/// Derives all rules meeting `config` from a complete frequent-pattern set.
+///
+/// ```
+/// use interval_core::DatabaseBuilder;
+/// use tpminer::{rules, MinerConfig, TpMiner};
+///
+/// let mut b = DatabaseBuilder::new();
+/// b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+/// b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+/// b.sequence().interval("A", 0, 5);
+/// let db = b.build();
+/// let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+///
+/// let rules = rules::generate_rules(result.patterns(), &rules::RuleConfig::default());
+/// // A => (A overlaps B) holds in 2 of 3 A-sequences.
+/// assert!(rules
+///     .iter()
+///     .any(|r| r.antecedent.arity() == 1 && (r.confidence - 2.0 / 3.0).abs() < 1e-9));
+/// ```
+pub fn generate_rules(patterns: &[FrequentPattern], config: &RuleConfig) -> Vec<TemporalRule> {
+    let mut rules = Vec::new();
+    for q in patterns {
+        if q.pattern.arity() < 2 {
+            continue;
+        }
+        for p in patterns {
+            if p.pattern.arity() >= q.pattern.arity() {
+                continue;
+            }
+            if config.single_extension_only && p.pattern.arity() + 1 != q.pattern.arity() {
+                continue;
+            }
+            if !p.pattern.is_subpattern_of(&q.pattern) {
+                continue;
+            }
+            let confidence = q.support as f64 / p.support as f64;
+            if confidence >= config.min_confidence {
+                rules.push(TemporalRule {
+                    antecedent: p.pattern.clone(),
+                    consequent: q.pattern.clone(),
+                    support: q.support,
+                    confidence,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.support.cmp(&a.support))
+            .then_with(|| (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent)))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MinerConfig, TpMiner};
+    use interval_core::{matcher, DatabaseBuilder};
+
+    fn demo() -> interval_core::IntervalDatabase {
+        let mut b = DatabaseBuilder::new();
+        for _ in 0..4 {
+            b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+        }
+        b.sequence().interval("A", 0, 5);
+        b.sequence().interval("B", 0, 5);
+        b.build()
+    }
+
+    #[test]
+    fn confidences_are_support_ratios() {
+        let db = demo();
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        let rules = generate_rules(result.patterns(), &RuleConfig::default());
+        assert!(!rules.is_empty());
+        for r in &rules {
+            let sup_p = matcher::support(&db, &r.antecedent);
+            let sup_q = matcher::support(&db, &r.consequent);
+            assert_eq!(r.support, sup_q);
+            assert!((r.confidence - sup_q as f64 / sup_p as f64).abs() < 1e-12);
+            assert!(r.confidence >= 0.5 && r.confidence <= 1.0);
+            assert!(r.antecedent.is_subpattern_of(&r.consequent));
+        }
+        // A appears in 5 sequences, A-overlaps-B in 4: confidence 0.8.
+        assert!(rules.iter().any(|r| (r.confidence - 0.8).abs() < 1e-12));
+    }
+
+    #[test]
+    fn min_confidence_filters() {
+        let db = demo();
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        let strict = generate_rules(
+            result.patterns(),
+            &RuleConfig {
+                min_confidence: 0.81,
+                ..Default::default()
+            },
+        );
+        assert!(strict.iter().all(|r| r.confidence >= 0.81));
+        let loose = generate_rules(
+            result.patterns(),
+            &RuleConfig {
+                min_confidence: 0.1,
+                ..Default::default()
+            },
+        );
+        assert!(loose.len() >= strict.len());
+    }
+
+    #[test]
+    fn rules_sort_by_confidence_then_support() {
+        let db = demo();
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        let rules = generate_rules(
+            result.patterns(),
+            &RuleConfig {
+                min_confidence: 0.1,
+                single_extension_only: false,
+            },
+        );
+        for w in rules.windows(2) {
+            assert!(
+                w[0].confidence > w[1].confidence
+                    || (w[0].confidence == w[1].confidence && w[0].support >= w[1].support)
+                    || (w[0].confidence == w[1].confidence && w[0].support == w[1].support)
+            );
+        }
+    }
+
+    #[test]
+    fn display_renders_both_sides() {
+        let db = demo();
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        let rules = generate_rules(result.patterns(), &RuleConfig::default());
+        let text = rules[0].display(db.symbols()).to_string();
+        assert!(text.contains("=>"));
+        assert!(text.contains("conf"));
+    }
+}

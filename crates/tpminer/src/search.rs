@@ -1,0 +1,841 @@
+//! The pattern-growth search engine.
+//!
+//! TPMiner grows patterns one *endpoint* at a time over the endpoint
+//! representation. A search node holds a (possibly incomplete) pattern
+//! prefix plus, for every supporting sequence, the *frontier* of partial
+//! embeddings — each embedding records which endpoint set the prefix
+//! currently ends at and which concrete interval instance every still-open
+//! pattern slot is bound to. Tracking whole frontiers (rather than a single
+//! position, as in plain PrefixSpan) is what makes support counting exact in
+//! the presence of repeated symbols.
+//!
+//! Extensions come in four flavours:
+//!
+//! - `AfterStart(x)` / `MeetStart(x)` — a new interval of symbol `x` starts
+//!   in a strictly later endpoint set / in the same endpoint set;
+//! - `AfterFinish(k)` / `MeetFinish(k)` — the `k`-th open slot closes in a
+//!   strictly later / the same endpoint set.
+//!
+//! Canonical-form gates guarantee each pattern is generated along exactly
+//! one path: inside an endpoint set, endpoints are appended in canonical
+//! rank order (finishes by slot, then starts by symbol), and among open
+//! same-symbol slots that started together the lowest-numbered one must
+//! finish first.
+
+use crate::config::MinerConfig;
+use crate::index::DbIndex;
+use crate::stats::MinerStats;
+use interval_core::{EndpointKind, PatternEndpoint, SymbolId, TemporalPattern};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// A candidate extension of the current pattern prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Ext {
+    /// Close open slot `k` (index into the node's open list) in the current
+    /// endpoint set.
+    MeetFinish(u8),
+    /// Close open slot `k` in a strictly later endpoint set.
+    AfterFinish(u8),
+    /// Start a new `symbol` interval in the current endpoint set.
+    MeetStart(SymbolId),
+    /// Start a new `symbol` interval in a strictly later endpoint set.
+    AfterStart(SymbolId),
+}
+
+/// Canonical within-group rank of an appended endpoint. Finishes (class 0,
+/// keyed by slot) precede starts (class 1, keyed by symbol).
+type Rank = (u8, u32);
+
+fn finish_rank(slot: u8) -> Rank {
+    (0, u32::from(slot))
+}
+
+fn start_rank(symbol: SymbolId) -> Rank {
+    (1, symbol.0)
+}
+
+/// An open pattern slot: started, not yet finished.
+#[derive(Debug, Clone, Copy)]
+struct OpenSlot {
+    slot: u8,
+    symbol: SymbolId,
+    /// Pattern group index of the slot's start endpoint.
+    start_group: u16,
+}
+
+/// One partial embedding of the pattern prefix into a sequence.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct EmbState {
+    /// Data endpoint-set index the last pattern endpoint set is mapped to.
+    group: u32,
+    /// Data endpoint-set index the *first* pattern endpoint set is mapped
+    /// to; tracked only under a window constraint (0 otherwise, keeping
+    /// deduplication exact in the common unconstrained case).
+    first_group: u32,
+    /// Bound instance ids, parallel to the node's open-slot list.
+    bindings: Vec<u32>,
+}
+
+/// Frontier of partial embeddings for one supporting sequence.
+#[derive(Debug, Clone)]
+struct SeqFrontier {
+    seq: u32,
+    states: Vec<EmbState>,
+}
+
+/// A search-tree node: pattern prefix plus projected database.
+#[derive(Debug, Clone)]
+struct Node {
+    groups: Vec<Vec<PatternEndpoint>>,
+    open: Vec<OpenSlot>,
+    arity: u16,
+    last_rank: Rank,
+    frontier: Vec<SeqFrontier>,
+}
+
+impl Node {
+    fn support(&self) -> usize {
+        self.frontier.len()
+    }
+
+    fn is_complete(&self) -> bool {
+        self.open.is_empty()
+    }
+
+    /// Distinct symbols used by the pattern so far (for pair pruning).
+    fn pattern_symbols(&self) -> Vec<SymbolId> {
+        let mut syms: Vec<SymbolId> = self
+            .groups
+            .iter()
+            .flatten()
+            .filter(|e| e.kind == EndpointKind::Start)
+            .map(|e| e.symbol)
+            .collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+
+    /// Whether closing open slot `k` respects the canonical
+    /// "close the lowest same-symbol co-started slot first" rule.
+    fn finish_allowed(&self, k: usize) -> bool {
+        let target = self.open[k];
+        !self.open[..k]
+            .iter()
+            .any(|o| o.symbol == target.symbol && o.start_group == target.start_group)
+    }
+}
+
+/// The engine. Create with [`SearchEngine::new`], run with
+/// [`SearchEngine::run`], inspect the work counters in
+/// [`SearchEngine::stats`].
+pub struct SearchEngine<'a> {
+    index: &'a DbIndex,
+    config: MinerConfig,
+    min_sup: usize,
+    /// Global frequent-symbol set (PT3); `None` when the technique is off.
+    frequent: Option<HashSet<SymbolId>>,
+    /// Instrumentation counters.
+    pub stats: MinerStats,
+    emitted: Vec<(TemporalPattern, usize)>,
+}
+
+impl<'a> SearchEngine<'a> {
+    /// Prepares an engine over a prebuilt database index.
+    pub fn new(index: &'a DbIndex, config: MinerConfig) -> Self {
+        let min_sup = config.effective_min_support();
+        let frequent = config
+            .pruning
+            .symbol_pruning
+            .then(|| index.frequent_symbols(min_sup).into_iter().collect());
+        Self {
+            index,
+            config,
+            min_sup,
+            frequent,
+            stats: MinerStats::default(),
+            emitted: Vec::new(),
+        }
+    }
+
+    /// Runs the search to completion and returns `(pattern, support)` pairs
+    /// in canonical order.
+    pub fn run(mut self) -> (Vec<(TemporalPattern, usize)>, MinerStats) {
+        let started = Instant::now();
+        for symbol in self.root_symbols() {
+            let root = self.make_root(symbol);
+            if root.support() >= self.min_sup {
+                self.expand(root);
+            }
+        }
+        self.stats.elapsed = started.elapsed();
+        self.emitted
+            .sort_unstable_by(|a, b| (a.0.arity(), &a.0).cmp(&(b.0.arity(), &b.0)));
+        (self.emitted, self.stats)
+    }
+
+    /// Runs the search restricted to root patterns starting with the given
+    /// symbols (used by the parallel miner to split the tree). Does not sort.
+    pub fn run_roots(mut self, roots: &[SymbolId]) -> (Vec<(TemporalPattern, usize)>, MinerStats) {
+        let started = Instant::now();
+        for &symbol in roots {
+            let root = self.make_root(symbol);
+            if root.support() >= self.min_sup {
+                self.expand(root);
+            }
+        }
+        self.stats.elapsed = started.elapsed();
+        (self.emitted, self.stats)
+    }
+
+    /// The frequent symbols seeding the level-1 search, in sorted order.
+    pub fn root_symbols(&self) -> Vec<SymbolId> {
+        self.index.frequent_symbols(self.min_sup)
+    }
+
+    fn make_root(&mut self, symbol: SymbolId) -> Node {
+        let index = self.index;
+        let mut frontier = Vec::new();
+        for (seq_id, seq) in index.sequences.iter().enumerate() {
+            let windowed = self.config.max_window.is_some();
+            let states: Vec<EmbState> = seq
+                .instances_of(symbol)
+                .iter()
+                .map(|&i| {
+                    let group = seq.endpoints.instance(i).start_group;
+                    EmbState {
+                        group,
+                        first_group: if windowed { group } else { 0 },
+                        bindings: vec![i],
+                    }
+                })
+                .collect();
+            if !states.is_empty() {
+                self.stats.states_created += states.len() as u64;
+                frontier.push(SeqFrontier {
+                    seq: seq_id as u32,
+                    states,
+                });
+            }
+        }
+        Node {
+            groups: vec![vec![PatternEndpoint {
+                kind: EndpointKind::Start,
+                symbol,
+                slot: 0,
+            }]],
+            open: vec![OpenSlot {
+                slot: 0,
+                symbol,
+                start_group: 0,
+            }],
+            arity: 1,
+            last_rank: start_rank(symbol),
+            frontier,
+        }
+    }
+
+    /// Depth-first expansion of a node whose support already passed the
+    /// threshold.
+    fn expand(&mut self, node: Node) {
+        self.stats.nodes_explored += 1;
+        let node_states: u64 = node.frontier.iter().map(|f| f.states.len() as u64).sum();
+        self.stats.peak_node_states = self.stats.peak_node_states.max(node_states);
+
+        if node.is_complete() {
+            let pattern = TemporalPattern::from_groups(node.groups.clone())
+                .expect("generated prefixes are well-formed");
+            debug_assert_eq!(
+                pattern.groups(),
+                &node.groups[..],
+                "generation order must already be canonical"
+            );
+            self.stats.patterns_emitted += 1;
+            self.emitted.push((pattern, node.support()));
+        }
+
+        let mut counts = self.gather_candidates(&node);
+        self.stats.candidates_counted += counts.len() as u64;
+        let mut candidates: Vec<Ext> = counts
+            .drain()
+            .filter(|&(_, c)| c as usize >= self.min_sup)
+            .map(|(e, _)| e)
+            .collect();
+        candidates.sort_unstable();
+
+        for ext in candidates {
+            let child = self.apply(&node, ext);
+            if child.support() >= self.min_sup {
+                self.expand(child);
+            }
+        }
+    }
+
+    /// Node-level structural admissibility of an extension (canonical-form
+    /// gates and size limits); independent of any particular sequence.
+    fn ext_admissible(&self, node: &Node, ext: Ext) -> bool {
+        match ext {
+            Ext::MeetFinish(k) | Ext::AfterFinish(k) => {
+                if !node.finish_allowed(k as usize) {
+                    return false;
+                }
+                if matches!(ext, Ext::MeetFinish(_))
+                    && finish_rank(node.open[k as usize].slot) <= node.last_rank
+                {
+                    return false;
+                }
+                if matches!(ext, Ext::AfterFinish(_)) {
+                    if let Some(max) = self.config.max_groups {
+                        if node.groups.len() >= max {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Ext::MeetStart(s) | Ext::AfterStart(s) => {
+                if let Some(max) = self.config.max_arity {
+                    if usize::from(node.arity) >= max {
+                        return false;
+                    }
+                }
+                if node.arity as usize >= u8::MAX as usize {
+                    return false;
+                }
+                if matches!(ext, Ext::MeetStart(_)) {
+                    let r = start_rank(s);
+                    // within a group starts must come in non-decreasing
+                    // symbol order; equal rank (same symbol) is allowed.
+                    if r < node.last_rank {
+                        return false;
+                    }
+                    if r == node.last_rank && node.last_rank.0 != 1 {
+                        return false;
+                    }
+                } else if let Some(max) = self.config.max_groups {
+                    if node.groups.len() >= max {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Pair-pruning check (PT1) plus frequent-symbol filter (PT3) for
+    /// start extensions by `s`, memoized per node in `cache`.
+    fn start_symbol_ok(
+        &mut self,
+        pattern_symbols: &[SymbolId],
+        cache: &mut HashMap<SymbolId, bool>,
+        s: SymbolId,
+    ) -> bool {
+        if let Some(&ok) = cache.get(&s) {
+            return ok;
+        }
+        let mut ok = true;
+        if let Some(frequent) = &self.frequent {
+            if !frequent.contains(&s) {
+                ok = false;
+                self.stats.exts_pruned_symbol += 1;
+            }
+        }
+        if ok && self.config.pruning.pair_pruning {
+            for &y in pattern_symbols {
+                if (self.index.cooccurrence(y, s) as usize) < self.min_sup {
+                    ok = false;
+                    self.stats.exts_pruned_pair += 1;
+                    break;
+                }
+            }
+        }
+        cache.insert(s, ok);
+        ok
+    }
+
+    /// Counts, for every admissible extension, the number of sequences with
+    /// at least one embedding admitting it.
+    fn gather_candidates(&mut self, node: &Node) -> HashMap<Ext, u32> {
+        let index = self.index;
+        let pattern_symbols = node.pattern_symbols();
+        let mut symbol_cache: HashMap<SymbolId, bool> = HashMap::new();
+        let mut counts: HashMap<Ext, u32> = HashMap::new();
+        let mut per_seq: HashSet<Ext> = HashSet::new();
+
+        // Precompute node-level admissibility of the (small) finish space.
+        let finish_exts: Vec<(Ext, Ext)> = (0..node.open.len() as u8)
+            .map(|k| (Ext::MeetFinish(k), Ext::AfterFinish(k)))
+            .collect();
+
+        for sf in &node.frontier {
+            per_seq.clear();
+            let seq = &index.sequences[sf.seq as usize];
+            let seq_symbols = seq.symbols_sorted();
+            for state in &sf.states {
+                // Finish candidates.
+                for (k, &(meet, after)) in finish_exts.iter().enumerate() {
+                    let end_group = seq.endpoints.instance(state.bindings[k]).end_group;
+                    if end_group == state.group {
+                        if self.ext_admissible(node, meet) {
+                            per_seq.insert(meet);
+                        }
+                    } else if end_group > state.group && self.ext_admissible(node, after) {
+                        per_seq.insert(after);
+                    }
+                }
+                // Start candidates.
+                for &s in seq_symbols {
+                    if !self.start_symbol_ok(&pattern_symbols, &mut symbol_cache, s) {
+                        continue;
+                    }
+                    let meet = Ext::MeetStart(s);
+                    if self.ext_admissible(node, meet) && !per_seq.contains(&meet) {
+                        let at = seq.instances_starting_at(s, state.group);
+                        if at.iter().any(|i| !state.bindings.contains(i)) {
+                            per_seq.insert(meet);
+                        }
+                    }
+                    let after = Ext::AfterStart(s);
+                    if self.ext_admissible(node, after)
+                        && !per_seq.contains(&after)
+                        && !seq.instances_starting_after(s, state.group).is_empty()
+                    {
+                        per_seq.insert(after);
+                    }
+                }
+            }
+            for &e in &per_seq {
+                *counts.entry(e).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Builds the child node for `ext`.
+    fn apply(&mut self, node: &Node, ext: Ext) -> Node {
+        // --- pattern bookkeeping ---
+        let mut groups = node.groups.clone();
+        let mut open = node.open.clone();
+        let mut arity = node.arity;
+        let last_rank;
+
+        match ext {
+            Ext::MeetFinish(k) | Ext::AfterFinish(k) => {
+                let slot = open[k as usize];
+                let endpoint = PatternEndpoint {
+                    kind: EndpointKind::Finish,
+                    symbol: slot.symbol,
+                    slot: slot.slot,
+                };
+                if matches!(ext, Ext::MeetFinish(_)) {
+                    groups.last_mut().expect("non-empty pattern").push(endpoint);
+                } else {
+                    groups.push(vec![endpoint]);
+                }
+                last_rank = finish_rank(slot.slot);
+                open.remove(k as usize);
+            }
+            Ext::MeetStart(s) | Ext::AfterStart(s) => {
+                let slot = arity as u8;
+                let endpoint = PatternEndpoint {
+                    kind: EndpointKind::Start,
+                    symbol: s,
+                    slot,
+                };
+                if matches!(ext, Ext::MeetStart(_)) {
+                    groups.last_mut().expect("non-empty pattern").push(endpoint);
+                } else {
+                    groups.push(vec![endpoint]);
+                }
+                last_rank = start_rank(s);
+                open.push(OpenSlot {
+                    slot,
+                    symbol: s,
+                    start_group: (groups.len() - 1) as u16,
+                });
+                arity += 1;
+            }
+        }
+
+        // --- frontier projection ---
+        let index = self.index;
+        let postfix = self.config.pruning.postfix_pruning;
+        let max_gap = self.config.max_gap;
+        let mut frontier = Vec::new();
+        let mut scratch: Vec<EmbState> = Vec::new();
+        for sf in &node.frontier {
+            let seq = &index.sequences[sf.seq as usize];
+            // Gap constraint: an After-type extension's jump distance is
+            // final (nothing is ever inserted between consecutive pattern
+            // sets), so a too-far jump is rejected at construction.
+            let gap_ok = |from: u32, to: u32| match max_gap {
+                None => true,
+                Some(g) => seq.endpoints.group(to)[0].time - seq.endpoints.group(from)[0].time <= g,
+            };
+            scratch.clear();
+            for state in &sf.states {
+                match ext {
+                    Ext::MeetFinish(k) => {
+                        let k = k as usize;
+                        if seq.endpoints.instance(state.bindings[k]).end_group == state.group {
+                            let mut bindings = state.bindings.clone();
+                            bindings.remove(k);
+                            scratch.push(EmbState {
+                                group: state.group,
+                                first_group: state.first_group,
+                                bindings,
+                            });
+                        }
+                    }
+                    Ext::AfterFinish(k) => {
+                        let k = k as usize;
+                        let end_group = seq.endpoints.instance(state.bindings[k]).end_group;
+                        if end_group > state.group && gap_ok(state.group, end_group) {
+                            let mut bindings = state.bindings.clone();
+                            bindings.remove(k);
+                            scratch.push(EmbState {
+                                group: end_group,
+                                first_group: state.first_group,
+                                bindings,
+                            });
+                        }
+                    }
+                    Ext::MeetStart(s) => {
+                        for &i in seq.instances_starting_at(s, state.group) {
+                            if !state.bindings.contains(&i) {
+                                let mut bindings = state.bindings.clone();
+                                bindings.push(i);
+                                scratch.push(EmbState {
+                                    group: state.group,
+                                    first_group: state.first_group,
+                                    bindings,
+                                });
+                            }
+                        }
+                    }
+                    Ext::AfterStart(s) => {
+                        for &i in seq.instances_starting_after(s, state.group) {
+                            let start_group = seq.endpoints.instance(i).start_group;
+                            if !gap_ok(state.group, start_group) {
+                                // instances are sorted by start group, so
+                                // every later one also violates the gap
+                                break;
+                            }
+                            let mut bindings = state.bindings.clone();
+                            bindings.push(i);
+                            scratch.push(EmbState {
+                                group: start_group,
+                                first_group: state.first_group,
+                                bindings,
+                            });
+                        }
+                    }
+                }
+            }
+            // Window constraint: the final embedding's span is already lower
+            // bounded by the current set's time and the (concrete) ends of
+            // all bound open instances; states that cannot fit are dead.
+            if let Some(w) = self.config.max_window {
+                scratch.retain(|st| {
+                    let first_time = seq.endpoints.group(st.first_group)[0].time;
+                    let mut latest = seq.endpoints.group(st.group)[0].time;
+                    for &i in &st.bindings {
+                        latest = latest.max(seq.endpoints.instance(i).end);
+                    }
+                    latest - first_time <= w
+                });
+            }
+            // Postfix (dead-embedding) pruning: drop states in which some
+            // open binding already ended before the current endpoint set.
+            if postfix {
+                let before = scratch.len();
+                scratch.retain(|st| {
+                    st.bindings
+                        .iter()
+                        .all(|&i| seq.endpoints.instance(i).end_group >= st.group)
+                });
+                self.stats.states_pruned_dead += (before - scratch.len()) as u64;
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            if scratch.len() > self.config.frontier_cap {
+                scratch.truncate(self.config.frontier_cap);
+                self.stats.frontier_cap_hits += 1;
+            }
+            if !scratch.is_empty() {
+                self.stats.states_created += scratch.len() as u64;
+                frontier.push(SeqFrontier {
+                    seq: sf.seq,
+                    states: std::mem::take(&mut scratch),
+                });
+            }
+        }
+
+        Node {
+            groups,
+            open,
+            arity,
+            last_rank,
+            frontier,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_core::{matcher, DatabaseBuilder, IntervalDatabase, SymbolTable};
+
+    fn mine(db: &IntervalDatabase, config: MinerConfig) -> Vec<(TemporalPattern, usize)> {
+        let index = DbIndex::build(db);
+        let engine = SearchEngine::new(&index, config);
+        engine.run().0
+    }
+
+    fn pat(text: &str, t: &mut SymbolTable) -> TemporalPattern {
+        TemporalPattern::parse(text, t).unwrap()
+    }
+
+    #[test]
+    fn mines_singletons() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5);
+        b.sequence().interval("A", 1, 3).interval("B", 0, 2);
+        let db = b.build();
+        let result = mine(&db, MinerConfig::with_min_support(2));
+        assert_eq!(result.len(), 1);
+        let mut t = db.symbols().clone();
+        assert_eq!(result[0].0, pat("A+ | A-", &mut t));
+        assert_eq!(result[0].1, 2);
+    }
+
+    #[test]
+    fn mines_overlap_pattern() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+        b.sequence().interval("A", 10, 20).interval("B", 15, 30);
+        let db = b.build();
+        let result = mine(&db, MinerConfig::with_min_support(2));
+        let mut t = db.symbols().clone();
+        let overlap = pat("A+ | B+ | A- | B-", &mut t);
+        let found: Vec<&TemporalPattern> = result.iter().map(|(p, _)| p).collect();
+        assert!(found.contains(&&overlap), "found: {found:?}");
+        // A, B, A-overlaps-B: exactly 3 frequent patterns
+        assert_eq!(result.len(), 3);
+        for (_, sup) in &result {
+            assert_eq!(*sup, 2);
+        }
+    }
+
+    #[test]
+    fn distinguishes_meets_from_overlaps() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5).interval("B", 5, 8);
+        b.sequence().interval("A", 0, 5).interval("B", 5, 9);
+        let db = b.build();
+        let result = mine(&db, MinerConfig::with_min_support(2));
+        let mut t = db.symbols().clone();
+        let meets = pat("A+ | A- B+ | B-", &mut t);
+        let overlaps = pat("A+ | B+ | A- | B-", &mut t);
+        let found: Vec<&TemporalPattern> = result.iter().map(|(p, _)| p).collect();
+        assert!(found.contains(&&meets));
+        assert!(!found.contains(&&overlaps));
+    }
+
+    #[test]
+    fn supports_match_oracle_exhaustively() {
+        // Dense little database with repeated symbols and ties.
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 4)
+            .interval("B", 2, 6)
+            .interval("A", 5, 9);
+        b.sequence()
+            .interval("A", 0, 9)
+            .interval("B", 1, 3)
+            .interval("A", 1, 3);
+        b.sequence().interval("B", 0, 2).interval("A", 2, 4);
+        let db = b.build();
+        let result = mine(&db, MinerConfig::with_min_support(1));
+        assert!(!result.is_empty());
+        let mut seen = HashSet::new();
+        for (p, sup) in &result {
+            assert!(seen.insert(p.clone()), "duplicate pattern {p:?}");
+            assert_eq!(
+                matcher::support(&db, p),
+                *sup,
+                "support mismatch for {}",
+                p.display(db.symbols())
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_configs_agree() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 4)
+            .interval("B", 2, 6)
+            .interval("C", 5, 7);
+        b.sequence()
+            .interval("A", 0, 4)
+            .interval("B", 2, 6)
+            .interval("A", 3, 9);
+        b.sequence().interval("C", 0, 2).interval("B", 1, 5);
+        b.sequence().interval("A", 0, 2).interval("B", 0, 2);
+        let db = b.build();
+        for min_sup in 1..=3 {
+            let with = mine(
+                &db,
+                MinerConfig::with_min_support(min_sup).pruning(crate::PruningConfig::all()),
+            );
+            let without = mine(
+                &db,
+                MinerConfig::with_min_support(min_sup).pruning(crate::PruningConfig::none()),
+            );
+            assert_eq!(with, without, "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn repeated_symbol_crossing_is_mined() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 2).interval("A", 1, 3);
+        b.sequence().interval("A", 5, 8).interval("A", 6, 9);
+        let db = b.build();
+        let result = mine(&db, MinerConfig::with_min_support(2));
+        let mut t = db.symbols().clone();
+        let crossing = pat("A+#0 | A+#1 | A-#0 | A-#1", &mut t);
+        let found: Vec<&TemporalPattern> = result.iter().map(|(p, _)| p).collect();
+        assert!(found.contains(&&crossing), "found: {found:?}");
+    }
+
+    #[test]
+    fn max_arity_limits_pattern_size() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 2)
+            .interval("B", 3, 5)
+            .interval("C", 6, 8);
+        let db = b.build();
+        let result = mine(&db, MinerConfig::with_min_support(1).max_arity(2));
+        assert!(result.iter().all(|(p, _)| p.arity() <= 2));
+        assert!(result.iter().any(|(p, _)| p.arity() == 2));
+    }
+
+    #[test]
+    fn simultaneous_starts_are_one_canonical_pattern() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5).interval("B", 0, 5);
+        b.sequence().interval("A", 2, 9).interval("B", 2, 9);
+        let db = b.build();
+        let result = mine(&db, MinerConfig::with_min_support(2));
+        let mut t = db.symbols().clone();
+        let equals = pat("A+ B+ | A- B-", &mut t);
+        let two: Vec<&TemporalPattern> = result
+            .iter()
+            .filter(|(p, _)| p.arity() == 2)
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(two, vec![&equals]);
+    }
+
+    #[test]
+    fn empty_database_mines_nothing() {
+        let db = IntervalDatabase::new();
+        assert!(mine(&db, MinerConfig::with_min_support(1)).is_empty());
+    }
+
+    #[test]
+    fn window_constraint_limits_supports() {
+        let mut b = DatabaseBuilder::new();
+        // "A before B" tight in one sequence, wide in the other.
+        b.sequence().interval("A", 0, 2).interval("B", 4, 6);
+        b.sequence().interval("A", 0, 2).interval("B", 50, 60);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let before = pat("A+ | A- | B+ | B-", &mut t);
+
+        let unconstrained = mine(&db, MinerConfig::with_min_support(1));
+        assert!(unconstrained.iter().any(|(p, s)| p == &before && *s == 2));
+
+        let windowed = mine(&db, MinerConfig::with_min_support(1).max_window(10));
+        let found = windowed.iter().find(|(p, _)| p == &before);
+        assert_eq!(
+            found.map(|(_, s)| *s),
+            Some(1),
+            "only the tight embedding fits"
+        );
+        // Window-constrained supports agree with the oracle for every
+        // emitted pattern.
+        for (p, s) in &windowed {
+            assert_eq!(
+                matcher::support_within_window(&db, p, Some(10)),
+                *s,
+                "window support mismatch for {}",
+                p.display(db.symbols())
+            );
+        }
+    }
+
+    #[test]
+    fn gap_constraint_limits_jumps() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 2).interval("B", 4, 6); // gap 2
+        b.sequence().interval("A", 0, 2).interval("B", 40, 44); // gap 38
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let before = pat("A+ | A- | B+ | B-", &mut t);
+
+        let gapped = mine(&db, MinerConfig::with_min_support(1).max_gap(2));
+        let found = gapped.iter().find(|(p, _)| p == &before);
+        assert_eq!(found.map(|(_, s)| *s), Some(1));
+        for (p, s) in &gapped {
+            assert_eq!(
+                matcher::support_constrained(
+                    &db,
+                    p,
+                    interval_core::matcher::MatchConstraints::gap(2)
+                ),
+                *s,
+                "gap support mismatch for {}",
+                p.display(db.symbols())
+            );
+        }
+    }
+
+    #[test]
+    fn gap_bridging_pattern_is_found() {
+        // A..B..C chains within gap 2, while A..C alone jumps 4: the miner
+        // must still reach the bridged 3-pattern (prefix growth keeps all
+        // its consecutive jumps small).
+        let mut b = DatabaseBuilder::new();
+        b.sequence()
+            .interval("A", 0, 2)
+            .interval("B", 3, 5)
+            .interval("C", 6, 8);
+        let db = b.build();
+        let mut t = db.symbols().clone();
+        let ac = pat("A+ | A- | C+ | C-", &mut t);
+        let abc = pat("A+ | A- | B+ | B- | C+ | C-", &mut t);
+        let gapped = mine(&db, MinerConfig::with_min_support(1).max_gap(2));
+        assert!(!gapped.iter().any(|(p, _)| p == &ac));
+        assert!(gapped.iter().any(|(p, _)| p == &abc), "got: {gapped:?}");
+    }
+
+    #[test]
+    fn window_excludes_long_singletons() {
+        let mut b = DatabaseBuilder::new();
+        b.sequence().interval("A", 0, 100);
+        b.sequence().interval("A", 0, 3);
+        let db = b.build();
+        let windowed = mine(&db, MinerConfig::with_min_support(2).max_window(5));
+        assert!(
+            windowed.is_empty(),
+            "the 100-tick A cannot fit a 5-tick window"
+        );
+        let loose = mine(&db, MinerConfig::with_min_support(2).max_window(100));
+        assert_eq!(loose.len(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Instrumentation counters collected during a mining run.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters describing how much work a mining run performed.
+///
+/// These feed the paper's efficiency/ablation/memory experiments: wall time
+/// for the runtime figures, state counts for the (allocator-independent)
+/// memory proxies, and pruning counters for the ablation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinerStats {
+    /// Search-tree nodes expanded (pattern prefixes whose extensions were
+    /// enumerated).
+    pub nodes_explored: u64,
+    /// Complete frequent patterns emitted.
+    pub patterns_emitted: u64,
+    /// Candidate extensions counted across all nodes (after per-sequence
+    /// deduplication).
+    pub candidates_counted: u64,
+    /// Partial-embedding states materialized across all projected databases.
+    pub states_created: u64,
+    /// Largest number of live states in any single node's projection — the
+    /// peak-memory proxy reported by experiment E4.
+    pub peak_node_states: u64,
+    /// States discarded by postfix (dead-embedding) pruning.
+    pub states_pruned_dead: u64,
+    /// Start extensions skipped by pair pruning.
+    pub exts_pruned_pair: u64,
+    /// Start extensions skipped by the global frequent-symbol filter.
+    pub exts_pruned_symbol: u64,
+    /// Number of times a per-sequence frontier hit the safety cap (should be
+    /// 0 on every workload in this repository; a non-zero value means the
+    /// result may be approximate).
+    pub frontier_cap_hits: u64,
+    /// Wall-clock time of the run.
+    #[serde(with = "duration_micros")]
+    pub elapsed: Duration,
+}
+
+impl MinerStats {
+    /// Merges counters from another run (used by the parallel miner to
+    /// combine per-branch stats). `elapsed` takes the maximum, the rest sum.
+    pub fn merge(&mut self, other: &MinerStats) {
+        self.nodes_explored += other.nodes_explored;
+        self.patterns_emitted += other.patterns_emitted;
+        self.candidates_counted += other.candidates_counted;
+        self.states_created += other.states_created;
+        self.peak_node_states = self.peak_node_states.max(other.peak_node_states);
+        self.states_pruned_dead += other.states_pruned_dead;
+        self.exts_pruned_pair += other.exts_pruned_pair;
+        self.exts_pruned_symbol += other.exts_pruned_symbol;
+        self.frontier_cap_hits += other.frontier_cap_hits;
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+}
+
+mod duration_micros {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        (d.as_micros() as u64).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_micros(u64::deserialize(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_peaks() {
+        let mut a = MinerStats {
+            nodes_explored: 10,
+            patterns_emitted: 2,
+            peak_node_states: 5,
+            elapsed: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let b = MinerStats {
+            nodes_explored: 7,
+            patterns_emitted: 3,
+            peak_node_states: 9,
+            elapsed: Duration::from_millis(4),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes_explored, 17);
+        assert_eq!(a.patterns_emitted, 5);
+        assert_eq!(a.peak_node_states, 9);
+        assert_eq!(a.elapsed, Duration::from_millis(10));
+    }
+}

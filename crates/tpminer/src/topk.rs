@@ -1,0 +1,166 @@
+//! Top-k temporal pattern mining.
+//!
+//! Instead of asking for a support threshold (which takes trial and error to
+//! pick), ask for the `k` best patterns of at least a minimum size. The
+//! implementation uses the standard *threshold-descent* scheme: start from a
+//! high support threshold and geometrically relax it until at least `k`
+//! qualifying patterns are found, then trim to the true top-k. Every probe
+//! run is a complete mine at its threshold, so the final answer is exact:
+//! the k highest-support patterns with `arity >= min_arity`, ties broken by
+//! canonical pattern order.
+
+use crate::config::MinerConfig;
+use crate::miner::{FrequentPattern, TpMiner};
+use interval_core::IntervalDatabase;
+
+/// Configuration of [`mine_top_k`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKConfig {
+    /// How many patterns to return.
+    pub k: usize,
+    /// Minimum pattern arity to qualify (1 = all patterns; 2 excludes the
+    /// usually-uninteresting singletons).
+    pub min_arity: usize,
+    /// Structural limits and pruning for the underlying runs.
+    pub base: MinerConfig,
+}
+
+impl TopKConfig {
+    /// Top `k` patterns of at least 2 intervals.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            min_arity: 2,
+            base: MinerConfig::default(),
+        }
+    }
+
+    /// Sets the minimum qualifying arity.
+    pub fn min_arity(mut self, min_arity: usize) -> Self {
+        self.min_arity = min_arity.max(1);
+        self
+    }
+}
+
+/// Mines the `k` highest-support patterns with `arity >= min_arity`.
+///
+/// Returns fewer than `k` patterns only when the database does not contain
+/// that many qualifying patterns at support ≥ 1.
+///
+/// ```
+/// use interval_core::DatabaseBuilder;
+/// use tpminer::{mine_top_k, TopKConfig};
+///
+/// let mut b = DatabaseBuilder::new();
+/// b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+/// b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+/// b.sequence().interval("A", 0, 5).interval("C", 9, 12);
+/// let db = b.build();
+///
+/// let top = mine_top_k(&db, TopKConfig::new(2));
+/// assert_eq!(top.len(), 2);
+/// assert!(top[0].support >= top[1].support);
+/// ```
+pub fn mine_top_k(db: &IntervalDatabase, config: TopKConfig) -> Vec<FrequentPattern> {
+    if config.k == 0 || db.is_empty() {
+        return Vec::new();
+    }
+    let mut threshold = db.len();
+    loop {
+        let mut run_config = config.base;
+        run_config.min_support = threshold;
+        let result = TpMiner::new(run_config).mine(db);
+        let mut qualifying: Vec<FrequentPattern> = result
+            .into_patterns()
+            .into_iter()
+            .filter(|p| p.pattern.arity() >= config.min_arity)
+            .collect();
+        if qualifying.len() >= config.k || threshold == 1 {
+            // Highest support first; canonical pattern order for ties.
+            qualifying.sort_unstable_by(|a, b| {
+                b.support.cmp(&a.support).then_with(|| {
+                    (a.pattern.arity(), &a.pattern).cmp(&(b.pattern.arity(), &b.pattern))
+                })
+            });
+            qualifying.truncate(config.k);
+            return qualifying;
+        }
+        // Geometric descent: halve, never stall, floor at 1.
+        threshold = (threshold / 2).max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_core::{matcher, DatabaseBuilder};
+
+    fn db() -> IntervalDatabase {
+        let mut b = DatabaseBuilder::new();
+        for i in 0..8i64 {
+            let s = b
+                .sequence()
+                .interval("A", i, i + 4)
+                .interval("B", i + 2, i + 6);
+            if i % 2 == 0 {
+                s.interval("C", i + 8, i + 10);
+            }
+        }
+        b.sequence().interval("D", 0, 1);
+        b.build()
+    }
+
+    #[test]
+    fn returns_exactly_k_best() {
+        let db = db();
+        let top = mine_top_k(&db, TopKConfig::new(3));
+        assert_eq!(top.len(), 3);
+        // descending support
+        for w in top.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+        // the single best 2-pattern is A-overlaps-B with support 8
+        assert_eq!(top[0].support, 8);
+        assert_eq!(top[0].pattern.arity(), 2);
+        // supports are oracle-checked
+        for p in &top {
+            assert_eq!(matcher::support(&db, &p.pattern), p.support);
+        }
+    }
+
+    #[test]
+    fn kth_support_is_a_lower_bound_for_exclusions() {
+        // No qualifying pattern outside the answer may beat the k-th one.
+        let db = db();
+        let k = 4;
+        let top = mine_top_k(&db, TopKConfig::new(k));
+        let kth = top.last().unwrap().support;
+        let everything = crate::TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        let better: Vec<_> = everything
+            .patterns()
+            .iter()
+            .filter(|p| p.pattern.arity() >= 2 && p.support > kth)
+            .collect();
+        assert!(better.len() <= k);
+        for b in better {
+            assert!(top.contains(b), "a strictly better pattern was excluded");
+        }
+    }
+
+    #[test]
+    fn min_arity_one_includes_singletons() {
+        let db = db();
+        let top = mine_top_k(&db, TopKConfig::new(2).min_arity(1));
+        assert!(top.iter().any(|p| p.pattern.arity() == 1));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(mine_top_k(&IntervalDatabase::new(), TopKConfig::new(5)).is_empty());
+        let db = db();
+        assert!(mine_top_k(&db, TopKConfig::new(0)).is_empty());
+        // asking for more than exists returns what exists
+        let all = mine_top_k(&db, TopKConfig::new(100_000).min_arity(6));
+        assert!(all.len() < 100_000);
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared proptest strategies for the cross-crate integration tests.
+//!
+//! Each integration-test binary compiles this module independently and uses
+//! a subset of it, so unused-item warnings are expected noise.
+#![allow(dead_code)]
+
+use interval_core::{EventInterval, IntervalDatabase, IntervalSequence, SymbolId, SymbolTable};
+use proptest::prelude::*;
+
+/// Strategy: one event interval over a tiny alphabet and time grid, so that
+/// coincidences (meets, equal starts, ties) are common.
+pub fn small_interval(max_symbol: u32) -> impl Strategy<Value = EventInterval> {
+    (0..max_symbol, 0i64..8, 1i64..5)
+        .prop_map(|(s, start, len)| EventInterval::new_unchecked(SymbolId(s), start, start + len))
+}
+
+/// Strategy: a small interval database (dense enough to be interesting,
+/// small enough for the exponential oracles).
+pub fn small_database() -> impl Strategy<Value = IntervalDatabase> {
+    let seq = proptest::collection::vec(small_interval(4), 0..6)
+        .prop_map(IntervalSequence::from_intervals);
+    proptest::collection::vec(seq, 1..6).prop_map(|sequences| {
+        IntervalDatabase::from_parts(SymbolTable::with_synthetic_symbols(4), sequences)
+    })
+}
+
+/// Strategy: a list of concrete intervals to build arrangements from.
+pub fn interval_set() -> impl Strategy<Value = Vec<EventInterval>> {
+    proptest::collection::vec(small_interval(3), 1..5)
+}

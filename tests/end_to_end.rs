@@ -1,0 +1,131 @@
+//! End-to-end flows across all crates: generate → persist → reload → mine →
+//! compress, on both synthetic and emulated-realistic data.
+
+use baselines::HDfsMiner;
+use datasets::{
+    io, GestureConfig, GestureEmulator, LibraryConfig, LibraryEmulator, StockConfig, StockEmulator,
+};
+use synthgen::{QuestConfig, QuestGenerator, UncertaintyConfig};
+use tpminer::{closed_patterns, MinerConfig, ProbabilisticConfig, ProbabilisticMiner, TpMiner};
+
+#[test]
+fn quest_generate_persist_reload_mine() {
+    let db = QuestGenerator::new(QuestConfig::small().sequences(150).seed(5)).generate();
+
+    // Text round trip preserves the database exactly.
+    let text = io::write_database(&db);
+    let reloaded = io::read_database(&text).expect("parse back");
+    assert_eq!(db, reloaded);
+
+    // Mining the reloaded copy gives identical results.
+    let min_sup = db.absolute_support(0.10);
+    let a = TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(&db);
+    let b = TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(&reloaded);
+    assert_eq!(a.patterns(), b.patterns());
+    assert!(!a.is_empty(), "the generator must plant frequent patterns");
+}
+
+#[test]
+fn uncertain_quest_round_trip_and_mining() {
+    let udb = QuestGenerator::new(QuestConfig::small().sequences(80).seed(9))
+        .generate_uncertain(&UncertaintyConfig::default());
+    let text = io::write_uncertain_database(&udb);
+    let reloaded = io::read_uncertain_database(&text).expect("parse back");
+    assert_eq!(udb.len(), reloaded.len());
+    assert_eq!(udb.total_intervals(), reloaded.total_intervals());
+
+    let min_esup = 0.2 * udb.len() as f64;
+    let a = ProbabilisticMiner::new(ProbabilisticConfig::with_min_expected_support(min_esup))
+        .mine(&udb);
+    let b = ProbabilisticMiner::new(ProbabilisticConfig::with_min_expected_support(min_esup))
+        .mine(&reloaded);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.patterns().iter().zip(b.patterns()) {
+        assert_eq!(x.pattern, y.pattern);
+        assert!((x.expected_support - y.expected_support).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn emulated_datasets_are_minable_and_agree_across_miners() {
+    let library = LibraryEmulator::new(LibraryConfig {
+        patrons: 120,
+        ..Default::default()
+    })
+    .generate();
+    let stock = StockEmulator::new(StockConfig {
+        windows: 60,
+        tickers: 3,
+        days_per_window: 6,
+        ..Default::default()
+    })
+    .generate();
+    let gesture = GestureEmulator::new(GestureConfig {
+        utterances: 120,
+        ..Default::default()
+    })
+    .generate();
+
+    for (name, db) in [("library", library), ("stock", stock), ("gesture", gesture)] {
+        let min_sup = db.absolute_support(0.4);
+        let config = MinerConfig::with_min_support(min_sup).max_arity(3);
+        let tp = TpMiner::new(config).mine(&db);
+        assert!(!tp.is_empty(), "{name}: nothing frequent at 40%?");
+        let hdfs = HDfsMiner::new(min_sup).max_arity(3).mine(&db);
+        assert_eq!(tp.patterns(), &hdfs.patterns[..], "{name}: miners disagree");
+    }
+}
+
+#[test]
+fn closed_patterns_compress_losslessly_on_synthetic_data() {
+    let db = QuestGenerator::new(QuestConfig::small().sequences(200).seed(13)).generate();
+    let result = TpMiner::new(MinerConfig::with_min_support(db.absolute_support(0.08))).mine(&db);
+    let closed = closed_patterns(result.patterns());
+    assert!(closed.len() <= result.len());
+    // Lossless: every frequent pattern has a closed super-pattern of equal
+    // support.
+    for p in result.patterns() {
+        assert!(
+            closed
+                .iter()
+                .any(|c| c.support == p.support && p.pattern.is_subpattern_of(&c.pattern)),
+            "{} lost by closure",
+            p.pattern.display(db.symbols())
+        );
+    }
+}
+
+#[test]
+fn gesture_corpus_contains_the_planted_grammar() {
+    // The wh-question template plants "brow-raise contains sign-wh".
+    let db = GestureEmulator::new(GestureConfig {
+        utterances: 500,
+        ..Default::default()
+    })
+    .generate();
+    let result = TpMiner::new(MinerConfig::with_min_support(db.absolute_support(0.15))).mine(&db);
+    let mut table = db.symbols().clone();
+    let expected = interval_core::TemporalPattern::parse(
+        "brow-raise+ | sign-wh+ | sign-wh- | brow-raise-",
+        &mut table,
+    )
+    .unwrap();
+    assert!(
+        result.patterns().iter().any(|p| p.pattern == expected),
+        "planted wh-question pattern not found; got:\n{}",
+        result.render(db.symbols())
+    );
+}
+
+#[test]
+fn support_sweep_is_monotone() {
+    let db = QuestGenerator::new(QuestConfig::small().sequences(300).seed(21)).generate();
+    let mut last = usize::MAX;
+    for rel in [0.05, 0.10, 0.20, 0.40] {
+        let n = TpMiner::new(MinerConfig::with_min_support(db.absolute_support(rel)))
+            .mine(&db)
+            .len();
+        assert!(n <= last, "raising support must shrink the result");
+        last = n;
+    }
+}

@@ -1,0 +1,181 @@
+//! The central correctness property of the whole workspace: every miner —
+//! P-TPMiner (all pruning configurations, sequential and parallel) and the
+//! three baselines — emits exactly the same `(pattern, support)` set, and
+//! that set agrees with the brute-force containment oracle.
+
+mod common;
+
+use baselines::{HDfsMiner, IeMiner, NaiveMiner, TPrefixSpan};
+use interval_core::matcher;
+use proptest::prelude::*;
+use tpminer::{MinerConfig, ParallelTpMiner, PruningConfig, TpMiner};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_miners_agree(db in common::small_database(), min_sup in 1usize..4) {
+        let reference = TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(&db);
+        let reference = reference.patterns();
+
+        let tps = TPrefixSpan::new(min_sup).mine(&db);
+        prop_assert_eq!(&tps.patterns[..], reference, "TPrefixSpan disagrees");
+
+        let ie = IeMiner::new(min_sup).mine(&db);
+        prop_assert_eq!(&ie.patterns[..], reference, "IEMiner disagrees");
+
+        let hdfs = HDfsMiner::new(min_sup).mine(&db);
+        prop_assert_eq!(&hdfs.patterns[..], reference, "H-DFS disagrees");
+
+        let par = ParallelTpMiner::new(MinerConfig::with_min_support(min_sup), 3).mine(&db);
+        prop_assert_eq!(par.patterns(), reference, "parallel miner disagrees");
+    }
+
+    #[test]
+    fn mined_supports_match_oracle(db in common::small_database(), min_sup in 1usize..4) {
+        let result = TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(&db);
+        for fp in result.patterns() {
+            prop_assert_eq!(
+                matcher::support(&db, &fp.pattern),
+                fp.support,
+                "support mismatch for {}",
+                fp.pattern.display(db.symbols())
+            );
+            prop_assert!(fp.support >= min_sup);
+        }
+    }
+
+    #[test]
+    fn miner_is_complete_up_to_arity_three(db in common::small_database(), min_sup in 1usize..4) {
+        // The naive oracle enumerates every arrangement present in the data;
+        // the miner (capped at the same arity) must find each frequent one.
+        let naive = NaiveMiner::new(min_sup, 3).mine(&db);
+        let capped = TpMiner::new(MinerConfig::with_min_support(min_sup).max_arity(3)).mine(&db);
+        prop_assert_eq!(&naive.patterns[..], capped.patterns(), "naive oracle disagrees");
+    }
+
+    #[test]
+    fn pruning_never_changes_output(db in common::small_database(), min_sup in 1usize..4) {
+        let all = TpMiner::new(
+            MinerConfig::with_min_support(min_sup).pruning(PruningConfig::all()),
+        )
+        .mine(&db);
+        for pruning in [
+            PruningConfig::none(),
+            PruningConfig { pair_pruning: false, ..PruningConfig::all() },
+            PruningConfig { postfix_pruning: false, ..PruningConfig::all() },
+            PruningConfig { symbol_pruning: false, ..PruningConfig::all() },
+        ] {
+            let other = TpMiner::new(
+                MinerConfig::with_min_support(min_sup).pruning(pruning),
+            )
+            .mine(&db);
+            prop_assert_eq!(other.patterns(), all.patterns(), "pruning {:?}", pruning);
+        }
+    }
+
+    #[test]
+    fn patterns_are_unique_and_canonically_sorted(db in common::small_database()) {
+        let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        let patterns = result.patterns();
+        for w in patterns.windows(2) {
+            let key0 = (w[0].pattern.arity(), &w[0].pattern);
+            let key1 = (w[1].pattern.arity(), &w[1].pattern);
+            prop_assert!(key0 < key1, "output not strictly sorted / deduplicated");
+        }
+    }
+
+    #[test]
+    fn window_constrained_supports_match_oracle(
+        db in common::small_database(),
+        min_sup in 1usize..3,
+        window in 1i64..8,
+    ) {
+        let result = TpMiner::new(
+            MinerConfig::with_min_support(min_sup).max_window(window),
+        )
+        .mine(&db);
+        for fp in result.patterns() {
+            prop_assert_eq!(
+                matcher::support_within_window(&db, &fp.pattern, Some(window)),
+                fp.support,
+                "window support mismatch for {} (w={})",
+                fp.pattern.display(db.symbols()),
+                window
+            );
+        }
+        // Completeness: every unconstrained frequent pattern that the window
+        // oracle still accepts must be in the windowed output.
+        let unconstrained = TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(&db);
+        for fp in unconstrained.patterns() {
+            let wsup = matcher::support_within_window(&db, &fp.pattern, Some(window));
+            if wsup >= min_sup {
+                prop_assert!(
+                    result.patterns().iter().any(|p| p.pattern == fp.pattern),
+                    "windowed miner missed {}",
+                    fp.pattern.display(db.symbols())
+                );
+            }
+        }
+        // Soundness of the count direction: windowed support <= plain support.
+        for fp in result.patterns() {
+            prop_assert!(fp.support <= matcher::support(&db, &fp.pattern));
+        }
+    }
+
+    #[test]
+    fn gap_constrained_supports_match_oracle(
+        db in common::small_database(),
+        min_sup in 1usize..3,
+        gap in 1i64..6,
+    ) {
+        use interval_core::MatchConstraints;
+        let result = TpMiner::new(MinerConfig::with_min_support(min_sup).max_gap(gap)).mine(&db);
+        for fp in result.patterns() {
+            prop_assert_eq!(
+                matcher::support_constrained(&db, &fp.pattern, MatchConstraints::gap(gap)),
+                fp.support,
+                "gap support mismatch for {} (g={})",
+                fp.pattern.display(db.symbols()),
+                gap
+            );
+        }
+        // Completeness against the oracle.
+        let unconstrained = TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(&db);
+        for fp in unconstrained.patterns() {
+            let gsup =
+                matcher::support_constrained(&db, &fp.pattern, MatchConstraints::gap(gap));
+            if gsup >= min_sup {
+                prop_assert!(
+                    result.patterns().iter().any(|p| p.pattern == fp.pattern),
+                    "gap miner missed {}",
+                    fp.pattern.display(db.symbols())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_subpattern_of_a_frequent_pattern_is_frequent(
+        db in common::small_database(),
+        min_sup in 1usize..3,
+    ) {
+        // Anti-monotonicity, observed end-to-end on the miner output.
+        let result = TpMiner::new(MinerConfig::with_min_support(min_sup)).mine(&db);
+        let patterns = result.patterns();
+        for fp in patterns {
+            if fp.pattern.arity() < 2 {
+                continue;
+            }
+            for slot in 0..fp.pattern.arity() {
+                let sub = baselines::ieminer::remove_slot(&fp.pattern, slot);
+                prop_assert!(
+                    patterns.iter().any(|p| p.pattern == sub),
+                    "{} frequent but its sub-pattern {} missing",
+                    fp.pattern.display(db.symbols()),
+                    sub.display(db.symbols())
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests on the pattern data model: canonicalization, the
+//! endpoint representation, display/parse, and the containment matcher.
+
+mod common;
+
+use interval_core::{
+    matcher, AllenRelation, EndpointKind, EndpointSeq, IntervalSequence, SymbolTable,
+    TemporalPattern,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arrangement_realization_round_trips(ivs in common::interval_set()) {
+        let p = TemporalPattern::arrangement_of(&ivs);
+        prop_assert_eq!(&TemporalPattern::arrangement_of(&p.realization()), &p);
+        // The realization, as a sequence, contains its own pattern.
+        prop_assert!(matcher::contains(&p.realization_sequence(), &p));
+    }
+
+    #[test]
+    fn arrangement_is_permutation_invariant(ivs in common::interval_set(), seed in 0u64..64) {
+        let p1 = TemporalPattern::arrangement_of(&ivs);
+        // Deterministic pseudo-shuffle.
+        let mut shuffled = ivs.clone();
+        let n = shuffled.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(TemporalPattern::arrangement_of(&shuffled), p1);
+    }
+
+    #[test]
+    fn arrangement_is_time_shift_invariant(ivs in common::interval_set(), shift in -100i64..100) {
+        let p1 = TemporalPattern::arrangement_of(&ivs);
+        let shifted: Vec<_> = ivs
+            .iter()
+            .map(|iv| interval_core::EventInterval::new_unchecked(
+                iv.symbol, iv.start + shift, iv.end + shift,
+            ))
+            .collect();
+        prop_assert_eq!(TemporalPattern::arrangement_of(&shifted), p1);
+    }
+
+    #[test]
+    fn display_parse_round_trips(ivs in common::interval_set()) {
+        let mut table = SymbolTable::with_synthetic_symbols(3);
+        let p = TemporalPattern::arrangement_of(&ivs);
+        let text = p.display(&table).to_string();
+        let parsed = TemporalPattern::parse(&text, &mut table).unwrap();
+        prop_assert_eq!(parsed, p, "text was `{}`", text);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index symmetry (i, j) vs (j, i)
+    fn relation_matrix_is_coherent(ivs in common::interval_set()) {
+        let p = TemporalPattern::arrangement_of(&ivs);
+        let m = p.relation_matrix();
+        let direct: Vec<Vec<AllenRelation>> = ivs_matrix(&p);
+        prop_assert_eq!(&m, &direct);
+        for i in 0..m.len() {
+            prop_assert_eq!(m[i][i], AllenRelation::Equals);
+            for j in 0..m.len() {
+                prop_assert_eq!(m[i][j], m[j][i].inverse());
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_transform_is_consistent(ivs in common::interval_set()) {
+        let seq = IntervalSequence::from_intervals(ivs);
+        let es = EndpointSeq::from_sequence(&seq);
+        // Twice as many endpoints as intervals, alternating per instance.
+        prop_assert_eq!(es.endpoints().len(), 2 * seq.len());
+        // Groups partition the endpoints with strictly increasing times.
+        let mut last_time = i64::MIN;
+        for (_, group) in es.groups() {
+            prop_assert!(!group.is_empty());
+            let t = group[0].time;
+            prop_assert!(t > last_time);
+            last_time = t;
+            for e in group {
+                prop_assert_eq!(e.time, t);
+                // canonical order within the group: finishes first
+                let _ = e;
+            }
+            let mut seen_start = false;
+            for e in group {
+                match e.kind {
+                    EndpointKind::Start => seen_start = true,
+                    EndpointKind::Finish => {
+                        prop_assert!(!seen_start, "finish after start within group");
+                    }
+                }
+            }
+        }
+        // Instance info agrees with the original intervals.
+        for (idx, iv) in seq.iter().enumerate() {
+            let info = es.instance(idx as u32);
+            prop_assert_eq!(info.symbol, iv.symbol);
+            prop_assert_eq!(info.start, iv.start);
+            prop_assert_eq!(info.end, iv.end);
+            prop_assert!(info.start_group < info.end_group);
+        }
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_monotone(ivs in common::interval_set(), extra in common::interval_set()) {
+        let p = TemporalPattern::arrangement_of(&ivs);
+        let seq = IntervalSequence::from_intervals(ivs.clone());
+        prop_assert!(matcher::contains(&seq, &p));
+        // Adding intervals never destroys containment.
+        let bigger: IntervalSequence = ivs.iter().chain(extra.iter()).copied().collect();
+        prop_assert!(matcher::contains(&bigger, &p));
+    }
+
+    #[test]
+    fn subpattern_relation_is_a_partial_order_sample(
+        a in common::interval_set(),
+        b in common::interval_set(),
+    ) {
+        let pa = TemporalPattern::arrangement_of(&a);
+        let pb = TemporalPattern::arrangement_of(&b);
+        // reflexive
+        prop_assert!(pa.is_subpattern_of(&pa));
+        // antisymmetric
+        if pa.is_subpattern_of(&pb) && pb.is_subpattern_of(&pa) {
+            prop_assert_eq!(&pa, &pb);
+        }
+        // consistent with arity
+        if pa.is_subpattern_of(&pb) {
+            prop_assert!(pa.arity() <= pb.arity());
+        }
+    }
+
+    #[test]
+    fn allen_relation_matches_endpoint_grouping(
+        a in common::small_interval(1),
+        b in common::small_interval(1),
+    ) {
+        use AllenRelation::*;
+        let p = TemporalPattern::arrangement_of(&[a, b]);
+        // map slots back: slot order is canonical; find which slot is `a`
+        let rel = AllenRelation::relate(&a, &b);
+        let groups = p.num_groups();
+        match rel {
+            Equals => prop_assert_eq!(groups, 2),
+            Meets | MetBy | Starts | StartedBy | Finishes | FinishedBy => {
+                prop_assert_eq!(groups, 3)
+            }
+            _ => prop_assert_eq!(groups, 4),
+        }
+    }
+}
+
+fn ivs_matrix(p: &TemporalPattern) -> Vec<Vec<AllenRelation>> {
+    let r = p.realization();
+    r.iter()
+        .map(|a| r.iter().map(|b| AllenRelation::relate(a, b)).collect())
+        .collect()
+}

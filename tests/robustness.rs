@@ -1,0 +1,140 @@
+//! Robustness tests: adversarial inputs to parsers, degenerate databases,
+//! and stress shapes designed to provoke worst-case behaviour in the search
+//! (repeated identical intervals, deep chains, all-same-symbol data).
+
+mod common;
+
+use datasets::{csv, io};
+use interval_core::{matcher, DatabaseBuilder, SymbolTable, TemporalPattern};
+use proptest::prelude::*;
+use tpminer::{MinerConfig, TpMiner};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pattern_parser_never_panics(text in "\\PC{0,40}") {
+        let mut table = SymbolTable::new();
+        let _ = TemporalPattern::parse(&text, &mut table);
+    }
+
+    #[test]
+    fn io_parser_never_panics(text in "\\PC{0,80}") {
+        let _ = io::read_database(&text);
+        let _ = io::read_uncertain_database(&text);
+        let _ = csv::read_long_csv(&text);
+        let _ = csv::read_long_csv_uncertain(&text);
+    }
+
+    #[test]
+    fn structured_garbage_lines_error_not_panic(
+        name in "[a-z]{1,4}",
+        a in -5i64..5,
+        b in -5i64..5,
+        junk in "[ ;,0-9a-z#+|-]{0,20}",
+    ) {
+        let line = format!("{name} {a} {b}; {junk}");
+        let _ = io::read_database(&line);
+        let line = format!("s,{name},{a},{b}\n{junk}");
+        let _ = csv::read_long_csv(&line);
+    }
+}
+
+#[test]
+fn identical_intervals_stress_frontier_dedup() {
+    // 12 byte-identical intervals per sequence: embeddings are maximally
+    // interchangeable; the dedup must keep the frontier collapsed.
+    let mut b = DatabaseBuilder::new();
+    for _ in 0..4 {
+        let mut s = b.sequence();
+        for _ in 0..12 {
+            s = s.interval("A", 0, 10);
+        }
+    }
+    let db = b.build();
+    let result = TpMiner::new(MinerConfig::with_min_support(4).max_arity(3)).mine(&db);
+    // Only "k equal A's" patterns exist, one per arity.
+    assert_eq!(result.len(), 3);
+    for fp in result.patterns() {
+        assert_eq!(fp.support, 4);
+        assert_eq!(matcher::support(&db, &fp.pattern), 4);
+    }
+    assert_eq!(result.stats().frontier_cap_hits, 0);
+}
+
+#[test]
+fn long_chain_sequences_mine_exactly() {
+    // One long before-chain per sequence; patterns are sub-chains.
+    let mut b = DatabaseBuilder::new();
+    for _ in 0..3 {
+        let mut s = b.sequence();
+        for i in 0..10i64 {
+            s = s.interval("A", 3 * i, 3 * i + 2);
+        }
+    }
+    let db = b.build();
+    let result = TpMiner::new(MinerConfig::with_min_support(3).max_arity(4)).mine(&db);
+    // Sub-chains of length 1..=4: exactly one canonical pattern per arity.
+    assert_eq!(result.len(), 4);
+    for fp in result.patterns() {
+        assert_eq!(fp.support, 3);
+    }
+}
+
+#[test]
+fn nested_onion_sequences() {
+    // Perfectly nested intervals (an onion): containment chains dominate.
+    let mut b = DatabaseBuilder::new();
+    for _ in 0..2 {
+        let mut s = b.sequence();
+        for i in 0..6i64 {
+            s = s.interval("A", i, 20 - i);
+        }
+    }
+    let db = b.build();
+    let result = TpMiner::new(MinerConfig::with_min_support(2).max_arity(3)).mine(&db);
+    for fp in result.patterns() {
+        assert_eq!(matcher::support(&db, &fp.pattern), fp.support);
+    }
+    // The 3-onion pattern (A contains A contains A) must be found.
+    let mut t = db.symbols().clone();
+    let onion3 = TemporalPattern::parse("A+#0 | A+#1 | A+#2 | A-#2 | A-#1 | A-#0", &mut t).unwrap();
+    assert!(result.patterns().iter().any(|p| p.pattern == onion3));
+}
+
+#[test]
+fn single_sequence_database() {
+    let mut b = DatabaseBuilder::new();
+    b.sequence().interval("A", 0, 5).interval("B", 2, 8);
+    let db = b.build();
+    let result = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+    assert_eq!(result.len(), 3);
+    let stricter = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+    assert!(stricter.is_empty());
+}
+
+#[test]
+fn sequences_with_extreme_timestamps() {
+    let mut b = DatabaseBuilder::new();
+    b.sequence()
+        .interval("A", i64::MIN / 4, i64::MAX / 4)
+        .interval("B", -1_000_000_000_000, 1_000_000_000_000);
+    b.sequence().interval("A", -5, 5).interval("B", -1, 1);
+    let db = b.build();
+    let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+    let mut t = db.symbols().clone();
+    let contains = TemporalPattern::parse("A+ | B+ | B- | A-", &mut t).unwrap();
+    assert!(result.patterns().iter().any(|p| p.pattern == contains));
+}
+
+#[test]
+fn all_sequences_empty() {
+    let mut b = DatabaseBuilder::new();
+    for _ in 0..5 {
+        b.sequence();
+    }
+    let db = b.build();
+    assert!(TpMiner::new(MinerConfig::with_min_support(1))
+        .mine(&db)
+        .is_empty());
+}

@@ -1,0 +1,89 @@
+//! Serde round trips for the public data types — downstream users persist
+//! mined results and datasets as JSON.
+
+mod common;
+
+use interval_core::{AllenRelation, EventInterval, IntervalDatabase, SymbolId, TemporalPattern};
+use proptest::prelude::*;
+use tpminer::{FrequentPattern, MinerConfig, MinerStats, PruningConfig, TpMiner};
+
+fn json_round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let text = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&text).expect("deserialize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn patterns_round_trip(ivs in common::interval_set()) {
+        let p = TemporalPattern::arrangement_of(&ivs);
+        prop_assert_eq!(json_round_trip(&p), p);
+    }
+
+    #[test]
+    fn databases_round_trip_semantically(db in common::small_database()) {
+        let back: IntervalDatabase = json_round_trip(&db);
+        // The symbol table's lookup index is skipped during serde; compare
+        // the observable content instead of PartialEq on the whole struct.
+        prop_assert_eq!(back.sequences(), db.sequences());
+        prop_assert_eq!(back.symbols().len(), db.symbols().len());
+        // And mining the deserialized copy gives identical results.
+        let a = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        let b = TpMiner::new(MinerConfig::with_min_support(1)).mine(&back);
+        prop_assert_eq!(a.patterns(), b.patterns());
+    }
+}
+
+#[test]
+fn mining_results_round_trip() {
+    let mut b = interval_core::DatabaseBuilder::new();
+    b.sequence().interval("A", 0, 5).interval("B", 3, 8);
+    b.sequence().interval("A", 2, 7).interval("B", 5, 9);
+    let db = b.build();
+    let result = TpMiner::new(MinerConfig::with_min_support(2)).mine(&db);
+
+    let patterns: Vec<FrequentPattern> = json_round_trip(&result.patterns().to_vec());
+    assert_eq!(patterns, result.patterns());
+
+    // `elapsed` is persisted at microsecond precision; normalize before
+    // comparing.
+    let stats: MinerStats = json_round_trip(result.stats());
+    let mut expected = result.stats().clone();
+    expected.elapsed = std::time::Duration::from_micros(expected.elapsed.as_micros() as u64);
+    assert_eq!(stats, expected);
+}
+
+#[test]
+fn configs_round_trip() {
+    let config = MinerConfig::with_min_support(7)
+        .max_arity(4)
+        .max_window(100)
+        .pruning(PruningConfig::none());
+    assert_eq!(json_round_trip(&config), config);
+}
+
+#[test]
+fn scalar_types_round_trip() {
+    assert_eq!(json_round_trip(&SymbolId(42)), SymbolId(42));
+    let iv = EventInterval::new(SymbolId(1), -5, 9).unwrap();
+    assert_eq!(json_round_trip(&iv), iv);
+    for r in AllenRelation::ALL {
+        assert_eq!(json_round_trip(&r), r);
+    }
+}
+
+#[test]
+fn symbol_table_rebuilds_lookup_after_deserialization() {
+    let mut table = interval_core::SymbolTable::new();
+    let fever = table.intern("fever");
+    let mut back: interval_core::SymbolTable = json_round_trip(&table);
+    // The name->id index is #[serde(skip)]; rebuild restores lookups.
+    assert_eq!(back.lookup("fever"), None);
+    back.rebuild_index();
+    assert_eq!(back.lookup("fever"), Some(fever));
+    assert_eq!(back.name(fever), "fever");
+}
