@@ -178,6 +178,19 @@ mod tests {
     }
 
     #[test]
+    fn budget_option_typos_get_suggestions() {
+        let known = &["min-support", "timeout", "max-nodes", "threads"];
+        let p = parse(&argv("mine f --timout 5")).unwrap();
+        let err = p.expect_options(known).unwrap_err();
+        assert!(err.contains("did you mean --timeout"), "{err}");
+        let p = parse(&argv("mine f --max-node 10")).unwrap();
+        let err = p.expect_options(known).unwrap_err();
+        assert!(err.contains("did you mean --max-nodes"), "{err}");
+        let p = parse(&argv("mine f --timeout 5 --max-nodes 10 --threads 4")).unwrap();
+        assert!(p.expect_options(known).is_ok());
+    }
+
+    #[test]
     fn edit_distance_basics() {
         assert_eq!(edit_distance("abc", "abc"), 0);
         assert_eq!(edit_distance("abc", "abd"), 1);

@@ -11,16 +11,33 @@
 //! Input formats are auto-detected: `.csv` files use the long format
 //! (`sequence,symbol,start,end[,probability]`); anything else uses the
 //! native text format (one sequence per line; see `datasets::io`).
+//!
+//! # Degraded operation
+//!
+//! `mine` and `mine-prob` accept `--timeout SECS` and `--max-nodes N`, and
+//! Ctrl-C requests a cooperative stop instead of killing the process. In
+//! all three cases the command prints the **sound partial result** computed
+//! so far (every reported support is exact; only completeness is lost) and
+//! signals the truncation through its exit code:
+//!
+//! | code | meaning |
+//! |-----:|---------|
+//! | 0    | complete result |
+//! | 2    | usage error |
+//! | 3    | budget exhausted (deadline or node cap) — partial result |
+//! | 4    | a worker thread failed — surviving partitions reported |
+//! | 130  | interrupted by Ctrl-C — partial result |
 
 mod args;
+mod sigint;
 
 use args::Parsed;
 use interval_core::{IntervalDatabase, UncertainDatabase};
 use std::path::Path;
 use std::process::ExitCode;
 use tpminer::{
-    closed_patterns, maximal_patterns, mine_top_k, MinerConfig, ProbabilisticConfig,
-    ProbabilisticMiner, TopKConfig, TpMiner,
+    closed_patterns, maximal_patterns, mine_top_k_budgeted, MinerConfig, MiningBudget,
+    ParallelTpMiner, ProbabilisticConfig, ProbabilisticMiner, Termination, TopKConfig, TpMiner,
 };
 
 const USAGE: &str = "\
@@ -36,14 +53,19 @@ commands:
              <file> --min-support FRAC | --abs-support N
              [--max-arity K] [--window W] [--gap G] [--closed] [--maximal]
              [--top-k K] [--rules CONF] [--explain] [--json]
+             [--timeout SECS] [--max-nodes N] [--threads N]
   mine-prob  mine probabilistic patterns from uncertain data
-             <file> --min-esup FRAC [--json]
+             <file> --min-esup FRAC [--json] [--timeout SECS] [--max-nodes N]
+
+exit codes:
+  0 complete   2 usage error   3 budget exhausted (partial result)
+  4 worker failed (partial result)   130 interrupted (partial result)
 ";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
@@ -52,36 +74,92 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = args::parse(argv)?;
     if parsed.flag("help") || parsed.command.is_empty() {
         print!("{USAGE}");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     match parsed.command.as_str() {
         "generate" => {
             parsed.expect_options(&[
-                "sequences", "intervals", "symbols", "patterns", "seed", "uncertain", "format",
+                "sequences",
+                "intervals",
+                "symbols",
+                "patterns",
+                "seed",
+                "uncertain",
+                "format",
                 "out",
             ])?;
-            generate(&parsed)
+            generate(&parsed).map(|()| ExitCode::SUCCESS)
         }
         "stats" => {
             parsed.expect_options(&["json"])?;
-            stats(&parsed)
+            stats(&parsed).map(|()| ExitCode::SUCCESS)
         }
         "mine" => {
             parsed.expect_options(&[
-                "min-support", "abs-support", "max-arity", "window", "gap", "closed", "maximal",
-                "top-k", "rules", "explain", "json",
+                "min-support",
+                "abs-support",
+                "max-arity",
+                "window",
+                "gap",
+                "closed",
+                "maximal",
+                "top-k",
+                "rules",
+                "explain",
+                "json",
+                "timeout",
+                "max-nodes",
+                "threads",
             ])?;
             mine(&parsed)
         }
         "mine-prob" => {
-            parsed.expect_options(&["min-esup", "json"])?;
+            parsed.expect_options(&["min-esup", "json", "timeout", "max-nodes"])?;
             mine_prob(&parsed)
         }
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Builds the run's resource budget from `--timeout` / `--max-nodes` and
+/// wires in the Ctrl-C cancellation token.
+fn budget_from(p: &Parsed) -> Result<MiningBudget, String> {
+    let mut budget = MiningBudget::unlimited().with_token(sigint::install());
+    if let Some(secs) = p.opt_num::<f64>("timeout")? {
+        if !secs.is_finite() || secs < 0.0 || secs > 1e15 {
+            return Err(format!(
+                "--timeout: `{secs}` is not a usable number of seconds"
+            ));
+        }
+        budget = budget.with_timeout(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(n) = p.opt_num::<u64>("max-nodes")? {
+        budget = budget.with_max_nodes(n);
+    }
+    Ok(budget)
+}
+
+/// Maps how the run ended to the process exit code (see module docs).
+fn exit_code(termination: &Termination) -> ExitCode {
+    match termination {
+        Termination::Complete => ExitCode::SUCCESS,
+        Termination::Cancelled => ExitCode::from(130),
+        Termination::WorkerFailed { .. } => ExitCode::from(4),
+        _ => ExitCode::from(3),
+    }
+}
+
+/// Tells the user (on stderr) that the printed result is partial.
+fn report_truncation(termination: &Termination) {
+    if !termination.is_complete() {
+        eprintln!(
+            "note: {termination} — partial result: reported supports are exact, \
+             but the pattern set may be incomplete"
+        );
     }
 }
 
@@ -153,7 +231,7 @@ fn stats(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn mine(p: &Parsed) -> Result<(), String> {
+fn mine(p: &Parsed) -> Result<ExitCode, String> {
     let db = load_database(p.input()?)?;
     let mut config = MinerConfig::default();
     if let Some(k) = p.opt_num::<usize>("max-arity")? {
@@ -165,17 +243,21 @@ fn mine(p: &Parsed) -> Result<(), String> {
     if let Some(g) = p.opt_num::<i64>("gap")? {
         config = config.max_gap(g);
     }
+    let budget = budget_from(p)?;
 
     if let Some(k) = p.opt_num::<usize>("top-k")? {
-        let top = mine_top_k(
+        let (top, termination) = mine_top_k_budgeted(
             &db,
             TopKConfig {
                 k,
                 min_arity: 2,
                 base: config,
             },
+            budget,
         );
-        return render(p, &db, &top, "top-k");
+        report_truncation(&termination);
+        render(p, &db, &top, "top-k")?;
+        return Ok(exit_code(&termination));
     }
 
     config.min_support = match (
@@ -186,13 +268,19 @@ fn mine(p: &Parsed) -> Result<(), String> {
         (None, Some(frac)) => db.absolute_support(frac),
         (None, None) => return Err("pass --min-support FRAC or --abs-support N".into()),
     };
-    let result = TpMiner::new(config).mine(&db);
+    let result = match p.opt_num::<usize>("threads")? {
+        Some(threads) => ParallelTpMiner::new(config, threads)
+            .with_budget(budget)
+            .mine(&db),
+        None => TpMiner::new(config).with_budget(budget).mine(&db),
+    };
     eprintln!(
         "mined {} patterns in {:?} ({} nodes explored)",
         result.len(),
         result.stats().elapsed,
         result.stats().nodes_explored
     );
+    report_truncation(result.termination());
 
     if let Some(min_confidence) = p.opt_num::<f64>("rules")? {
         let rules = tpminer::generate_rules(
@@ -202,7 +290,7 @@ fn mine(p: &Parsed) -> Result<(), String> {
                 single_extension_only: true,
             },
         );
-        return emit_lines(
+        emit_lines(
             std::iter::once(format!(
                 "{} rules at confidence >= {min_confidence}",
                 rules.len()
@@ -212,6 +300,14 @@ fn mine(p: &Parsed) -> Result<(), String> {
                     .iter()
                     .map(|r| format!("  {}", r.display(db.symbols()))),
             ),
+        )?;
+        return Ok(exit_code(result.termination()));
+    }
+    if (p.flag("maximal") || p.flag("closed")) && !result.is_exhaustive() {
+        eprintln!(
+            "warning: --closed/--maximal filter a *complete* frequent set; \
+             on this partial result the labels may be wrong (a missing \
+             super-pattern cannot subsume anything)"
         );
     }
     let patterns: Vec<tpminer::FrequentPattern> = if p.flag("maximal") {
@@ -233,7 +329,7 @@ fn mine(p: &Parsed) -> Result<(), String> {
     if p.flag("explain") {
         explain(&db, &patterns)?;
     }
-    Ok(())
+    Ok(exit_code(result.termination()))
 }
 
 /// Prints, for the largest pattern found, an ASCII timeline and one concrete
@@ -319,13 +415,14 @@ fn render(
     }
 }
 
-fn mine_prob(p: &Parsed) -> Result<(), String> {
+fn mine_prob(p: &Parsed) -> Result<ExitCode, String> {
     let udb = load_uncertain(p.input()?)?;
     let frac: f64 = p
         .opt_num("min-esup")?
         .ok_or_else(|| "pass --min-esup FRAC".to_string())?;
     let min_esup = frac * udb.len() as f64;
     let result = ProbabilisticMiner::new(ProbabilisticConfig::with_min_expected_support(min_esup))
+        .with_budget(budget_from(p)?)
         .mine(&udb);
     eprintln!(
         "{} probabilistic patterns (candidates {}, screened {})",
@@ -333,6 +430,7 @@ fn mine_prob(p: &Parsed) -> Result<(), String> {
         result.stats().candidates,
         result.stats().pruned_by_bound
     );
+    report_truncation(result.termination());
     if p.flag("json") {
         emit_lines(result.patterns().iter().map(|pp| {
             serde_json::json!({
@@ -341,7 +439,7 @@ fn mine_prob(p: &Parsed) -> Result<(), String> {
                 "world_support": pp.world_support,
             })
             .to_string()
-        }))
+        }))?;
     } else {
         emit_lines(result.patterns().iter().map(|pp| {
             format!(
@@ -350,6 +448,7 @@ fn mine_prob(p: &Parsed) -> Result<(), String> {
                 pp.expected_support,
                 pp.world_support
             )
-        }))
+        }))?;
     }
+    Ok(exit_code(result.termination()))
 }

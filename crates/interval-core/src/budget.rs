@@ -1,0 +1,518 @@
+//! Resource governance for long-running mining operations.
+//!
+//! Pattern-growth search is exponential in the worst case, so a production
+//! deployment cannot offer only two outcomes — "ran to completion" or
+//! "process aborted". This module provides the third: **bounded runs with
+//! sound partial results**. A [`MiningBudget`] carries a wall-clock
+//! deadline, a search-node budget, a candidate-count budget and a shareable
+//! [`CancellationToken`]; the search checks it cooperatively and unwinds
+//! cleanly when any limit trips, reporting *why* through a [`Termination`]
+//! status.
+//!
+//! # The soundness-under-truncation invariant
+//!
+//! A budget never changes *what* a reported pattern means, only *how many*
+//! patterns get reported:
+//!
+//! - every pattern in a truncated result is a pattern of the unbudgeted
+//!   result, with **exactly** the same support (supports are computed from a
+//!   fully materialized projection before the pattern is emitted — a budget
+//!   can only prevent emission, never corrupt a count);
+//! - only **completeness** is lost: frequent patterns whose search-tree
+//!   nodes were never reached are missing.
+//!
+//! This invariant is property-tested in `tests/robustness.rs`.
+//!
+//! # Sharing
+//!
+//! Cloning a [`MiningBudget`] shares its cancellation token and its charge
+//! counters. Handing clones of one budget to several worker threads
+//! therefore makes the limits *global*: the node budget bounds the sum of
+//! nodes explored across all workers, and cancelling the token stops every
+//! worker.
+
+use crate::symbols::SymbolId;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation flag, shareable across threads.
+///
+/// Cancellation is level-triggered and permanent: once [`cancel`] has been
+/// called, every present and future observer of the token (or of any clone
+/// of it) sees it cancelled. The flag is a single atomic store, so it is
+/// safe to flip from a Unix signal handler.
+///
+/// [`cancel`]: CancellationToken::cancel
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    ///
+    /// The load is `Relaxed`: the flag carries no data of its own, and the
+    /// search only needs to observe it eventually (within one node
+    /// expansion).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a mining run stopped.
+///
+/// `Complete` is the only status under which the reported pattern set is
+/// exhaustive. Under every other status the result is a **sound partial
+/// result**: each reported support is exact, but some frequent patterns may
+/// be missing (see the [module docs](self) for the invariant).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Termination {
+    /// The search space was exhausted; the result is exact and complete.
+    #[default]
+    Complete,
+    /// The wall-clock deadline passed before the search finished.
+    DeadlineExceeded,
+    /// The search-node budget was spent before the search finished.
+    NodeBudgetExceeded,
+    /// The candidate-count budget was spent before the search finished.
+    CandidateBudgetExceeded,
+    /// The cancellation token was flipped (operator Ctrl-C, caller abort).
+    Cancelled,
+    /// One or more worker threads panicked. Only the named root-symbol
+    /// partitions are missing; every surviving worker's patterns are
+    /// reported with exact supports.
+    WorkerFailed {
+        /// The root symbols whose level-1 subtrees were lost.
+        roots: Vec<SymbolId>,
+    },
+}
+
+impl Termination {
+    /// Whether the run exhausted its search space (the result is complete).
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Termination::Complete)
+    }
+
+    /// Coarse ordering used by [`merge`](Termination::merge): higher means
+    /// "more abnormal".
+    fn severity(&self) -> u8 {
+        match self {
+            Termination::Complete => 0,
+            Termination::CandidateBudgetExceeded => 1,
+            Termination::NodeBudgetExceeded => 2,
+            Termination::DeadlineExceeded => 3,
+            Termination::Cancelled => 4,
+            Termination::WorkerFailed { .. } => 5,
+        }
+    }
+
+    /// Combines the statuses of two partial runs (e.g. two parallel
+    /// workers) into the status of their merged result: the more abnormal
+    /// one wins, and failed-root lists are unioned.
+    pub fn merge(self, other: Termination) -> Termination {
+        match (self, other) {
+            (
+                Termination::WorkerFailed { mut roots },
+                Termination::WorkerFailed { roots: other_roots },
+            ) => {
+                roots.extend(other_roots);
+                roots.sort_unstable();
+                roots.dedup();
+                Termination::WorkerFailed { roots }
+            }
+            (a, b) => {
+                if a.severity() >= b.severity() {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Termination::Complete => write!(f, "complete"),
+            Termination::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Termination::NodeBudgetExceeded => write!(f, "node budget exceeded"),
+            Termination::CandidateBudgetExceeded => write!(f, "candidate budget exceeded"),
+            Termination::Cancelled => write!(f, "cancelled"),
+            Termination::WorkerFailed { roots } => {
+                write!(f, "worker failed (lost roots: ")?;
+                for (i, r) in roots.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", r.0)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Default number of node expansions between wall-clock deadline checks.
+pub const DEFAULT_CHECK_STRIDE: u64 = 1024;
+
+/// Resource limits for a mining run. The default is unlimited.
+///
+/// Budgets compose with every miner through `with_budget`-style builders;
+/// see the [module docs](self) for sharing semantics and the soundness
+/// invariant.
+#[derive(Debug, Clone)]
+pub struct MiningBudget {
+    deadline: Option<Instant>,
+    max_nodes: Option<u64>,
+    max_candidates: Option<u64>,
+    check_stride: u64,
+    cancel: CancellationToken,
+    nodes_charged: Arc<AtomicU64>,
+    candidates_charged: Arc<AtomicU64>,
+}
+
+impl Default for MiningBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl MiningBudget {
+    /// A budget with no limits (the default): the only way such a run stops
+    /// early is through its cancellation token.
+    pub fn unlimited() -> Self {
+        Self {
+            deadline: None,
+            max_nodes: None,
+            max_candidates: None,
+            check_stride: DEFAULT_CHECK_STRIDE,
+            cancel: CancellationToken::new(),
+            nodes_charged: Arc::new(AtomicU64::new(0)),
+            candidates_charged: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Caps the total number of search-node expansions (shared across every
+    /// clone of this budget).
+    pub fn with_max_nodes(mut self, max_nodes: u64) -> Self {
+        self.max_nodes = Some(max_nodes);
+        self
+    }
+
+    /// Caps the total number of candidate extensions counted (shared across
+    /// every clone of this budget).
+    pub fn with_max_candidates(mut self, max_candidates: u64) -> Self {
+        self.max_candidates = Some(max_candidates);
+        self
+    }
+
+    /// Uses an external cancellation token (e.g. one flipped by a signal
+    /// handler) instead of the budget's private one.
+    pub fn with_token(mut self, token: CancellationToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Sets how many node expansions may pass between wall-clock deadline
+    /// checks (clamped to at least 1). Smaller strides react faster but
+    /// call `Instant::now` more often.
+    pub fn with_check_stride(mut self, stride: u64) -> Self {
+        self.check_stride = stride.max(1);
+        self
+    }
+
+    /// A clone of the cancellation token, for handing to signal handlers or
+    /// other controllers.
+    pub fn token(&self) -> CancellationToken {
+        self.cancel.clone()
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The configured node cap, if any.
+    pub fn max_nodes(&self) -> Option<u64> {
+        self.max_nodes
+    }
+
+    /// The configured candidate cap, if any.
+    pub fn max_candidates(&self) -> Option<u64> {
+        self.max_candidates
+    }
+
+    /// The deadline check stride.
+    pub fn check_stride(&self) -> u64 {
+        self.check_stride
+    }
+
+    /// Nodes charged so far across every clone of this budget.
+    pub fn nodes_charged(&self) -> u64 {
+        self.nodes_charged.load(Ordering::Relaxed)
+    }
+
+    /// Whether no limit is configured (the token can still cancel the run).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_nodes.is_none() && self.max_candidates.is_none()
+    }
+
+    /// Non-charging probe: the status a run should stop with right now, if
+    /// any. Used by coarse-grained loops (e.g. per-candidate probabilistic
+    /// evaluation) where per-item `Instant::now` calls are affordable.
+    pub fn exceeded(&self) -> Option<Termination> {
+        if self.cancel.is_cancelled() {
+            return Some(Termination::Cancelled);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(Termination::DeadlineExceeded);
+            }
+        }
+        if let Some(m) = self.max_nodes {
+            if self.nodes_charged.load(Ordering::Relaxed) >= m {
+                return Some(Termination::NodeBudgetExceeded);
+            }
+        }
+        if let Some(m) = self.max_candidates {
+            if self.candidates_charged.load(Ordering::Relaxed) >= m {
+                return Some(Termination::CandidateBudgetExceeded);
+            }
+        }
+        None
+    }
+
+    /// Charges one node expansion against the shared counter. `Err` when
+    /// the node budget is already spent; the caller must stop *before*
+    /// performing the expansion, which keeps per-run node counters at or
+    /// below the cap.
+    fn charge_node(&self) -> Result<(), Termination> {
+        if let Some(m) = self.max_nodes {
+            if self.nodes_charged.fetch_add(1, Ordering::Relaxed) >= m {
+                return Err(Termination::NodeBudgetExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` counted candidates against the shared counter.
+    fn charge_candidates(&self, n: u64) -> Result<(), Termination> {
+        if let Some(m) = self.max_candidates {
+            if self.candidates_charged.fetch_add(n, Ordering::Relaxed) + n > m {
+                return Err(Termination::CandidateBudgetExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker budget handle: amortizes the wall-clock deadline check to one
+/// `Instant::now` call every [`check_stride`](MiningBudget::check_stride)
+/// node expansions, while cancellation and the (atomic-counter) node and
+/// candidate budgets are checked on every charge.
+#[derive(Debug, Clone)]
+pub struct BudgetMeter {
+    budget: MiningBudget,
+    until_deadline_check: u64,
+}
+
+impl BudgetMeter {
+    /// Wraps a budget. Meters of clones of one budget share its counters
+    /// and token but amortize deadline checks independently.
+    pub fn new(budget: MiningBudget) -> Self {
+        Self {
+            budget,
+            until_deadline_check: 0,
+        }
+    }
+
+    /// The underlying budget.
+    pub fn budget(&self) -> &MiningBudget {
+        &self.budget
+    }
+
+    /// Called once before each node expansion. `Err` means the run must
+    /// unwind with the given status, *without* performing the expansion.
+    ///
+    /// The very first call always checks the deadline, so a run whose
+    /// deadline has already passed stops without exploring a single node.
+    pub fn on_node(&mut self) -> Result<(), Termination> {
+        if self.budget.cancel.is_cancelled() {
+            return Err(Termination::Cancelled);
+        }
+        self.budget.charge_node()?;
+        if self.until_deadline_check == 0 {
+            self.until_deadline_check = self.budget.check_stride;
+            if let Some(d) = self.budget.deadline {
+                if Instant::now() >= d {
+                    return Err(Termination::DeadlineExceeded);
+                }
+            }
+        }
+        self.until_deadline_check -= 1;
+        Ok(())
+    }
+
+    /// Called after counting a node's candidate extensions. `Err` means the
+    /// candidate budget is spent and the run must unwind.
+    pub fn on_candidates(&mut self, n: u64) -> Result<(), Termination> {
+        self.budget.charge_candidates(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        let b = MiningBudget::default();
+        assert!(b.is_unlimited());
+        assert_eq!(b.exceeded(), None);
+        let mut meter = BudgetMeter::new(b);
+        for _ in 0..10_000 {
+            assert!(meter.on_node().is_ok());
+        }
+    }
+
+    #[test]
+    fn node_budget_trips_exactly_at_cap() {
+        let budget = MiningBudget::unlimited().with_max_nodes(5);
+        let mut meter = BudgetMeter::new(budget.clone());
+        for _ in 0..5 {
+            assert!(meter.on_node().is_ok());
+        }
+        assert_eq!(meter.on_node(), Err(Termination::NodeBudgetExceeded));
+        assert_eq!(budget.exceeded(), Some(Termination::NodeBudgetExceeded));
+    }
+
+    #[test]
+    fn node_budget_is_shared_across_clones() {
+        let budget = MiningBudget::unlimited().with_max_nodes(6);
+        let mut a = BudgetMeter::new(budget.clone());
+        let mut b = BudgetMeter::new(budget);
+        for _ in 0..3 {
+            assert!(a.on_node().is_ok());
+            assert!(b.on_node().is_ok());
+        }
+        assert!(a.on_node().is_err());
+        assert!(b.on_node().is_err());
+    }
+
+    #[test]
+    fn expired_deadline_trips_on_first_node() {
+        let budget = MiningBudget::unlimited().with_deadline(Instant::now());
+        let mut meter = BudgetMeter::new(budget);
+        assert_eq!(meter.on_node(), Err(Termination::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellation_is_observed_by_clones() {
+        let token = CancellationToken::new();
+        let budget = MiningBudget::unlimited().with_token(token.clone());
+        let mut meter = BudgetMeter::new(budget.clone());
+        assert!(meter.on_node().is_ok());
+        token.cancel();
+        assert_eq!(meter.on_node(), Err(Termination::Cancelled));
+        assert_eq!(budget.exceeded(), Some(Termination::Cancelled));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn candidate_budget_trips() {
+        let budget = MiningBudget::unlimited().with_max_candidates(10);
+        let mut meter = BudgetMeter::new(budget);
+        assert!(meter.on_candidates(4).is_ok());
+        assert!(meter.on_candidates(6).is_ok());
+        assert_eq!(
+            meter.on_candidates(1),
+            Err(Termination::CandidateBudgetExceeded)
+        );
+    }
+
+    #[test]
+    fn merge_prefers_the_more_abnormal_status() {
+        use Termination::*;
+        assert_eq!(Complete.merge(Complete), Complete);
+        assert_eq!(Complete.merge(DeadlineExceeded), DeadlineExceeded);
+        assert_eq!(NodeBudgetExceeded.merge(Complete), NodeBudgetExceeded);
+        assert_eq!(Cancelled.merge(DeadlineExceeded), Cancelled);
+        let failed = WorkerFailed {
+            roots: vec![SymbolId(3)],
+        };
+        assert_eq!(failed.clone().merge(Cancelled), failed);
+        let both = WorkerFailed {
+            roots: vec![SymbolId(7), SymbolId(3)],
+        }
+        .merge(WorkerFailed {
+            roots: vec![SymbolId(3), SymbolId(1)],
+        });
+        assert_eq!(
+            both,
+            WorkerFailed {
+                roots: vec![SymbolId(1), SymbolId(3), SymbolId(7)],
+            }
+        );
+    }
+
+    #[test]
+    fn termination_display_is_human_readable() {
+        assert_eq!(Termination::Complete.to_string(), "complete");
+        assert_eq!(
+            Termination::WorkerFailed {
+                roots: vec![SymbolId(1), SymbolId(4)]
+            }
+            .to_string(),
+            "worker failed (lost roots: 1, 4)"
+        );
+    }
+
+    #[test]
+    fn check_stride_amortizes_deadline_checks() {
+        // A deadline in the past with a large stride still trips on the
+        // first call (the meter always checks at node 0), and a fresh meter
+        // over a future deadline does not trip.
+        let past = MiningBudget::unlimited()
+            .with_deadline(Instant::now())
+            .with_check_stride(1_000_000);
+        assert_eq!(
+            BudgetMeter::new(past).on_node(),
+            Err(Termination::DeadlineExceeded)
+        );
+        let future = MiningBudget::unlimited().with_timeout(Duration::from_secs(3600));
+        let mut meter = BudgetMeter::new(future);
+        for _ in 0..5000 {
+            assert!(meter.on_node().is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_stride_is_clamped() {
+        let b = MiningBudget::unlimited().with_check_stride(0);
+        assert_eq!(b.check_stride(), 1);
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod allen;
+pub mod budget;
 pub mod composition;
 pub mod database;
 pub mod endpoint;
@@ -47,6 +48,7 @@ pub mod sequence;
 pub mod symbols;
 
 pub use allen::AllenRelation;
+pub use budget::{BudgetMeter, CancellationToken, MiningBudget, Termination};
 pub use composition::{compose, is_path_consistent, RelationSet};
 pub use database::{
     DatabaseBuilder, IntervalDatabase, SequenceBuilder, UncertainDatabase,

@@ -9,6 +9,14 @@
 //! proper super-pattern always has strictly larger arity (an embedding
 //! between equal-arity patterns uses every interval, forcing equality), only
 //! cross-arity pairs inside the same support class need checking.
+//!
+//! **Completeness requirement.** The filter assumes its input is the *full*
+//! frequent set at one threshold. A budget-truncated result (one whose
+//! [`MiningResult::termination`](crate::MiningResult::termination) is not
+//! `Complete`) may be missing the super-pattern that would absorb a
+//! non-closed pattern, so "closed" labels computed from it are unreliable —
+//! callers (e.g. the CLI) should warn or refuse rather than silently filter
+//! a partial set.
 
 use crate::miner::FrequentPattern;
 

@@ -55,6 +55,12 @@ impl Default for PruningConfig {
 
 /// Configuration of the deterministic miner ([`TpMiner`]).
 ///
+/// `MinerConfig` describes *what* to mine (threshold, structural limits,
+/// pruning) and stays `Copy`. Resource limits on *how long* to mine —
+/// deadline, node/candidate caps, cancellation — live in
+/// [`MiningBudget`](interval_core::MiningBudget) and attach to a miner via
+/// its `with_budget` builder.
+///
 /// [`TpMiner`]: crate::TpMiner
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MinerConfig {

@@ -16,6 +16,13 @@
 //!    support* over an [`interval_core::UncertainDatabase`] reaches a
 //!    threshold, mined by [`ProbabilisticMiner`].
 //!
+//! Every miner accepts a [`MiningBudget`] (wall-clock deadline, node and
+//! candidate caps, cooperative cancellation). A budgeted run that stops
+//! early returns a **sound partial result** — exact supports, possibly
+//! incomplete — and reports how it ended via [`Termination`]. The parallel
+//! driver additionally isolates worker panics, losing only the failed
+//! workers' root partitions.
+//!
 //! ```
 //! use interval_core::DatabaseBuilder;
 //! use tpminer::{MinerConfig, TpMiner};
@@ -47,10 +54,11 @@ pub mod topk;
 pub use closed::{closed_patterns, is_closed_in};
 pub use config::{MinerConfig, PruningConfig};
 pub use index::{DbIndex, SeqIndex};
+pub use interval_core::budget::{CancellationToken, MiningBudget, Termination};
 pub use maximal::{is_maximal_in, maximal_patterns};
 pub use miner::{FrequentPattern, MiningResult, TpMiner};
 pub use parallel::ParallelTpMiner;
 pub use probabilistic::{ProbabilisticConfig, ProbabilisticMiner, ProbabilisticPattern};
 pub use rules::{generate_rules, RuleConfig, TemporalRule};
 pub use stats::MinerStats;
-pub use topk::{mine_top_k, TopKConfig};
+pub use topk::{mine_top_k, mine_top_k_budgeted, TopKConfig};

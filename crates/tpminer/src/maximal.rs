@@ -5,6 +5,12 @@
 //! condensed representations: smaller than the closed set, but *lossy* —
 //! sub-pattern supports cannot be reconstructed, only the shape of the
 //! frequent border.
+//!
+//! **Completeness requirement.** Like the closed filter, this post-filter
+//! is only meaningful over the *full* frequent set: a budget-truncated
+//! [`MiningResult`](crate::MiningResult) (termination other than
+//! `Complete`) may be missing the frequent super-pattern that would subsume
+//! a candidate, so maximality computed from it can over-report.
 
 use crate::miner::FrequentPattern;
 

@@ -4,6 +4,7 @@ use crate::config::MinerConfig;
 use crate::index::DbIndex;
 use crate::search::SearchEngine;
 use crate::stats::MinerStats;
+use interval_core::budget::{MiningBudget, Termination};
 use interval_core::{IntervalDatabase, SymbolTable, TemporalPattern};
 use serde::{Deserialize, Serialize};
 
@@ -16,23 +17,57 @@ pub struct FrequentPattern {
     pub support: usize,
 }
 
-/// The outcome of a mining run: patterns plus work counters.
+/// The outcome of a mining run: patterns, work counters and the
+/// [`Termination`] status.
+///
+/// When the status is not [`Termination::Complete`] the result is a *sound
+/// partial result*: every reported pattern's support is exact, but frequent
+/// patterns whose search-tree nodes were never reached may be missing. See
+/// [`interval_core::budget`] for the invariant and its tests.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MiningResult {
     patterns: Vec<FrequentPattern>,
     stats: MinerStats,
+    #[serde(default)]
+    termination: Termination,
 }
 
 impl MiningResult {
     pub(crate) fn new(pairs: Vec<(TemporalPattern, usize)>, stats: MinerStats) -> Self {
+        Self::with_termination(pairs, stats, Termination::Complete)
+    }
+
+    pub(crate) fn with_termination(
+        pairs: Vec<(TemporalPattern, usize)>,
+        stats: MinerStats,
+        termination: Termination,
+    ) -> Self {
         let patterns = pairs
             .into_iter()
             .map(|(pattern, support)| FrequentPattern { pattern, support })
             .collect();
-        Self { patterns, stats }
+        Self {
+            patterns,
+            stats,
+            termination,
+        }
     }
 
-    /// The frequent patterns, in canonical (arity, pattern) order.
+    /// Why the run stopped: [`Termination::Complete`] for an exhaustive
+    /// search, any other status for a sound partial result.
+    pub fn termination(&self) -> &Termination {
+        &self.termination
+    }
+
+    /// Whether the search space was exhausted (no budget or cancellation
+    /// truncated the run, no worker was lost).
+    pub fn is_exhaustive(&self) -> bool {
+        self.termination.is_complete()
+    }
+
+    /// The frequent patterns, in canonical (arity, pattern) order. Supports
+    /// are exact regardless of [`termination`](MiningResult::termination);
+    /// only completeness depends on it.
     pub fn patterns(&self) -> &[FrequentPattern] {
         &self.patterns
     }
@@ -161,17 +196,36 @@ impl MiningResult {
 #[derive(Debug, Clone)]
 pub struct TpMiner {
     config: MinerConfig,
+    budget: MiningBudget,
 }
 
 impl TpMiner {
-    /// Creates a miner with the given configuration.
+    /// Creates a miner with the given configuration and an unlimited
+    /// budget.
     pub fn new(config: MinerConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            budget: MiningBudget::unlimited(),
+        }
+    }
+
+    /// Attaches a resource budget (deadline, node/candidate caps,
+    /// cancellation token). A tripped budget makes
+    /// [`MiningResult::termination`] report why the run was truncated; the
+    /// partial result stays sound.
+    pub fn with_budget(mut self, budget: MiningBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The configuration.
     pub fn config(&self) -> &MinerConfig {
         &self.config
+    }
+
+    /// The attached budget.
+    pub fn budget(&self) -> &MiningBudget {
+        &self.budget
     }
 
     /// Mines all frequent temporal patterns of `db`.
@@ -183,9 +237,9 @@ impl TpMiner {
     /// Mines over a prebuilt index (lets callers reuse the index across
     /// several runs, e.g. for a support sweep).
     pub fn mine_indexed(&self, index: &DbIndex) -> MiningResult {
-        let engine = SearchEngine::new(index, self.config);
-        let (pairs, stats) = engine.run();
-        MiningResult::new(pairs, stats)
+        let engine = SearchEngine::new(index, self.config).with_budget(self.budget.clone());
+        let (pairs, stats, termination) = engine.run();
+        MiningResult::with_termination(pairs, stats, termination)
     }
 }
 
@@ -278,6 +332,42 @@ mod tests {
             )),
             None
         );
+    }
+
+    #[test]
+    fn budgeted_mine_truncates_soundly() {
+        use interval_core::budget::{MiningBudget, Termination};
+        let db = demo_db();
+        let full = TpMiner::new(MinerConfig::with_min_support(1)).mine(&db);
+        assert!(full.is_exhaustive());
+        assert_eq!(full.termination(), &Termination::Complete);
+
+        let budget = MiningBudget::unlimited().with_max_nodes(1);
+        let partial = TpMiner::new(MinerConfig::with_min_support(1))
+            .with_budget(budget)
+            .mine(&db);
+        assert_eq!(partial.termination(), &Termination::NodeBudgetExceeded);
+        assert!(!partial.is_exhaustive());
+        assert!(partial.len() < full.len());
+        assert!(partial.stats().nodes_explored <= 1);
+        // Sound partial result: whatever was emitted has its exact support.
+        for fp in partial.patterns() {
+            assert_eq!(full.support_of(&fp.pattern), Some(fp.support));
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_mine() {
+        use interval_core::budget::{MiningBudget, Termination};
+        let db = demo_db();
+        let budget = MiningBudget::unlimited();
+        budget.token().cancel();
+        let result = TpMiner::new(MinerConfig::with_min_support(1))
+            .with_budget(budget)
+            .mine(&db);
+        assert_eq!(result.termination(), &Termination::Cancelled);
+        assert!(result.is_empty());
+        assert_eq!(result.stats().nodes_explored, 0);
     }
 
     #[test]

@@ -6,12 +6,27 @@
 //! [`SearchEngine`] over the shared, read-only
 //! [`DbIndex`]; results and counters are merged at the end. Output is
 //! identical to the sequential miner (tested).
+//!
+//! # Fault isolation
+//!
+//! A panicking worker does **not** abort the process or discard the run:
+//! its panic is contained at the join, only its root-symbol partition is
+//! lost, and the merged result reports
+//! [`Termination::WorkerFailed`] naming the lost roots. Surviving workers'
+//! patterns are merged as usual, with exact supports.
+//!
+//! # Budgets
+//!
+//! A [`MiningBudget`] attached via [`ParallelTpMiner::with_budget`] is
+//! shared by every worker: the node/candidate caps bound the *total* work
+//! across workers and cancelling the token stops all of them.
 
 use crate::config::MinerConfig;
 use crate::index::DbIndex;
 use crate::miner::MiningResult;
 use crate::search::SearchEngine;
 use crate::stats::MinerStats;
+use interval_core::budget::{MiningBudget, Termination};
 use interval_core::{IntervalDatabase, SymbolId, TemporalPattern};
 
 /// Multi-threaded variant of [`TpMiner`](crate::TpMiner).
@@ -19,11 +34,26 @@ use interval_core::{IntervalDatabase, SymbolId, TemporalPattern};
 pub struct ParallelTpMiner {
     config: MinerConfig,
     threads: usize,
+    budget: MiningBudget,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Option<(SymbolId, u64)>,
+}
+
+/// Splits `roots` round-robin across at most `threads` workers, clamping
+/// the worker count to the number of roots so tiny databases never spawn
+/// idle workers. Round-robin assignment spreads heavy (low-id, usually
+/// frequent-first) symbols across workers.
+fn partition_roots(roots: &[SymbolId], threads: usize) -> Vec<Vec<SymbolId>> {
+    let workers = threads.min(roots.len()).max(1);
+    (0..workers)
+        .map(|w| roots.iter().copied().skip(w).step_by(workers).collect())
+        .collect()
 }
 
 impl ParallelTpMiner {
-    /// Creates a parallel miner using `threads` workers (values of 0 use the
-    /// machine's available parallelism).
+    /// Creates a parallel miner using `threads` workers (values of 0 use
+    /// the machine's available parallelism). The worker count is further
+    /// clamped to the number of frequent root symbols at mining time.
     pub fn new(config: MinerConfig, threads: usize) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
@@ -32,7 +62,35 @@ impl ParallelTpMiner {
         } else {
             threads
         };
-        Self { config, threads }
+        Self {
+            config,
+            threads,
+            budget: MiningBudget::unlimited(),
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: None,
+        }
+    }
+
+    /// Attaches a resource budget, shared across all workers.
+    pub fn with_budget(mut self, budget: MiningBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured worker-pool size (before the per-run clamp to the
+    /// number of root partitions).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Arms deterministic fault injection in whichever worker owns `root`:
+    /// that worker panics at the `after_nodes`-th expansion inside the
+    /// poisoned subtree. Test-only (also available behind the
+    /// `fault-injection` feature).
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn poison_root(mut self, root: SymbolId, after_nodes: u64) -> Self {
+        self.fault = Some((root, after_nodes));
+        self
     }
 
     /// Mines all frequent temporal patterns of `db` using the worker pool.
@@ -47,36 +105,56 @@ impl ParallelTpMiner {
         if roots.is_empty() {
             return MiningResult::new(Vec::new(), MinerStats::default());
         }
-        let workers = self.threads.min(roots.len()).max(1);
+        let chunks = partition_roots(&roots, self.threads);
 
-        // Round-robin assignment spreads heavy symbols across workers.
-        let chunks: Vec<Vec<SymbolId>> = (0..workers)
-            .map(|w| roots.iter().copied().skip(w).step_by(workers).collect())
-            .collect();
-
-        let mut all: Vec<(TemporalPattern, usize)> = Vec::new();
-        let mut stats = MinerStats::default();
-        let results = crossbeam::thread::scope(|scope| {
+        // Join every worker individually: a panicked worker yields `Err`
+        // here instead of propagating out of the scope, so one poisoned
+        // partition cannot take down the process or the run.
+        let outcomes = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|chunk| {
                     let config = self.config;
-                    scope.spawn(move |_| SearchEngine::new(index, config).run_roots(chunk))
+                    let budget = self.budget.clone();
+                    #[cfg(any(test, feature = "fault-injection"))]
+                    let fault = self.fault;
+                    scope.spawn(move |_| {
+                        let engine = SearchEngine::new(index, config).with_budget(budget);
+                        #[cfg(any(test, feature = "fault-injection"))]
+                        let engine = match fault {
+                            Some((root, after_nodes)) => engine.poison_root(root, after_nodes),
+                            None => engine,
+                        };
+                        engine.run_roots(chunk)
+                    })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect::<Vec<_>>()
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
         })
-        .expect("scope panicked");
+        .expect("worker panics are contained at join");
 
-        for (pairs, worker_stats) in results {
-            all.extend(pairs);
-            stats.merge(&worker_stats);
+        let mut all: Vec<(TemporalPattern, usize)> = Vec::new();
+        let mut stats = MinerStats::default();
+        let mut termination = Termination::Complete;
+        let mut failed_roots: Vec<SymbolId> = Vec::new();
+        for (outcome, chunk) in outcomes.into_iter().zip(&chunks) {
+            match outcome {
+                Ok((pairs, worker_stats, worker_termination)) => {
+                    all.extend(pairs);
+                    stats.merge(&worker_stats);
+                    termination = termination.merge(worker_termination);
+                }
+                Err(_panic) => failed_roots.extend(chunk.iter().copied()),
+            }
+        }
+        if !failed_roots.is_empty() {
+            failed_roots.sort_unstable();
+            termination = termination.merge(Termination::WorkerFailed {
+                roots: failed_roots,
+            });
         }
         all.sort_unstable_by(|a, b| (a.0.arity(), &a.0).cmp(&(b.0.arity(), &b.0)));
-        MiningResult::new(all, stats)
+        MiningResult::with_termination(all, stats, termination)
     }
 }
 
@@ -112,6 +190,7 @@ mod tests {
                     par.patterns(),
                     "threads={threads} min_sup={min_sup}"
                 );
+                assert!(par.is_exhaustive());
             }
         }
     }
@@ -119,7 +198,7 @@ mod tests {
     #[test]
     fn zero_threads_uses_available_parallelism() {
         let miner = ParallelTpMiner::new(MinerConfig::with_min_support(1), 0);
-        assert!(miner.threads >= 1);
+        assert!(miner.threads() >= 1);
         let db = demo_db();
         assert!(!miner.mine(&db).is_empty());
     }
@@ -129,5 +208,91 @@ mod tests {
         let db = IntervalDatabase::new();
         let result = ParallelTpMiner::new(MinerConfig::with_min_support(1), 4).mine(&db);
         assert!(result.is_empty());
+        assert!(result.is_exhaustive());
+    }
+
+    #[test]
+    fn partitioning_clamps_workers_and_covers_all_roots() {
+        let roots: Vec<SymbolId> = (0..3).map(SymbolId).collect();
+        // More threads than roots: one chunk per root, no idle workers.
+        let chunks = partition_roots(&roots, 8);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.len() == 1));
+        // Fewer threads than roots: round-robin, every root exactly once.
+        let roots: Vec<SymbolId> = (0..7).map(SymbolId).collect();
+        let chunks = partition_roots(&roots, 2);
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks.iter().all(|c| !c.is_empty()));
+        let mut seen: Vec<SymbolId> = chunks.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, roots);
+    }
+
+    #[test]
+    fn shared_budget_truncates_the_parallel_mine() {
+        let db = demo_db();
+        let config = MinerConfig::with_min_support(1);
+        let full = TpMiner::new(config).mine(&db);
+        let budget = MiningBudget::unlimited().with_max_nodes(2);
+        let par = ParallelTpMiner::new(config, 4)
+            .with_budget(budget)
+            .mine(&db);
+        assert_eq!(par.termination(), &Termination::NodeBudgetExceeded);
+        // The cap bounds the *sum* of nodes across workers.
+        assert!(par.stats().nodes_explored <= 2);
+        for fp in par.patterns() {
+            assert_eq!(full.support_of(&fp.pattern), Some(fp.support));
+        }
+    }
+
+    #[test]
+    fn poisoned_root_loses_only_its_partition() {
+        let db = demo_db();
+        let config = MinerConfig::with_min_support(1);
+        let full = TpMiner::new(config).mine(&db);
+        let a = db.symbols().lookup("A").expect("A is interned");
+
+        // One worker per root: exactly the A partition is poisoned.
+        let par = ParallelTpMiner::new(config, 64).poison_root(a, 1).mine(&db);
+
+        let failed = match par.termination() {
+            Termination::WorkerFailed { roots } => roots.clone(),
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        };
+        assert_eq!(failed, vec![a]);
+
+        // Every pattern of a surviving root is present with its exact
+        // support; patterns rooted at A are the only ones missing.
+        assert!(!par.is_empty());
+        for fp in full.patterns() {
+            let root = fp.pattern.groups()[0][0].symbol;
+            if root == a {
+                continue;
+            }
+            assert_eq!(
+                par.support_of(&fp.pattern),
+                Some(fp.support),
+                "surviving pattern missing or support drifted"
+            );
+        }
+        for fp in par.patterns() {
+            assert_eq!(full.support_of(&fp.pattern), Some(fp.support));
+            assert_ne!(fp.pattern.groups()[0][0].symbol, a);
+        }
+    }
+
+    #[test]
+    fn poisoned_singleton_run_still_reports_other_workers() {
+        // Even with fewer workers than roots, only the poisoned chunk is
+        // lost and the run reports every root of that chunk.
+        let db = demo_db();
+        let config = MinerConfig::with_min_support(1);
+        let d = db.symbols().lookup("D").expect("D is interned");
+        let par = ParallelTpMiner::new(config, 2).poison_root(d, 1).mine(&db);
+        match par.termination() {
+            Termination::WorkerFailed { roots } => assert!(roots.contains(&d)),
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+        assert!(!par.is_empty(), "surviving partition must still report");
     }
 }

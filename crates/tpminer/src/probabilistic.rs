@@ -22,6 +22,7 @@
 use crate::config::MinerConfig;
 use crate::miner::TpMiner;
 use crate::stats::MinerStats;
+use interval_core::budget::{MiningBudget, Termination};
 use interval_core::probability::{
     containment_probability, containment_upper_bound, ProbabilityConfig,
 };
@@ -97,10 +98,17 @@ pub struct ProbabilisticStats {
 }
 
 /// Result of a probabilistic mining run.
+///
+/// Like [`MiningResult`](crate::MiningResult), a truncated run is *sound*:
+/// every reported pattern's expected support is fully evaluated and exact;
+/// only completeness is lost when [`termination`](Self::termination) is not
+/// [`Termination::Complete`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProbabilisticResult {
     patterns: Vec<ProbabilisticPattern>,
     stats: ProbabilisticStats,
+    #[serde(default)]
+    termination: Termination,
 }
 
 impl ProbabilisticResult {
@@ -112,6 +120,17 @@ impl ProbabilisticResult {
     /// Work counters.
     pub fn stats(&self) -> &ProbabilisticStats {
         &self.stats
+    }
+
+    /// How the run ended; anything but [`Termination::Complete`] means the
+    /// result is a sound but possibly incomplete subset.
+    pub fn termination(&self) -> &Termination {
+        &self.termination
+    }
+
+    /// Whether the run explored the entire search space.
+    pub fn is_exhaustive(&self) -> bool {
+        self.termination.is_complete()
     }
 
     /// Number of patterns found.
@@ -129,12 +148,26 @@ impl ProbabilisticResult {
 #[derive(Debug, Clone)]
 pub struct ProbabilisticMiner {
     config: ProbabilisticConfig,
+    budget: MiningBudget,
 }
 
 impl ProbabilisticMiner {
     /// Creates a miner with the given configuration.
     pub fn new(config: ProbabilisticConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            budget: MiningBudget::unlimited(),
+        }
+    }
+
+    /// Attaches a resource budget. The budget governs both stages: the
+    /// deterministic skeleton shares it, and the evaluation loop probes it
+    /// between candidates — once any limit trips (deadline, node cap,
+    /// cancellation) the remaining candidates are skipped and the result
+    /// carries the corresponding [`Termination`].
+    pub fn with_budget(mut self, budget: MiningBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The configuration.
@@ -151,7 +184,10 @@ impl ProbabilisticMiner {
         let full_world = full_world(db);
         let mut skeleton_config = self.config.base;
         skeleton_config.min_support = (min_esup.ceil() as usize).max(1);
-        let skeleton = TpMiner::new(skeleton_config).mine(&full_world);
+        let skeleton = TpMiner::new(skeleton_config)
+            .with_budget(self.budget.clone())
+            .mine(&full_world);
+        let mut termination = skeleton.termination().clone();
 
         let mut stats = ProbabilisticStats {
             skeleton: skeleton.stats().clone(),
@@ -159,9 +195,15 @@ impl ProbabilisticMiner {
             ..Default::default()
         };
 
-        // Stage 2: probabilistic evaluation.
+        // Stage 2: probabilistic evaluation. Checked between candidates so
+        // a deadline or cancellation stops the loop cooperatively; every
+        // emitted pattern was evaluated in full.
         let mut patterns = Vec::new();
         for candidate in skeleton.patterns() {
+            if let Some(trip) = self.budget.exceeded() {
+                termination = termination.merge(trip);
+                break;
+            }
             if self.config.upper_bound_pruning {
                 let mut bound = 0.0f64;
                 for seq in db.sequences() {
@@ -202,7 +244,11 @@ impl ProbabilisticMiner {
         patterns.sort_unstable_by(|a, b| {
             (a.pattern.arity(), &a.pattern).cmp(&(b.pattern.arity(), &b.pattern))
         });
-        ProbabilisticResult { patterns, stats }
+        ProbabilisticResult {
+            patterns,
+            stats,
+            termination,
+        }
     }
 }
 
@@ -292,6 +338,36 @@ mod tests {
         assert_eq!(result.len(), 1);
         assert!((result.patterns()[0].expected_support - 1.5).abs() < 1e-9);
         assert_eq!(result.patterns()[0].world_support, 3);
+    }
+
+    #[test]
+    fn cancelled_probabilistic_mine_returns_partial_sound_result() {
+        let mut b = UncertainDatabaseBuilder::new();
+        for _ in 0..3 {
+            b.sequence()
+                .interval("A", 0, 5, 0.9)
+                .interval("B", 3, 8, 0.8);
+        }
+        let udb = b.build();
+        let budget = MiningBudget::unlimited();
+        budget.token().cancel();
+        let result = ProbabilisticMiner::new(ProbabilisticConfig::with_min_expected_support(1.0))
+            .with_budget(budget)
+            .mine(&udb);
+        assert_eq!(result.termination(), &Termination::Cancelled);
+        assert!(!result.is_exhaustive());
+        assert!(result.is_empty(), "pre-cancelled run must not emit");
+    }
+
+    #[test]
+    fn unbudgeted_probabilistic_mine_is_exhaustive() {
+        let mut b = UncertainDatabaseBuilder::new();
+        b.sequence().interval("A", 0, 5, 0.5);
+        let udb = b.build();
+        let result = ProbabilisticMiner::new(ProbabilisticConfig::with_min_expected_support(0.25))
+            .mine(&udb);
+        assert!(result.is_exhaustive());
+        assert_eq!(result.termination(), &Termination::Complete);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use crate::config::MinerConfig;
 use crate::index::DbIndex;
 use crate::stats::MinerStats;
+use interval_core::budget::{BudgetMeter, MiningBudget, Termination};
 use interval_core::{EndpointKind, PatternEndpoint, SymbolId, TemporalPattern};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -127,6 +128,19 @@ impl Node {
     }
 }
 
+/// A deterministic fault-injection plan: panic at the `after_nodes`-th node
+/// expansion once the subtree of `root` has been entered. Test-only (also
+/// available behind the `fault-injection` feature for chaos drills).
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Root symbol whose level-1 subtree arms the countdown.
+    pub root: SymbolId,
+    /// Node expansions to survive after arming before panicking (1 panics
+    /// on the first expansion of the poisoned root).
+    pub after_nodes: u64,
+}
+
 /// The engine. Create with [`SearchEngine::new`], run with
 /// [`SearchEngine::run`], inspect the work counters in
 /// [`SearchEngine::stats`].
@@ -139,10 +153,20 @@ pub struct SearchEngine<'a> {
     /// Instrumentation counters.
     pub stats: MinerStats,
     emitted: Vec<(TemporalPattern, usize)>,
+    /// Resource-budget handle; checked before every node expansion.
+    meter: BudgetMeter,
+    /// Set when a budget check trips; the search unwinds without further
+    /// expansion and reports this status.
+    stop: Option<Termination>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Option<FaultPlan>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault_countdown: Option<u64>,
 }
 
 impl<'a> SearchEngine<'a> {
-    /// Prepares an engine over a prebuilt database index.
+    /// Prepares an engine over a prebuilt database index, with an unlimited
+    /// budget.
     pub fn new(index: &'a DbIndex, config: MinerConfig) -> Self {
         let min_sup = config.effective_min_support();
         let frequent = config
@@ -156,37 +180,79 @@ impl<'a> SearchEngine<'a> {
             frequent,
             stats: MinerStats::default(),
             emitted: Vec::new(),
+            meter: BudgetMeter::new(MiningBudget::unlimited()),
+            stop: None,
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: None,
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault_countdown: None,
         }
     }
 
-    /// Runs the search to completion and returns `(pattern, support)` pairs
-    /// in canonical order.
-    pub fn run(mut self) -> (Vec<(TemporalPattern, usize)>, MinerStats) {
+    /// Attaches a resource budget. The engine checks it cooperatively: the
+    /// node/candidate counters and the cancellation token before every node
+    /// expansion, the wall-clock deadline every
+    /// [`check_stride`](MiningBudget::check_stride) expansions.
+    pub fn with_budget(mut self, budget: MiningBudget) -> Self {
+        self.meter = BudgetMeter::new(budget);
+        self
+    }
+
+    /// Arms deterministic fault injection: the engine panics at the
+    /// `after_nodes`-th node expansion after entering the subtree of
+    /// `root`. Used to prove that a parallel run survives a poisoned
+    /// worker.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn poison_root(mut self, root: SymbolId, after_nodes: u64) -> Self {
+        self.fault = Some(FaultPlan { root, after_nodes });
+        self
+    }
+
+    /// Runs the search and returns `(pattern, support)` pairs in canonical
+    /// order plus the termination status (`Complete` unless the budget
+    /// tripped).
+    pub fn run(mut self) -> (Vec<(TemporalPattern, usize)>, MinerStats, Termination) {
         let started = Instant::now();
-        for symbol in self.root_symbols() {
-            let root = self.make_root(symbol);
-            if root.support() >= self.min_sup {
-                self.expand(root);
-            }
-        }
+        let roots = self.root_symbols();
+        self.grow_roots(&roots);
         self.stats.elapsed = started.elapsed();
         self.emitted
             .sort_unstable_by(|a, b| (a.0.arity(), &a.0).cmp(&(b.0.arity(), &b.0)));
-        (self.emitted, self.stats)
+        let termination = self.stop.take().unwrap_or_default();
+        (self.emitted, self.stats, termination)
     }
 
     /// Runs the search restricted to root patterns starting with the given
     /// symbols (used by the parallel miner to split the tree). Does not sort.
-    pub fn run_roots(mut self, roots: &[SymbolId]) -> (Vec<(TemporalPattern, usize)>, MinerStats) {
+    pub fn run_roots(
+        mut self,
+        roots: &[SymbolId],
+    ) -> (Vec<(TemporalPattern, usize)>, MinerStats, Termination) {
         let started = Instant::now();
+        self.grow_roots(roots);
+        self.stats.elapsed = started.elapsed();
+        let termination = self.stop.take().unwrap_or_default();
+        (self.emitted, self.stats, termination)
+    }
+
+    /// Expands the level-1 subtree of every given root, stopping early when
+    /// a budget check trips.
+    fn grow_roots(&mut self, roots: &[SymbolId]) {
         for &symbol in roots {
+            if self.stop.is_some() {
+                break;
+            }
+            #[cfg(any(test, feature = "fault-injection"))]
+            if let Some(fault) = self.fault {
+                if fault.root == symbol {
+                    self.fault_countdown = Some(fault.after_nodes);
+                }
+            }
             let root = self.make_root(symbol);
             if root.support() >= self.min_sup {
                 self.expand(root);
             }
         }
-        self.stats.elapsed = started.elapsed();
-        (self.emitted, self.stats)
     }
 
     /// The frequent symbols seeding the level-1 search, in sorted order.
@@ -238,7 +304,21 @@ impl<'a> SearchEngine<'a> {
 
     /// Depth-first expansion of a node whose support already passed the
     /// threshold.
+    ///
+    /// Budget checks happen *before* any work on the node: a tripped budget
+    /// unwinds without emitting, so every emitted pattern's support comes
+    /// from a fully materialized projection and is exact even in truncated
+    /// runs (the soundness-under-truncation invariant).
     fn expand(&mut self, node: Node) {
+        if self.stop.is_some() {
+            return;
+        }
+        if let Err(termination) = self.meter.on_node() {
+            self.stop = Some(termination);
+            return;
+        }
+        #[cfg(any(test, feature = "fault-injection"))]
+        self.fault_tick();
         self.stats.nodes_explored += 1;
         let node_states: u64 = node.frontier.iter().map(|f| f.states.len() as u64).sum();
         self.stats.peak_node_states = self.stats.peak_node_states.max(node_states);
@@ -257,6 +337,10 @@ impl<'a> SearchEngine<'a> {
 
         let mut counts = self.gather_candidates(&node);
         self.stats.candidates_counted += counts.len() as u64;
+        if let Err(termination) = self.meter.on_candidates(counts.len() as u64) {
+            self.stop = Some(termination);
+            return;
+        }
         let mut candidates: Vec<Ext> = counts
             .drain()
             .filter(|&(_, c)| c as usize >= self.min_sup)
@@ -265,10 +349,25 @@ impl<'a> SearchEngine<'a> {
         candidates.sort_unstable();
 
         for ext in candidates {
+            if self.stop.is_some() {
+                return;
+            }
             let child = self.apply(&node, ext);
             if child.support() >= self.min_sup {
                 self.expand(child);
             }
+        }
+    }
+
+    /// Decrements the armed fault countdown, panicking when it reaches the
+    /// poisoned expansion.
+    #[cfg(any(test, feature = "fault-injection"))]
+    fn fault_tick(&mut self) {
+        if let Some(countdown) = self.fault_countdown.as_mut() {
+            if *countdown <= 1 {
+                panic!("fault injection: poisoned root reached its target expansion");
+            }
+            *countdown -= 1;
         }
     }
 

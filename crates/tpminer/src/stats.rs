@@ -11,7 +11,9 @@ use std::time::Duration;
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MinerStats {
     /// Search-tree nodes expanded (pattern prefixes whose extensions were
-    /// enumerated).
+    /// enumerated). A node is counted only after the
+    /// [`MiningBudget`](interval_core::MiningBudget) accepted its charge,
+    /// so under a node cap this never exceeds the cap.
     pub nodes_explored: u64,
     /// Complete frequent patterns emitted.
     pub patterns_emitted: u64,

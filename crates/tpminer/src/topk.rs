@@ -11,6 +11,7 @@
 
 use crate::config::MinerConfig;
 use crate::miner::{FrequentPattern, TpMiner};
+use interval_core::budget::{MiningBudget, Termination};
 use interval_core::IntervalDatabase;
 
 /// Configuration of [`mine_top_k`].
@@ -62,20 +63,40 @@ impl TopKConfig {
 /// assert!(top[0].support >= top[1].support);
 /// ```
 pub fn mine_top_k(db: &IntervalDatabase, config: TopKConfig) -> Vec<FrequentPattern> {
+    mine_top_k_budgeted(db, config, MiningBudget::unlimited()).0
+}
+
+/// Budgeted variant of [`mine_top_k`].
+///
+/// The budget spans the whole threshold-descent schedule (node and candidate
+/// charges accumulate across probe runs). On truncation the returned
+/// patterns still carry **exact supports** and descend by support, but the
+/// list is no longer guaranteed to be the true top-k — some higher-support
+/// pattern may have been cut off with the search. The returned
+/// [`Termination`] says whether the answer is exact
+/// ([`Termination::Complete`]) or which limit tripped.
+pub fn mine_top_k_budgeted(
+    db: &IntervalDatabase,
+    config: TopKConfig,
+    budget: MiningBudget,
+) -> (Vec<FrequentPattern>, Termination) {
     if config.k == 0 || db.is_empty() {
-        return Vec::new();
+        return (Vec::new(), Termination::Complete);
     }
     let mut threshold = db.len();
     loop {
         let mut run_config = config.base;
         run_config.min_support = threshold;
-        let result = TpMiner::new(run_config).mine(db);
+        let result = TpMiner::new(run_config)
+            .with_budget(budget.clone())
+            .mine(db);
+        let termination = result.termination().clone();
         let mut qualifying: Vec<FrequentPattern> = result
             .into_patterns()
             .into_iter()
             .filter(|p| p.pattern.arity() >= config.min_arity)
             .collect();
-        if qualifying.len() >= config.k || threshold == 1 {
+        if qualifying.len() >= config.k || threshold == 1 || !termination.is_complete() {
             // Highest support first; canonical pattern order for ties.
             qualifying.sort_unstable_by(|a, b| {
                 b.support.cmp(&a.support).then_with(|| {
@@ -83,7 +104,7 @@ pub fn mine_top_k(db: &IntervalDatabase, config: TopKConfig) -> Vec<FrequentPatt
                 })
             });
             qualifying.truncate(config.k);
-            return qualifying;
+            return (qualifying, termination);
         }
         // Geometric descent: halve, never stall, floor at 1.
         threshold = (threshold / 2).max(1);
@@ -152,6 +173,25 @@ mod tests {
         let db = db();
         let top = mine_top_k(&db, TopKConfig::new(2).min_arity(1));
         assert!(top.iter().any(|p| p.pattern.arity() == 1));
+    }
+
+    #[test]
+    fn budgeted_top_k_reports_truncation_with_exact_supports() {
+        let db = db();
+        let (top, termination) =
+            mine_top_k_budgeted(&db, TopKConfig::new(5), MiningBudget::unlimited());
+        assert_eq!(termination, Termination::Complete);
+        assert_eq!(top, mine_top_k(&db, TopKConfig::new(5)));
+
+        let budget = MiningBudget::unlimited().with_max_nodes(3);
+        let (partial, termination) = mine_top_k_budgeted(&db, TopKConfig::new(5), budget);
+        assert_eq!(termination, Termination::NodeBudgetExceeded);
+        for p in &partial {
+            assert_eq!(matcher::support(&db, &p.pattern), p.support);
+        }
+        for w in partial.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! Robustness tests: adversarial inputs to parsers, degenerate databases,
-//! and stress shapes designed to provoke worst-case behaviour in the search
-//! (repeated identical intervals, deep chains, all-same-symbol data).
+//! stress shapes designed to provoke worst-case behaviour in the search
+//! (repeated identical intervals, deep chains, all-same-symbol data), and
+//! degraded operation — budget truncation, cancellation, worker faults —
+//! where partial results must stay *sound*: every reported support exact,
+//! only completeness lost.
 
 mod common;
 
 use datasets::{csv, io};
+use interval_core::budget::DEFAULT_CHECK_STRIDE;
 use interval_core::{matcher, DatabaseBuilder, SymbolTable, TemporalPattern};
 use proptest::prelude::*;
-use tpminer::{MinerConfig, TpMiner};
+use tpminer::{
+    CancellationToken, MinerConfig, MiningBudget, ParallelTpMiner, Termination, TpMiner,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -137,4 +143,145 @@ fn all_sequences_empty() {
     assert!(TpMiner::new(MinerConfig::with_min_support(1))
         .mine(&db)
         .is_empty());
+}
+
+// ------------------------------------------------- degraded operation ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Soundness under truncation: a budget-limited run returns a subset of
+    /// the unbudgeted run's patterns, each with the identical (exact)
+    /// support — a budget may cost completeness, never correctness.
+    #[test]
+    fn budget_truncated_results_are_sound_subsets(
+        db in common::small_database(),
+        max_nodes in 0u64..64,
+    ) {
+        let config = MinerConfig::with_min_support(1);
+        let full = TpMiner::new(config).mine(&db);
+        let budget = MiningBudget::unlimited().with_max_nodes(max_nodes);
+        let partial = TpMiner::new(config).with_budget(budget).mine(&db);
+
+        prop_assert!(partial.len() <= full.len());
+        for fp in partial.patterns() {
+            prop_assert_eq!(full.support_of(&fp.pattern), Some(fp.support));
+        }
+        // Node accounting never overshoots the cap by more than the
+        // check stride (in fact nodes are charged before being counted,
+        // so the cap itself holds).
+        prop_assert!(partial.stats().nodes_explored <= max_nodes + DEFAULT_CHECK_STRIDE);
+        // The completeness claim is truthful in both directions.
+        if partial.is_exhaustive() {
+            prop_assert_eq!(partial.patterns(), full.patterns());
+        } else {
+            prop_assert_eq!(partial.termination(), &Termination::NodeBudgetExceeded);
+        }
+    }
+
+    /// The same invariants hold when the budget is shared by parallel
+    /// workers: the cap bounds the workers' total, and whatever survives
+    /// carries exact supports.
+    #[test]
+    fn parallel_budget_truncation_is_sound(
+        db in common::small_database(),
+        max_nodes in 0u64..32,
+        threads in 1usize..4,
+    ) {
+        let config = MinerConfig::with_min_support(1);
+        let full = TpMiner::new(config).mine(&db);
+        let budget = MiningBudget::unlimited().with_max_nodes(max_nodes);
+        let partial = ParallelTpMiner::new(config, threads)
+            .with_budget(budget)
+            .mine(&db);
+        for fp in partial.patterns() {
+            prop_assert_eq!(full.support_of(&fp.pattern), Some(fp.support));
+        }
+        prop_assert!(partial.stats().nodes_explored <= max_nodes + DEFAULT_CHECK_STRIDE);
+    }
+}
+
+#[test]
+fn expired_deadline_stops_before_any_expansion() {
+    let mut b = DatabaseBuilder::new();
+    for i in 0..6i64 {
+        b.sequence()
+            .interval("A", i, i + 5)
+            .interval("B", i + 2, i + 7)
+            .interval("C", i + 4, i + 9);
+    }
+    let db = b.build();
+    let budget = MiningBudget::unlimited().with_timeout(std::time::Duration::ZERO);
+    let result = TpMiner::new(MinerConfig::with_min_support(1))
+        .with_budget(budget)
+        .mine(&db);
+    // The deadline is re-checked on the very first node, not only after a
+    // full stride, so an already-expired deadline does no search work.
+    assert_eq!(result.termination(), &Termination::DeadlineExceeded);
+    assert_eq!(result.stats().nodes_explored, 0);
+    assert!(result.is_empty());
+    assert!(!result.is_exhaustive());
+}
+
+#[test]
+fn cancellation_token_stops_sequential_and_parallel_miners() {
+    let mut b = DatabaseBuilder::new();
+    for i in 0..4i64 {
+        b.sequence()
+            .interval("A", i, i + 3)
+            .interval("B", i + 1, i + 4);
+    }
+    let db = b.build();
+    let config = MinerConfig::with_min_support(1);
+
+    let token = CancellationToken::new();
+    token.cancel();
+    let seq = TpMiner::new(config)
+        .with_budget(MiningBudget::unlimited().with_token(token.clone()))
+        .mine(&db);
+    assert_eq!(seq.termination(), &Termination::Cancelled);
+    assert!(seq.is_empty());
+
+    let par = ParallelTpMiner::new(config, 2)
+        .with_budget(MiningBudget::unlimited().with_token(token))
+        .mine(&db);
+    assert_eq!(par.termination(), &Termination::Cancelled);
+    assert!(par.is_empty());
+}
+
+/// End-to-end panic isolation through the public API, with the
+/// `fault-injection` feature enabled by this package's dev-dependency: a
+/// poisoned root loses its partition, every other root's patterns survive
+/// with exact supports, and the process does not abort.
+#[test]
+fn poisoned_worker_degrades_gracefully_not_fatally() {
+    let mut b = DatabaseBuilder::new();
+    for i in 0..5i64 {
+        b.sequence()
+            .interval("A", i, i + 4)
+            .interval("B", i + 2, i + 6)
+            .interval("C", i + 5, i + 8);
+    }
+    let db = b.build();
+    let config = MinerConfig::with_min_support(1);
+    let full = TpMiner::new(config).mine(&db);
+    let poisoned = db.symbols().lookup("B").expect("B is interned");
+
+    let result = ParallelTpMiner::new(config, 8)
+        .poison_root(poisoned, 1)
+        .mine(&db);
+
+    match result.termination() {
+        Termination::WorkerFailed { roots } => assert_eq!(roots, &[poisoned]),
+        other => panic!("expected WorkerFailed, got {other:?}"),
+    }
+    assert!(!result.is_exhaustive());
+    assert!(!result.is_empty(), "surviving partitions must be reported");
+    for fp in result.patterns() {
+        assert_eq!(full.support_of(&fp.pattern), Some(fp.support));
+    }
+    // The deterministic serialization keeps the failure visible.
+    let json = serde_json::to_string(result.termination()).unwrap();
+    let back: Termination = serde_json::from_str(&json).unwrap();
+    assert_eq!(&back, result.termination());
 }
