@@ -1,0 +1,145 @@
+//! Streaming bench: incremental refresh ([`stream::IncrementalMiner`]) vs a
+//! full batch re-mine of the same sliding window, across window-slide
+//! ratios.
+//!
+//! The workload is a session stream: sequences (sessions) arrive at a fixed
+//! rate, live for a bounded span, and draw their symbols from a per-group
+//! cluster of the alphabet. Sliding the window by a small fraction then
+//! touches only the newest and oldest sessions — and therefore only a few
+//! symbol clusters — which is exactly the locality the dirty-partition rule
+//! exploits. At a 50% slide most of the window turns over and the
+//! incremental refresh degrades to (slightly worse than) a full re-mine;
+//! that case is included as the honest upper bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interval_core::{StreamEvent, Time};
+use stream::{IncrementalMiner, SlidingWindowDatabase};
+use tpminer::{MinerConfig, TpMiner};
+
+/// Sliding-window length in time units.
+const WINDOW: Time = 1_000;
+/// A new session arrives every this many time units.
+const ARRIVAL_EVERY: Time = 5;
+/// Each session's intervals all fall within this span of its start.
+const SESSION_SPAN: Time = 50;
+/// Intervals per session.
+const INTERVALS_PER_SESSION: usize = 8;
+/// Consecutive sessions sharing one symbol cluster.
+const SESSIONS_PER_CLUSTER: u64 = 10;
+/// Symbols per cluster; the alphabet is `4 × 15 = 60` symbols.
+const SYMBOLS_PER_CLUSTER: u32 = 4;
+const CLUSTERS: u32 = 15;
+
+const MIN_SUPPORT: usize = 5;
+const MAX_ARITY: usize = 4;
+
+/// Deterministic session-stream generator (an LCG; no external RNG).
+struct SessionStream {
+    now: Time,
+    next_session: u64,
+    state: u64,
+}
+
+impl SessionStream {
+    fn new(seed: u64) -> Self {
+        Self {
+            now: 0,
+            next_session: 0,
+            state: seed | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 11
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Advances stream time by `dt`, emitting every session that arrives in
+    /// the advanced span followed by a watermark at the new time.
+    fn advance(&mut self, dt: Time) -> Vec<StreamEvent> {
+        let until = self.now + dt;
+        let mut events = Vec::new();
+        while self.next_session as i64 * ARRIVAL_EVERY < until {
+            let id = self.next_session;
+            self.next_session += 1;
+            let t0 = id as i64 * ARRIVAL_EVERY;
+            let cluster = ((id / SESSIONS_PER_CLUSTER) % CLUSTERS as u64) as u32;
+            for _ in 0..INTERVALS_PER_SESSION {
+                let symbol =
+                    cluster * SYMBOLS_PER_CLUSTER + self.below(SYMBOLS_PER_CLUSTER as u64) as u32;
+                let start = t0 + self.below((SESSION_SPAN - 10) as u64) as i64;
+                let len = 2 + self.below(8) as i64;
+                events.push(StreamEvent::Interval {
+                    sequence: id,
+                    symbol: format!("s{symbol}"),
+                    start,
+                    end: start + len,
+                });
+            }
+        }
+        self.now = until;
+        events.push(StreamEvent::Watermark(until));
+        events
+    }
+}
+
+fn config() -> MinerConfig {
+    MinerConfig::with_min_support(MIN_SUPPORT).max_arity(MAX_ARITY)
+}
+
+/// A window pre-filled to steady state, with its stream positioned just
+/// past it.
+fn steady_state(seed: u64) -> (SessionStream, SlidingWindowDatabase) {
+    let mut stream = SessionStream::new(seed);
+    let mut window = SlidingWindowDatabase::new(WINDOW);
+    for event in stream.advance(WINDOW + SESSION_SPAN) {
+        window.ingest(event).unwrap();
+    }
+    (stream, window)
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming-refresh");
+    group.sample_size(10);
+
+    for ratio in [0.01_f64, 0.10, 0.50] {
+        let slide = ((WINDOW as f64 * ratio) as Time).max(1);
+
+        // Incremental: slide the window, then refresh only dirty partitions.
+        let (mut stream, mut window) = steady_state(42);
+        let mut miner = IncrementalMiner::new(config(), 1);
+        miner.refresh(&mut window); // seed the carry-over state
+        group.bench_function(BenchmarkId::new("incremental", format!("{ratio}")), |b| {
+            b.iter(|| {
+                for event in stream.advance(slide) {
+                    window.ingest(event).unwrap();
+                }
+                miner.refresh(&mut window)
+            })
+        });
+
+        // Full: slide the identical stream, then re-mine the whole window
+        // from scratch (materialize + batch TpMiner), as a periodic batch
+        // job would.
+        let (mut stream, mut window) = steady_state(42);
+        group.bench_function(BenchmarkId::new("full", format!("{ratio}")), |b| {
+            b.iter(|| {
+                for event in stream.advance(slide) {
+                    window.ingest(event).unwrap();
+                }
+                TpMiner::new(config()).mine(&window.snapshot_database())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -100,6 +100,15 @@ impl Parsed {
     }
 }
 
+/// Every subcommand the CLI understands, for did-you-mean suggestions.
+pub const COMMANDS: &[&str] = &["generate", "stats", "mine", "mine-prob", "stream"];
+
+/// The known subcommand closest to a mistyped one (`min` → `mine`), if any
+/// is close enough to be a plausible typo.
+pub fn suggest_command(command: &str) -> Option<&'static str> {
+    closest(command, COMMANDS)
+}
+
 /// The known option with the smallest edit distance to `key`, if close
 /// enough to be a plausible typo.
 fn closest<'a>(key: &str, known: &[&'a str]) -> Option<&'a str> {
@@ -188,6 +197,20 @@ mod tests {
         assert!(err.contains("did you mean --max-nodes"), "{err}");
         let p = parse(&argv("mine f --timeout 5 --max-nodes 10 --threads 4")).unwrap();
         assert!(p.expect_options(known).is_ok());
+    }
+
+    #[test]
+    fn command_typos_get_suggestions() {
+        assert_eq!(suggest_command("min"), Some("mine"));
+        assert_eq!(suggest_command("mien"), Some("mine"));
+        assert_eq!(suggest_command("stat"), Some("stats"));
+        assert_eq!(suggest_command("stremm"), Some("stream"));
+        assert_eq!(suggest_command("generat"), Some("generate"));
+        assert_eq!(suggest_command("mine-porb"), Some("mine-prob"));
+        assert_eq!(suggest_command("frobnicate"), None, "far-off gets nothing");
+        // An exact command never reaches the suggester in practice, but the
+        // suggestion it would produce is still the command itself.
+        assert_eq!(suggest_command("mine"), Some("mine"));
     }
 
     #[test]

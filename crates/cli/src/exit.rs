@@ -1,0 +1,53 @@
+//! Process exit codes, shared by every subcommand.
+//!
+//! The codes form the CLI's machine-readable contract for degraded
+//! operation (see the crate docs): anything other than [`SUCCESS`] that
+//! still printed output printed a *sound partial result*.
+
+use interval_core::Termination;
+use std::process::ExitCode;
+
+/// The run completed and the printed result is exhaustive.
+pub const SUCCESS: u8 = 0;
+/// The command line could not be understood (unknown command or option,
+/// unreadable input, …). Nothing was mined.
+pub const USAGE: u8 = 2;
+/// A resource budget (deadline or node cap) was exhausted — a sound
+/// partial result was printed.
+pub const BUDGET: u8 = 3;
+/// A worker thread failed — the surviving partitions were printed.
+pub const WORKER_FAILED: u8 = 4;
+/// Interrupted by Ctrl-C — a sound partial result was printed.
+pub const INTERRUPTED: u8 = 130;
+
+/// Maps how a mining run ended to the process exit code.
+pub fn from_termination(termination: &Termination) -> ExitCode {
+    match termination {
+        Termination::Complete => ExitCode::from(SUCCESS),
+        Termination::Cancelled => ExitCode::from(INTERRUPTED),
+        Termination::WorkerFailed { .. } => ExitCode::from(WORKER_FAILED),
+        _ => ExitCode::from(BUDGET),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        let codes = [SUCCESS, USAGE, BUDGET, WORKER_FAILED, INTERRUPTED];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(SUCCESS, 0);
+        assert_eq!(INTERRUPTED, 130, "128 + SIGINT by convention");
+    }
+
+    #[test]
+    fn complete_maps_to_success() {
+        assert_eq!(from_termination(&Termination::Complete), ExitCode::SUCCESS);
+    }
+}

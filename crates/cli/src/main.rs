@@ -29,7 +29,9 @@
 //! | 130  | interrupted by Ctrl-C — partial result |
 
 mod args;
+mod exit;
 mod sigint;
+mod stream_cmd;
 
 use args::Parsed;
 use interval_core::{IntervalDatabase, UncertainDatabase};
@@ -56,6 +58,11 @@ commands:
              [--timeout SECS] [--max-nodes N] [--threads N]
   mine-prob  mine probabilistic patterns from uncertain data
              <file> --min-esup FRAC [--json] [--timeout SECS] [--max-nodes N]
+  stream     tail interval events from a file (or `-` for stdin) and keep
+             the pattern set continuously mined over a sliding window
+             <file|-> --window W  --min-support FRAC | --abs-support N
+             [--refresh-every N] [--max-arity K] [--gap G]
+             [--threads N] [--timeout SECS] [--json]
 
 exit codes:
   0 complete   2 usage error   3 budget exhausted (partial result)
@@ -69,7 +76,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
-            ExitCode::from(2)
+            ExitCode::from(exit::USAGE)
         }
     }
 }
@@ -121,7 +128,17 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
             parsed.expect_options(&["min-esup", "json", "timeout", "max-nodes"])?;
             mine_prob(&parsed)
         }
-        other => Err(format!("unknown command `{other}`")),
+        "stream" => {
+            parsed.expect_options(stream_cmd::OPTIONS)?;
+            stream_cmd::run(&parsed)
+        }
+        other => {
+            let mut message = format!("unknown command `{other}`");
+            if let Some(suggestion) = args::suggest_command(other) {
+                message.push_str(&format!(" (did you mean `{suggestion}`?)"));
+            }
+            Err(message)
+        }
     }
 }
 
@@ -141,16 +158,6 @@ fn budget_from(p: &Parsed) -> Result<MiningBudget, String> {
         budget = budget.with_max_nodes(n);
     }
     Ok(budget)
-}
-
-/// Maps how the run ended to the process exit code (see module docs).
-fn exit_code(termination: &Termination) -> ExitCode {
-    match termination {
-        Termination::Complete => ExitCode::SUCCESS,
-        Termination::Cancelled => ExitCode::from(130),
-        Termination::WorkerFailed { .. } => ExitCode::from(4),
-        _ => ExitCode::from(3),
-    }
 }
 
 /// Tells the user (on stderr) that the printed result is partial.
@@ -220,15 +227,12 @@ fn generate(p: &Parsed) -> Result<(), String> {
 fn stats(p: &Parsed) -> Result<(), String> {
     let db = load_database(p.input()?)?;
     let profile = datasets::DatasetProfile::of(&db);
-    if p.flag("json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?
-        );
+    let text = if p.flag("json") {
+        serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?
     } else {
-        print!("{profile}");
-    }
-    Ok(())
+        profile.to_string()
+    };
+    emit_lines(text.lines().map(str::to_owned))
 }
 
 fn mine(p: &Parsed) -> Result<ExitCode, String> {
@@ -257,7 +261,7 @@ fn mine(p: &Parsed) -> Result<ExitCode, String> {
         );
         report_truncation(&termination);
         render(p, &db, &top, "top-k")?;
-        return Ok(exit_code(&termination));
+        return Ok(exit::from_termination(&termination));
     }
 
     config.min_support = match (
@@ -301,7 +305,7 @@ fn mine(p: &Parsed) -> Result<ExitCode, String> {
                     .map(|r| format!("  {}", r.display(db.symbols()))),
             ),
         )?;
-        return Ok(exit_code(result.termination()));
+        return Ok(exit::from_termination(result.termination()));
     }
     if (p.flag("maximal") || p.flag("closed")) && !result.is_exhaustive() {
         eprintln!(
@@ -329,7 +333,7 @@ fn mine(p: &Parsed) -> Result<ExitCode, String> {
     if p.flag("explain") {
         explain(&db, &patterns)?;
     }
-    Ok(exit_code(result.termination()))
+    Ok(exit::from_termination(result.termination()))
 }
 
 /// Prints, for the largest pattern found, an ASCII timeline and one concrete
@@ -373,7 +377,7 @@ fn explain(db: &IntervalDatabase, patterns: &[tpminer::FrequentPattern]) -> Resu
 
 /// Writes lines to stdout, treating a broken pipe (e.g. `| head`) as a
 /// graceful end of output rather than a panic.
-fn emit_lines(lines: impl Iterator<Item = String>) -> Result<(), String> {
+pub(crate) fn emit_lines(lines: impl Iterator<Item = String>) -> Result<(), String> {
     use std::io::Write;
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
@@ -450,5 +454,5 @@ fn mine_prob(p: &Parsed) -> Result<ExitCode, String> {
             )
         }))?;
     }
-    Ok(exit_code(result.termination()))
+    Ok(exit::from_termination(result.termination()))
 }

@@ -26,7 +26,7 @@ pub fn install() -> CancellationToken {
     // only performs an atomic store (async-signal-safe) and the token cell
     // is initialized above, before the handler can ever run.
     unsafe {
-        signal(SIGINT, handle_sigint as usize);
+        signal(SIGINT, handle_sigint as *const () as usize);
     }
     token
 }

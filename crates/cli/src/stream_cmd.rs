@@ -1,0 +1,273 @@
+//! The `stream` subcommand: tail a file (or stdin) of interval events and
+//! keep the frequent-pattern set continuously up to date.
+//!
+//! Each input line is one [`StreamEvent`] in the wire format of
+//! [`interval_core::event`] (`open`/`close`/`interval`/`watermark` records;
+//! blank lines and `#` comments are skipped). Events feed a
+//! [`SlidingWindowDatabase`]; every `--refresh-every` watermarks the
+//! [`IncrementalMiner`] re-mines the dirty partitions and prints a one-line
+//! snapshot summary to stderr. At end of input (or on Ctrl-C / `--timeout`)
+//! the final pattern set is printed to stdout and throughput statistics to
+//! stderr.
+//!
+//! Degraded operation matches the batch commands: a truncated run still
+//! prints a sound partial result (exact supports, possibly incomplete) and
+//! reports the truncation through the exit code.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use interval_core::{MiningBudget, StreamEvent, Termination};
+use stream::{IncrementalMiner, PatternSnapshot, SlidingWindowDatabase};
+use tpminer::MinerConfig;
+
+use crate::args::Parsed;
+use crate::{emit_lines, exit, sigint};
+
+/// Options every `stream` invocation may use (checked by `expect_options`).
+pub const OPTIONS: &[&str] = &[
+    "window",
+    "min-support",
+    "abs-support",
+    "max-arity",
+    "gap",
+    "refresh-every",
+    "threads",
+    "timeout",
+    "json",
+];
+
+/// How the support threshold is chosen at each refresh.
+enum Threshold {
+    /// A fixed absolute count.
+    Absolute(usize),
+    /// A fraction of the sequences currently in the window, re-derived at
+    /// every refresh (at least 1). Changing thresholds force a full
+    /// re-mine, so a refresh after a window-size change may be full.
+    Fraction(f64),
+}
+
+impl Threshold {
+    fn absolute_for(&self, sequences: usize) -> usize {
+        match *self {
+            Threshold::Absolute(n) => n,
+            Threshold::Fraction(f) => ((f * sequences as f64).ceil() as usize).max(1),
+        }
+    }
+}
+
+pub fn run(p: &Parsed) -> Result<ExitCode, String> {
+    let window_len: i64 = p
+        .opt_num::<i64>("window")?
+        .ok_or_else(|| "pass --window W (sliding-window length in time units)".to_string())?;
+    if window_len <= 0 {
+        return Err(format!("--window: `{window_len}` must be positive"));
+    }
+    let threshold = match (
+        p.opt_num::<usize>("abs-support")?,
+        p.opt_num::<f64>("min-support")?,
+    ) {
+        (Some(n), _) => Threshold::Absolute(n),
+        (None, Some(frac)) => Threshold::Fraction(frac),
+        (None, None) => return Err("pass --min-support FRAC or --abs-support N".into()),
+    };
+    let refresh_every = p.num::<u64>("refresh-every", 1)?;
+    if refresh_every == 0 {
+        return Err("--refresh-every: must be at least 1".into());
+    }
+    let mut config = MinerConfig::default();
+    if let Some(k) = p.opt_num::<usize>("max-arity")? {
+        config = config.max_arity(k);
+    }
+    if let Some(g) = p.opt_num::<i64>("gap")? {
+        config = config.max_gap(g);
+    }
+
+    let token = sigint::install();
+    let deadline = match p.opt_num::<f64>("timeout")? {
+        Some(secs) if !secs.is_finite() || secs < 0.0 || secs > 1e15 => {
+            return Err(format!(
+                "--timeout: `{secs}` is not a usable number of seconds"
+            ));
+        }
+        Some(secs) => Some(Instant::now() + Duration::from_secs_f64(secs)),
+        None => None,
+    };
+
+    let path = p.input()?;
+    let reader: Box<dyn BufRead> = if path == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        Box::new(std::io::BufReader::new(file))
+    };
+
+    let mut window = SlidingWindowDatabase::new(window_len);
+    let mut miner = IncrementalMiner::new(config, p.num::<usize>("threads", 0)?);
+    let started = Instant::now();
+    let mut watermarks = 0u64;
+    let mut full_refreshes = 0u64;
+    let mut latest: Option<Arc<PatternSnapshot>> = None;
+    // Why the tail stopped before end of input, if it did.
+    let mut stopped: Option<Termination> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        if token.is_cancelled() {
+            stopped = Some(Termination::Cancelled);
+            break;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            stopped = Some(Termination::DeadlineExceeded);
+            break;
+        }
+        let line = line.map_err(|e| format!("{path}: {e}"))?;
+        let Some(event) = StreamEvent::parse_line(&line, idx + 1).map_err(|e| e.to_string())?
+        else {
+            continue;
+        };
+        let is_watermark = matches!(event, StreamEvent::Watermark(_));
+        window
+            .ingest(event)
+            .map_err(|e| format!("line {}: {e}", idx + 1))?;
+        if is_watermark {
+            watermarks += 1;
+            if watermarks % refresh_every == 0 {
+                let snapshot = refresh(&mut miner, &mut window, &threshold, &token, deadline);
+                if snapshot.refresh.full {
+                    full_refreshes += 1;
+                }
+                report_refresh(p, &snapshot, started)?;
+                latest = Some(snapshot);
+            }
+        }
+    }
+
+    // A final refresh folds in everything after the last refresh point —
+    // unless the tail was interrupted, where re-mining would be pointless
+    // (the budget is already spent); the last published snapshot stands.
+    let finale = match (&stopped, latest) {
+        (None, _) | (Some(_), None) => {
+            let snapshot = refresh(&mut miner, &mut window, &threshold, &token, deadline);
+            if snapshot.refresh.full {
+                full_refreshes += 1;
+            }
+            report_refresh(p, &snapshot, started)?;
+            snapshot
+        }
+        (Some(_), Some(snapshot)) => snapshot,
+    };
+
+    let elapsed = started.elapsed();
+    let stats = window.stats();
+    let rate = stats.events as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "ingested {} events ({} intervals, {} late-dropped, {} evicted) in {:.2?} — {:.0} events/s",
+        stats.events,
+        stats.intervals_completed,
+        stats.late_intervals_dropped,
+        stats.intervals_evicted,
+        elapsed,
+        rate,
+    );
+    eprintln!(
+        "{} refreshes ({} full); window now holds {} sequences, {} open intervals",
+        miner.revision(),
+        full_refreshes,
+        window.len(),
+        window.open_intervals(),
+    );
+
+    render_final(p, &finale)?;
+    let termination = stopped.as_ref().unwrap_or(finale.result.termination());
+    if !termination.is_complete() {
+        eprintln!(
+            "note: {termination} — partial result: reported supports are exact, \
+             but the pattern set may be incomplete"
+        );
+    }
+    Ok(exit::from_termination(termination))
+}
+
+/// One incremental refresh under the remaining budget, with the support
+/// threshold re-derived from the current window size.
+fn refresh(
+    miner: &mut IncrementalMiner,
+    window: &mut SlidingWindowDatabase,
+    threshold: &Threshold,
+    token: &interval_core::CancellationToken,
+    deadline: Option<Instant>,
+) -> Arc<PatternSnapshot> {
+    miner.set_min_support(threshold.absolute_for(window.len()));
+    let mut budget = MiningBudget::unlimited().with_token(token.clone());
+    if let Some(d) = deadline {
+        budget = budget.with_timeout(d.saturating_duration_since(Instant::now()));
+    }
+    miner.refresh_with_budget(window, budget)
+}
+
+/// One stderr line per refresh: what the window looked like and how much
+/// work the refresh needed.
+fn report_refresh(p: &Parsed, s: &PatternSnapshot, started: Instant) -> Result<(), String> {
+    if p.flag("json") {
+        let line = serde_json::json!({
+            "revision": s.revision,
+            "watermark": s.watermark,
+            "window_start": s.window_start,
+            "sequences": s.sequences,
+            "patterns": s.result.len(),
+            "full": s.refresh.full,
+            "dirty_roots": s.refresh.dirty_roots,
+            "carried_patterns": s.refresh.carried_patterns,
+            "mined_patterns": s.refresh.mined_patterns,
+            "elapsed_ms": started.elapsed().as_millis() as u64,
+        })
+        .to_string();
+        eprintln!("{line}");
+    } else {
+        let kind = if s.refresh.full {
+            "full"
+        } else {
+            "incremental"
+        };
+        eprintln!(
+            "[rev {}] watermark {} | {} sequences, {} patterns ({kind}: {} dirty roots, \
+             {} mined, {} carried)",
+            s.revision,
+            s.watermark.map_or_else(|| "-".into(), |w| w.to_string()),
+            s.sequences,
+            s.result.len(),
+            s.refresh.dirty_roots,
+            s.refresh.mined_patterns,
+            s.refresh.carried_patterns,
+        );
+    }
+    Ok(())
+}
+
+/// The final pattern set, on stdout, in the same shape as `mine`.
+fn render_final(p: &Parsed, s: &PatternSnapshot) -> Result<(), String> {
+    if p.flag("json") {
+        emit_lines(s.result.patterns().iter().map(|fp| {
+            serde_json::json!({
+                "pattern": fp.pattern.display(&s.symbols).to_string(),
+                "support": fp.support,
+                "arity": fp.pattern.arity(),
+                "kind": "frequent",
+            })
+            .to_string()
+        }))
+    } else {
+        let header = format!("frequent patterns: {}", s.result.len());
+        emit_lines(
+            std::iter::once(header).chain(s.result.patterns().iter().map(|fp| {
+                format!(
+                    "  {}   (support {})",
+                    fp.pattern.display(&s.symbols),
+                    fp.support
+                )
+            })),
+        )
+    }
+}

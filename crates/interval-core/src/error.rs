@@ -27,6 +27,9 @@ pub enum IntervalError {
     },
     /// Underlying I/O failure while reading or writing a dataset.
     Io(String),
+    /// A stream of interval events violated its own protocol (e.g. a close
+    /// without a matching open, or a close at or before its open time).
+    InconsistentStream(String),
 }
 
 impl fmt::Display for IntervalError {
@@ -47,6 +50,9 @@ impl fmt::Display for IntervalError {
                 }
             }
             IntervalError::Io(msg) => write!(f, "i/o error: {msg}"),
+            IntervalError::InconsistentStream(msg) => {
+                write!(f, "inconsistent event stream: {msg}")
+            }
         }
     }
 }

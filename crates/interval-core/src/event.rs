@@ -1,0 +1,324 @@
+//! Streaming event model for interval data.
+//!
+//! Batch mining consumes an [`IntervalDatabase`](crate::IntervalDatabase)
+//! that is fully materialized up front. Streaming ingestion instead observes
+//! a sequence of *events*: an interval's start and finish may arrive as two
+//! separate records ([`StreamEvent::Open`] / [`StreamEvent::Close`]), or as
+//! one completed record ([`StreamEvent::Interval`]). Progress of event time
+//! is communicated out-of-band by [`StreamEvent::Watermark`] records: a
+//! watermark `w` is the source's promise that every endpoint at time `< w`
+//! has already been delivered, which is what makes window eviction safe.
+//!
+//! The textual wire format is deliberately line-oriented so streams can be
+//! tailed from files or pipes:
+//!
+//! ```text
+//! open      <sequence> <symbol> <time>
+//! close     <sequence> <symbol> <time>
+//! interval  <sequence> <symbol> <start> <end>
+//! watermark <time>
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored. Symbols must be
+//! non-empty and must not contain whitespace (they are whitespace-delimited
+//! on the wire).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::{IntervalError, Result};
+use crate::interval::Time;
+
+/// Identifier of a logical sequence (e.g. one patient, one stock) within a
+/// stream. Sequence ids are assigned by the source and need not be dense.
+pub type SequenceId = u64;
+
+/// One record of an interval event stream.
+///
+/// See the [module documentation](self) for the wire format and watermark
+/// semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StreamEvent {
+    /// An interval with the given symbol started at `at` in sequence
+    /// `sequence`. The interval stays *open* (end unknown) until a matching
+    /// [`StreamEvent::Close`] arrives.
+    Open {
+        /// Logical sequence the interval belongs to.
+        sequence: SequenceId,
+        /// Event symbol, e.g. `"fever"`.
+        symbol: String,
+        /// Start time of the interval.
+        at: Time,
+    },
+    /// The earliest currently-open interval with this symbol in `sequence`
+    /// finished at `at`.
+    Close {
+        /// Logical sequence the interval belongs to.
+        sequence: SequenceId,
+        /// Event symbol, matching a prior [`StreamEvent::Open`].
+        symbol: String,
+        /// End time of the interval; must exceed the matched start.
+        at: Time,
+    },
+    /// A completed interval delivered as a single record.
+    Interval {
+        /// Logical sequence the interval belongs to.
+        sequence: SequenceId,
+        /// Event symbol.
+        symbol: String,
+        /// Start time (`start < end`).
+        start: Time,
+        /// End time.
+        end: Time,
+    },
+    /// Watermark: every endpoint strictly before this time has been
+    /// delivered. Watermarks must be non-decreasing.
+    Watermark(Time),
+}
+
+impl StreamEvent {
+    /// The sequence this event belongs to, if any (watermarks are global).
+    pub fn sequence(&self) -> Option<SequenceId> {
+        match self {
+            StreamEvent::Open { sequence, .. }
+            | StreamEvent::Close { sequence, .. }
+            | StreamEvent::Interval { sequence, .. } => Some(*sequence),
+            StreamEvent::Watermark(_) => None,
+        }
+    }
+
+    /// The latest timestamp mentioned by this event.
+    pub fn time(&self) -> Time {
+        match self {
+            StreamEvent::Open { at, .. } | StreamEvent::Close { at, .. } => *at,
+            StreamEvent::Interval { end, .. } => *end,
+            StreamEvent::Watermark(at) => *at,
+        }
+    }
+
+    /// Parses one line of the wire format, skipping blanks and `#` comments.
+    ///
+    /// Returns `Ok(None)` for lines that carry no event. `line_no` (1-based,
+    /// 0 when unknown) is only used to annotate errors.
+    pub fn parse_line(line: &str, line_no: usize) -> Result<Option<StreamEvent>> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Ok(None);
+        }
+        trimmed
+            .parse()
+            .map(Some)
+            .map_err(|e| annotate_line(e, line_no))
+    }
+}
+
+fn annotate_line(e: IntervalError, line_no: usize) -> IntervalError {
+    match e {
+        IntervalError::Parse { line: 0, message } => IntervalError::Parse {
+            line: line_no,
+            message,
+        },
+        other => other,
+    }
+}
+
+fn parse_err(message: impl Into<String>) -> IntervalError {
+    IntervalError::Parse {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+fn next_field<'a, 'b>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    what: &'b str,
+) -> Result<&'a str> {
+    fields
+        .next()
+        .ok_or_else(|| parse_err(format!("missing {what}")))
+}
+
+fn parse_num<T: FromStr>(field: &str, what: &str) -> Result<T> {
+    field
+        .parse()
+        .map_err(|_| parse_err(format!("invalid {what} {field:?}")))
+}
+
+fn parse_symbol(field: &str) -> Result<String> {
+    // Whitespace-containing symbols cannot appear here (the line is
+    // whitespace-split), so only emptiness needs checking.
+    if field.is_empty() {
+        Err(parse_err("empty symbol"))
+    } else {
+        Ok(field.to_owned())
+    }
+}
+
+impl FromStr for StreamEvent {
+    type Err = IntervalError;
+
+    fn from_str(s: &str) -> Result<StreamEvent> {
+        let mut fields = s.split_whitespace();
+        let keyword = next_field(&mut fields, "event keyword")?;
+        let event = match keyword {
+            "open" | "close" => {
+                let sequence = parse_num(next_field(&mut fields, "sequence id")?, "sequence id")?;
+                let symbol = parse_symbol(next_field(&mut fields, "symbol")?)?;
+                let at = parse_num(next_field(&mut fields, "time")?, "time")?;
+                if keyword == "open" {
+                    StreamEvent::Open {
+                        sequence,
+                        symbol,
+                        at,
+                    }
+                } else {
+                    StreamEvent::Close {
+                        sequence,
+                        symbol,
+                        at,
+                    }
+                }
+            }
+            "interval" => {
+                let sequence = parse_num(next_field(&mut fields, "sequence id")?, "sequence id")?;
+                let symbol = parse_symbol(next_field(&mut fields, "symbol")?)?;
+                let start = parse_num(next_field(&mut fields, "start time")?, "start time")?;
+                let end = parse_num(next_field(&mut fields, "end time")?, "end time")?;
+                if start >= end {
+                    return Err(IntervalError::DegenerateInterval { start, end });
+                }
+                StreamEvent::Interval {
+                    sequence,
+                    symbol,
+                    start,
+                    end,
+                }
+            }
+            "watermark" => {
+                StreamEvent::Watermark(parse_num(next_field(&mut fields, "time")?, "time")?)
+            }
+            other => {
+                return Err(parse_err(format!(
+                    "unknown event keyword {other:?} (expected open, close, interval or watermark)"
+                )))
+            }
+        };
+        if let Some(extra) = fields.next() {
+            return Err(parse_err(format!("unexpected trailing field {extra:?}")));
+        }
+        Ok(event)
+    }
+}
+
+impl fmt::Display for StreamEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamEvent::Open {
+                sequence,
+                symbol,
+                at,
+            } => write!(f, "open {sequence} {symbol} {at}"),
+            StreamEvent::Close {
+                sequence,
+                symbol,
+                at,
+            } => write!(f, "close {sequence} {symbol} {at}"),
+            StreamEvent::Interval {
+                sequence,
+                symbol,
+                start,
+                end,
+            } => write!(f, "interval {sequence} {symbol} {start} {end}"),
+            StreamEvent::Watermark(at) => write!(f, "watermark {at}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_variant() {
+        let events = [
+            StreamEvent::Open {
+                sequence: 7,
+                symbol: "fever".into(),
+                at: -3,
+            },
+            StreamEvent::Close {
+                sequence: 7,
+                symbol: "fever".into(),
+                at: 12,
+            },
+            StreamEvent::Interval {
+                sequence: 0,
+                symbol: "rash".into(),
+                start: 5,
+                end: 20,
+            },
+            StreamEvent::Watermark(99),
+        ];
+        for event in events {
+            let line = event.to_string();
+            let back: StreamEvent = line.parse().expect("round trip");
+            assert_eq!(back, event, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        assert_eq!(StreamEvent::parse_line("", 1).unwrap(), None);
+        assert_eq!(StreamEvent::parse_line("   \t ", 2).unwrap(), None);
+        assert_eq!(StreamEvent::parse_line("# comment", 3).unwrap(), None);
+        assert_eq!(
+            StreamEvent::parse_line(" watermark 4 ", 4).unwrap(),
+            Some(StreamEvent::Watermark(4))
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = StreamEvent::parse_line("frobnicate 1 a 2", 17).unwrap_err();
+        match err {
+            IntervalError::Parse { line, message } => {
+                assert_eq!(line, 17);
+                assert!(message.contains("frobnicate"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!("open".parse::<StreamEvent>().is_err());
+        assert!("open x fever 3".parse::<StreamEvent>().is_err());
+        assert!("open 1 fever x".parse::<StreamEvent>().is_err());
+        assert!("open 1 fever 3 extra".parse::<StreamEvent>().is_err());
+        assert!("watermark".parse::<StreamEvent>().is_err());
+        assert!(matches!(
+            "interval 1 fever 5 5".parse::<StreamEvent>(),
+            Err(IntervalError::DegenerateInterval { start: 5, end: 5 })
+        ));
+    }
+
+    #[test]
+    fn accessors_report_sequence_and_time() {
+        let open = StreamEvent::Open {
+            sequence: 3,
+            symbol: "a".into(),
+            at: 10,
+        };
+        assert_eq!(open.sequence(), Some(3));
+        assert_eq!(open.time(), 10);
+        let iv = StreamEvent::Interval {
+            sequence: 4,
+            symbol: "b".into(),
+            start: 1,
+            end: 9,
+        };
+        assert_eq!(iv.time(), 9);
+        assert_eq!(StreamEvent::Watermark(5).sequence(), None);
+        assert_eq!(StreamEvent::Watermark(5).time(), 5);
+    }
+}

@@ -9,6 +9,8 @@
 //!   where intervals carry existence probabilities;
 //! - [`AllenRelation`] — Allen's 13 qualitative interval relations;
 //! - [`EndpointSeq`] — the paper's *endpoint representation* of a sequence;
+//! - [`StreamEvent`] — the event/watermark model for streaming ingestion
+//!   (consumed by the `stream` crate's sliding-window database);
 //! - [`TemporalPattern`] — canonical arrangement patterns in the endpoint
 //!   representation;
 //! - [`matcher`] — a ground-truth backtracking containment matcher used as
@@ -40,6 +42,7 @@ pub mod composition;
 pub mod database;
 pub mod endpoint;
 pub mod error;
+pub mod event;
 pub mod interval;
 pub mod matcher;
 pub mod pattern;
@@ -56,6 +59,7 @@ pub use database::{
 };
 pub use endpoint::{DataEndpoint, EndpointKind, EndpointSeq, InstanceInfo};
 pub use error::{IntervalError, Result};
+pub use event::{SequenceId, StreamEvent};
 pub use interval::{EventInterval, Time, UncertainInterval};
 pub use matcher::MatchConstraints;
 pub use pattern::{PatternEndpoint, SlotInfo, TemporalPattern};

@@ -1,0 +1,369 @@
+//! Incremental refresh of mining results over a sliding window.
+//!
+//! # Dirty-partition rule
+//!
+//! The pattern-growth search is partitioned by *root symbol* (the symbol of
+//! the first endpoint of a pattern's first endpoint set), and a sequence
+//! supports a pattern only if it contains every symbol the pattern uses —
+//! in particular its root. So for a root symbol `r` such that **no sequence
+//! containing `r` changed** between two refreshes, every pattern rooted at
+//! `r` has exactly the same supporting sequences as before: its support,
+//! and its frequency status, are unchanged.
+//!
+//! [`SlidingWindowDatabase`] therefore marks, on every sequence change, all
+//! symbols present in that sequence before or after the change as *dirty*.
+//! A refresh re-mines only the subtrees rooted at dirty symbols (via
+//! [`ParallelTpMiner::mine_partitions`]) and carries every clean root's
+//! patterns over from the previous snapshot verbatim. Changing the support
+//! threshold invalidates the carry-over entirely and forces a full re-mine.
+//!
+//! # Soundness under truncation
+//!
+//! A refresh truncated by its [`MiningBudget`] (deadline, caps,
+//! cancellation, worker failure) keeps the workspace-wide invariant: every
+//! reported pattern has its exact support; only completeness is lost. The
+//! miner remembers which partitions it could not finish and re-mines them
+//! on the next refresh, so completeness recovers as soon as a refresh runs
+//! to completion.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use interval_core::{MiningBudget, SymbolId, TemporalPattern};
+use tpminer::{DbIndex, MinerConfig, MiningResult, ParallelTpMiner};
+
+use crate::snapshot::{PatternSnapshot, RefreshStats, SnapshotCell};
+use crate::window::SlidingWindowDatabase;
+
+/// Result state carried between refreshes.
+struct PrevState {
+    by_root: HashMap<SymbolId, Vec<(TemporalPattern, usize)>>,
+    min_support: usize,
+}
+
+/// Incrementally maintains the frequent patterns of a
+/// [`SlidingWindowDatabase`], re-mining only dirty root partitions on each
+/// [`refresh`](IncrementalMiner::refresh) and publishing the merged result
+/// as an immutable [`PatternSnapshot`].
+///
+/// ```
+/// use interval_core::StreamEvent;
+/// use stream::{IncrementalMiner, SlidingWindowDatabase};
+/// use tpminer::MinerConfig;
+///
+/// let mut w = SlidingWindowDatabase::new(100);
+/// let mut miner = IncrementalMiner::new(MinerConfig::with_min_support(2), 2);
+/// for seq in 0..3 {
+///     w.ingest(StreamEvent::Interval { sequence: seq, symbol: "a".into(), start: 0, end: 9 })
+///         .unwrap();
+/// }
+/// w.ingest(StreamEvent::Watermark(10)).unwrap();
+/// let snapshot = miner.refresh(&mut w);
+/// assert_eq!(snapshot.result.len(), 1); // the singleton "a"
+/// ```
+pub struct IncrementalMiner {
+    config: MinerConfig,
+    threads: usize,
+    revision: u64,
+    prev: Option<PrevState>,
+    /// Partitions whose last re-mine was truncated; re-mined next refresh.
+    pending: BTreeSet<SymbolId>,
+    cell: Option<Arc<SnapshotCell>>,
+}
+
+impl IncrementalMiner {
+    /// Creates an incremental miner mining with `config` on `threads`
+    /// workers (0 = available parallelism, as in
+    /// [`ParallelTpMiner::new`]).
+    pub fn new(config: MinerConfig, threads: usize) -> Self {
+        Self {
+            config,
+            threads,
+            revision: 0,
+            prev: None,
+            pending: BTreeSet::new(),
+            cell: None,
+        }
+    }
+
+    /// Publishes every refreshed snapshot into `cell` in addition to
+    /// returning it, so concurrent readers can follow along.
+    pub fn with_cell(mut self, cell: Arc<SnapshotCell>) -> Self {
+        self.cell = Some(cell);
+        self
+    }
+
+    /// The mining configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// Number of refreshes performed.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Changes the absolute support threshold. If it differs from the
+    /// previous refresh's threshold, the next refresh re-mines everything
+    /// (carried supports stay valid only under an unchanged threshold).
+    pub fn set_min_support(&mut self, min_support: usize) {
+        self.config.min_support = min_support;
+    }
+
+    /// Forces the next refresh to re-mine every partition.
+    pub fn invalidate(&mut self) {
+        self.prev = None;
+        self.pending.clear();
+    }
+
+    /// Refreshes with an unlimited budget.
+    pub fn refresh(&mut self, window: &mut SlidingWindowDatabase) -> Arc<PatternSnapshot> {
+        self.refresh_with_budget(window, MiningBudget::unlimited())
+    }
+
+    /// Brings the published patterns up to date with the window's current
+    /// contents, re-mining only dirty root partitions (plus any partitions
+    /// left unfinished by a previously truncated refresh).
+    pub fn refresh_with_budget(
+        &mut self,
+        window: &mut SlidingWindowDatabase,
+        budget: MiningBudget,
+    ) -> Arc<PatternSnapshot> {
+        let min_support = self.config.effective_min_support();
+        let mut dirty: BTreeSet<SymbolId> = std::mem::take(&mut self.pending);
+        dirty.extend(window.take_dirty());
+
+        let index = DbIndex::from_seq_indexes(window.seq_indexes());
+
+        // Threshold changes (and the very first refresh) invalidate the
+        // carry-over: supports carried from the previous snapshot are only
+        // reusable when they were computed under the same threshold.
+        let prev = self
+            .prev
+            .take()
+            .filter(|prev| prev.min_support == min_support);
+        let full = prev.is_none();
+        let roots: Vec<SymbolId> = if full {
+            index.frequent_symbols(min_support)
+        } else {
+            dirty.iter().copied().collect()
+        };
+
+        let mined = ParallelTpMiner::new(self.config, self.threads)
+            .with_budget(budget)
+            .mine_partitions(&index, &roots);
+
+        let mut by_root: HashMap<SymbolId, Vec<(TemporalPattern, usize)>> = HashMap::new();
+        let mut carried = 0usize;
+        if let Some(prev) = prev {
+            for (root, patterns) in prev.by_root {
+                if !dirty.contains(&root) {
+                    carried += patterns.len();
+                    by_root.insert(root, patterns);
+                }
+            }
+        }
+        let mined_patterns = mined.len();
+        let stats = mined.stats().clone();
+        let termination = mined.termination().clone();
+        for fp in mined.into_patterns() {
+            let root = fp.pattern.groups()[0][0].symbol;
+            by_root
+                .entry(root)
+                .or_default()
+                .push((fp.pattern, fp.support));
+        }
+
+        // A truncated refresh may have missed patterns in any partition it
+        // mined; remember them so the next refresh finishes the job.
+        if termination.is_complete() {
+            self.pending.clear();
+        } else {
+            self.pending = roots.iter().copied().collect();
+        }
+
+        let pairs: Vec<(TemporalPattern, usize)> =
+            by_root.values().flat_map(|v| v.iter().cloned()).collect();
+        self.prev = Some(PrevState {
+            by_root,
+            min_support,
+        });
+
+        self.revision += 1;
+        let snapshot = Arc::new(PatternSnapshot {
+            revision: self.revision,
+            watermark: window.watermark(),
+            window_start: window.cutoff(),
+            sequences: window.len(),
+            symbols: window.symbols().clone(),
+            result: MiningResult::from_parts(pairs, stats, termination),
+            refresh: RefreshStats {
+                full,
+                dirty_roots: roots.len(),
+                carried_patterns: carried,
+                mined_patterns,
+            },
+        });
+        if let Some(cell) = &self.cell {
+            cell.store(Arc::clone(&snapshot));
+        }
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_core::{StreamEvent, Termination};
+    use tpminer::TpMiner;
+
+    fn interval(sequence: u64, symbol: &str, start: i64, end: i64) -> StreamEvent {
+        StreamEvent::Interval {
+            sequence,
+            symbol: symbol.into(),
+            start,
+            end,
+        }
+    }
+
+    fn assert_matches_batch(
+        miner_result: &MiningResult,
+        window: &SlidingWindowDatabase,
+        config: MinerConfig,
+    ) {
+        let batch = TpMiner::new(config).mine(&window.snapshot_database());
+        assert_eq!(miner_result.patterns(), batch.patterns());
+    }
+
+    #[test]
+    fn first_refresh_is_full_and_matches_batch() {
+        let mut w = SlidingWindowDatabase::new(100);
+        w.ingest(interval(1, "a", 0, 5)).unwrap();
+        w.ingest(interval(1, "b", 3, 8)).unwrap();
+        w.ingest(interval(2, "a", 1, 6)).unwrap();
+        w.ingest(interval(2, "b", 4, 9)).unwrap();
+        let config = MinerConfig::with_min_support(2);
+        let mut m = IncrementalMiner::new(config, 2);
+        let s = m.refresh(&mut w);
+        assert!(s.refresh.full);
+        assert_eq!(s.revision, 1);
+        assert_matches_batch(&s.result, &w, config);
+    }
+
+    #[test]
+    fn clean_partitions_are_carried_not_remined() {
+        let mut w = SlidingWindowDatabase::new(1_000);
+        // Two independent symbol clusters in disjoint sequences.
+        for seq in 0..4 {
+            w.ingest(interval(seq, "a", 0, 5)).unwrap();
+            w.ingest(interval(seq, "b", 3, 8)).unwrap();
+        }
+        for seq in 10..14 {
+            w.ingest(interval(seq, "x", 0, 5)).unwrap();
+            w.ingest(interval(seq, "y", 3, 8)).unwrap();
+        }
+        let config = MinerConfig::with_min_support(2);
+        let mut m = IncrementalMiner::new(config, 2);
+        let first = m.refresh(&mut w);
+        assert!(first.refresh.full);
+
+        // Touch only the x/y cluster.
+        w.ingest(interval(10, "x", 6, 9)).unwrap();
+        let second = m.refresh(&mut w);
+        assert!(!second.refresh.full);
+        let x = w.symbols().lookup("x").unwrap();
+        let y = w.symbols().lookup("y").unwrap();
+        let mut expected: Vec<SymbolId> = vec![x, y];
+        expected.sort_unstable();
+        assert_eq!(second.refresh.dirty_roots, expected.len());
+        assert!(second.refresh.carried_patterns > 0, "a/b cluster carried");
+        assert_matches_batch(&second.result, &w, config);
+    }
+
+    #[test]
+    fn eviction_is_reflected_after_refresh() {
+        let mut w = SlidingWindowDatabase::new(10);
+        w.ingest(interval(1, "a", 0, 5)).unwrap();
+        w.ingest(interval(2, "a", 0, 5)).unwrap();
+        w.ingest(interval(2, "b", 12, 18)).unwrap();
+        let config = MinerConfig::with_min_support(1);
+        let mut m = IncrementalMiner::new(config, 2);
+        let s = m.refresh(&mut w);
+        assert_matches_batch(&s.result, &w, config);
+
+        // cutoff 10: both "a" intervals expire; sequence 1 disappears.
+        w.ingest(StreamEvent::Watermark(20)).unwrap();
+        let s = m.refresh(&mut w);
+        assert!(!s.refresh.full);
+        assert_eq!(s.sequences, 1);
+        assert_matches_batch(&s.result, &w, config);
+        let a = w.symbols().lookup("a").unwrap();
+        assert!(s.result.containing_symbol(a).next().is_none());
+    }
+
+    #[test]
+    fn threshold_change_forces_full_remine() {
+        let mut w = SlidingWindowDatabase::new(1_000);
+        for seq in 0..3 {
+            w.ingest(interval(seq, "a", 0, 5)).unwrap();
+        }
+        w.ingest(interval(0, "b", 1, 4)).unwrap();
+        let mut m = IncrementalMiner::new(MinerConfig::with_min_support(1), 1);
+        m.refresh(&mut w);
+
+        m.set_min_support(2);
+        let s = m.refresh(&mut w);
+        assert!(s.refresh.full, "threshold change invalidates carry-over");
+        assert_matches_batch(&s.result, &w, MinerConfig::with_min_support(2));
+    }
+
+    #[test]
+    fn cancelled_refresh_stays_sound_and_recovers() {
+        let mut w = SlidingWindowDatabase::new(1_000);
+        for seq in 0..3 {
+            w.ingest(interval(seq, "a", 0, 5)).unwrap();
+            w.ingest(interval(seq, "b", 3, 8)).unwrap();
+        }
+        let config = MinerConfig::with_min_support(2);
+        let mut m = IncrementalMiner::new(config, 1);
+
+        let budget = MiningBudget::unlimited();
+        budget.token().cancel();
+        let s = m.refresh_with_budget(&mut w, budget);
+        assert_eq!(s.result.termination(), &Termination::Cancelled);
+        assert!(s.result.is_empty());
+
+        // The next (unbudgeted) refresh recovers full completeness even
+        // though the window did not change.
+        let s = m.refresh(&mut w);
+        assert!(s.result.is_exhaustive());
+        assert_matches_batch(&s.result, &w, config);
+    }
+
+    #[test]
+    fn unchanged_window_refreshes_to_identical_snapshot() {
+        let mut w = SlidingWindowDatabase::new(1_000);
+        w.ingest(interval(1, "a", 0, 5)).unwrap();
+        w.ingest(interval(2, "a", 2, 7)).unwrap();
+        let mut m = IncrementalMiner::new(MinerConfig::with_min_support(1), 1);
+        let first = m.refresh(&mut w);
+        let second = m.refresh(&mut w);
+        assert!(!second.refresh.full);
+        assert_eq!(second.refresh.dirty_roots, 0);
+        assert_eq!(second.refresh.mined_patterns, 0);
+        assert_eq!(first.result.patterns(), second.result.patterns());
+    }
+
+    #[test]
+    fn snapshots_publish_to_the_cell() {
+        let cell = Arc::new(SnapshotCell::new());
+        let mut w = SlidingWindowDatabase::new(100);
+        w.ingest(interval(1, "a", 0, 5)).unwrap();
+        let mut m =
+            IncrementalMiner::new(MinerConfig::with_min_support(1), 1).with_cell(Arc::clone(&cell));
+        assert_eq!(cell.load().revision, 0);
+        let s = m.refresh(&mut w);
+        assert_eq!(cell.load().revision, s.revision);
+        assert_eq!(cell.load().result.len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Streaming ingestion and incremental mining over sliding windows.
+//!
+//! This crate turns the batch miner of [`tpminer`] into a continuously
+//! refreshed one:
+//!
+//! - [`SlidingWindowDatabase`] ingests [`interval_core::StreamEvent`]s
+//!   (open/close endpoint pairs or completed intervals, punctuated by
+//!   watermarks), evicts expired intervals as the watermark advances, and
+//!   incrementally maintains per-symbol support counts plus cached
+//!   per-sequence endpoint indexes;
+//! - [`IncrementalMiner`] re-mines only the *dirty* root-symbol partitions
+//!   — those whose supporting sequences changed since the last refresh —
+//!   and carries every clean partition's patterns over unchanged (see
+//!   [`incremental`] for the correctness argument);
+//! - [`PatternSnapshot`] / [`SnapshotCell`] publish each refreshed result
+//!   atomically (an `Arc` swap behind a lock) so concurrent readers always
+//!   see one coherent result while the next refresh is computed.
+//!
+//! ```
+//! use interval_core::StreamEvent;
+//! use stream::{IncrementalMiner, SlidingWindowDatabase};
+//! use tpminer::MinerConfig;
+//!
+//! let mut window = SlidingWindowDatabase::new(50);
+//! let mut miner = IncrementalMiner::new(MinerConfig::with_min_support(2), 0);
+//!
+//! for seq in 0..3u64 {
+//!     window
+//!         .ingest(StreamEvent::Interval {
+//!             sequence: seq,
+//!             symbol: "fever".into(),
+//!             start: 10 * seq as i64,
+//!             end: 10 * seq as i64 + 5,
+//!         })
+//!         .unwrap();
+//! }
+//! window.ingest(StreamEvent::Watermark(30)).unwrap();
+//!
+//! let snapshot = miner.refresh(&mut window);
+//! assert_eq!(snapshot.result.len(), 1);
+//! println!("{}", snapshot.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod incremental;
+pub mod snapshot;
+pub mod window;
+
+pub use incremental::IncrementalMiner;
+pub use snapshot::{PatternSnapshot, RefreshStats, SnapshotCell};
+pub use window::{IngestStats, SlidingWindowDatabase};

@@ -1,0 +1,171 @@
+//! Published mining snapshots and the cell readers load them from.
+
+use std::sync::Arc;
+
+use interval_core::{SymbolTable, Termination, Time};
+use parking_lot::RwLock;
+use serde::Serialize;
+use tpminer::{MinerStats, MiningResult};
+
+/// How a refresh produced its snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct RefreshStats {
+    /// Whether this was a full re-mine (first refresh, changed threshold,
+    /// or an explicit invalidation) rather than a dirty-partition refresh.
+    pub full: bool,
+    /// Number of root partitions re-mined.
+    pub dirty_roots: usize,
+    /// Patterns carried over unchanged from the previous snapshot.
+    pub carried_patterns: usize,
+    /// Patterns produced by the re-mine of the dirty partitions.
+    pub mined_patterns: usize,
+}
+
+/// An immutable, self-contained view of the mining state at one refresh:
+/// the frequent patterns of the window at `revision`, the window bounds
+/// they were mined over, and how the refresh was computed.
+///
+/// Snapshots are shared as `Arc<PatternSnapshot>` and never mutated, so any
+/// number of readers can hold one while the miner publishes the next.
+#[derive(Debug, Clone, Serialize)]
+pub struct PatternSnapshot {
+    /// Monotonically increasing refresh counter (0 = empty initial state).
+    pub revision: u64,
+    /// The watermark the window had at refresh time.
+    pub watermark: Option<Time>,
+    /// Lower edge of the window (`watermark − window length`).
+    pub window_start: Option<Time>,
+    /// Number of sequences in the mined window.
+    pub sequences: usize,
+    /// Symbol table for rendering patterns (a clone; the live table may
+    /// have grown since).
+    pub symbols: SymbolTable,
+    /// The mining result: patterns with exact supports, work counters and
+    /// the [`Termination`] status of the refresh.
+    pub result: MiningResult,
+    /// How this refresh was computed.
+    pub refresh: RefreshStats,
+}
+
+impl PatternSnapshot {
+    /// The snapshot published before any refresh: revision 0, no window,
+    /// no patterns.
+    pub fn empty() -> Self {
+        Self {
+            revision: 0,
+            watermark: None,
+            window_start: None,
+            sequences: 0,
+            symbols: SymbolTable::new(),
+            result: MiningResult::from_parts(
+                Vec::new(),
+                MinerStats::default(),
+                Termination::Complete,
+            ),
+            refresh: RefreshStats::default(),
+        }
+    }
+
+    /// Renders every pattern with its support, one per line.
+    pub fn render(&self) -> String {
+        self.result.render(&self.symbols)
+    }
+}
+
+impl Default for PatternSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// A shared cell holding the latest [`PatternSnapshot`].
+///
+/// Publication is an `Arc` swap behind a lock: writers block only for the
+/// pointer exchange, readers clone the `Arc` and then work lock-free on an
+/// immutable snapshot. A reader mid-query keeps its (old) snapshot alive
+/// while newer ones are published.
+///
+/// ```
+/// use std::sync::Arc;
+/// use stream::{PatternSnapshot, SnapshotCell};
+///
+/// let cell = Arc::new(SnapshotCell::new());
+/// let reader = cell.load();
+/// assert_eq!(reader.revision, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<PatternSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Creates a cell holding the empty snapshot (revision 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the latest snapshot. The returned `Arc` stays valid (and
+    /// immutable) regardless of later publications.
+    pub fn load(&self) -> Arc<PatternSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// Atomically publishes a new snapshot.
+    pub fn store(&self, snapshot: Arc<PatternSnapshot>) {
+        *self.current.write() = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_has_revision_zero() {
+        let s = PatternSnapshot::empty();
+        assert_eq!(s.revision, 0);
+        assert!(s.result.is_empty());
+        assert!(s.result.is_exhaustive());
+        assert_eq!(s.render(), "");
+    }
+
+    #[test]
+    fn cell_swaps_without_invalidating_readers() {
+        let cell = SnapshotCell::new();
+        let old = cell.load();
+        let mut next = PatternSnapshot::empty();
+        next.revision = 1;
+        cell.store(Arc::new(next));
+        assert_eq!(old.revision, 0, "held snapshot unaffected");
+        assert_eq!(cell.load().revision, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_see_a_coherent_snapshot() {
+        let cell = Arc::new(SnapshotCell::new());
+        let writer = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                for revision in 1..=50u64 {
+                    let mut s = PatternSnapshot::empty();
+                    s.revision = revision;
+                    cell.store(Arc::new(s));
+                }
+            })
+        };
+        let reader = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..200 {
+                    let s = cell.load();
+                    assert!(s.revision >= last, "revisions move forward");
+                    last = s.revision;
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(cell.load().revision, 50);
+    }
+}

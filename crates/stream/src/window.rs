@@ -1,0 +1,653 @@
+//! Sliding-window interval database fed by a stream of events.
+//!
+//! [`SlidingWindowDatabase`] ingests [`StreamEvent`]s and maintains, at all
+//! times, the interval database induced by the current window `[watermark −
+//! window, watermark]`:
+//!
+//! - `open`/`close` events buffer *open* intervals per `(sequence, symbol)`
+//!   until the close arrives; only completed intervals are minable;
+//! - watermarks advance event time and trigger **eviction**: a completed
+//!   interval is expired exactly when `end < watermark − window` (it lies
+//!   entirely before the window), and a sequence is dropped once it has
+//!   neither live intervals nor open ones;
+//! - per-symbol sequence-level support counts are maintained
+//!   *incrementally* on every insert/evict (tested against from-scratch
+//!   rebuilds), and per-sequence endpoint indexes ([`SeqIndex`]) are cached
+//!   and invalidated only for sequences that actually changed.
+//!
+//! Open intervals are never evicted: a watermark `w` promises all endpoints
+//! `< w` have been delivered, so an interval still open at `w` must close at
+//! some `end ≥ w`, which is inside every window ending at `w`.
+//!
+//! The window also tracks which *root symbols* are dirty since the last
+//! [`take_dirty`](SlidingWindowDatabase::take_dirty): whenever a sequence
+//! changes, every symbol present in it before or after the change is marked.
+//! [`IncrementalMiner`](crate::IncrementalMiner) re-mines only those
+//! partitions; see `docs/ALGORITHMS.md` for why that is sufficient.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use interval_core::{
+    EventInterval, IntervalDatabase, IntervalError, IntervalSequence, Result, SequenceId,
+    StreamEvent, SymbolId, SymbolTable, Time,
+};
+use serde::Serialize;
+use tpminer::SeqIndex;
+
+/// Counters describing everything a window has ingested and evicted.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct IngestStats {
+    /// Events accepted by [`SlidingWindowDatabase::ingest`].
+    pub events: u64,
+    /// Intervals completed (a matched open/close pair or an `interval`
+    /// record).
+    pub intervals_completed: u64,
+    /// Completed intervals that were already expired on arrival
+    /// (`end < watermark − window`) and were dropped without entering the
+    /// window.
+    pub late_intervals_dropped: u64,
+    /// Intervals evicted by watermark advancement.
+    pub intervals_evicted: u64,
+    /// Sequences dropped entirely (no live or open intervals left).
+    pub sequences_evicted: u64,
+    /// Watermarks that regressed (ignored, counted for observability).
+    pub watermark_regressions: u64,
+}
+
+/// Per-sequence state: completed in-window intervals, open intervals and the
+/// bookkeeping that makes support maintenance and index reuse incremental.
+#[derive(Debug, Default)]
+struct SeqState {
+    /// Completed intervals currently in the window (insertion order; sorted
+    /// by the index build).
+    intervals: Vec<EventInterval>,
+    /// Number of completed intervals per symbol (support bookkeeping).
+    symbol_counts: HashMap<SymbolId, u32>,
+    /// Start times of currently-open intervals per symbol.
+    open: HashMap<SymbolId, Vec<Time>>,
+    /// Cached endpoint index; invalidated whenever `intervals` changes.
+    cached: Option<Arc<SeqIndex>>,
+}
+
+impl SeqState {
+    fn open_count(&self) -> usize {
+        self.open.values().map(Vec::len).sum()
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.intervals.is_empty() && self.open.values().all(Vec::is_empty)
+    }
+}
+
+/// A sliding-window interval database maintained incrementally from a
+/// [`StreamEvent`] stream.
+///
+/// ```
+/// use interval_core::StreamEvent;
+/// use stream::SlidingWindowDatabase;
+///
+/// let mut w = SlidingWindowDatabase::new(100);
+/// w.ingest(StreamEvent::Interval { sequence: 1, symbol: "fever".into(), start: 0, end: 10 })
+///     .unwrap();
+/// w.ingest(StreamEvent::Watermark(50)).unwrap();
+/// assert_eq!(w.len(), 1);
+/// // The watermark reaching 111 pushes [0, 10) entirely out of the window.
+/// w.ingest(StreamEvent::Watermark(111)).unwrap();
+/// assert_eq!(w.len(), 0);
+/// ```
+#[derive(Debug)]
+pub struct SlidingWindowDatabase {
+    window: Time,
+    watermark: Option<Time>,
+    symbols: SymbolTable,
+    sequences: BTreeMap<SequenceId, SeqState>,
+    /// Sequence-level support of every symbol: the number of sequences with
+    /// at least one completed in-window interval carrying it.
+    support: HashMap<SymbolId, usize>,
+    /// Root symbols touched by any sequence change since `take_dirty`.
+    dirty: BTreeSet<SymbolId>,
+    stats: IngestStats,
+}
+
+impl SlidingWindowDatabase {
+    /// Creates a window of the given length (in stream time units).
+    ///
+    /// # Panics
+    /// Panics when `window <= 0`.
+    pub fn new(window: Time) -> Self {
+        assert!(window > 0, "window length must be positive");
+        Self {
+            window,
+            watermark: None,
+            symbols: SymbolTable::new(),
+            sequences: BTreeMap::new(),
+            support: HashMap::new(),
+            dirty: BTreeSet::new(),
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> Time {
+        self.window
+    }
+
+    /// The highest watermark observed, if any.
+    pub fn watermark(&self) -> Option<Time> {
+        self.watermark
+    }
+
+    /// Lower edge of the current window (`watermark − window`), if a
+    /// watermark has been observed. Completed intervals with `end` before
+    /// this instant are expired.
+    pub fn cutoff(&self) -> Option<Time> {
+        self.watermark.map(|w| w.saturating_sub(self.window))
+    }
+
+    /// The symbol table shared by all sequences (grows monotonically).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Ingestion/eviction counters.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Number of sequences with at least one completed in-window interval
+    /// (the size of the minable database).
+    pub fn len(&self) -> usize {
+        self.sequences
+            .values()
+            .filter(|s| !s.intervals.is_empty())
+            .count()
+    }
+
+    /// Whether no sequence has a completed in-window interval.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of currently-open (unclosed) intervals.
+    pub fn open_intervals(&self) -> usize {
+        self.sequences.values().map(SeqState::open_count).sum()
+    }
+
+    /// Sequence-level support of `symbol` in the current window.
+    pub fn support(&self, symbol: SymbolId) -> usize {
+        self.support.get(&symbol).copied().unwrap_or(0)
+    }
+
+    /// All non-zero per-symbol support counts.
+    pub fn support_counts(&self) -> &HashMap<SymbolId, usize> {
+        &self.support
+    }
+
+    /// Drains the set of dirty root symbols accumulated since the previous
+    /// call: every symbol that occurred (before or after the change) in any
+    /// sequence whose in-window intervals changed.
+    pub fn take_dirty(&mut self) -> Vec<SymbolId> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    /// Applies one stream event.
+    ///
+    /// Errors leave the window unchanged: a close without a matching open or
+    /// with a non-positive duration is [`IntervalError::InconsistentStream`];
+    /// degenerate `interval` records are rejected as in the batch model.
+    /// Regressing watermarks are ignored (counted in
+    /// [`IngestStats::watermark_regressions`]).
+    pub fn ingest(&mut self, event: StreamEvent) -> Result<()> {
+        match event {
+            StreamEvent::Open {
+                sequence,
+                symbol,
+                at,
+            } => {
+                let id = self.symbols.intern(&symbol);
+                self.sequences
+                    .entry(sequence)
+                    .or_default()
+                    .open
+                    .entry(id)
+                    .or_default()
+                    .push(at);
+            }
+            StreamEvent::Close {
+                sequence,
+                symbol,
+                at,
+            } => {
+                let id = self.symbols.intern(&symbol);
+                let start = self.pop_open(sequence, id, &symbol, at)?;
+                let interval = EventInterval::new_unchecked(id, start, at);
+                self.complete(sequence, interval);
+            }
+            StreamEvent::Interval {
+                sequence,
+                symbol,
+                start,
+                end,
+            } => {
+                let id = self.symbols.intern(&symbol);
+                let interval = EventInterval::new(id, start, end)?;
+                self.complete(sequence, interval);
+            }
+            StreamEvent::Watermark(at) => self.advance_watermark(at),
+        }
+        self.stats.events += 1;
+        Ok(())
+    }
+
+    /// Matches a close event to the earliest open interval of the symbol.
+    fn pop_open(
+        &mut self,
+        sequence: SequenceId,
+        id: SymbolId,
+        symbol: &str,
+        at: Time,
+    ) -> Result<Time> {
+        let opens = self
+            .sequences
+            .get_mut(&sequence)
+            .and_then(|s| s.open.get_mut(&id))
+            .filter(|opens| !opens.is_empty())
+            .ok_or_else(|| {
+                IntervalError::InconsistentStream(format!(
+                    "close of {symbol:?} at {at} in sequence {sequence} has no open interval"
+                ))
+            })?;
+        // FIFO: a close finishes the *earliest* still-open interval of the
+        // symbol, which keeps concurrent same-symbol intervals well nested.
+        let (earliest, _) = opens
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &start)| start)
+            .expect("non-empty by filter");
+        let start = opens.swap_remove(earliest);
+        if start >= at {
+            // Put it back: errors must not lose state.
+            self.sequences
+                .get_mut(&sequence)
+                .expect("sequence exists")
+                .open
+                .get_mut(&id)
+                .expect("symbol entry exists")
+                .push(start);
+            return Err(IntervalError::InconsistentStream(format!(
+                "close of {symbol:?} at {at} in sequence {sequence} precedes its open at {start}"
+            )));
+        }
+        Ok(start)
+    }
+
+    /// Adds a completed interval to its sequence, maintaining support counts
+    /// and dirty roots.
+    fn complete(&mut self, sequence: SequenceId, interval: EventInterval) {
+        self.stats.intervals_completed += 1;
+        if let Some(cutoff) = self.cutoff() {
+            if interval.end < cutoff {
+                self.stats.late_intervals_dropped += 1;
+                return;
+            }
+        }
+        let seq = self.sequences.entry(sequence).or_default();
+        seq.intervals.push(interval);
+        seq.cached = None;
+        let count = seq.symbol_counts.entry(interval.symbol).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            *self.support.entry(interval.symbol).or_insert(0) += 1;
+        }
+        // The post-change symbol set of the sequence is a superset of the
+        // pre-change one, so marking it covers both sides of the change.
+        self.dirty.extend(seq.symbol_counts.keys().copied());
+    }
+
+    /// Advances the watermark and evicts expired intervals and sequences.
+    fn advance_watermark(&mut self, at: Time) {
+        if self.watermark.is_some_and(|w| at < w) {
+            self.stats.watermark_regressions += 1;
+            return;
+        }
+        self.watermark = Some(at);
+        let cutoff = at.saturating_sub(self.window);
+
+        let mut evicted_intervals = 0u64;
+        let mut evicted_sequences = 0u64;
+        self.sequences.retain(|_, seq| {
+            let expired = seq.intervals.iter().any(|iv| iv.end < cutoff);
+            if expired {
+                // Pre-change symbol set is a superset of the post-change
+                // one: mark it before removal.
+                self.dirty.extend(seq.symbol_counts.keys().copied());
+                seq.cached = None;
+                seq.intervals.retain(|iv| {
+                    if iv.end < cutoff {
+                        evicted_intervals += 1;
+                        let count = self
+                            .support
+                            .get_mut(&iv.symbol)
+                            .expect("supported symbol has a count");
+                        let seq_count = seq
+                            .symbol_counts
+                            .get_mut(&iv.symbol)
+                            .expect("present symbol has a count");
+                        *seq_count -= 1;
+                        if *seq_count == 0 {
+                            seq.symbol_counts.remove(&iv.symbol);
+                            *count -= 1;
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            if seq.is_exhausted() {
+                evicted_sequences += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.support.retain(|_, &mut count| count > 0);
+        self.stats.intervals_evicted += evicted_intervals;
+        self.stats.sequences_evicted += evicted_sequences;
+    }
+
+    /// Materializes the current window as a batch [`IntervalDatabase`]:
+    /// one sequence (in `SequenceId` order) per sequence with at least one
+    /// completed interval. Open intervals are excluded — they are not
+    /// minable until closed.
+    pub fn snapshot_database(&self) -> IntervalDatabase {
+        let sequences = self
+            .sequences
+            .values()
+            .filter(|s| !s.intervals.is_empty())
+            .map(|s| IntervalSequence::from_intervals(s.intervals.clone()))
+            .collect();
+        IntervalDatabase::from_parts(self.symbols.clone(), sequences)
+    }
+
+    /// Per-sequence endpoint indexes of the current window, in the same
+    /// order as [`snapshot_database`](Self::snapshot_database). Indexes of
+    /// unchanged sequences are reused from the cache; only sequences whose
+    /// intervals changed since the last call are re-indexed.
+    pub fn seq_indexes(&mut self) -> Vec<Arc<SeqIndex>> {
+        self.sequences
+            .values_mut()
+            .filter(|s| !s.intervals.is_empty())
+            .map(|s| {
+                s.cached
+                    .get_or_insert_with(|| {
+                        Arc::new(SeqIndex::from_sequence(&IntervalSequence::from_intervals(
+                            s.intervals.clone(),
+                        )))
+                    })
+                    .clone()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(sequence: SequenceId, symbol: &str, start: Time, end: Time) -> StreamEvent {
+        StreamEvent::Interval {
+            sequence,
+            symbol: symbol.into(),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn open_close_completes_an_interval() {
+        let mut w = SlidingWindowDatabase::new(100);
+        w.ingest(StreamEvent::Open {
+            sequence: 1,
+            symbol: "a".into(),
+            at: 5,
+        })
+        .unwrap();
+        assert_eq!(w.len(), 0, "open intervals are not minable");
+        assert_eq!(w.open_intervals(), 1);
+        w.ingest(StreamEvent::Close {
+            sequence: 1,
+            symbol: "a".into(),
+            at: 9,
+        })
+        .unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.open_intervals(), 0);
+        let db = w.snapshot_database();
+        let a = db.symbols().lookup("a").unwrap();
+        assert_eq!(
+            db.sequences()[0].intervals(),
+            &[EventInterval::new_unchecked(a, 5, 9)]
+        );
+    }
+
+    #[test]
+    fn close_matches_earliest_open_of_symbol() {
+        let mut w = SlidingWindowDatabase::new(100);
+        for at in [10, 2, 7] {
+            w.ingest(StreamEvent::Open {
+                sequence: 1,
+                symbol: "a".into(),
+                at,
+            })
+            .unwrap();
+        }
+        w.ingest(StreamEvent::Close {
+            sequence: 1,
+            symbol: "a".into(),
+            at: 20,
+        })
+        .unwrap();
+        let db = w.snapshot_database();
+        assert_eq!(db.sequences()[0].intervals()[0].start, 2);
+        assert_eq!(w.open_intervals(), 2);
+    }
+
+    #[test]
+    fn close_without_open_is_rejected_and_harmless() {
+        let mut w = SlidingWindowDatabase::new(100);
+        let err = w
+            .ingest(StreamEvent::Close {
+                sequence: 1,
+                symbol: "a".into(),
+                at: 9,
+            })
+            .unwrap_err();
+        assert!(matches!(err, IntervalError::InconsistentStream(_)));
+        assert_eq!(w.stats().events, 0);
+
+        w.ingest(StreamEvent::Open {
+            sequence: 1,
+            symbol: "a".into(),
+            at: 5,
+        })
+        .unwrap();
+        let err = w
+            .ingest(StreamEvent::Close {
+                sequence: 1,
+                symbol: "a".into(),
+                at: 5,
+            })
+            .unwrap_err();
+        assert!(matches!(err, IntervalError::InconsistentStream(_)));
+        // The open interval survives the failed close.
+        assert_eq!(w.open_intervals(), 1);
+        w.ingest(StreamEvent::Close {
+            sequence: 1,
+            symbol: "a".into(),
+            at: 6,
+        })
+        .unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn watermark_evicts_expired_intervals_and_sequences() {
+        let mut w = SlidingWindowDatabase::new(10);
+        w.ingest(interval(1, "a", 0, 5)).unwrap();
+        w.ingest(interval(1, "b", 8, 20)).unwrap();
+        w.ingest(interval(2, "a", 1, 4)).unwrap();
+        w.ingest(StreamEvent::Watermark(12)).unwrap();
+        // cutoff 2: nothing expired (ends 5, 20, 4 all >= 2).
+        assert_eq!(w.len(), 2);
+
+        w.ingest(StreamEvent::Watermark(16)).unwrap();
+        // cutoff 6: [0,5) and [1,4) expire; sequence 2 is dropped.
+        assert_eq!(w.len(), 1);
+        let a = w.symbols().lookup("a").unwrap();
+        let b = w.symbols().lookup("b").unwrap();
+        assert_eq!(w.support(a), 0);
+        assert_eq!(w.support(b), 1);
+        assert_eq!(w.stats().intervals_evicted, 2);
+        assert_eq!(w.stats().sequences_evicted, 1);
+    }
+
+    #[test]
+    fn interval_spanning_the_cutoff_stays_live() {
+        let mut w = SlidingWindowDatabase::new(10);
+        w.ingest(interval(1, "a", 0, 100)).unwrap();
+        w.ingest(StreamEvent::Watermark(90)).unwrap();
+        assert_eq!(w.len(), 1, "end 100 >= cutoff 80 keeps it live");
+        w.ingest(StreamEvent::Watermark(111)).unwrap();
+        assert_eq!(w.len(), 0, "end 100 < cutoff 101 expires it");
+    }
+
+    #[test]
+    fn open_intervals_survive_eviction() {
+        let mut w = SlidingWindowDatabase::new(10);
+        w.ingest(StreamEvent::Open {
+            sequence: 1,
+            symbol: "a".into(),
+            at: 0,
+        })
+        .unwrap();
+        w.ingest(StreamEvent::Watermark(1_000)).unwrap();
+        assert_eq!(w.open_intervals(), 1);
+        // Closing far in the future completes a live interval.
+        w.ingest(StreamEvent::Close {
+            sequence: 1,
+            symbol: "a".into(),
+            at: 1_005,
+        })
+        .unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn late_intervals_are_dropped() {
+        let mut w = SlidingWindowDatabase::new(10);
+        w.ingest(StreamEvent::Watermark(100)).unwrap();
+        w.ingest(interval(1, "a", 0, 5)).unwrap(); // end 5 < cutoff 90
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.stats().late_intervals_dropped, 1);
+    }
+
+    #[test]
+    fn regressing_watermark_is_ignored() {
+        let mut w = SlidingWindowDatabase::new(10);
+        w.ingest(interval(1, "a", 95, 99)).unwrap();
+        w.ingest(StreamEvent::Watermark(100)).unwrap();
+        w.ingest(StreamEvent::Watermark(40)).unwrap();
+        assert_eq!(w.watermark(), Some(100));
+        assert_eq!(w.stats().watermark_regressions, 1);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn support_counts_match_rebuild() {
+        let mut w = SlidingWindowDatabase::new(15);
+        let events = [
+            interval(1, "a", 0, 5),
+            interval(1, "a", 2, 8),
+            interval(2, "a", 0, 6),
+            interval(2, "b", 3, 9),
+            StreamEvent::Watermark(12),
+            interval(3, "b", 10, 14),
+            StreamEvent::Watermark(22),
+        ];
+        for e in events {
+            w.ingest(e).unwrap();
+        }
+        let db = w.snapshot_database();
+        for (id, _) in w.symbols().iter() {
+            let rebuilt = db
+                .sequences()
+                .iter()
+                .filter(|s| s.intervals().iter().any(|iv| iv.symbol == id))
+                .count();
+            assert_eq!(w.support(id), rebuilt, "support of {id:?} drifted");
+        }
+    }
+
+    #[test]
+    fn dirty_symbols_cover_changed_sequences() {
+        let mut w = SlidingWindowDatabase::new(100);
+        w.ingest(interval(1, "a", 0, 5)).unwrap();
+        w.ingest(interval(1, "b", 2, 8)).unwrap();
+        w.ingest(interval(2, "c", 0, 5)).unwrap();
+        let a = w.symbols().lookup("a").unwrap();
+        let b = w.symbols().lookup("b").unwrap();
+        let c = w.symbols().lookup("c").unwrap();
+        assert_eq!(w.take_dirty(), vec![a, b, c]);
+        assert!(w.take_dirty().is_empty(), "drained");
+
+        // Touching sequence 1 dirties a and b, not c.
+        w.ingest(interval(1, "a", 3, 9)).unwrap();
+        assert_eq!(w.take_dirty(), vec![a, b]);
+    }
+
+    #[test]
+    fn eviction_marks_pre_change_symbols_dirty() {
+        let mut w = SlidingWindowDatabase::new(10);
+        w.ingest(interval(1, "a", 0, 5)).unwrap();
+        w.ingest(interval(1, "b", 8, 30)).unwrap();
+        w.ingest(StreamEvent::Watermark(9)).unwrap();
+        let _ = w.take_dirty();
+        // cutoff 10: [0,5) of "a" expires; both a and b were present.
+        w.ingest(StreamEvent::Watermark(20)).unwrap();
+        let a = w.symbols().lookup("a").unwrap();
+        let b = w.symbols().lookup("b").unwrap();
+        assert_eq!(w.take_dirty(), vec![a, b]);
+    }
+
+    #[test]
+    fn seq_indexes_are_cached_until_change() {
+        let mut w = SlidingWindowDatabase::new(100);
+        w.ingest(interval(1, "a", 0, 5)).unwrap();
+        w.ingest(interval(2, "b", 1, 6)).unwrap();
+        let first = w.seq_indexes();
+        let second = w.seq_indexes();
+        assert!(Arc::ptr_eq(&first[0], &second[0]));
+        assert!(Arc::ptr_eq(&first[1], &second[1]));
+
+        w.ingest(interval(1, "a", 2, 7)).unwrap();
+        let third = w.seq_indexes();
+        assert!(!Arc::ptr_eq(&first[0], &third[0]), "changed: rebuilt");
+        assert!(Arc::ptr_eq(&first[1], &third[1]), "unchanged: reused");
+    }
+
+    #[test]
+    fn snapshot_matches_seq_indexes_order() {
+        let mut w = SlidingWindowDatabase::new(100);
+        w.ingest(interval(5, "b", 1, 6)).unwrap();
+        w.ingest(interval(2, "a", 0, 5)).unwrap();
+        let db = w.snapshot_database();
+        let idx = w.seq_indexes();
+        assert_eq!(db.len(), idx.len());
+        // Sequence-id order: 2 before 5.
+        let a = db.symbols().lookup("a").unwrap();
+        assert_eq!(db.sequences()[0].intervals()[0].symbol, a);
+        assert_eq!(idx[0].symbols_sorted(), &[a]);
+    }
+}

@@ -2,8 +2,9 @@
 //! the per-symbol access structures and global statistics the miner and its
 //! pruning techniques need.
 
-use interval_core::{EndpointSeq, IntervalDatabase, SymbolId};
+use interval_core::{EndpointSeq, IntervalDatabase, IntervalSequence, SymbolId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-sequence mining index.
 #[derive(Debug)]
@@ -19,7 +20,17 @@ pub struct SeqIndex {
 }
 
 impl SeqIndex {
-    fn new(endpoints: EndpointSeq) -> Self {
+    /// Indexes one sequence (endpoint transform plus per-symbol sort).
+    ///
+    /// Public so streaming drivers can index sequences individually as they
+    /// change and reuse the untouched ones across re-mines (see
+    /// [`DbIndex::from_seq_indexes`]).
+    pub fn from_sequence(sequence: &IntervalSequence) -> Self {
+        Self::from_endpoints(EndpointSeq::from_sequence(sequence))
+    }
+
+    /// Indexes a sequence already in endpoint representation.
+    pub fn from_endpoints(endpoints: EndpointSeq) -> Self {
         let mut ids: Vec<u32> = (0..endpoints.instance_count() as u32).collect();
         ids.sort_unstable_by_key(|&i| {
             let info = endpoints.instance(i);
@@ -87,8 +98,10 @@ impl SeqIndex {
 /// Whole-database mining index.
 #[derive(Debug)]
 pub struct DbIndex {
-    /// One [`SeqIndex`] per database sequence (same order).
-    pub sequences: Vec<SeqIndex>,
+    /// One [`SeqIndex`] per database sequence (same order). Shared
+    /// ownership lets streaming drivers keep per-sequence indexes cached
+    /// and rebuild only the changed ones between re-mines.
+    pub sequences: Vec<Arc<SeqIndex>>,
     /// Sequence-level frequency of every symbol.
     pub symbol_support: HashMap<SymbolId, u32>,
     /// Sequence-level co-occurrence counts of unordered symbol pairs
@@ -99,12 +112,20 @@ pub struct DbIndex {
 impl DbIndex {
     /// Builds the index (one database scan plus per-sequence sorts).
     pub fn build(db: &IntervalDatabase) -> Self {
-        let sequences: Vec<SeqIndex> = db
-            .sequences()
-            .iter()
-            .map(|s| SeqIndex::new(EndpointSeq::from_sequence(s)))
-            .collect();
+        Self::from_seq_indexes(
+            db.sequences()
+                .iter()
+                .map(|s| Arc::new(SeqIndex::from_sequence(s)))
+                .collect(),
+        )
+    }
 
+    /// Assembles a database index from prebuilt per-sequence indexes,
+    /// recomputing only the global statistics (symbol supports and
+    /// co-occurrence counts). This is the streaming fast path: when a window
+    /// slides, unchanged sequences keep their cached [`SeqIndex`] and only
+    /// changed ones pay the endpoint transform and sort again.
+    pub fn from_seq_indexes(sequences: Vec<Arc<SeqIndex>>) -> Self {
         let mut symbol_support: HashMap<SymbolId, u32> = HashMap::new();
         let mut cooccurrence: HashMap<(SymbolId, SymbolId), u32> = HashMap::new();
         let mut seq_symbols: Vec<SymbolId> = Vec::new();
@@ -238,6 +259,16 @@ mod tests {
         let at = seq0.instances_starting_at(a, g0);
         assert_eq!(at.len(), 1);
         assert_eq!(at[0], ids[0]);
+    }
+
+    #[test]
+    fn from_seq_indexes_matches_full_build() {
+        let db = sample_db();
+        let full = DbIndex::build(&db);
+        let rebuilt = DbIndex::from_seq_indexes(full.sequences.clone());
+        assert_eq!(rebuilt.symbol_support, full.symbol_support);
+        assert_eq!(rebuilt.cooccurrence, full.cooccurrence);
+        assert_eq!(rebuilt.sequences.len(), full.sequences.len());
     }
 
     #[test]

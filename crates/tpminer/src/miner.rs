@@ -37,6 +37,22 @@ impl MiningResult {
         Self::with_termination(pairs, stats, Termination::Complete)
     }
 
+    /// Assembles a result from raw `(pattern, support)` pairs, sorting them
+    /// into the canonical `(arity, pattern)` order.
+    ///
+    /// Intended for drivers that merge partition results mined separately —
+    /// e.g. an incremental miner combining re-mined dirty partitions with
+    /// carried-over clean ones. The caller is responsible for the pairs
+    /// being exact supports under a single coherent database snapshot.
+    pub fn from_parts(
+        mut pairs: Vec<(TemporalPattern, usize)>,
+        stats: MinerStats,
+        termination: Termination,
+    ) -> Self {
+        pairs.sort_unstable_by(|a, b| (a.0.arity(), &a.0).cmp(&(b.0.arity(), &b.0)));
+        Self::with_termination(pairs, stats, termination)
+    }
+
     pub(crate) fn with_termination(
         pairs: Vec<(TemporalPattern, usize)>,
         stats: MinerStats,

@@ -102,10 +102,23 @@ impl ParallelTpMiner {
     /// Mines over a prebuilt index.
     pub fn mine_indexed(&self, index: &DbIndex) -> MiningResult {
         let roots = SearchEngine::new(index, self.config).root_symbols();
+        self.mine_partitions(index, &roots)
+    }
+
+    /// Mines only the level-1 subtrees rooted at `roots`, using the worker
+    /// pool. The result contains exactly the frequent patterns whose first
+    /// endpoint set starts with one of the given roots, with exact supports.
+    ///
+    /// This is the incremental-mining hook: a driver that knows which root
+    /// partitions are *dirty* since its last snapshot re-mines just those
+    /// and merges the clean partitions from the previous result. Roots not
+    /// frequent under the current index are mined to an empty partition, so
+    /// passing stale roots is safe.
+    pub fn mine_partitions(&self, index: &DbIndex, roots: &[SymbolId]) -> MiningResult {
         if roots.is_empty() {
             return MiningResult::new(Vec::new(), MinerStats::default());
         }
-        let chunks = partition_roots(&roots, self.threads);
+        let chunks = partition_roots(roots, self.threads);
 
         // Join every worker individually: a panicked worker yields `Err`
         // here instead of propagating out of the scope, so one poisoned

@@ -17,6 +17,9 @@
 //! - [`synthgen`] — the QUEST-style synthetic interval workload generator.
 //! - [`datasets`] — realistic dataset emulators (library loans, stock state
 //!   intervals, gesture annotations) and text I/O.
+//! - [`stream`] — streaming ingestion: a sliding-window database over
+//!   timestamped interval events and an incremental miner that refreshes
+//!   only the partitions the latest events touched.
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@
 pub use baselines;
 pub use datasets;
 pub use interval_core;
+pub use stream;
 pub use synthgen;
 pub use tpminer;
 

@@ -1,0 +1,274 @@
+//! Property and agreement tests for the streaming subsystem
+//! (`crates/stream`), checked against straightforward from-scratch models:
+//!
+//! - eviction never drops a live interval (and never keeps an expired one):
+//!   after any op sequence the window's contents equal a shadow log replayed
+//!   with the declared watermark semantics;
+//! - the incrementally maintained per-symbol support counts always equal a
+//!   from-scratch recount of the materialized window;
+//! - at every watermark, [`stream::IncrementalMiner`] agrees with the batch
+//!   [`tpminer::TpMiner`] run on the materialized window — the same
+//!   patterns with the same exact supports.
+
+use std::collections::BTreeMap;
+
+use interval_core::{StreamEvent, SymbolId, Time};
+use proptest::prelude::*;
+use stream::{IncrementalMiner, SlidingWindowDatabase};
+use tpminer::{MinerConfig, TpMiner};
+
+/// The sliding-window length every test here uses.
+const WINDOW: Time = 20;
+
+/// One step of a randomly generated ingest run.
+#[derive(Debug, Clone)]
+enum Op {
+    Interval {
+        sequence: u64,
+        symbol: u32,
+        start: Time,
+        end: Time,
+    },
+    Watermark(Time),
+}
+
+impl Op {
+    fn event(&self) -> StreamEvent {
+        match *self {
+            Op::Interval {
+                sequence,
+                symbol,
+                start,
+                end,
+            } => StreamEvent::Interval {
+                sequence,
+                symbol: format!("s{symbol}"),
+                start,
+                end,
+            },
+            Op::Watermark(at) => StreamEvent::Watermark(at),
+        }
+    }
+}
+
+/// Strategy: ~1 in 4 ops advances the watermark; the rest insert intervals
+/// over a tiny alphabet/sequence space so that co-occurrence (and therefore
+/// mining work) is common.
+fn op() -> impl Strategy<Value = Op> {
+    (0u32..4, 0u64..4, 0u32..4, 0i64..50, 1i64..8).prop_map(|(kind, sequence, symbol, t, len)| {
+        if kind == 0 {
+            Op::Watermark(t + len)
+        } else {
+            Op::Interval {
+                sequence,
+                symbol,
+                start: t,
+                end: t + len,
+            }
+        }
+    })
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(op(), 1..40)
+}
+
+/// A from-scratch model of the window: every accepted, still-live interval,
+/// replayed with the documented semantics (late completions dropped,
+/// regressing watermarks ignored, eviction strictly below
+/// `watermark − WINDOW`).
+#[derive(Default)]
+struct Shadow {
+    watermark: Option<Time>,
+    /// `sequence id → (symbol name, start, end)` for every live interval.
+    live: BTreeMap<u64, Vec<(String, Time, Time)>>,
+}
+
+impl Shadow {
+    fn cutoff(&self) -> Option<Time> {
+        self.watermark.map(|w| w.saturating_sub(WINDOW))
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Interval {
+                sequence,
+                symbol,
+                start,
+                end,
+            } => {
+                if self.cutoff().is_some_and(|cutoff| end < cutoff) {
+                    return; // late: dropped on arrival
+                }
+                self.live
+                    .entry(sequence)
+                    .or_default()
+                    .push((format!("s{symbol}"), start, end));
+            }
+            Op::Watermark(at) => {
+                if self.watermark.is_some_and(|w| at < w) {
+                    return; // regression: ignored
+                }
+                self.watermark = Some(at);
+                let cutoff = at.saturating_sub(WINDOW);
+                for intervals in self.live.values_mut() {
+                    intervals.retain(|&(_, _, end)| end >= cutoff);
+                }
+                self.live.retain(|_, intervals| !intervals.is_empty());
+            }
+        }
+    }
+
+    /// The expected window contents: per sequence (in id order), the sorted
+    /// list of `(symbol name, start, end)` triples.
+    fn contents(&self) -> Vec<Vec<(String, Time, Time)>> {
+        self.live
+            .values()
+            .map(|intervals| {
+                let mut sorted = intervals.clone();
+                sorted.sort();
+                sorted
+            })
+            .collect()
+    }
+}
+
+/// The window's actual contents in the same shape as [`Shadow::contents`].
+fn window_contents(window: &SlidingWindowDatabase) -> Vec<Vec<(String, Time, Time)>> {
+    let db = window.snapshot_database();
+    db.sequences()
+        .iter()
+        .map(|seq| {
+            let mut intervals: Vec<(String, Time, Time)> = seq
+                .intervals()
+                .iter()
+                .map(|iv| (db.symbols().name(iv.symbol).to_owned(), iv.start, iv.end))
+                .collect();
+            intervals.sort();
+            intervals
+        })
+        .collect()
+}
+
+/// Recounts per-symbol support (sequences containing the symbol) from the
+/// materialized window, ignoring the incremental bookkeeping entirely.
+fn recount_support(window: &SlidingWindowDatabase) -> BTreeMap<SymbolId, usize> {
+    let db = window.snapshot_database();
+    let mut support = BTreeMap::new();
+    for seq in db.sequences() {
+        let mut symbols: Vec<SymbolId> = seq.intervals().iter().map(|iv| iv.symbol).collect();
+        symbols.sort_unstable();
+        symbols.dedup();
+        for symbol in symbols {
+            *support.entry(symbol).or_insert(0) += 1;
+        }
+    }
+    support
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eviction keeps exactly the live intervals: everything with
+    /// `end >= watermark − WINDOW` survives, everything below is gone, open
+    /// intervals and accepted completions are never lost early.
+    #[test]
+    fn window_contents_match_shadow_replay(ops in ops()) {
+        let mut window = SlidingWindowDatabase::new(WINDOW);
+        let mut shadow = Shadow::default();
+        for op in &ops {
+            window.ingest(op.event()).unwrap();
+            shadow.apply(op);
+            prop_assert_eq!(window.watermark(), shadow.watermark);
+        }
+        prop_assert_eq!(window_contents(&window), shadow.contents());
+    }
+
+    /// The incrementally maintained support counts equal a from-scratch
+    /// recount after any op sequence.
+    #[test]
+    fn incremental_support_matches_rebuild(ops in ops()) {
+        let mut window = SlidingWindowDatabase::new(WINDOW);
+        for op in &ops {
+            window.ingest(op.event()).unwrap();
+        }
+        let incremental: BTreeMap<SymbolId, usize> = window
+            .support_counts()
+            .iter()
+            .map(|(&id, &count)| (id, count))
+            .collect();
+        prop_assert_eq!(incremental, recount_support(&window));
+    }
+
+    /// At every refresh point the incremental miner reports exactly the
+    /// batch miner's result for the current window: same patterns, same
+    /// supports, in the same canonical order.
+    #[test]
+    fn incremental_miner_agrees_with_batch(ops in ops()) {
+        let config = MinerConfig::with_min_support(2);
+        let mut window = SlidingWindowDatabase::new(WINDOW);
+        let mut miner = IncrementalMiner::new(config, 0);
+        for op in &ops {
+            window.ingest(op.event()).unwrap();
+            if matches!(op, Op::Watermark(_)) {
+                let snapshot = miner.refresh(&mut window);
+                let batch = TpMiner::new(config).mine(&window.snapshot_database());
+                prop_assert_eq!(snapshot.result.patterns(), batch.patterns());
+            }
+        }
+        // Final refresh covers the tail after the last watermark.
+        let snapshot = miner.refresh(&mut window);
+        let batch = TpMiner::new(config).mine(&window.snapshot_database());
+        prop_assert_eq!(snapshot.result.patterns(), batch.patterns());
+    }
+}
+
+/// A deterministic end-to-end agreement check with open/close endpoint
+/// events, eviction, and a threshold change — the exact scenario the
+/// acceptance criteria name ("same patterns with the same supports").
+#[test]
+fn incremental_agrees_with_batch_through_open_close_and_slide() {
+    let mut window = SlidingWindowDatabase::new(30);
+    let config = MinerConfig::with_min_support(2);
+    let mut miner = IncrementalMiner::new(config, 2);
+
+    let events = [
+        "open 1 fever 0",
+        "interval 1 rash 3 9",
+        "close 1 fever 6",
+        "open 2 fever 2",
+        "interval 2 rash 5 11",
+        "close 2 fever 8",
+        "watermark 12",
+        "interval 3 fever 14 20",
+        "interval 3 rash 16 22",
+        "watermark 25",
+        "interval 1 fever 40 46",
+        "interval 2 fever 41 47",
+        "watermark 72", // cutoff 42: everything before t=42 except the tail
+    ];
+    for (i, line) in events.iter().enumerate() {
+        let event = StreamEvent::parse_line(line, i + 1).unwrap().unwrap();
+        let at_watermark = matches!(event, StreamEvent::Watermark(_));
+        window.ingest(event).unwrap();
+        if at_watermark {
+            let snapshot = miner.refresh(&mut window);
+            let batch = TpMiner::new(config).mine(&window.snapshot_database());
+            assert_eq!(
+                snapshot.result.patterns(),
+                batch.patterns(),
+                "incremental and batch must agree exactly"
+            );
+            assert!(snapshot.result.is_exhaustive());
+        }
+    }
+    assert!(window.stats().intervals_evicted > 0, "the slide evicted");
+
+    // A threshold change forces (and gets) a correct full re-mine.
+    let lowered = MinerConfig::with_min_support(1);
+    miner.set_min_support(1);
+    let snapshot = miner.refresh(&mut window);
+    assert!(snapshot.refresh.full);
+    let batch = TpMiner::new(lowered).mine(&window.snapshot_database());
+    assert_eq!(snapshot.result.patterns(), batch.patterns());
+}
