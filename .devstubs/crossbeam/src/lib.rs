@@ -1,0 +1,47 @@
+//! Offline stand-in for `crossbeam`: scoped "threads" that run eagerly on
+//! the calling thread with panics contained at the (already computed) join.
+//! Semantics match real scoped threads for deterministic workloads; there is
+//! no actual parallelism.
+
+pub mod thread {
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    pub struct Scope<'env> {
+        _marker: PhantomData<&'env ()>,
+    }
+
+    pub struct ScopedJoinHandle<T> {
+        outcome: Result<T>,
+    }
+
+    impl<T> ScopedJoinHandle<T> {
+        pub fn join(self) -> Result<T> {
+            self.outcome
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            ScopedJoinHandle {
+                outcome: catch_unwind(AssertUnwindSafe(|| f(self))),
+            }
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let scope = Scope {
+            _marker: PhantomData,
+        };
+        Ok(f(&scope))
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `rand_chacha`: `ChaCha8Rng` is a splitmix64
+//! generator (deterministic per seed, but NOT ChaCha-compatible — golden
+//! values derived from real ChaCha output will differ).
+
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    inner: rand::rngs::SmallRng,
+}
+
+impl rand::SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            inner: rand::SeedableRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl rand::RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for `serde`: real trait shapes, panicking blanket impls.
+//! Lets the workspace type-check (and run non-serde tests) without network.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: std::fmt::Display + std::fmt::Debug;
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: std::fmt::Display + std::fmt::Debug;
+}
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<T: ?Sized> Serialize for T {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        unimplemented!("serde stub: serialization is unavailable offline")
+    }
+}
+
+impl<'de, T> Deserialize<'de> for T {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        unimplemented!("serde stub: deserialization is unavailable offline")
+    }
+}
+
+pub mod de {
+    pub use crate::{Deserialize, Deserializer};
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use crate::{Serialize, Serializer};
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde_derive`: accepts the derives (and `#[serde]`
+//! helper attributes) but emits nothing — the `serde` stub's blanket impls
+//! satisfy every bound.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
