@@ -54,9 +54,22 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut timeout: Option<Duration> = None;
     let mut experiments: Vec<String> = Vec::new();
+    let mut perf_quick = false;
+    let mut perf_json = false;
+    let mut perf_against: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--quick" => perf_quick = true,
+            "--json" => perf_json = true,
+            "--against" => {
+                let value = args.next().unwrap_or_default();
+                if value.is_empty() {
+                    eprintln!("--against needs a baseline file path");
+                    std::process::exit(2);
+                }
+                perf_against = Some(value);
+            }
             "--scale" => {
                 let value = args.next().unwrap_or_default();
                 scale = Scale::parse(&value).unwrap_or_else(|| {
@@ -78,7 +91,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale quick|full] [--timeout SECS] [e1 e2 e3 e4 e5 e6 e7 e8 | all]"
+                    "usage: repro [--scale quick|full] [--timeout SECS] [e1 e2 e3 e4 e5 e6 e7 e8 | all]\n\
+                            repro --quick [--json] [--against BENCH_baseline.json]   (perf-smoke suite)"
                 );
                 return;
             }
@@ -86,6 +100,14 @@ fn main() {
         }
     }
     RUN_TIMEOUT.set(timeout).expect("set once");
+    if perf_quick {
+        perf_smoke(perf_json, perf_against.as_deref());
+        return;
+    }
+    if perf_json || perf_against.is_some() {
+        eprintln!("--json/--against only apply to the --quick perf-smoke suite");
+        std::process::exit(2);
+    }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = (1..=8).map(|i| format!("e{i}")).collect();
     }
@@ -105,6 +127,39 @@ fn main() {
             other => eprintln!("unknown experiment `{other}` (expected e1..e8)"),
         }
         println!();
+    }
+}
+
+/// The `--quick` perf-smoke mode: runs the fixed-seed smoke workloads,
+/// optionally emits the flat JSON baseline to stdout, and optionally gates
+/// against a committed baseline file (nonzero exit on regression).
+fn perf_smoke(json: bool, against: Option<&str>) {
+    let report = bench::perfsmoke::run();
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for (key, value) in report.entries() {
+            println!("{key}: {value}");
+        }
+    }
+    if let Some(path) = against {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline `{path}`: {e}");
+            std::process::exit(2);
+        });
+        let baseline = bench::perfsmoke::SmokeReport::from_json(&text);
+        if baseline.entries().is_empty() {
+            eprintln!("baseline `{path}` contains no metrics");
+            std::process::exit(2);
+        }
+        let failures = bench::perfsmoke::compare(&report, &baseline);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("perf-smoke REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("perf-smoke: all metrics within thresholds");
     }
 }
 
@@ -362,6 +417,8 @@ fn e4(scale: Scale) {
             "min_sup",
             "P-TPMiner peak states",
             "states created",
+            "arena peak",
+            "scratch reuse",
             "H-DFS occurrences",
             "P-TPMiner RSS",
             "H-DFS RSS",
@@ -384,6 +441,8 @@ fn e4(scale: Scale) {
             format!("{:.0}%", rel * 100.0),
             tp.stats().peak_node_states.to_string(),
             tp.stats().states_created.to_string(),
+            fmt_bytes(tp.stats().arena_peak_bytes),
+            tp.stats().scratch_reuse_hits.to_string(),
             hd.stats.occurrences_materialized.to_string(),
             fmt_rss(tp_rss),
             fmt_rss(hd_rss),
@@ -394,6 +453,8 @@ fn e4(scale: Scale) {
                 "rel_support": rel,
                 "tpminer_rss": tp_rss, "tpminer_peak_states": tp.stats().peak_node_states,
                 "tpminer_states_created": tp.stats().states_created,
+                "tpminer_arena_peak_bytes": tp.stats().arena_peak_bytes,
+                "tpminer_scratch_reuse_hits": tp.stats().scratch_reuse_hits,
                 "hdfs_rss": hd_rss, "hdfs_occurrences": hd.stats.occurrences_materialized,
             }),
         );

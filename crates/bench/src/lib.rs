@@ -8,5 +8,6 @@
 
 pub mod alloc_meter;
 pub mod chart;
+pub mod perfsmoke;
 pub mod tables;
 pub mod workloads;

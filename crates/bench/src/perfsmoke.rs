@@ -1,0 +1,319 @@
+//! Perf-smoke suite: a handful of fixed-seed, laptop-quick workloads whose
+//! wall-clock and memory numbers are committed as `BENCH_baseline.json` and
+//! re-checked by CI with loose regression thresholds (>2x wall clock,
+//! >1.5x peak RSS). This is a smoke gate against order-of-magnitude
+//! regressions, not a microbenchmark; run it via
+//! `repro --quick [--json] [--against BENCH_baseline.json]`.
+//!
+//! The JSON is written and parsed by hand (flat `"key": integer` pairs
+//! only) so the suite also runs in the offline dev-stub container, where
+//! `serde_json` is a panicking stub.
+
+use crate::alloc_meter;
+use interval_core::{DatabaseBuilder, IntervalDatabase, SymbolId};
+use std::time::Instant;
+use synthgen::{QuestConfig, QuestGenerator};
+use tpminer::{DbIndex, MinerConfig, ParallelTpMiner, TpMiner};
+
+/// Wall-clock regression threshold (current / baseline) that fails the gate.
+pub const MAX_WALL_RATIO: f64 = 2.0;
+/// Peak-RSS regression threshold (current / baseline) that fails the gate.
+pub const MAX_RSS_RATIO: f64 = 1.5;
+
+/// Flat metric report: ordered `(name, value)` pairs.
+#[derive(Debug, Default)]
+pub struct SmokeReport {
+    entries: Vec<(String, u64)>,
+}
+
+impl SmokeReport {
+    fn push(&mut self, key: &str, value: u64) {
+        self.entries.push((key.to_owned(), value));
+    }
+
+    /// The recorded metrics in insertion order.
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+
+    /// Value of `key`, if recorded.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the report as a flat JSON object (one `"key": value` line per
+    /// metric; no serde involved so it works under the offline stubs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!("  \"{k}\": {v}{comma}\n"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses the flat JSON produced by [`SmokeReport::to_json`]. Tolerates
+    /// whitespace and ordering changes; anything that is not a
+    /// `"key": integer` pair is ignored.
+    pub fn from_json(text: &str) -> SmokeReport {
+        let mut report = SmokeReport::default();
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            let Some(rest) = line.strip_prefix('"') else {
+                continue;
+            };
+            let Some((key, value)) = rest.split_once('"') else {
+                continue;
+            };
+            let value = value.trim_start().trim_start_matches(':').trim();
+            if let Ok(v) = value.parse::<u64>() {
+                report.push(key, v);
+            }
+        }
+        report
+    }
+}
+
+/// The dense sequential workload: a small QUEST-style database whose
+/// frontier projections dominate the runtime (the hot path the SoA
+/// frontier targets).
+pub fn dense_db() -> IntervalDatabase {
+    QuestGenerator::new(QuestConfig {
+        num_sequences: 600,
+        avg_intervals_per_sequence: 12.0,
+        avg_pattern_arity: 4.0,
+        num_symbols: 40,
+        num_potential_patterns: 20,
+        corruption: 0.25,
+        noise: 0.15,
+        avg_duration: 20.0,
+        horizon: 400,
+        seed: 7,
+    })
+    .generate()
+}
+
+/// The skewed-roots parallel workload: two heavy root symbols (many
+/// overlapping same-symbol instances → deep subtrees) that a round-robin
+/// partition over sorted symbol ids lands on the *same* worker at 2
+/// threads, plus light filler roots. A weight-ordered work queue spreads
+/// the heavy subtrees across workers instead.
+pub fn skewed_db() -> IntervalDatabase {
+    let mut b = DatabaseBuilder::new();
+    for s in 0..48i64 {
+        let t = s % 7;
+        let mut sb = b.sequence();
+        // Heavy symbol H0 (interned first → even symbol id 0).
+        for k in 0..5 {
+            sb = sb.interval("H0", t + k, t + k + 6);
+        }
+        sb = sb.interval("L1", t + 13, t + 15);
+        // Heavy symbol H2 (even symbol id 2: round-robin pairs it with H0).
+        for k in 0..5 {
+            sb = sb.interval("H2", t + k + 1, t + k + 7);
+        }
+        // The light roots start after every heavy instance has finished:
+        // patterns only grow forward, so light-rooted subtrees stay tiny
+        // while the heavy roots absorb the whole tail.
+        sb.interval("L3", t + 14, t + 16)
+            .interval("L5", t + 15, t + 17)
+            .interval("L7", t + 16, t + 18);
+    }
+    b.build()
+}
+
+/// Runs the suite and collects the metric report. Prints a short progress
+/// line per workload to stderr.
+pub fn run() -> SmokeReport {
+    let mut report = SmokeReport::default();
+
+    // --- dense sequential mine ---
+    let db = dense_db();
+    let min_sup = db.absolute_support(0.05);
+    let config = MinerConfig::with_min_support(min_sup);
+    let (result, rss) = alloc_meter::measure_peak(|| {
+        let started = Instant::now();
+        let result = TpMiner::new(config).mine(&db);
+        (started.elapsed().as_micros() as u64, result)
+    });
+    let (dense_us, result) = result;
+    let stats = result.stats().clone();
+    eprintln!(
+        "perf-smoke: dense sequential mine — {} patterns in {} us",
+        result.len(),
+        dense_us
+    );
+    report.push("dense_patterns", result.len() as u64);
+    report.push("dense_mine_us", dense_us);
+    report.push("dense_peak_rss_bytes", rss.unwrap_or(0));
+    report.push("dense_peak_node_states", stats.peak_node_states);
+    report.push("dense_states_created", stats.states_created);
+    report.push("dense_arena_peak_bytes", stats.arena_peak_bytes);
+    report.push("dense_scratch_reuse_hits", stats.scratch_reuse_hits);
+
+    // --- skewed-root parallel mine ---
+    let db = skewed_db();
+    let min_sup = db.absolute_support(0.60);
+    let config = MinerConfig::with_min_support(min_sup).max_arity(6);
+    let started = Instant::now();
+    let seq = TpMiner::new(config).mine(&db);
+    let skew_seq_us = started.elapsed().as_micros() as u64;
+    let par = ParallelTpMiner::new(config, 2).mine(&db);
+    assert_eq!(
+        seq.patterns(),
+        par.patterns(),
+        "perf-smoke parity violation: parallel output diverged"
+    );
+
+    // Per-root subtree times, then the two schedulers' makespans at 2
+    // workers. Measuring each root alone and *simulating* the assignments
+    // keeps this meaningful on single-core hosts (and under the offline
+    // crossbeam stub, whose scoped "threads" run sequentially), where a
+    // wall-clock comparison of the two schedulers would read as a tie.
+    let index = DbIndex::build(&db);
+    let roots = index.frequent_symbols(min_sup);
+    let single = ParallelTpMiner::new(config, 1);
+    let root_times: Vec<u64> = roots
+        .iter()
+        .map(|&r| {
+            let started = Instant::now();
+            let _ = single.mine_partitions(&index, &[r]);
+            started.elapsed().as_micros() as u64
+        })
+        .collect();
+    let rr_makespan = round_robin_makespan(&root_times, 2);
+    let wq_makespan = work_queue_makespan(&roots, &root_times, &index, 2);
+    eprintln!(
+        "perf-smoke: skewed mine — {} patterns, seq {} us; 2-worker makespan \
+         round-robin {} us vs work-queue {} us",
+        par.len(),
+        skew_seq_us,
+        rr_makespan,
+        wq_makespan
+    );
+    report.push("skew_patterns", par.len() as u64);
+    report.push("skew_seq_us", skew_seq_us);
+    report.push("skew_rr_makespan_us", rr_makespan);
+    report.push("skew_wq_makespan_us", wq_makespan);
+
+    report
+}
+
+/// Makespan of the legacy static round-robin partition: worker `w` owns
+/// roots `w, w + workers, …` and their times simply sum.
+fn round_robin_makespan(root_times: &[u64], threads: usize) -> u64 {
+    let workers = threads.min(root_times.len()).max(1);
+    (0..workers)
+        .map(|w| root_times.iter().skip(w).step_by(workers).sum())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Makespan of the shared work queue: roots are ordered by estimated
+/// subtree weight (total instance count, heaviest first, ties by symbol id)
+/// and each idle worker claims the next unclaimed root — i.e. greedy list
+/// scheduling, which is what the atomic-cursor queue in
+/// `tpminer::parallel` executes.
+fn work_queue_makespan(
+    roots: &[SymbolId],
+    root_times: &[u64],
+    index: &DbIndex,
+    threads: usize,
+) -> u64 {
+    let workers = threads.min(roots.len()).max(1);
+    let mut order: Vec<usize> = (0..roots.len()).collect();
+    order.sort_by_key(|&i| {
+        let weight: usize = index
+            .sequences
+            .iter()
+            .map(|s| s.instances_of(roots[i]).len())
+            .sum();
+        (std::cmp::Reverse(weight), roots[i])
+    });
+    let mut loads = vec![0u64; workers];
+    for &i in &order {
+        let w = (0..workers).min_by_key(|&w| loads[w]).expect("workers >= 1");
+        loads[w] += root_times[i];
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+/// Compares `current` against a committed `baseline`, printing one line per
+/// gated metric. Returns the list of regression messages (empty = pass).
+/// Wall-clock keys (`*_us`) gate at [`MAX_WALL_RATIO`], RSS keys
+/// (`*_rss_bytes`) at [`MAX_RSS_RATIO`]; other keys are informational.
+pub fn compare(current: &SmokeReport, baseline: &SmokeReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, &base) in baseline.entries.iter().map(|(k, v)| (k, v)) {
+        let Some(cur) = current.get(key) else {
+            failures.push(format!("metric `{key}` missing from current run"));
+            continue;
+        };
+        let threshold = if key.ends_with("_us") {
+            Some(MAX_WALL_RATIO)
+        } else if key.ends_with("_rss_bytes") {
+            Some(MAX_RSS_RATIO)
+        } else {
+            None
+        };
+        let Some(threshold) = threshold else {
+            continue;
+        };
+        if base == 0 {
+            // Unmeasurable on the baseline host (e.g. no /proc); skip.
+            continue;
+        }
+        let ratio = cur as f64 / base as f64;
+        let verdict = if ratio > threshold { "FAIL" } else { "ok" };
+        eprintln!("perf-smoke: {key}: {cur} vs baseline {base} (x{ratio:.2}) {verdict}");
+        if ratio > threshold {
+            failures.push(format!(
+                "{key} regressed x{ratio:.2} (current {cur}, baseline {base}, limit x{threshold})"
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let mut report = SmokeReport::default();
+        report.push("dense_mine_us", 12345);
+        report.push("dense_peak_rss_bytes", 67890);
+        let parsed = SmokeReport::from_json(&report.to_json());
+        assert_eq!(parsed.entries(), report.entries());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions() {
+        let mut base = SmokeReport::default();
+        base.push("a_us", 100);
+        base.push("b_rss_bytes", 1000);
+        base.push("c_patterns", 5);
+        let mut fast = SmokeReport::default();
+        fast.push("a_us", 150); // x1.5 < 2.0
+        fast.push("b_rss_bytes", 1400); // x1.4 < 1.5
+        fast.push("c_patterns", 9); // informational
+        assert!(compare(&fast, &base).is_empty());
+        let mut slow = SmokeReport::default();
+        slow.push("a_us", 250); // x2.5 > 2.0
+        slow.push("b_rss_bytes", 1600); // x1.6 > 1.5
+        slow.push("c_patterns", 5);
+        assert_eq!(compare(&slow, &base).len(), 2);
+    }
+
+    #[test]
+    fn skewed_db_interns_heavy_symbols_at_even_ids() {
+        let db = skewed_db();
+        assert_eq!(db.symbols().lookup("H0").map(|s| s.0), Some(0));
+        assert_eq!(db.symbols().lookup("H2").map(|s| s.0), Some(2));
+    }
+}

@@ -15,7 +15,9 @@ pub struct Parsed {
 }
 
 /// Option keys that are flags (take no value).
-const FLAGS: &[&str] = &["uncertain", "closed", "maximal", "json", "help", "explain"];
+const FLAGS: &[&str] = &[
+    "uncertain", "closed", "maximal", "json", "help", "explain", "stats",
+];
 
 /// Parses an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Parsed, String> {

@@ -54,7 +54,7 @@ commands:
   mine       mine frequent temporal patterns
              <file> --min-support FRAC | --abs-support N
              [--max-arity K] [--window W] [--gap G] [--closed] [--maximal]
-             [--top-k K] [--rules CONF] [--explain] [--json]
+             [--top-k K] [--rules CONF] [--explain] [--json] [--stats]
              [--timeout SECS] [--max-nodes N] [--threads N]
   mine-prob  mine probabilistic patterns from uncertain data
              <file> --min-esup FRAC [--json] [--timeout SECS] [--max-nodes N]
@@ -118,6 +118,7 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
                 "rules",
                 "explain",
                 "json",
+                "stats",
                 "timeout",
                 "max-nodes",
                 "threads",
@@ -161,6 +162,24 @@ fn budget_from(p: &Parsed) -> Result<MiningBudget, String> {
 }
 
 /// Tells the user (on stderr) that the printed result is partial.
+/// Dumps the full work-counter block behind `mine --stats`: search effort,
+/// pruning effectiveness, and the allocation proxies of the flat search
+/// core (live-arena high-water mark, recycled-buffer hit count).
+fn report_miner_stats(stats: &tpminer::MinerStats) {
+    eprintln!("miner stats:");
+    eprintln!("  nodes explored        {}", stats.nodes_explored);
+    eprintln!("  patterns emitted      {}", stats.patterns_emitted);
+    eprintln!("  candidates counted    {}", stats.candidates_counted);
+    eprintln!("  states created        {}", stats.states_created);
+    eprintln!("  peak node states      {}", stats.peak_node_states);
+    eprintln!("  states pruned (dead)  {}", stats.states_pruned_dead);
+    eprintln!("  exts pruned (pair)    {}", stats.exts_pruned_pair);
+    eprintln!("  exts pruned (symbol)  {}", stats.exts_pruned_symbol);
+    eprintln!("  frontier cap hits     {}", stats.frontier_cap_hits);
+    eprintln!("  arena peak bytes      {}", stats.arena_peak_bytes);
+    eprintln!("  scratch reuse hits    {}", stats.scratch_reuse_hits);
+}
+
 fn report_truncation(termination: &Termination) {
     if !termination.is_complete() {
         eprintln!(
@@ -284,6 +303,9 @@ fn mine(p: &Parsed) -> Result<ExitCode, String> {
         result.stats().elapsed,
         result.stats().nodes_explored
     );
+    if p.flag("stats") {
+        report_miner_stats(result.stats());
+    }
     report_truncation(result.termination());
 
     if let Some(min_confidence) = p.opt_num::<f64>("rules")? {

@@ -1,6 +1,17 @@
 //! Mining index: the database transformed into endpoint representation plus
 //! the per-symbol access structures and global statistics the miner and its
 //! pruning techniques need.
+//!
+//! # Memory layout
+//!
+//! [`SymbolId`]s are dense `u32`s handed out by the interner, so the
+//! database-level tables are flat `Vec`s indexed by symbol id — no hashing
+//! anywhere on the mining path. Per sequence, the alphabet is tiny and
+//! sparse (a handful of symbols out of a possibly large universe), so a
+//! dense per-sequence table would waste `O(|Σ|)` per sequence; instead each
+//! [`SeqIndex`] stores its sorted symbol list plus a parallel range table
+//! ("slots"), giving the search engine positional `O(1)` access while
+//! one-off symbol lookups binary-search a few entries.
 
 use interval_core::{EndpointSeq, IntervalDatabase, IntervalSequence, SymbolId};
 use std::collections::HashMap;
@@ -12,10 +23,12 @@ pub struct SeqIndex {
     /// The endpoint representation of the sequence.
     pub endpoints: EndpointSeq,
     /// Instance ids grouped by symbol, each group sorted by start group.
-    /// Layout: `symbol_offsets` maps a symbol to a range of `by_symbol`.
+    /// Slot `k` (the `k`-th distinct symbol in sorted order) covers
+    /// `by_symbol[slot_ranges[k].0 .. slot_ranges[k].1]`.
     by_symbol: Vec<u32>,
-    symbol_offsets: HashMap<SymbolId, (u32, u32)>,
-    /// The distinct symbols of the sequence, sorted.
+    slot_ranges: Vec<(u32, u32)>,
+    /// The distinct symbols of the sequence, sorted; parallel to
+    /// `slot_ranges`.
     symbols_sorted: Vec<SymbolId>,
 }
 
@@ -36,7 +49,8 @@ impl SeqIndex {
             let info = endpoints.instance(i);
             (info.symbol, info.start_group, i)
         });
-        let mut symbol_offsets = HashMap::new();
+        let mut slot_ranges = Vec::new();
+        let mut symbols_sorted = Vec::new();
         let mut lo = 0usize;
         while lo < ids.len() {
             let symbol = endpoints.instance(ids[lo]).symbol;
@@ -44,48 +58,91 @@ impl SeqIndex {
             while hi < ids.len() && endpoints.instance(ids[hi]).symbol == symbol {
                 hi += 1;
             }
-            symbol_offsets.insert(symbol, (lo as u32, hi as u32));
+            symbols_sorted.push(symbol);
+            slot_ranges.push((lo as u32, hi as u32));
             lo = hi;
         }
-        let mut symbols_sorted: Vec<SymbolId> = symbol_offsets.keys().copied().collect();
-        symbols_sorted.sort_unstable();
         Self {
             endpoints,
             by_symbol: ids,
-            symbol_offsets,
+            slot_ranges,
             symbols_sorted,
         }
+    }
+
+    /// The slot (position in [`SeqIndex::symbols_sorted`]) of `symbol`, if
+    /// the sequence contains it.
+    #[inline]
+    pub fn symbol_slot(&self, symbol: SymbolId) -> Option<usize> {
+        self.symbols_sorted.binary_search(&symbol).ok()
+    }
+
+    /// Number of distinct symbols (slots) in the sequence.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.symbols_sorted.len()
+    }
+
+    /// Instance ids of the `slot`-th distinct symbol, sorted by start group.
+    #[inline]
+    pub fn slot_instances(&self, slot: usize) -> &[u32] {
+        let (lo, hi) = self.slot_ranges[slot];
+        &self.by_symbol[lo as usize..hi as usize]
     }
 
     /// Instance ids carrying `symbol`, sorted by start group.
     #[inline]
     pub fn instances_of(&self, symbol: SymbolId) -> &[u32] {
-        match self.symbol_offsets.get(&symbol) {
-            Some(&(lo, hi)) => &self.by_symbol[lo as usize..hi as usize],
+        match self.symbol_slot(symbol) {
+            Some(slot) => self.slot_instances(slot),
             None => &[],
         }
     }
 
-    /// Instance ids of `symbol` whose start group is **strictly after** `g`.
+    /// Instance ids in `ids` whose start group is **strictly after** `g`
+    /// (`ids` must be start-group sorted, as every slot slice is).
     #[inline]
-    pub fn instances_starting_after(&self, symbol: SymbolId, g: u32) -> &[u32] {
-        let ids = self.instances_of(symbol);
+    fn cut_after<'s>(&self, ids: &'s [u32], g: u32) -> &'s [u32] {
         let cut = ids.partition_point(|&i| self.endpoints.instance(i).start_group <= g);
         &ids[cut..]
     }
 
-    /// Instance ids of `symbol` whose start group is **exactly** `g`.
+    /// Instance ids in `ids` whose start group is **exactly** `g`.
     #[inline]
-    pub fn instances_starting_at(&self, symbol: SymbolId, g: u32) -> &[u32] {
-        let ids = self.instances_of(symbol);
+    fn cut_at<'s>(&self, ids: &'s [u32], g: u32) -> &'s [u32] {
         let lo = ids.partition_point(|&i| self.endpoints.instance(i).start_group < g);
         let hi = ids.partition_point(|&i| self.endpoints.instance(i).start_group <= g);
         &ids[lo..hi]
     }
 
-    /// The symbols occurring in this sequence (unsorted).
+    /// Instance ids of `symbol` whose start group is **strictly after** `g`.
+    #[inline]
+    pub fn instances_starting_after(&self, symbol: SymbolId, g: u32) -> &[u32] {
+        self.cut_after(self.instances_of(symbol), g)
+    }
+
+    /// Instance ids of `symbol` whose start group is **exactly** `g`.
+    #[inline]
+    pub fn instances_starting_at(&self, symbol: SymbolId, g: u32) -> &[u32] {
+        self.cut_at(self.instances_of(symbol), g)
+    }
+
+    /// Slot-addressed variant of [`SeqIndex::instances_starting_after`]
+    /// (no symbol lookup; the hot path iterates slots directly).
+    #[inline]
+    pub fn slot_instances_starting_after(&self, slot: usize, g: u32) -> &[u32] {
+        self.cut_after(self.slot_instances(slot), g)
+    }
+
+    /// Slot-addressed variant of [`SeqIndex::instances_starting_at`].
+    #[inline]
+    pub fn slot_instances_starting_at(&self, slot: usize, g: u32) -> &[u32] {
+        self.cut_at(self.slot_instances(slot), g)
+    }
+
+    /// The symbols occurring in this sequence, sorted ascending.
     pub fn symbols(&self) -> impl Iterator<Item = SymbolId> + '_ {
-        self.symbol_offsets.keys().copied()
+        self.symbols_sorted.iter().copied()
     }
 
     /// The distinct symbols of the sequence, sorted ascending.
@@ -102,10 +159,13 @@ pub struct DbIndex {
     /// ownership lets streaming drivers keep per-sequence indexes cached
     /// and rebuild only the changed ones between re-mines.
     pub sequences: Vec<Arc<SeqIndex>>,
-    /// Sequence-level frequency of every symbol.
-    pub symbol_support: HashMap<SymbolId, u32>,
+    /// Sequence-level frequency of every symbol, dense-indexed by
+    /// [`SymbolId`] (length = smallest universe covering every symbol that
+    /// occurs; absent symbols count 0).
+    pub symbol_support: Vec<u32>,
     /// Sequence-level co-occurrence counts of unordered symbol pairs
     /// (`a <= b` keys, including `a == b` meaning "two or more instances").
+    /// Pairs are sparse in the symbol universe, so this one stays a map.
     pub cooccurrence: HashMap<(SymbolId, SymbolId), u32>,
 }
 
@@ -126,15 +186,18 @@ impl DbIndex {
     /// slides, unchanged sequences keep their cached [`SeqIndex`] and only
     /// changed ones pay the endpoint transform and sort again.
     pub fn from_seq_indexes(sequences: Vec<Arc<SeqIndex>>) -> Self {
-        let mut symbol_support: HashMap<SymbolId, u32> = HashMap::new();
+        let universe = sequences
+            .iter()
+            .filter_map(|s| s.symbols_sorted().last())
+            .map(|s| s.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut symbol_support = vec![0u32; universe];
         let mut cooccurrence: HashMap<(SymbolId, SymbolId), u32> = HashMap::new();
-        let mut seq_symbols: Vec<SymbolId> = Vec::new();
         for seq in &sequences {
-            seq_symbols.clear();
-            seq_symbols.extend(seq.symbols());
-            seq_symbols.sort_unstable();
-            for &s in &seq_symbols {
-                *symbol_support.entry(s).or_insert(0) += 1;
+            let seq_symbols = seq.symbols_sorted();
+            for &s in seq_symbols {
+                symbol_support[s.index()] += 1;
                 // A pattern with two instances of `s` needs two instances in
                 // the sequence; record the (s, s) "pair" accordingly.
                 if seq.instances_of(s).len() >= 2 {
@@ -156,10 +219,20 @@ impl DbIndex {
         }
     }
 
+    /// Size of the dense symbol universe (one past the largest occurring
+    /// symbol id; dense tables over symbols are sized by this).
+    #[inline]
+    pub fn symbol_universe(&self) -> usize {
+        self.symbol_support.len()
+    }
+
     /// Sequence-level support of `symbol`.
     #[inline]
     pub fn symbol_support(&self, symbol: SymbolId) -> u32 {
-        self.symbol_support.get(&symbol).copied().unwrap_or(0)
+        self.symbol_support
+            .get(symbol.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Sequence-level co-occurrence count of `a` and `b` (for `a == b`: the
@@ -172,14 +245,22 @@ impl DbIndex {
 
     /// Symbols whose sequence-level support reaches `min_support`, sorted.
     pub fn frequent_symbols(&self, min_support: usize) -> Vec<SymbolId> {
-        let mut v: Vec<SymbolId> = self
-            .symbol_support
+        self.symbol_support
             .iter()
+            .enumerate()
             .filter(|&(_, &c)| c as usize >= min_support)
-            .map(|(&s, _)| s)
-            .collect();
-        v.sort_unstable();
-        v
+            .map(|(s, _)| SymbolId(s as u32))
+            .collect()
+    }
+
+    /// Estimated subtree weight of mining the level-1 subtree rooted at
+    /// `symbol`: its total instance count across all sequences. Used by the
+    /// parallel scheduler to order the shared work queue heaviest-first.
+    pub fn root_weight(&self, symbol: SymbolId) -> u64 {
+        self.sequences
+            .iter()
+            .map(|s| s.instances_of(symbol).len() as u64)
+            .sum()
     }
 }
 
@@ -210,6 +291,7 @@ mod tests {
         assert_eq!(idx.symbol_support(b), 2);
         assert_eq!(idx.symbol_support(c), 1);
         assert_eq!(idx.symbol_support(SymbolId(99)), 0);
+        assert_eq!(idx.symbol_universe(), 3);
     }
 
     #[test]
@@ -262,6 +344,42 @@ mod tests {
     }
 
     #[test]
+    fn slot_accessors_agree_with_symbol_accessors() {
+        let db = sample_db();
+        let idx = DbIndex::build(&db);
+        for seq in &idx.sequences {
+            assert_eq!(seq.slot_count(), seq.symbols_sorted().len());
+            for (slot, &s) in seq.symbols_sorted().iter().enumerate() {
+                assert_eq!(seq.symbol_slot(s), Some(slot));
+                assert_eq!(seq.slot_instances(slot), seq.instances_of(s));
+                for g in 0..4 {
+                    assert_eq!(
+                        seq.slot_instances_starting_at(slot, g),
+                        seq.instances_starting_at(s, g)
+                    );
+                    assert_eq!(
+                        seq.slot_instances_starting_after(slot, g),
+                        seq.instances_starting_after(s, g)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_weight_totals_instances() {
+        let db = sample_db();
+        let idx = DbIndex::build(&db);
+        let a = db.symbols().lookup("A").unwrap();
+        let b = db.symbols().lookup("B").unwrap();
+        let c = db.symbols().lookup("C").unwrap();
+        assert_eq!(idx.root_weight(a), 3);
+        assert_eq!(idx.root_weight(b), 2);
+        assert_eq!(idx.root_weight(c), 1);
+        assert_eq!(idx.root_weight(SymbolId(99)), 0);
+    }
+
+    #[test]
     fn from_seq_indexes_matches_full_build() {
         let db = sample_db();
         let full = DbIndex::build(&db);
@@ -278,5 +396,6 @@ mod tests {
         let seq = &idx.sequences[2];
         assert!(seq.instances_of(SymbolId(42)).is_empty());
         assert!(seq.instances_starting_after(SymbolId(42), 0).is_empty());
+        assert_eq!(seq.symbol_slot(SymbolId(42)), None);
     }
 }

@@ -1,25 +1,35 @@
 //! Parallel mining driver.
 //!
 //! The level-1 subtrees of the pattern-growth search (one per frequent root
-//! symbol) are independent, so the search parallelizes by partitioning root
-//! symbols across worker threads. Each worker runs a private
-//! [`SearchEngine`] over the shared, read-only
-//! [`DbIndex`]; results and counters are merged at the end. Output is
-//! identical to the sequential miner (tested).
+//! symbol) are independent, so the search parallelizes across root symbols.
+//! Roots are placed on a shared work queue ordered by estimated subtree
+//! weight (total instance count, heaviest first) and each idle worker
+//! claims the next unclaimed root via an atomic cursor — greedy list
+//! scheduling. Unlike the static round-robin partition this replaces, a
+//! worker that drew a light root comes back for more work instead of going
+//! idle, so skewed root distributions no longer stack the heavy subtrees
+//! onto one thread. Each worker runs a private [`SearchEngine`] over the
+//! shared, read-only [`DbIndex`]; results and counters are merged at the
+//! end. Output is identical to the sequential miner regardless of thread
+//! count or claim interleaving (tested): patterns are globally unique
+//! across root subtrees and the merged result is sorted canonically.
 //!
 //! # Fault isolation
 //!
-//! A panicking worker does **not** abort the process or discard the run:
-//! its panic is contained at the join, only its root-symbol partition is
-//! lost, and the merged result reports
-//! [`Termination::WorkerFailed`] naming the lost roots. Surviving workers'
-//! patterns are merged as usual, with exact supports.
+//! A panicking subtree does **not** abort the process or discard the run:
+//! the owning worker catches the panic at the root boundary
+//! ([`SearchEngine::try_grow_root`]), rolls back only that root's
+//! partially-emitted patterns, and keeps claiming queue work. The merged
+//! result reports [`Termination::WorkerFailed`] naming exactly the lost
+//! roots; every other root's patterns are merged as usual, with exact
+//! supports.
 //!
 //! # Budgets
 //!
 //! A [`MiningBudget`] attached via [`ParallelTpMiner::with_budget`] is
 //! shared by every worker: the node/candidate caps bound the *total* work
-//! across workers and cancelling the token stops all of them.
+//! across workers and cancelling the token stops all of them. A worker
+//! whose engine trips the budget stops claiming roots.
 
 use crate::config::MinerConfig;
 use crate::index::DbIndex;
@@ -28,6 +38,9 @@ use crate::search::SearchEngine;
 use crate::stats::MinerStats;
 use interval_core::budget::{MiningBudget, Termination};
 use interval_core::{IntervalDatabase, SymbolId, TemporalPattern};
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Multi-threaded variant of [`TpMiner`](crate::TpMiner).
 #[derive(Debug, Clone)]
@@ -39,15 +52,26 @@ pub struct ParallelTpMiner {
     fault: Option<(SymbolId, u64)>,
 }
 
-/// Splits `roots` round-robin across at most `threads` workers, clamping
-/// the worker count to the number of roots so tiny databases never spawn
-/// idle workers. Round-robin assignment spreads heavy (low-id, usually
-/// frequent-first) symbols across workers.
-fn partition_roots(roots: &[SymbolId], threads: usize) -> Vec<Vec<SymbolId>> {
-    let workers = threads.min(roots.len()).max(1);
-    (0..workers)
-        .map(|w| roots.iter().copied().skip(w).step_by(workers).collect())
-        .collect()
+/// Clamps the worker-pool size to the amount of queued work: at most one
+/// worker per root (excess workers would only spin on an empty queue) and
+/// at least one worker even for an empty queue, so the spawn loop and the
+/// merge never see zero workers regardless of how the caller computed
+/// `threads`.
+fn worker_count(roots: usize, threads: usize) -> usize {
+    threads.max(1).min(roots.max(1))
+}
+
+/// The shared-queue claim order: heaviest estimated subtree first, ties
+/// broken by symbol id. The weight estimate is the root symbol's total
+/// instance count across sequences ([`DbIndex::root_weight`]) — cheap,
+/// already indexed, and monotone with level-1 frontier size. Heaviest-first
+/// greedy claiming is classic LPT list scheduling, which bounds the
+/// makespan at 4/3 of optimal; the deterministic order also makes the
+/// scheduler reproducible for a given index.
+fn queue_order(index: &DbIndex, roots: &[SymbolId]) -> Vec<SymbolId> {
+    let mut ordered = roots.to_vec();
+    ordered.sort_unstable_by_key(|&s| (Reverse(index.root_weight(s)), s));
+    ordered
 }
 
 impl ParallelTpMiner {
@@ -78,14 +102,14 @@ impl ParallelTpMiner {
     }
 
     /// The configured worker-pool size (before the per-run clamp to the
-    /// number of root partitions).
+    /// number of queued roots).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Arms deterministic fault injection in whichever worker owns `root`:
-    /// that worker panics at the `after_nodes`-th expansion inside the
-    /// poisoned subtree. Test-only (also available behind the
+    /// Arms deterministic fault injection in whichever worker claims
+    /// `root`: that worker panics at the `after_nodes`-th expansion inside
+    /// the poisoned subtree. Test-only (also available behind the
     /// `fault-injection` feature).
     #[cfg(any(test, feature = "fault-injection"))]
     pub fn poison_root(mut self, root: SymbolId, after_nodes: u64) -> Self {
@@ -118,46 +142,73 @@ impl ParallelTpMiner {
         if roots.is_empty() {
             return MiningResult::new(Vec::new(), MinerStats::default());
         }
-        let chunks = partition_roots(roots, self.threads);
+        let ordered = queue_order(index, roots);
+        let workers = worker_count(ordered.len(), self.threads);
+        let cursor = AtomicUsize::new(0);
 
-        // Join every worker individually: a panicked worker yields `Err`
-        // here instead of propagating out of the scope, so one poisoned
-        // partition cannot take down the process or the run.
+        // Each worker owns one engine for its whole queue run (so frontier
+        // scratch is recycled across every root it claims) and reports the
+        // roots whose subtrees panicked; the engine contains each panic at
+        // the root boundary, so a handle's join only fails if something
+        // outside subtree expansion went wrong.
         let outcomes = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
                     let config = self.config;
                     let budget = self.budget.clone();
+                    let ordered = &ordered;
+                    let cursor = &cursor;
                     #[cfg(any(test, feature = "fault-injection"))]
                     let fault = self.fault;
                     scope.spawn(move |_| {
-                        let engine = SearchEngine::new(index, config).with_budget(budget);
+                        let started = Instant::now();
+                        #[allow(unused_mut)]
+                        let mut engine = SearchEngine::new(index, config).with_budget(budget);
                         #[cfg(any(test, feature = "fault-injection"))]
-                        let engine = match fault {
+                        let mut engine = match fault {
                             Some((root, after_nodes)) => engine.poison_root(root, after_nodes),
                             None => engine,
                         };
-                        engine.run_roots(chunk)
+                        let mut failed: Vec<SymbolId> = Vec::new();
+                        while !engine.stopped() {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&root) = ordered.get(i) else {
+                                break;
+                            };
+                            if !engine.try_grow_root(root) {
+                                failed.push(root);
+                            }
+                        }
+                        let (pairs, stats, termination) = engine.finish(started);
+                        (pairs, stats, termination, failed)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
         })
-        .expect("worker panics are contained at join");
+        .expect("worker panics are contained at the root boundary");
 
         let mut all: Vec<(TemporalPattern, usize)> = Vec::new();
         let mut stats = MinerStats::default();
         let mut termination = Termination::Complete;
         let mut failed_roots: Vec<SymbolId> = Vec::new();
-        for (outcome, chunk) in outcomes.into_iter().zip(&chunks) {
+        for outcome in outcomes {
             match outcome {
-                Ok((pairs, worker_stats, worker_termination)) => {
+                Ok((pairs, worker_stats, worker_termination, worker_failed)) => {
                     all.extend(pairs);
                     stats.merge(&worker_stats);
                     termination = termination.merge(worker_termination);
+                    failed_roots.extend(worker_failed);
                 }
-                Err(_panic) => failed_roots.extend(chunk.iter().copied()),
+                // Belt and braces: subtree panics are caught per root
+                // inside the engine, so this branch should be unreachable.
+                // Degrade to a lost-work report rather than unwinding the
+                // whole run if it ever fires.
+                Err(_panic) => {
+                    termination = termination.merge(Termination::WorkerFailed {
+                        roots: Vec::new(),
+                    });
+                }
             }
         }
         if !failed_roots.is_empty() {
@@ -166,6 +217,9 @@ impl ParallelTpMiner {
                 roots: failed_roots,
             });
         }
+        // Canonical order. Patterns are globally unique across root
+        // subtrees, so this sort makes the output independent of which
+        // worker claimed which root.
         all.sort_unstable_by(|a, b| (a.0.arity(), &a.0).cmp(&(b.0.arity(), &b.0)));
         MiningResult::with_termination(all, stats, termination)
     }
@@ -193,7 +247,7 @@ mod tests {
     #[test]
     fn parallel_output_matches_sequential() {
         let db = demo_db();
-        for threads in [1, 2, 4] {
+        for threads in [1, 2, 8] {
             for min_sup in [1, 4, 8] {
                 let config = MinerConfig::with_min_support(min_sup);
                 let seq = TpMiner::new(config).mine(&db);
@@ -225,20 +279,34 @@ mod tests {
     }
 
     #[test]
-    fn partitioning_clamps_workers_and_covers_all_roots() {
-        let roots: Vec<SymbolId> = (0..3).map(SymbolId).collect();
-        // More threads than roots: one chunk per root, no idle workers.
-        let chunks = partition_roots(&roots, 8);
-        assert_eq!(chunks.len(), 3);
-        assert!(chunks.iter().all(|c| c.len() == 1));
-        // Fewer threads than roots: round-robin, every root exactly once.
-        let roots: Vec<SymbolId> = (0..7).map(SymbolId).collect();
-        let chunks = partition_roots(&roots, 2);
-        assert_eq!(chunks.len(), 2);
-        assert!(chunks.iter().all(|c| !c.is_empty()));
-        let mut seen: Vec<SymbolId> = chunks.concat();
-        seen.sort_unstable();
-        assert_eq!(seen, roots);
+    fn worker_count_clamps_to_queue_depth() {
+        // Never more workers than queued roots.
+        assert_eq!(worker_count(3, 8), 3);
+        assert_eq!(worker_count(7, 2), 2);
+        assert_eq!(worker_count(1, 64), 1);
+        // Degenerate inputs still yield a well-formed pool of one: an
+        // empty queue (the old round-robin clamp produced a worker with no
+        // chunk here) and a zero thread request alike.
+        assert_eq!(worker_count(0, 8), 1);
+        assert_eq!(worker_count(5, 0), 1);
+        assert_eq!(worker_count(0, 0), 1);
+    }
+
+    #[test]
+    fn queue_orders_heaviest_roots_first() {
+        let db = demo_db();
+        let index = DbIndex::build(&db);
+        let symbols = db.symbols();
+        let a = symbols.lookup("A").unwrap();
+        let b = symbols.lookup("B").unwrap();
+        let c = symbols.lookup("C").unwrap();
+        let d = symbols.lookup("D").unwrap();
+        // A has two instances per sequence; B and C tie (one each, broken
+        // by symbol id); D appears once overall.
+        let ordered = queue_order(&index, &[d, c, b, a]);
+        assert_eq!(ordered, vec![a, b, c, d]);
+        // The order is a pure function of the index, not the input order.
+        assert_eq!(queue_order(&index, &[b, a, d, c]), ordered);
     }
 
     #[test]
@@ -265,13 +333,14 @@ mod tests {
         let full = TpMiner::new(config).mine(&db);
         let a = db.symbols().lookup("A").expect("A is interned");
 
-        // One worker per root: exactly the A partition is poisoned.
         let par = ParallelTpMiner::new(config, 64).poison_root(a, 1).mine(&db);
 
         let failed = match par.termination() {
             Termination::WorkerFailed { roots } => roots.clone(),
             other => panic!("expected WorkerFailed, got {other:?}"),
         };
+        // The work queue contains the panic at the root boundary, so
+        // exactly the poisoned root is lost — not a whole static chunk.
         assert_eq!(failed, vec![a]);
 
         // Every pattern of a surviving root is present with its exact
@@ -295,9 +364,37 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_root_is_isolated_at_every_thread_count() {
+        // With the shared queue the failure set no longer depends on how
+        // roots used to be chunked: whichever worker claims the poisoned
+        // root loses exactly that root.
+        let db = demo_db();
+        let config = MinerConfig::with_min_support(1);
+        let full = TpMiner::new(config).mine(&db);
+        let a = db.symbols().lookup("A").expect("A is interned");
+        for threads in [1, 2, 8] {
+            let par = ParallelTpMiner::new(config, threads)
+                .poison_root(a, 1)
+                .mine(&db);
+            match par.termination() {
+                Termination::WorkerFailed { roots } => {
+                    assert_eq!(roots, &vec![a], "threads={threads}")
+                }
+                other => panic!("threads={threads}: expected WorkerFailed, got {other:?}"),
+            }
+            for fp in full.patterns() {
+                if fp.pattern.groups()[0][0].symbol == a {
+                    continue;
+                }
+                assert_eq!(par.support_of(&fp.pattern), Some(fp.support));
+            }
+        }
+    }
+
+    #[test]
     fn poisoned_singleton_run_still_reports_other_workers() {
-        // Even with fewer workers than roots, only the poisoned chunk is
-        // lost and the run reports every root of that chunk.
+        // Even with fewer workers than roots, only the poisoned root is
+        // lost and the run reports it.
         let db = demo_db();
         let config = MinerConfig::with_min_support(1);
         let d = db.symbols().lookup("D").expect("D is interned");

@@ -21,13 +21,28 @@
 //! rank order (finishes by slot, then starts by symbol), and among open
 //! same-symbol slots that started together the lowest-numbered one must
 //! finish first.
+//!
+//! # Memory layout
+//!
+//! Embeddings are stored structure-of-arrays: a node owns one [`Frontier`]
+//! holding three flat `Vec<u32>` columns (`groups`, `first_groups`, and a
+//! fixed-stride `bindings` arena — every state of a node binds exactly
+//! `open.len()` instances) plus per-sequence [`SeqSpan`] ranges. Candidate
+//! gathering counts extensions in dense stamp-versioned arrays instead of
+//! hash maps, and child projection reuses engine-owned scratch columns plus
+//! a pool of recycled frontiers, so steady-state node growth performs no
+//! heap allocation. The output (patterns, supports, canonical order,
+//! termination) is bit-identical to the earlier per-state `Vec` layout: the
+//! per-sequence state order is still sorted by `(group, first_group,
+//! bindings)` and deduplicated, and candidates are still counted once per
+//! sequence and sorted in `Ext` order.
 
 use crate::config::MinerConfig;
 use crate::index::DbIndex;
 use crate::stats::MinerStats;
 use interval_core::budget::{BudgetMeter, MiningBudget, Termination};
 use interval_core::{EndpointKind, PatternEndpoint, SymbolId, TemporalPattern};
-use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// A candidate extension of the current pattern prefix.
@@ -43,6 +58,15 @@ enum Ext {
     /// Start a new `symbol` interval in a strictly later endpoint set.
     AfterStart(SymbolId),
 }
+
+/// Number of dense extension codes reserved for finish extensions: open
+/// slots are capped at 255 (the arity gate), two variants each. Start
+/// extensions for symbol `s` live at `FINISH_CODES + 2s (+1)`.
+const FINISH_CODES: usize = 512;
+
+/// Recycled-frontier pool size: deep enough for any realistic DFS path,
+/// small enough to bound idle memory.
+const POOL_CAP: usize = 256;
 
 /// Canonical within-group rank of an appended endpoint. Finishes (class 0,
 /// keyed by slot) precede starts (class 1, keyed by symbol).
@@ -65,57 +89,83 @@ struct OpenSlot {
     start_group: u16,
 }
 
-/// One partial embedding of the pattern prefix into a sequence.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-struct EmbState {
-    /// Data endpoint-set index the last pattern endpoint set is mapped to.
-    group: u32,
-    /// Data endpoint-set index the *first* pattern endpoint set is mapped
-    /// to; tracked only under a window constraint (0 otherwise, keeping
-    /// deduplication exact in the common unconstrained case).
-    first_group: u32,
-    /// Bound instance ids, parallel to the node's open-slot list.
-    bindings: Vec<u32>,
+/// The contiguous range of a node's frontier columns holding one supporting
+/// sequence's embedding states.
+#[derive(Debug, Clone, Copy)]
+struct SeqSpan {
+    seq: u32,
+    /// First state index (inclusive).
+    lo: u32,
+    /// One past the last state index.
+    hi: u32,
 }
 
-/// Frontier of partial embeddings for one supporting sequence.
-#[derive(Debug, Clone)]
-struct SeqFrontier {
-    seq: u32,
-    states: Vec<EmbState>,
+/// Structure-of-arrays frontier shared by all of a node's embeddings.
+///
+/// State `i` is `(groups[i], first_groups[i],
+/// bindings[i*width..(i+1)*width])`; `first_groups` is meaningful only
+/// under a window constraint (0 otherwise, keeping deduplication exact in
+/// the common unconstrained case). Within each [`SeqSpan`] the states are
+/// sorted by exactly that tuple and deduplicated — the same order the old
+/// per-state `Vec<EmbState>` layout maintained.
+#[derive(Debug, Default)]
+struct Frontier {
+    /// Bindings per state — the node's open-slot count.
+    width: usize,
+    groups: Vec<u32>,
+    first_groups: Vec<u32>,
+    bindings: Vec<u32>,
+    spans: Vec<SeqSpan>,
+}
+
+impl Frontier {
+    fn state_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn bindings_of(&self, i: usize) -> &[u32] {
+        &self.bindings[i * self.width..(i + 1) * self.width]
+    }
+
+    fn clear(&mut self) {
+        self.width = 0;
+        self.groups.clear();
+        self.first_groups.clear();
+        self.bindings.clear();
+        self.spans.clear();
+    }
+
+    /// Logical size of the live columns (length-based, so it is
+    /// deterministic across allocators) — the unit of the
+    /// `arena_peak_bytes` stat.
+    fn logical_bytes(&self) -> u64 {
+        4 * (self.groups.len() + self.first_groups.len() + self.bindings.len()) as u64
+            + (std::mem::size_of::<SeqSpan>() * self.spans.len()) as u64
+    }
 }
 
 /// A search-tree node: pattern prefix plus projected database.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Node {
     groups: Vec<Vec<PatternEndpoint>>,
     open: Vec<OpenSlot>,
     arity: u16,
     last_rank: Rank,
-    frontier: Vec<SeqFrontier>,
+    /// Sorted distinct start symbols of the pattern, maintained
+    /// incrementally as starts are appended (pair pruning reads this on
+    /// every candidate symbol; recomputing it from `groups` per check was
+    /// measurably hot).
+    symbols: Vec<SymbolId>,
+    frontier: Frontier,
 }
 
 impl Node {
     fn support(&self) -> usize {
-        self.frontier.len()
+        self.frontier.spans.len()
     }
 
     fn is_complete(&self) -> bool {
         self.open.is_empty()
-    }
-
-    /// Distinct symbols used by the pattern so far (for pair pruning).
-    fn pattern_symbols(&self) -> Vec<SymbolId> {
-        let mut syms: Vec<SymbolId> = self
-            .groups
-            .iter()
-            .flatten()
-            .filter(|e| e.kind == EndpointKind::Start)
-            .map(|e| e.symbol)
-            .collect();
-        syms.sort_unstable();
-        syms.dedup();
-        syms
     }
 
     /// Whether closing open slot `k` respects the canonical
@@ -125,6 +175,99 @@ impl Node {
         !self.open[..k]
             .iter()
             .any(|o| o.symbol == target.symbol && o.start_group == target.start_group)
+    }
+}
+
+/// Dense, stamp-versioned scratch for candidate gathering, owned by the
+/// engine and reused across every node expansion.
+///
+/// Extension codes index `ext_*`; `ext_seen[code] == seq_tag` means the
+/// extension was already counted for the sequence currently being scanned
+/// (the role the old per-sequence `HashSet<Ext>` played), and
+/// `symbol_stamp[s] == node_tag` means the per-node symbol admissibility
+/// memo (`symbol_meet`/`symbol_after`) is valid for `s`. Bumping a tag
+/// invalidates a whole array in O(1); the arrays themselves are never
+/// cleared.
+#[derive(Debug, Default)]
+struct GatherScratch {
+    ext_count: Vec<u32>,
+    ext_seen: Vec<u64>,
+    /// Distinct codes with a non-zero count this gather, in first-touch
+    /// order (used to reset `ext_count` and to enumerate results).
+    ext_touched: Vec<u32>,
+    seq_tag: u64,
+    node_tag: u64,
+    /// Per-open-slot (MeetFinish, AfterFinish) admissibility for the
+    /// current node.
+    finish_adm: Vec<(bool, bool)>,
+    symbol_meet: Vec<bool>,
+    symbol_after: Vec<bool>,
+    symbol_stamp: Vec<u64>,
+}
+
+impl GatherScratch {
+    /// Grows the dense arrays to cover `universe` symbols. Fresh cells get
+    /// stamp 0, which never matches a live tag (tags are pre-incremented
+    /// before first use).
+    fn ensure(&mut self, universe: usize) {
+        let ext_len = FINISH_CODES + 2 * universe;
+        if self.ext_count.len() < ext_len {
+            self.ext_count.resize(ext_len, 0);
+            self.ext_seen.resize(ext_len, 0);
+        }
+        if self.symbol_stamp.len() < universe {
+            self.symbol_meet.resize(universe, false);
+            self.symbol_after.resize(universe, false);
+            self.symbol_stamp.resize(universe, 0);
+        }
+    }
+
+    /// Counts `code` once per sequence (idempotent within the current
+    /// `seq_tag`).
+    fn mark(&mut self, code: usize) {
+        if self.ext_seen[code] != self.seq_tag {
+            self.ext_seen[code] = self.seq_tag;
+            if self.ext_count[code] == 0 {
+                self.ext_touched.push(code as u32);
+            }
+            self.ext_count[code] += 1;
+        }
+    }
+}
+
+/// Engine-owned columns for building one sequence's child states in
+/// [`SearchEngine::apply`]; recycled across all projections.
+#[derive(Debug, Default)]
+struct ApplyScratch {
+    groups: Vec<u32>,
+    first_groups: Vec<u32>,
+    bindings: Vec<u32>,
+    /// Sort permutation over the surviving states.
+    perm: Vec<u32>,
+}
+
+impl ApplyScratch {
+    fn clear(&mut self) {
+        self.groups.clear();
+        self.first_groups.clear();
+        self.bindings.clear();
+        self.perm.clear();
+    }
+
+    /// Appends a state copying `row` minus the binding at `k` (a finish).
+    fn push_without(&mut self, group: u32, first_group: u32, row: &[u32], k: usize) {
+        self.groups.push(group);
+        self.first_groups.push(first_group);
+        self.bindings.extend_from_slice(&row[..k]);
+        self.bindings.extend_from_slice(&row[k + 1..]);
+    }
+
+    /// Appends a state copying `row` plus a new trailing binding (a start).
+    fn push_with(&mut self, group: u32, first_group: u32, row: &[u32], extra: u32) {
+        self.groups.push(group);
+        self.first_groups.push(first_group);
+        self.bindings.extend_from_slice(row);
+        self.bindings.push(extra);
     }
 }
 
@@ -148,8 +291,11 @@ pub struct SearchEngine<'a> {
     index: &'a DbIndex,
     config: MinerConfig,
     min_sup: usize,
-    /// Global frequent-symbol set (PT3); `None` when the technique is off.
-    frequent: Option<HashSet<SymbolId>>,
+    /// Dense symbol-id bound of the index (`SymbolId.0 < universe`).
+    universe: usize,
+    /// Global frequent-symbol bitset (PT3), indexed by symbol id; `None`
+    /// when the technique is off.
+    frequent: Option<Vec<bool>>,
     /// Instrumentation counters.
     pub stats: MinerStats,
     emitted: Vec<(TemporalPattern, usize)>,
@@ -158,6 +304,13 @@ pub struct SearchEngine<'a> {
     /// Set when a budget check trips; the search unwinds without further
     /// expansion and reports this status.
     stop: Option<Termination>,
+    gather: GatherScratch,
+    scratch: ApplyScratch,
+    /// Released frontiers awaiting reuse (capacity retained).
+    pool: Vec<Frontier>,
+    /// Logical bytes of every frontier on the current DFS path; feeds
+    /// `arena_peak_bytes`.
+    live_arena_bytes: u64,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: Option<FaultPlan>,
     #[cfg(any(test, feature = "fault-injection"))]
@@ -169,19 +322,28 @@ impl<'a> SearchEngine<'a> {
     /// budget.
     pub fn new(index: &'a DbIndex, config: MinerConfig) -> Self {
         let min_sup = config.effective_min_support();
-        let frequent = config
-            .pruning
-            .symbol_pruning
-            .then(|| index.frequent_symbols(min_sup).into_iter().collect());
+        let universe = index.symbol_universe();
+        let frequent = config.pruning.symbol_pruning.then(|| {
+            let mut bits = vec![false; universe];
+            for s in index.frequent_symbols(min_sup) {
+                bits[s.0 as usize] = true;
+            }
+            bits
+        });
         Self {
             index,
             config,
             min_sup,
+            universe,
             frequent,
             stats: MinerStats::default(),
             emitted: Vec::new(),
             meter: BudgetMeter::new(MiningBudget::unlimited()),
             stop: None,
+            gather: GatherScratch::default(),
+            scratch: ApplyScratch::default(),
+            pool: Vec::new(),
+            live_arena_bytes: 0,
             #[cfg(any(test, feature = "fault-injection"))]
             fault: None,
             #[cfg(any(test, feature = "fault-injection"))]
@@ -215,11 +377,9 @@ impl<'a> SearchEngine<'a> {
         let started = Instant::now();
         let roots = self.root_symbols();
         self.grow_roots(&roots);
-        self.stats.elapsed = started.elapsed();
-        self.emitted
-            .sort_unstable_by(|a, b| (a.0.arity(), &a.0).cmp(&(b.0.arity(), &b.0)));
-        let termination = self.stop.take().unwrap_or_default();
-        (self.emitted, self.stats, termination)
+        let (mut emitted, stats, termination) = self.finish(started);
+        emitted.sort_unstable_by(|a, b| (a.0.arity(), &a.0).cmp(&(b.0.arity(), &b.0)));
+        (emitted, stats, termination)
     }
 
     /// Runs the search restricted to root patterns starting with the given
@@ -230,6 +390,50 @@ impl<'a> SearchEngine<'a> {
     ) -> (Vec<(TemporalPattern, usize)>, MinerStats, Termination) {
         let started = Instant::now();
         self.grow_roots(roots);
+        self.finish(started)
+    }
+
+    /// Whether a budget check has tripped; once true, further root growth
+    /// is a no-op, so queue-driven callers should drain without claiming
+    /// more work.
+    pub fn stopped(&self) -> bool {
+        self.stop.is_some()
+    }
+
+    /// Expands one root's subtree, catching a panic inside it. On panic the
+    /// engine stays usable for further roots: patterns emitted by the
+    /// poisoned subtree are rolled back (their DFS was cut short, so
+    /// keeping a prefix would silently under-report the subtree) and
+    /// `false` is returned so the caller can record the root as failed.
+    /// Work counters keep whatever the subtree managed before dying.
+    pub fn try_grow_root(&mut self, root: SymbolId) -> bool {
+        let checkpoint = self.emitted.len();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.grow_roots(std::slice::from_ref(&root));
+        }));
+        match outcome {
+            Ok(()) => true,
+            Err(_panic) => {
+                self.emitted.truncate(checkpoint);
+                // The unwound subtree's frontiers are gone (and any
+                // mid-flight scratch was dropped): reset the live-bytes
+                // ledger, which is empty between roots by construction.
+                self.live_arena_bytes = 0;
+                #[cfg(any(test, feature = "fault-injection"))]
+                {
+                    self.fault_countdown = None;
+                }
+                false
+            }
+        }
+    }
+
+    /// Consumes the engine, stamping `elapsed` and extracting the result
+    /// triple (unsorted; `run` sorts, queue workers let the merger sort).
+    pub fn finish(
+        mut self,
+        started: Instant,
+    ) -> (Vec<(TemporalPattern, usize)>, MinerStats, Termination) {
         self.stats.elapsed = started.elapsed();
         let termination = self.stop.take().unwrap_or_default();
         (self.emitted, self.stats, termination)
@@ -251,6 +455,8 @@ impl<'a> SearchEngine<'a> {
             let root = self.make_root(symbol);
             if root.support() >= self.min_sup {
                 self.expand(root);
+            } else {
+                self.release(root);
             }
         }
     }
@@ -260,31 +466,50 @@ impl<'a> SearchEngine<'a> {
         self.index.frequent_symbols(self.min_sup)
     }
 
+    /// Accounts a freshly built frontier against the live-arena ledger.
+    fn charge(&mut self, frontier: &Frontier) {
+        self.live_arena_bytes += frontier.logical_bytes();
+        self.stats.arena_peak_bytes = self.stats.arena_peak_bytes.max(self.live_arena_bytes);
+    }
+
+    /// Retires a node, recycling its frontier's allocations.
+    fn release(&mut self, node: Node) {
+        let mut frontier = node.frontier;
+        self.live_arena_bytes = self
+            .live_arena_bytes
+            .saturating_sub(frontier.logical_bytes());
+        frontier.clear();
+        if self.pool.len() < POOL_CAP {
+            self.pool.push(frontier);
+        }
+    }
+
     fn make_root(&mut self, symbol: SymbolId) -> Node {
         let index = self.index;
-        let mut frontier = Vec::new();
+        let windowed = self.config.max_window.is_some();
+        let mut frontier = self.pool.pop().unwrap_or_default();
+        frontier.width = 1;
         for (seq_id, seq) in index.sequences.iter().enumerate() {
-            let windowed = self.config.max_window.is_some();
-            let states: Vec<EmbState> = seq
-                .instances_of(symbol)
-                .iter()
-                .map(|&i| {
-                    let group = seq.endpoints.instance(i).start_group;
-                    EmbState {
-                        group,
-                        first_group: if windowed { group } else { 0 },
-                        bindings: vec![i],
-                    }
-                })
-                .collect();
-            if !states.is_empty() {
-                self.stats.states_created += states.len() as u64;
-                frontier.push(SeqFrontier {
+            let lo = frontier.groups.len() as u32;
+            for &i in seq.instances_of(symbol) {
+                let group = seq.endpoints.instance(i).start_group;
+                frontier.groups.push(group);
+                frontier
+                    .first_groups
+                    .push(if windowed { group } else { 0 });
+                frontier.bindings.push(i);
+            }
+            let hi = frontier.groups.len() as u32;
+            if hi > lo {
+                self.stats.states_created += u64::from(hi - lo);
+                frontier.spans.push(SeqSpan {
                     seq: seq_id as u32,
-                    states,
+                    lo,
+                    hi,
                 });
             }
         }
+        self.charge(&frontier);
         Node {
             groups: vec![vec![PatternEndpoint {
                 kind: EndpointKind::Start,
@@ -298,12 +523,14 @@ impl<'a> SearchEngine<'a> {
             }],
             arity: 1,
             last_rank: start_rank(symbol),
+            symbols: vec![symbol],
             frontier,
         }
     }
 
     /// Depth-first expansion of a node whose support already passed the
-    /// threshold.
+    /// threshold. Consumes the node; its frontier returns to the pool on
+    /// every exit path.
     ///
     /// Budget checks happen *before* any work on the node: a tripped budget
     /// unwinds without emitting, so every emitted pattern's support comes
@@ -311,16 +538,18 @@ impl<'a> SearchEngine<'a> {
     /// runs (the soundness-under-truncation invariant).
     fn expand(&mut self, node: Node) {
         if self.stop.is_some() {
+            self.release(node);
             return;
         }
         if let Err(termination) = self.meter.on_node() {
             self.stop = Some(termination);
+            self.release(node);
             return;
         }
         #[cfg(any(test, feature = "fault-injection"))]
         self.fault_tick();
         self.stats.nodes_explored += 1;
-        let node_states: u64 = node.frontier.iter().map(|f| f.states.len() as u64).sum();
+        let node_states = node.frontier.state_count() as u64;
         self.stats.peak_node_states = self.stats.peak_node_states.max(node_states);
 
         if node.is_complete() {
@@ -335,28 +564,27 @@ impl<'a> SearchEngine<'a> {
             self.emitted.push((pattern, node.support()));
         }
 
-        let mut counts = self.gather_candidates(&node);
-        self.stats.candidates_counted += counts.len() as u64;
-        if let Err(termination) = self.meter.on_candidates(counts.len() as u64) {
+        let (total, mut candidates) = self.gather_candidates(&node);
+        self.stats.candidates_counted += total as u64;
+        if let Err(termination) = self.meter.on_candidates(total as u64) {
             self.stop = Some(termination);
+            self.release(node);
             return;
         }
-        let mut candidates: Vec<Ext> = counts
-            .drain()
-            .filter(|&(_, c)| c as usize >= self.min_sup)
-            .map(|(e, _)| e)
-            .collect();
         candidates.sort_unstable();
 
         for ext in candidates {
             if self.stop.is_some() {
-                return;
+                break;
             }
             let child = self.apply(&node, ext);
             if child.support() >= self.min_sup {
                 self.expand(child);
+            } else {
+                self.release(child);
             }
         }
+        self.release(node);
     }
 
     /// Decrements the armed fault countdown, panicking when it reaches the
@@ -423,92 +651,127 @@ impl<'a> SearchEngine<'a> {
     }
 
     /// Pair-pruning check (PT1) plus frequent-symbol filter (PT3) for
-    /// start extensions by `s`, memoized per node in `cache`.
-    fn start_symbol_ok(
-        &mut self,
-        pattern_symbols: &[SymbolId],
-        cache: &mut HashMap<SymbolId, bool>,
-        s: SymbolId,
-    ) -> bool {
-        if let Some(&ok) = cache.get(&s) {
-            return ok;
-        }
-        let mut ok = true;
+    /// start extensions by `s`; callers memoize the verdict per node.
+    fn start_symbol_ok(&mut self, pattern_symbols: &[SymbolId], s: SymbolId) -> bool {
         if let Some(frequent) = &self.frequent {
-            if !frequent.contains(&s) {
-                ok = false;
+            if !frequent.get(s.0 as usize).copied().unwrap_or(false) {
                 self.stats.exts_pruned_symbol += 1;
+                return false;
             }
         }
-        if ok && self.config.pruning.pair_pruning {
+        if self.config.pruning.pair_pruning {
             for &y in pattern_symbols {
                 if (self.index.cooccurrence(y, s) as usize) < self.min_sup {
-                    ok = false;
                     self.stats.exts_pruned_pair += 1;
-                    break;
+                    return false;
                 }
             }
         }
-        cache.insert(s, ok);
-        ok
+        true
     }
 
     /// Counts, for every admissible extension, the number of sequences with
-    /// at least one embedding admitting it.
-    fn gather_candidates(&mut self, node: &Node) -> HashMap<Ext, u32> {
-        let index = self.index;
-        let pattern_symbols = node.pattern_symbols();
-        let mut symbol_cache: HashMap<SymbolId, bool> = HashMap::new();
-        let mut counts: HashMap<Ext, u32> = HashMap::new();
-        let mut per_seq: HashSet<Ext> = HashSet::new();
+    /// at least one embedding admitting it. Returns the number of distinct
+    /// supported extensions (the candidate-budget charge) and the subset
+    /// meeting `min_sup`, unsorted.
+    fn gather_candidates(&mut self, node: &Node) -> (usize, Vec<Ext>) {
+        let mut g = std::mem::take(&mut self.gather);
+        g.ensure(self.universe);
+        for &code in &g.ext_touched {
+            g.ext_count[code as usize] = 0;
+        }
+        g.ext_touched.clear();
+        g.node_tag += 1;
 
         // Precompute node-level admissibility of the (small) finish space.
-        let finish_exts: Vec<(Ext, Ext)> = (0..node.open.len() as u8)
-            .map(|k| (Ext::MeetFinish(k), Ext::AfterFinish(k)))
-            .collect();
+        g.finish_adm.clear();
+        for k in 0..node.open.len() as u8 {
+            g.finish_adm.push((
+                self.ext_admissible(node, Ext::MeetFinish(k)),
+                self.ext_admissible(node, Ext::AfterFinish(k)),
+            ));
+        }
 
-        for sf in &node.frontier {
-            per_seq.clear();
-            let seq = &index.sequences[sf.seq as usize];
-            let seq_symbols = seq.symbols_sorted();
-            for state in &sf.states {
-                // Finish candidates.
-                for (k, &(meet, after)) in finish_exts.iter().enumerate() {
-                    let end_group = seq.endpoints.instance(state.bindings[k]).end_group;
-                    if end_group == state.group {
-                        if self.ext_admissible(node, meet) {
-                            per_seq.insert(meet);
+        // Extension-major scan: for each candidate extension, walk the
+        // sequence's states only until one admits it (a sequence counts
+        // each extension at most once, so the first witness settles it).
+        // This is the same mark set the old state-major scan produced —
+        // marks are monotone and per-sequence — but the inner loop usually
+        // stops at the first state instead of revisiting every extension
+        // for every state.
+        let index = self.index;
+        let frontier = &node.frontier;
+        for &span in &frontier.spans {
+            g.seq_tag += 1;
+            let seq = &index.sequences[span.seq as usize];
+            let states = span.lo as usize..span.hi as usize;
+            // Finish candidates.
+            for k in 0..g.finish_adm.len() {
+                let (meet_adm, after_adm) = g.finish_adm[k];
+                let (mut need_meet, mut need_after) = (meet_adm, after_adm);
+                for i in states.clone() {
+                    if !need_meet && !need_after {
+                        break;
+                    }
+                    let group = frontier.groups[i];
+                    let end_group = seq
+                        .endpoints
+                        .instance(frontier.bindings[i * frontier.width + k])
+                        .end_group;
+                    if end_group == group {
+                        if need_meet {
+                            g.mark(2 * k);
+                            need_meet = false;
                         }
-                    } else if end_group > state.group && self.ext_admissible(node, after) {
-                        per_seq.insert(after);
-                    }
-                }
-                // Start candidates.
-                for &s in seq_symbols {
-                    if !self.start_symbol_ok(&pattern_symbols, &mut symbol_cache, s) {
-                        continue;
-                    }
-                    let meet = Ext::MeetStart(s);
-                    if self.ext_admissible(node, meet) && !per_seq.contains(&meet) {
-                        let at = seq.instances_starting_at(s, state.group);
-                        if at.iter().any(|i| !state.bindings.contains(i)) {
-                            per_seq.insert(meet);
-                        }
-                    }
-                    let after = Ext::AfterStart(s);
-                    if self.ext_admissible(node, after)
-                        && !per_seq.contains(&after)
-                        && !seq.instances_starting_after(s, state.group).is_empty()
-                    {
-                        per_seq.insert(after);
+                    } else if end_group > group && need_after {
+                        g.mark(2 * k + 1);
+                        need_after = false;
                     }
                 }
             }
-            for &e in &per_seq {
-                *counts.entry(e).or_insert(0) += 1;
+            // Start candidates.
+            for (slot, &s) in seq.symbols_sorted().iter().enumerate() {
+                let si = s.0 as usize;
+                if g.symbol_stamp[si] != g.node_tag {
+                    g.symbol_stamp[si] = g.node_tag;
+                    let ok = self.start_symbol_ok(&node.symbols, s);
+                    g.symbol_meet[si] = ok && self.ext_admissible(node, Ext::MeetStart(s));
+                    g.symbol_after[si] = ok && self.ext_admissible(node, Ext::AfterStart(s));
+                }
+                let meet_code = FINISH_CODES + 2 * si;
+                let (mut need_meet, mut need_after) = (g.symbol_meet[si], g.symbol_after[si]);
+                for i in states.clone() {
+                    if !need_meet && !need_after {
+                        break;
+                    }
+                    let group = frontier.groups[i];
+                    if need_after
+                        && !seq.slot_instances_starting_after(slot, group).is_empty()
+                    {
+                        g.mark(meet_code + 1);
+                        need_after = false;
+                    }
+                    if need_meet {
+                        let at = seq.slot_instances_starting_at(slot, group);
+                        let row = frontier.bindings_of(i);
+                        if at.iter().any(|inst| !row.contains(inst)) {
+                            g.mark(meet_code);
+                            need_meet = false;
+                        }
+                    }
+                }
             }
         }
-        counts
+
+        let total = g.ext_touched.len();
+        let mut candidates = Vec::new();
+        for &code in &g.ext_touched {
+            if g.ext_count[code as usize] as usize >= self.min_sup {
+                candidates.push(decode_ext(code as usize));
+            }
+        }
+        self.gather = g;
+        (total, candidates)
     }
 
     /// Builds the child node for `ext`.
@@ -516,6 +779,7 @@ impl<'a> SearchEngine<'a> {
         // --- pattern bookkeeping ---
         let mut groups = node.groups.clone();
         let mut open = node.open.clone();
+        let mut symbols = node.symbols.clone();
         let mut arity = node.arity;
         let last_rank;
 
@@ -554,6 +818,9 @@ impl<'a> SearchEngine<'a> {
                     start_group: (groups.len() - 1) as u16,
                 });
                 arity += 1;
+                if let Err(pos) = symbols.binary_search(&s) {
+                    symbols.insert(pos, s);
+                }
             }
         }
 
@@ -561,10 +828,22 @@ impl<'a> SearchEngine<'a> {
         let index = self.index;
         let postfix = self.config.pruning.postfix_pruning;
         let max_gap = self.config.max_gap;
-        let mut frontier = Vec::new();
-        let mut scratch: Vec<EmbState> = Vec::new();
-        for sf in &node.frontier {
-            let seq = &index.sequences[sf.seq as usize];
+        let max_window = self.config.max_window;
+        let cw = open.len(); // child binding width
+        let parent = &node.frontier;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let pooled = !self.pool.is_empty();
+        let mut child = self.pool.pop().unwrap_or_default();
+        let caps = (
+            child.groups.capacity(),
+            child.first_groups.capacity(),
+            child.bindings.capacity(),
+            child.spans.capacity(),
+        );
+        child.width = cw;
+
+        for &span in &parent.spans {
+            let seq = &index.sequences[span.seq as usize];
             // Gap constraint: an After-type extension's jump distance is
             // final (nothing is ever inserted between consecutive pattern
             // sets), so a too-far jump is rejected at construction.
@@ -573,110 +852,193 @@ impl<'a> SearchEngine<'a> {
                 Some(g) => seq.endpoints.group(to)[0].time - seq.endpoints.group(from)[0].time <= g,
             };
             scratch.clear();
-            for state in &sf.states {
-                match ext {
-                    Ext::MeetFinish(k) => {
-                        let k = k as usize;
-                        if seq.endpoints.instance(state.bindings[k]).end_group == state.group {
-                            let mut bindings = state.bindings.clone();
-                            bindings.remove(k);
-                            scratch.push(EmbState {
-                                group: state.group,
-                                first_group: state.first_group,
-                                bindings,
-                            });
+            let states = span.lo as usize..span.hi as usize;
+            match ext {
+                Ext::MeetFinish(k) => {
+                    let k = k as usize;
+                    for i in states {
+                        let group = parent.groups[i];
+                        let row = parent.bindings_of(i);
+                        if seq.endpoints.instance(row[k]).end_group == group {
+                            scratch.push_without(group, parent.first_groups[i], row, k);
                         }
                     }
-                    Ext::AfterFinish(k) => {
-                        let k = k as usize;
-                        let end_group = seq.endpoints.instance(state.bindings[k]).end_group;
-                        if end_group > state.group && gap_ok(state.group, end_group) {
-                            let mut bindings = state.bindings.clone();
-                            bindings.remove(k);
-                            scratch.push(EmbState {
-                                group: end_group,
-                                first_group: state.first_group,
-                                bindings,
-                            });
+                }
+                Ext::AfterFinish(k) => {
+                    let k = k as usize;
+                    for i in states {
+                        let group = parent.groups[i];
+                        let row = parent.bindings_of(i);
+                        let end_group = seq.endpoints.instance(row[k]).end_group;
+                        if end_group > group && gap_ok(group, end_group) {
+                            scratch.push_without(end_group, parent.first_groups[i], row, k);
                         }
                     }
-                    Ext::MeetStart(s) => {
-                        for &i in seq.instances_starting_at(s, state.group) {
-                            if !state.bindings.contains(&i) {
-                                let mut bindings = state.bindings.clone();
-                                bindings.push(i);
-                                scratch.push(EmbState {
-                                    group: state.group,
-                                    first_group: state.first_group,
-                                    bindings,
-                                });
+                }
+                Ext::MeetStart(s) => {
+                    if let Some(slot) = seq.symbol_slot(s) {
+                        for i in states {
+                            let group = parent.groups[i];
+                            let row = parent.bindings_of(i);
+                            for &inst in seq.slot_instances_starting_at(slot, group) {
+                                if !row.contains(&inst) {
+                                    scratch.push_with(group, parent.first_groups[i], row, inst);
+                                }
                             }
                         }
                     }
-                    Ext::AfterStart(s) => {
-                        for &i in seq.instances_starting_after(s, state.group) {
-                            let start_group = seq.endpoints.instance(i).start_group;
-                            if !gap_ok(state.group, start_group) {
-                                // instances are sorted by start group, so
-                                // every later one also violates the gap
-                                break;
+                }
+                Ext::AfterStart(s) => {
+                    if let Some(slot) = seq.symbol_slot(s) {
+                        for i in states {
+                            let group = parent.groups[i];
+                            let row = parent.bindings_of(i);
+                            for &inst in seq.slot_instances_starting_after(slot, group) {
+                                let start_group = seq.endpoints.instance(inst).start_group;
+                                if !gap_ok(group, start_group) {
+                                    // instances are sorted by start group, so
+                                    // every later one also violates the gap
+                                    break;
+                                }
+                                scratch.push_with(
+                                    start_group,
+                                    parent.first_groups[i],
+                                    row,
+                                    inst,
+                                );
                             }
-                            let mut bindings = state.bindings.clone();
-                            bindings.push(i);
-                            scratch.push(EmbState {
-                                group: start_group,
-                                first_group: state.first_group,
-                                bindings,
-                            });
                         }
                     }
                 }
             }
-            // Window constraint: the final embedding's span is already lower
-            // bounded by the current set's time and the (concrete) ends of
-            // all bound open instances; states that cannot fit are dead.
-            if let Some(w) = self.config.max_window {
-                scratch.retain(|st| {
-                    let first_time = seq.endpoints.group(st.first_group)[0].time;
-                    let mut latest = seq.endpoints.group(st.group)[0].time;
-                    for &i in &st.bindings {
-                        latest = latest.max(seq.endpoints.instance(i).end);
+
+            // Window constraint (the final embedding's span is already
+            // lower bounded by the current set's time and the concrete ends
+            // of all bound open instances — states that cannot fit are
+            // dead) fused with postfix pruning (drop states whose open
+            // bindings already ended before the current endpoint set),
+            // compacting the columns in place. Postfix drops are counted
+            // only among window survivors, matching the old two-pass
+            // retain order.
+            let generated = scratch.groups.len();
+            let mut write = 0usize;
+            for read in 0..generated {
+                let group = scratch.groups[read];
+                let row = read * cw..(read + 1) * cw;
+                if let Some(w) = max_window {
+                    let first_time = seq.endpoints.group(scratch.first_groups[read])[0].time;
+                    let mut latest = seq.endpoints.group(group)[0].time;
+                    for &b in &scratch.bindings[row.clone()] {
+                        latest = latest.max(seq.endpoints.instance(b).end);
                     }
-                    latest - first_time <= w
-                });
-            }
-            // Postfix (dead-embedding) pruning: drop states in which some
-            // open binding already ended before the current endpoint set.
-            if postfix {
-                let before = scratch.len();
-                scratch.retain(|st| {
-                    st.bindings
+                    if latest - first_time > w {
+                        continue;
+                    }
+                }
+                if postfix
+                    && scratch.bindings[row]
                         .iter()
-                        .all(|&i| seq.endpoints.instance(i).end_group >= st.group)
+                        .any(|&b| seq.endpoints.instance(b).end_group < group)
+                {
+                    self.stats.states_pruned_dead += 1;
+                    continue;
+                }
+                if write != read {
+                    scratch.groups[write] = group;
+                    scratch.first_groups[write] = scratch.first_groups[read];
+                    scratch
+                        .bindings
+                        .copy_within(read * cw..(read + 1) * cw, write * cw);
+                }
+                write += 1;
+            }
+            scratch.groups.truncate(write);
+            scratch.first_groups.truncate(write);
+            scratch.bindings.truncate(write * cw);
+
+            // Sort by (group, first_group, bindings) — the old EmbState
+            // order — then write out deduplicated, stopping at the cap.
+            scratch.perm.clear();
+            scratch.perm.extend(0..write as u32);
+            {
+                let (sg, sf, sb) = (&scratch.groups, &scratch.first_groups, &scratch.bindings);
+                scratch.perm.sort_unstable_by(|&a, &b| {
+                    let (a, b) = (a as usize, b as usize);
+                    (sg[a], sf[a], &sb[a * cw..(a + 1) * cw])
+                        .cmp(&(sg[b], sf[b], &sb[b * cw..(b + 1) * cw]))
                 });
-                self.stats.states_pruned_dead += (before - scratch.len()) as u64;
             }
-            scratch.sort_unstable();
-            scratch.dedup();
-            if scratch.len() > self.config.frontier_cap {
-                scratch.truncate(self.config.frontier_cap);
-                self.stats.frontier_cap_hits += 1;
+            let lo = child.groups.len() as u32;
+            let mut written = 0usize;
+            for &p in &scratch.perm {
+                let p = p as usize;
+                let row = &scratch.bindings[p * cw..(p + 1) * cw];
+                if written > 0 {
+                    let last = child.groups.len() - 1;
+                    if child.groups[last] == scratch.groups[p]
+                        && child.first_groups[last] == scratch.first_groups[p]
+                        && &child.bindings[last * cw..(last + 1) * cw] == row
+                    {
+                        continue;
+                    }
+                }
+                if written == self.config.frontier_cap {
+                    self.stats.frontier_cap_hits += 1;
+                    break;
+                }
+                child.groups.push(scratch.groups[p]);
+                child.first_groups.push(scratch.first_groups[p]);
+                child.bindings.extend_from_slice(row);
+                written += 1;
             }
-            if !scratch.is_empty() {
-                self.stats.states_created += scratch.len() as u64;
-                frontier.push(SeqFrontier {
-                    seq: sf.seq,
-                    states: std::mem::take(&mut scratch),
+            if written > 0 {
+                self.stats.states_created += written as u64;
+                child.spans.push(SeqSpan {
+                    seq: span.seq,
+                    lo,
+                    hi: lo + written as u32,
                 });
             }
         }
+
+        if pooled
+            && child.groups.capacity() == caps.0
+            && child.first_groups.capacity() == caps.1
+            && child.bindings.capacity() == caps.2
+            && child.spans.capacity() == caps.3
+        {
+            self.stats.scratch_reuse_hits += 1;
+        }
+        self.scratch = scratch;
+        self.charge(&child);
 
         Node {
             groups,
             open,
             arity,
             last_rank,
-            frontier,
+            symbols,
+            frontier: child,
+        }
+    }
+}
+
+/// Inverse of the dense extension-code layout used by [`GatherScratch`].
+fn decode_ext(code: usize) -> Ext {
+    if code < FINISH_CODES {
+        let k = (code / 2) as u8;
+        if code % 2 == 0 {
+            Ext::MeetFinish(k)
+        } else {
+            Ext::AfterFinish(k)
+        }
+    } else {
+        let c = code - FINISH_CODES;
+        let s = SymbolId((c / 2) as u32);
+        if c % 2 == 0 {
+            Ext::MeetStart(s)
+        } else {
+            Ext::AfterStart(s)
         }
     }
 }
@@ -685,6 +1047,7 @@ impl<'a> SearchEngine<'a> {
 mod tests {
     use super::*;
     use interval_core::{matcher, DatabaseBuilder, IntervalDatabase, SymbolTable};
+    use std::collections::HashSet;
 
     fn mine(db: &IntervalDatabase, config: MinerConfig) -> Vec<(TemporalPattern, usize)> {
         let index = DbIndex::build(db);
@@ -936,5 +1299,74 @@ mod tests {
         );
         let loose = mine(&db, MinerConfig::with_min_support(2).max_window(100));
         assert_eq!(loose.len(), 1);
+    }
+
+    #[test]
+    fn ext_codes_round_trip() {
+        let exts = [
+            Ext::MeetFinish(0),
+            Ext::AfterFinish(0),
+            Ext::MeetFinish(200),
+            Ext::AfterFinish(255),
+            Ext::MeetStart(SymbolId(0)),
+            Ext::AfterStart(SymbolId(0)),
+            Ext::MeetStart(SymbolId(97)),
+            Ext::AfterStart(SymbolId(4096)),
+        ];
+        for ext in exts {
+            let code = match ext {
+                Ext::MeetFinish(k) => 2 * k as usize,
+                Ext::AfterFinish(k) => 2 * k as usize + 1,
+                Ext::MeetStart(s) => FINISH_CODES + 2 * s.0 as usize,
+                Ext::AfterStart(s) => FINISH_CODES + 2 * s.0 as usize + 1,
+            };
+            assert_eq!(decode_ext(code), ext);
+        }
+    }
+
+    #[test]
+    fn arena_stats_are_populated() {
+        let mut b = DatabaseBuilder::new();
+        for _ in 0..4 {
+            b.sequence()
+                .interval("A", 0, 4)
+                .interval("B", 2, 6)
+                .interval("C", 5, 9);
+        }
+        let db = b.build();
+        let index = DbIndex::build(&db);
+        let (patterns, stats, _) = SearchEngine::new(&index, MinerConfig::with_min_support(4)).run();
+        assert!(!patterns.is_empty());
+        assert!(stats.arena_peak_bytes > 0, "arena ledger never charged");
+        assert!(
+            stats.scratch_reuse_hits > 0,
+            "frontier pool never produced a clean reuse"
+        );
+    }
+
+    #[test]
+    fn try_grow_root_rolls_back_poisoned_roots_only() {
+        let mut b = DatabaseBuilder::new();
+        for _ in 0..3 {
+            b.sequence().interval("A", 0, 4).interval("B", 6, 9);
+        }
+        let db = b.build();
+        let index = DbIndex::build(&db);
+        let a = db.symbols().lookup("A").unwrap();
+        let b_sym = db.symbols().lookup("B").unwrap();
+
+        let mut engine =
+            SearchEngine::new(&index, MinerConfig::with_min_support(3)).poison_root(a, 1);
+        assert!(engine.try_grow_root(b_sym), "healthy root must succeed");
+        assert!(!engine.try_grow_root(a), "poisoned root must report failure");
+        let (emitted, _, termination) = engine.finish(Instant::now());
+        assert_eq!(termination, Termination::Complete);
+        // Everything B-rooted survives; nothing A-rooted leaked out of the
+        // rolled-back subtree.
+        assert!(!emitted.is_empty());
+        let t = db.symbols();
+        assert!(emitted
+            .iter()
+            .all(|(p, _)| !p.display(t).to_string().contains('A')));
     }
 }

@@ -35,6 +35,16 @@ pub struct MinerStats {
     /// 0 on every workload in this repository; a non-zero value means the
     /// result may be approximate).
     pub frontier_cap_hits: u64,
+    /// High-water mark of live bindings-arena bytes across the search
+    /// (logical length of the structure-of-arrays frontiers of all nodes on
+    /// the current DFS path) — an allocation proxy for the flat layout.
+    #[serde(default)]
+    pub arena_peak_bytes: u64,
+    /// Child-frontier builds served entirely from recycled buffers (no
+    /// backing allocation had to grow). In steady state this should track
+    /// `nodes_explored`; a low ratio means the scratch pool is thrashing.
+    #[serde(default)]
+    pub scratch_reuse_hits: u64,
     /// Wall-clock time of the run.
     #[serde(with = "duration_micros")]
     pub elapsed: Duration,
@@ -53,6 +63,8 @@ impl MinerStats {
         self.exts_pruned_pair += other.exts_pruned_pair;
         self.exts_pruned_symbol += other.exts_pruned_symbol;
         self.frontier_cap_hits += other.frontier_cap_hits;
+        self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
+        self.scratch_reuse_hits += other.scratch_reuse_hits;
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 }

@@ -8,7 +8,7 @@ mod common;
 use baselines::{HDfsMiner, IeMiner, NaiveMiner, TPrefixSpan};
 use interval_core::matcher;
 use proptest::prelude::*;
-use tpminer::{MinerConfig, ParallelTpMiner, PruningConfig, TpMiner};
+use tpminer::{MinerConfig, MiningBudget, ParallelTpMiner, PruningConfig, TpMiner};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -151,6 +151,74 @@ proptest! {
                     "gap miner missed {}",
                     fp.pattern.display(db.symbols())
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_thread_counts(
+        db in common::small_database(),
+        min_sup in 1usize..4,
+        raw_window in 0i64..8,
+    ) {
+        // The work-queue scheduler must reproduce the sequential output —
+        // same patterns, same exact supports, same canonical order, same
+        // termination — no matter how many workers race on the queue or
+        // which claim interleaving the run happens to get, with and
+        // without a window constraint reshaping the frontiers.
+        let window = (raw_window > 0).then_some(raw_window);
+        let mut config = MinerConfig::with_min_support(min_sup);
+        if let Some(w) = window {
+            config = config.max_window(w);
+        }
+        let seq = TpMiner::new(config).mine(&db);
+        for threads in [1usize, 2, 8] {
+            let par = ParallelTpMiner::new(config, threads).mine(&db);
+            prop_assert_eq!(
+                par.patterns(),
+                seq.patterns(),
+                "threads={} window={:?}",
+                threads,
+                window
+            );
+            prop_assert_eq!(par.termination(), seq.termination());
+        }
+    }
+
+    #[test]
+    fn budget_truncation_stays_sound_for_all_miners(
+        db in common::small_database(),
+        min_sup in 1usize..3,
+        max_nodes in 1u64..20,
+    ) {
+        // Soundness under truncation: a node cap may drop patterns, but
+        // every reported pattern must carry its exact full-run support —
+        // sequentially and across work-queue worker counts (the shared
+        // meter bounds the *sum* of nodes over all workers).
+        let config = MinerConfig::with_min_support(min_sup);
+        let full = TpMiner::new(config).mine(&db);
+
+        let truncated = TpMiner::new(config)
+            .with_budget(MiningBudget::unlimited().with_max_nodes(max_nodes))
+            .mine(&db);
+        prop_assert!(truncated.stats().nodes_explored <= max_nodes);
+        for fp in truncated.patterns() {
+            prop_assert_eq!(full.support_of(&fp.pattern), Some(fp.support));
+        }
+        if truncated.is_exhaustive() {
+            prop_assert_eq!(truncated.patterns(), full.patterns());
+        }
+
+        for threads in [2usize, 8] {
+            let par = ParallelTpMiner::new(config, threads)
+                .with_budget(MiningBudget::unlimited().with_max_nodes(max_nodes))
+                .mine(&db);
+            prop_assert!(par.stats().nodes_explored <= max_nodes, "threads={}", threads);
+            for fp in par.patterns() {
+                prop_assert_eq!(full.support_of(&fp.pattern), Some(fp.support));
+            }
+            if par.is_exhaustive() {
+                prop_assert_eq!(par.patterns(), full.patterns(), "threads={}", threads);
             }
         }
     }
