@@ -50,6 +50,7 @@ impl HDfsMiner {
 
     /// Mines all frequent patterns.
     pub fn mine(&self, db: &IntervalDatabase) -> BaselineResult {
+        // xlint::allow(no-unbudgeted-clock): reference baseline timing its own run for BaselineStats::elapsed; baselines deliberately bypass the budget meter
         let started = Instant::now();
         let mut stats = BaselineStats::default();
 
@@ -117,6 +118,7 @@ impl HDfsMiner {
         for (&seq_id, tuples) in &occ {
             let ivs = &ordered[seq_id as usize];
             for tuple in tuples {
+                // xlint::allow(no-panic-lib): occurrence tuples are built non-empty at arity 1 and only grow
                 let last = *tuple.last().expect("non-empty occurrence") as usize;
                 for next in (last + 1)..ivs.len() {
                     scratch.clear();

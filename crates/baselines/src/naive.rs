@@ -30,6 +30,7 @@ impl NaiveMiner {
 
     /// Mines all frequent patterns of arity `1..=max_arity`.
     pub fn mine(&self, db: &IntervalDatabase) -> BaselineResult {
+        // xlint::allow(no-unbudgeted-clock): reference baseline timing its own run for BaselineStats::elapsed; baselines deliberately bypass the budget meter
         let started = Instant::now();
         let mut stats = BaselineStats::default();
 

@@ -78,6 +78,7 @@ pub fn prefix_contains(seq: &IntervalSequence, prefix: &Prefix) -> bool {
     let slots = prefix.slots();
     let last_group = (prefix.groups.len() - 1) as u16;
     // An endpoint anchored in the last set, used to read off its data time.
+    // xlint::allow(no-panic-lib): guarded by the is_empty early-return above
     let anchor = prefix.groups.last().expect("non-empty")[0];
 
     // Bucket sequence instances by the symbols the prefix needs.

@@ -58,6 +58,7 @@ impl TPrefixSpan {
 
     /// Mines all frequent patterns.
     pub fn mine(&self, db: &IntervalDatabase) -> BaselineResult {
+        // xlint::allow(no-unbudgeted-clock): reference baseline timing its own run for BaselineStats::elapsed; baselines deliberately bypass the budget meter
         let started = Instant::now();
         let mut stats = BaselineStats::default();
         let mut out = Vec::new();
@@ -139,6 +140,7 @@ impl TPrefixSpan {
     ) {
         if open.is_empty() {
             let pattern = TemporalPattern::from_groups(prefix.groups.clone())
+                // xlint::allow(no-panic-lib): enumeration emits only canonical well-formed prefixes, mirroring the engine's emit path
                 .expect("generated prefixes are well-formed");
             out.push(FrequentPattern {
                 pattern,
@@ -213,10 +215,12 @@ impl TPrefixSpan {
                         symbol: slot.symbol,
                         slot: slot.slot,
                     };
-                    if meet {
-                        groups.last_mut().expect("non-empty").push(endpoint);
-                    } else {
-                        groups.push(vec![endpoint]);
+                    // Meet extensions are only generated for non-empty
+                    // prefixes, so the fallback only fires for non-meet.
+                    debug_assert!(!meet || !groups.is_empty());
+                    match groups.last_mut() {
+                        Some(last) if meet => last.push(endpoint),
+                        _ => groups.push(vec![endpoint]),
                     }
                     child_arity = arity;
                     child_rank = finish_rank(slot.slot);
@@ -227,10 +231,10 @@ impl TPrefixSpan {
                         symbol,
                         slot: arity,
                     };
-                    if meet {
-                        groups.last_mut().expect("non-empty").push(endpoint);
-                    } else {
-                        groups.push(vec![endpoint]);
+                    debug_assert!(!meet || !groups.is_empty());
+                    match groups.last_mut() {
+                        Some(last) if meet => last.push(endpoint),
+                        _ => groups.push(vec![endpoint]),
                     }
                     child_open.push(OpenSlot {
                         slot: arity,

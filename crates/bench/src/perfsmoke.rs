@@ -38,10 +38,7 @@ impl SmokeReport {
 
     /// Value of `key`, if recorded.
     pub fn get(&self, key: &str) -> Option<u64> {
-        self.entries
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|&(_, v)| v)
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
     }
 
     /// Renders the report as a flat JSON object (one `"key": value` line per
@@ -236,7 +233,9 @@ fn work_queue_makespan(
     });
     let mut loads = vec![0u64; workers];
     for &i in &order {
-        let w = (0..workers).min_by_key(|&w| loads[w]).expect("workers >= 1");
+        let w = (0..workers)
+            .min_by_key(|&w| loads[w])
+            .expect("workers >= 1");
         loads[w] += root_times[i];
     }
     loads.into_iter().max().unwrap_or(0)

@@ -16,7 +16,13 @@ pub struct Parsed {
 
 /// Option keys that are flags (take no value).
 const FLAGS: &[&str] = &[
-    "uncertain", "closed", "maximal", "json", "help", "explain", "stats",
+    "uncertain",
+    "closed",
+    "maximal",
+    "json",
+    "help",
+    "explain",
+    "stats",
 ];
 
 /// Parses an argument vector (without the program name).

@@ -22,9 +22,17 @@ static TOKEN: OnceLock<CancellationToken> = OnceLock::new();
 pub fn install() -> CancellationToken {
     let token = TOKEN.get_or_init(CancellationToken::new).clone();
     #[cfg(unix)]
-    // SAFETY: `signal` is the standard C library entry point; the handler
-    // only performs an atomic store (async-signal-safe) and the token cell
-    // is initialized above, before the handler can ever run.
+    // SAFETY: `signal` is the C library entry point with the documented
+    // signature, so the FFI call itself is sound. The registered handler
+    // must restrict itself to async-signal-safe operations because it can
+    // interrupt the process at any instruction — including inside malloc —
+    // so it must not allocate, lock, or panic. `handle_sigint` honors this:
+    // it performs one relaxed-ordering atomic store through the token and
+    // re-registers a disposition, both async-signal-safe (POSIX
+    // signal-safety(7)). The `TOKEN` cell is initialized by
+    // `get_or_init` above *before* this registration, so the handler can
+    // never observe an uninitialized cell, and `OnceLock::get` on the
+    // initialized cell is a non-blocking read (no lock is taken once set).
     unsafe {
         signal(SIGINT, handle_sigint as *const () as usize);
     }
@@ -49,7 +57,11 @@ extern "C" fn handle_sigint(_signum: i32) {
     }
     // Restore the default disposition: the *next* Ctrl-C kills the process
     // outright instead of re-requesting a cancellation already under way.
-    // SAFETY: re-registering a disposition is async-signal-safe.
+    // SAFETY: we are executing *inside* a signal handler, where only
+    // async-signal-safe calls are permitted; `signal()` is on the POSIX
+    // signal-safety(7) list, takes no locks and allocates nothing. SIG_DFL
+    // is a constant disposition, not a callable, so no further handler code
+    // runs after this line.
     unsafe {
         signal(SIGINT, SIG_DFL);
     }

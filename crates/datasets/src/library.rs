@@ -110,7 +110,9 @@ impl LibraryEmulator {
             if rng.gen::<f64>() < 0.55 {
                 // Correlated pair following the habit.
                 let (first, second, gap_mean) = habit;
+                // xlint::allow(no-panic-lib): habit pairs are drawn from CATEGORIES, all interned up front; a miss means the two tables drifted
                 let a = symbols.lookup(first).expect("category interned");
+                // xlint::allow(no-panic-lib): habit pairs are drawn from CATEGORIES, all interned up front; a miss means the two tables drifted
                 let b = symbols.lookup(second).expect("category interned");
                 seq.push(interval_core::EventInterval::new_unchecked(
                     a,
@@ -130,6 +132,7 @@ impl LibraryEmulator {
                 // Casual loan of any category.
                 let c = symbols
                     .lookup(CATEGORIES[rng.gen_range(0..CATEGORIES.len())])
+                    // xlint::allow(no-panic-lib): indexed straight out of CATEGORIES, which is interned up front
                     .expect("category interned");
                 seq.push(interval_core::EventInterval::new_unchecked(
                     c,

@@ -126,6 +126,7 @@ impl StockEmulator {
                 }
                 let symbol = symbols
                     .lookup(&format!("stk{t}-{}", state.suffix()))
+                    // xlint::allow(no-panic-lib): all ticker-state names are interned before generation from the same format string
                     .expect("state symbol interned");
                 intervals.push(EventInterval::new_unchecked(
                     symbol,

@@ -28,10 +28,9 @@ impl RelationSet {
     pub const FULL: RelationSet = RelationSet((1 << 13) - 1);
 
     fn bit(r: AllenRelation) -> u16 {
-        1 << AllenRelation::ALL
-            .iter()
-            .position(|&x| x == r)
-            .expect("relation in ALL")
+        // `ALL` lists the relations in declaration order, so the enum
+        // discriminant is the bit position (asserted in tests).
+        1 << (r as u16)
     }
 
     /// The singleton set `{r}`.
@@ -137,10 +136,8 @@ pub fn compose(r1: AllenRelation, r2: AllenRelation) -> RelationSet {
 }
 
 fn index(r: AllenRelation) -> usize {
-    AllenRelation::ALL
-        .iter()
-        .position(|&x| x == r)
-        .expect("relation in ALL")
+    // Discriminants follow `ALL`'s declaration order (asserted in tests).
+    r as usize
 }
 
 /// Derives and caches the 13×13 composition table by brute-force
@@ -198,6 +195,14 @@ mod tests {
     use super::*;
     use crate::pattern::TemporalPattern;
     use AllenRelation::*;
+
+    #[test]
+    fn discriminants_match_all_order() {
+        // `bit`/`index` rely on discriminant == position in `ALL`.
+        for (pos, &r) in AllenRelation::ALL.iter().enumerate() {
+            assert_eq!(r as usize, pos, "{r:?} out of declaration order");
+        }
+    }
 
     #[test]
     fn relation_set_basics() {

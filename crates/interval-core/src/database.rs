@@ -232,10 +232,12 @@ impl SequenceBuilder<'_> {
     pub fn interval(self, symbol: &str, start: Time, end: Time) -> Self {
         let id = self.db.symbols.intern(symbol);
         let iv = EventInterval::new(id, start, end)
+            // xlint::allow(no-panic-lib): documented `# Panics` contract of the test/example builder; EventInterval::new is the fallible API
             .unwrap_or_else(|e| panic!("DatabaseBuilder::interval: {e}"));
         self.db
             .sequences
             .last_mut()
+            // xlint::allow(no-panic-lib): the builder type is only reachable via sequence(), which pushes the entry this unwraps
             .expect("sequence() was called")
             .push(iv);
         self
@@ -244,10 +246,12 @@ impl SequenceBuilder<'_> {
     /// Appends an already-interned interval.
     pub fn raw(self, symbol: SymbolId, start: Time, end: Time) -> Self {
         let iv = EventInterval::new(symbol, start, end)
+            // xlint::allow(no-panic-lib): documented `# Panics` contract of the test/example builder; EventInterval::new is the fallible API
             .unwrap_or_else(|e| panic!("DatabaseBuilder::raw: {e}"));
         self.db
             .sequences
             .last_mut()
+            // xlint::allow(no-panic-lib): the builder type is only reachable via sequence(), which pushes the entry this unwraps
             .expect("sequence() was called")
             .push(iv);
         self
@@ -303,12 +307,15 @@ impl UncertainSequenceBuilder<'_> {
     pub fn interval(self, symbol: &str, start: Time, end: Time, p: f64) -> Self {
         let id = self.db.symbols.intern(symbol);
         let iv = EventInterval::new(id, start, end)
+            // xlint::allow(no-panic-lib): documented `# Panics` contract of the test/example builder; EventInterval::new is the fallible API
             .unwrap_or_else(|e| panic!("UncertainDatabaseBuilder::interval: {e}"));
         let u = UncertainInterval::new(iv, p)
+            // xlint::allow(no-panic-lib): documented `# Panics` contract of the test/example builder; UncertainInterval::new is the fallible API
             .unwrap_or_else(|e| panic!("UncertainDatabaseBuilder::interval: {e}"));
         self.db
             .sequences
             .last_mut()
+            // xlint::allow(no-panic-lib): the builder type is only reachable via sequence(), which pushes the entry this unwraps
             .expect("sequence() was called")
             .push(u);
         self

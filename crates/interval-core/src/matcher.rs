@@ -143,15 +143,11 @@ fn search(
             let min_start = assigned
                 .iter()
                 .map(|iv| iv.start)
-                .chain([candidate.start])
-                .min()
-                .expect("non-empty");
+                .fold(candidate.start, |a, b| a.min(b));
             let max_end = assigned
                 .iter()
                 .map(|iv| iv.end)
-                .chain([candidate.end])
-                .max()
-                .expect("non-empty");
+                .fold(candidate.end, |a, b| a.max(b));
             if max_end - min_start > w {
                 continue;
             }
@@ -338,15 +334,11 @@ fn search_witness(
             let min_start = assigned
                 .iter()
                 .map(|iv| iv.start)
-                .chain([candidate.start])
-                .min()
-                .expect("non-empty");
+                .fold(candidate.start, |a, b| a.min(b));
             let max_end = assigned
                 .iter()
                 .map(|iv| iv.end)
-                .chain([candidate.end])
-                .max()
-                .expect("non-empty");
+                .fold(candidate.end, |a, b| a.max(b));
             if max_end - min_start > w {
                 continue;
             }

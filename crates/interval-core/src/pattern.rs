@@ -218,7 +218,14 @@ impl TemporalPattern {
         let mut times: Vec<i64> = intervals.iter().flat_map(|iv| [iv.start, iv.end]).collect();
         times.sort_unstable();
         times.dedup();
-        let rank = |t: i64| times.binary_search(&t).expect("time present");
+        // Every queried timestamp was just inserted into `times`, so the
+        // search is infallible; clamp on the (unreachable) miss.
+        let rank = |t: i64| {
+            times.binary_search(&t).unwrap_or_else(|pos| {
+                debug_assert!(false, "endpoint time {t} missing from rank table");
+                pos.min(times.len() - 1)
+            })
+        };
 
         let mut groups: Vec<Vec<PatternEndpoint>> = vec![Vec::new(); times.len()];
         for (slot, iv) in intervals.iter().enumerate() {
@@ -233,6 +240,7 @@ impl TemporalPattern {
                 slot: slot as u8,
             });
         }
+        // xlint::allow(no-panic-lib): groups are built from valid intervals (start < end, every slot paired), so from_groups cannot reject them; failure is construction-invariant corruption
         Self::from_groups(groups).expect("arrangement of concrete intervals is well-formed")
     }
 

@@ -25,7 +25,7 @@
 //! [`IncrementalMiner`](crate::IncrementalMiner) re-mines only those
 //! partitions; see `docs/ALGORITHMS.md` for why that is sufficient.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use interval_core::{
@@ -55,28 +55,63 @@ pub struct IngestStats {
     pub watermark_regressions: u64,
 }
 
+/// Looks up `key` in a `SymbolId`-sorted association list.
+#[inline]
+fn assoc_get_mut<V>(list: &mut [(SymbolId, V)], key: SymbolId) -> Option<&mut V> {
+    match list.binary_search_by_key(&key, |(k, _)| *k) {
+        Ok(pos) => Some(&mut list[pos].1),
+        Err(_) => None,
+    }
+}
+
+/// Returns the entry for `key`, inserting a default at its sorted position
+/// when absent.
+#[inline]
+fn assoc_entry<V: Default>(list: &mut Vec<(SymbolId, V)>, key: SymbolId) -> &mut V {
+    let pos = match list.binary_search_by_key(&key, |(k, _)| *k) {
+        Ok(pos) => pos,
+        Err(pos) => {
+            list.insert(pos, (key, V::default()));
+            pos
+        }
+    };
+    &mut list[pos].1
+}
+
 /// Per-sequence state: completed in-window intervals, open intervals and the
 /// bookkeeping that makes support maintenance and index reuse incremental.
+///
+/// The per-sequence symbol alphabet is tiny (a handful of symbols out of a
+/// possibly large universe), so the per-symbol tables are `SymbolId`-sorted
+/// flat vectors — binary-searched on access, iterated in deterministic
+/// order, no hashing on the refresh path (this file is on the hot-path
+/// list of `cargo run -p xlint`).
 #[derive(Debug, Default)]
 struct SeqState {
     /// Completed intervals currently in the window (insertion order; sorted
     /// by the index build).
     intervals: Vec<EventInterval>,
-    /// Number of completed intervals per symbol (support bookkeeping).
-    symbol_counts: HashMap<SymbolId, u32>,
-    /// Start times of currently-open intervals per symbol.
-    open: HashMap<SymbolId, Vec<Time>>,
+    /// Number of completed intervals per symbol (support bookkeeping),
+    /// sorted by symbol.
+    symbol_counts: Vec<(SymbolId, u32)>,
+    /// Start times of currently-open intervals per symbol, sorted by symbol.
+    open: Vec<(SymbolId, Vec<Time>)>,
     /// Cached endpoint index; invalidated whenever `intervals` changes.
     cached: Option<Arc<SeqIndex>>,
 }
 
 impl SeqState {
     fn open_count(&self) -> usize {
-        self.open.values().map(Vec::len).sum()
+        self.open.iter().map(|(_, opens)| opens.len()).sum()
     }
 
     fn is_exhausted(&self) -> bool {
-        self.intervals.is_empty() && self.open.values().all(Vec::is_empty)
+        self.intervals.is_empty() && self.open.iter().all(|(_, opens)| opens.is_empty())
+    }
+
+    /// The symbols with at least one completed interval, in sorted order.
+    fn symbols(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.symbol_counts.iter().map(|&(s, _)| s)
     }
 }
 
@@ -101,13 +136,39 @@ pub struct SlidingWindowDatabase {
     window: Time,
     watermark: Option<Time>,
     symbols: SymbolTable,
-    sequences: BTreeMap<SequenceId, SeqState>,
-    /// Sequence-level support of every symbol: the number of sequences with
-    /// at least one completed in-window interval carrying it.
-    support: HashMap<SymbolId, usize>,
+    /// Live sequences, sorted by `SequenceId` (binary-searched on ingest,
+    /// iterated in id order for snapshots).
+    sequences: Vec<(SequenceId, SeqState)>,
+    /// Sequence-level support of every symbol — the number of sequences with
+    /// at least one completed in-window interval carrying it — as a dense
+    /// table indexed by [`SymbolId::index`]. Slots decay to zero on eviction
+    /// and are never removed; the symbol table only grows.
+    support: Vec<usize>,
     /// Root symbols touched by any sequence change since `take_dirty`.
     dirty: BTreeSet<SymbolId>,
     stats: IngestStats,
+}
+
+/// Returns the state for `sequence`, inserting an empty one at its sorted
+/// position when absent.
+fn seq_entry(sequences: &mut Vec<(SequenceId, SeqState)>, sequence: SequenceId) -> &mut SeqState {
+    let pos = match sequences.binary_search_by_key(&sequence, |(id, _)| *id) {
+        Ok(pos) => pos,
+        Err(pos) => {
+            sequences.insert(pos, (sequence, SeqState::default()));
+            pos
+        }
+    };
+    &mut sequences[pos].1
+}
+
+/// Returns the dense support slot for `symbol`, growing the table on demand.
+fn support_slot(support: &mut Vec<usize>, symbol: SymbolId) -> &mut usize {
+    let idx = symbol.index();
+    if idx >= support.len() {
+        support.resize(idx + 1, 0);
+    }
+    &mut support[idx]
 }
 
 impl SlidingWindowDatabase {
@@ -121,8 +182,8 @@ impl SlidingWindowDatabase {
             window,
             watermark: None,
             symbols: SymbolTable::new(),
-            sequences: BTreeMap::new(),
-            support: HashMap::new(),
+            sequences: Vec::new(),
+            support: Vec::new(),
             dirty: BTreeSet::new(),
             stats: IngestStats::default(),
         }
@@ -159,8 +220,8 @@ impl SlidingWindowDatabase {
     /// (the size of the minable database).
     pub fn len(&self) -> usize {
         self.sequences
-            .values()
-            .filter(|s| !s.intervals.is_empty())
+            .iter()
+            .filter(|(_, s)| !s.intervals.is_empty())
             .count()
     }
 
@@ -171,17 +232,21 @@ impl SlidingWindowDatabase {
 
     /// Total number of currently-open (unclosed) intervals.
     pub fn open_intervals(&self) -> usize {
-        self.sequences.values().map(SeqState::open_count).sum()
+        self.sequences.iter().map(|(_, s)| s.open_count()).sum()
     }
 
     /// Sequence-level support of `symbol` in the current window.
     pub fn support(&self, symbol: SymbolId) -> usize {
-        self.support.get(&symbol).copied().unwrap_or(0)
+        self.support.get(symbol.index()).copied().unwrap_or(0)
     }
 
-    /// All non-zero per-symbol support counts.
-    pub fn support_counts(&self) -> &HashMap<SymbolId, usize> {
-        &self.support
+    /// All non-zero per-symbol support counts, in `SymbolId` order.
+    pub fn support_counts(&self) -> impl Iterator<Item = (SymbolId, usize)> + '_ {
+        self.support
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(idx, &count)| (SymbolId(idx as u32), count))
     }
 
     /// Drains the set of dirty root symbols accumulated since the previous
@@ -206,13 +271,8 @@ impl SlidingWindowDatabase {
                 at,
             } => {
                 let id = self.symbols.intern(&symbol);
-                self.sequences
-                    .entry(sequence)
-                    .or_default()
-                    .open
-                    .entry(id)
-                    .or_default()
-                    .push(at);
+                let seq = seq_entry(&mut self.sequences, sequence);
+                assoc_entry(&mut seq.open, id).push(at);
             }
             StreamEvent::Close {
                 sequence,
@@ -248,37 +308,35 @@ impl SlidingWindowDatabase {
         symbol: &str,
         at: Time,
     ) -> Result<Time> {
-        let opens = self
+        let opens = match self
             .sequences
-            .get_mut(&sequence)
-            .and_then(|s| s.open.get_mut(&id))
-            .filter(|opens| !opens.is_empty())
-            .ok_or_else(|| {
-                IntervalError::InconsistentStream(format!(
-                    "close of {symbol:?} at {at} in sequence {sequence} has no open interval"
-                ))
-            })?;
+            .binary_search_by_key(&sequence, |(id, _)| *id)
+        {
+            Ok(pos) => assoc_get_mut(&mut self.sequences[pos].1.open, id),
+            Err(_) => None,
+        }
+        .filter(|opens| !opens.is_empty())
+        .ok_or_else(|| {
+            IntervalError::InconsistentStream(format!(
+                "close of {symbol:?} at {at} in sequence {sequence} has no open interval"
+            ))
+        })?;
         // FIFO: a close finishes the *earliest* still-open interval of the
         // symbol, which keeps concurrent same-symbol intervals well nested.
-        let (earliest, _) = opens
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &start)| start)
-            .expect("non-empty by filter");
-        let start = opens.swap_remove(earliest);
+        let mut earliest = 0;
+        for (i, &start) in opens.iter().enumerate() {
+            if start < opens[earliest] {
+                earliest = i;
+            }
+        }
+        let start = opens[earliest];
+        // Validate before removing so errors leave the window unchanged.
         if start >= at {
-            // Put it back: errors must not lose state.
-            self.sequences
-                .get_mut(&sequence)
-                .expect("sequence exists")
-                .open
-                .get_mut(&id)
-                .expect("symbol entry exists")
-                .push(start);
             return Err(IntervalError::InconsistentStream(format!(
                 "close of {symbol:?} at {at} in sequence {sequence} precedes its open at {start}"
             )));
         }
+        opens.swap_remove(earliest);
         Ok(start)
     }
 
@@ -292,17 +350,17 @@ impl SlidingWindowDatabase {
                 return;
             }
         }
-        let seq = self.sequences.entry(sequence).or_default();
+        let seq = seq_entry(&mut self.sequences, sequence);
         seq.intervals.push(interval);
         seq.cached = None;
-        let count = seq.symbol_counts.entry(interval.symbol).or_insert(0);
+        let count = assoc_entry(&mut seq.symbol_counts, interval.symbol);
         *count += 1;
         if *count == 1 {
-            *self.support.entry(interval.symbol).or_insert(0) += 1;
+            *support_slot(&mut self.support, interval.symbol) += 1;
         }
         // The post-change symbol set of the sequence is a superset of the
         // pre-change one, so marking it covers both sides of the change.
-        self.dirty.extend(seq.symbol_counts.keys().copied());
+        self.dirty.extend(seq.symbols());
     }
 
     /// Advances the watermark and evicts expired intervals and sequences.
@@ -316,33 +374,38 @@ impl SlidingWindowDatabase {
 
         let mut evicted_intervals = 0u64;
         let mut evicted_sequences = 0u64;
-        self.sequences.retain(|_, seq| {
+        let support = &mut self.support;
+        let dirty = &mut self.dirty;
+        self.sequences.retain_mut(|(_, seq)| {
             let expired = seq.intervals.iter().any(|iv| iv.end < cutoff);
             if expired {
                 // Pre-change symbol set is a superset of the post-change
                 // one: mark it before removal.
-                self.dirty.extend(seq.symbol_counts.keys().copied());
+                dirty.extend(seq.symbols());
                 seq.cached = None;
                 seq.intervals.retain(|iv| {
-                    if iv.end < cutoff {
-                        evicted_intervals += 1;
-                        let count = self
-                            .support
-                            .get_mut(&iv.symbol)
-                            .expect("supported symbol has a count");
-                        let seq_count = seq
-                            .symbol_counts
-                            .get_mut(&iv.symbol)
-                            .expect("present symbol has a count");
-                        *seq_count -= 1;
-                        if *seq_count == 0 {
-                            seq.symbol_counts.remove(&iv.symbol);
-                            *count -= 1;
-                        }
-                        false
-                    } else {
-                        true
+                    if iv.end >= cutoff {
+                        return true;
                     }
+                    evicted_intervals += 1;
+                    // Every in-window interval was counted on insert, so its
+                    // symbol must be present in both tables.
+                    match seq
+                        .symbol_counts
+                        .binary_search_by_key(&iv.symbol, |(s, _)| *s)
+                    {
+                        Ok(pos) => {
+                            seq.symbol_counts[pos].1 -= 1;
+                            if seq.symbol_counts[pos].1 == 0 {
+                                seq.symbol_counts.remove(pos);
+                                let slot = support_slot(support, iv.symbol);
+                                debug_assert!(*slot > 0, "supported symbol has a count");
+                                *slot = slot.saturating_sub(1);
+                            }
+                        }
+                        Err(_) => debug_assert!(false, "present symbol has a count"),
+                    }
+                    false
                 });
             }
             if seq.is_exhausted() {
@@ -352,7 +415,6 @@ impl SlidingWindowDatabase {
                 true
             }
         });
-        self.support.retain(|_, &mut count| count > 0);
         self.stats.intervals_evicted += evicted_intervals;
         self.stats.sequences_evicted += evicted_sequences;
     }
@@ -364,9 +426,9 @@ impl SlidingWindowDatabase {
     pub fn snapshot_database(&self) -> IntervalDatabase {
         let sequences = self
             .sequences
-            .values()
-            .filter(|s| !s.intervals.is_empty())
-            .map(|s| IntervalSequence::from_intervals(s.intervals.clone()))
+            .iter()
+            .filter(|(_, s)| !s.intervals.is_empty())
+            .map(|(_, s)| IntervalSequence::from_intervals(s.intervals.clone()))
             .collect();
         IntervalDatabase::from_parts(self.symbols.clone(), sequences)
     }
@@ -377,9 +439,9 @@ impl SlidingWindowDatabase {
     /// intervals changed since the last call are re-indexed.
     pub fn seq_indexes(&mut self) -> Vec<Arc<SeqIndex>> {
         self.sequences
-            .values_mut()
-            .filter(|s| !s.intervals.is_empty())
-            .map(|s| {
+            .iter_mut()
+            .filter(|(_, s)| !s.intervals.is_empty())
+            .map(|(_, s)| {
                 s.cached
                     .get_or_insert_with(|| {
                         Arc::new(SeqIndex::from_sequence(&IntervalSequence::from_intervals(

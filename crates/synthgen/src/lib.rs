@@ -209,6 +209,7 @@ impl QuestGenerator {
                         } else {
                             rng.gen_range(lo.max(f64::MIN_POSITIVE)..=hi.min(1.0))
                         };
+                        // xlint::allow(no-panic-lib): p is sampled from (0, 1] by construction two lines up; a reject is generator corruption
                         UncertainInterval::new(iv, p).expect("probability in range")
                     })
                     .collect::<UncertainSequence>()

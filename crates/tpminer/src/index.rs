@@ -14,8 +14,67 @@
 //! one-off symbol lookups binary-search a few entries.
 
 use interval_core::{EndpointSeq, IntervalDatabase, IntervalSequence, SymbolId};
-use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Sequence-level co-occurrence counts of unordered symbol pairs, stored as
+/// a sorted flat table of `lo * universe + hi` keys with a parallel count
+/// column. Pairs are sparse in the symbol universe (a dense triangular
+/// matrix would be `O(|Σ|²)`), but the PT3 pruning filter probes this table
+/// inside the candidate gather loop, so lookups binary-search a contiguous
+/// `Vec<u64>` instead of hashing — same cache-friendly layout discipline as
+/// the rest of the index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairCounts {
+    universe: u64,
+    keys: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+impl PairCounts {
+    /// Builds the table from raw (unsorted, possibly repeated) pair keys.
+    fn from_keys(universe: usize, mut raw: Vec<u64>) -> Self {
+        raw.sort_unstable();
+        let mut keys = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for key in raw {
+            if keys.last() == Some(&key) {
+                // Run-length encode: consecutive equal keys accumulate.
+                if let Some(last) = counts.last_mut() {
+                    *last += 1;
+                }
+            } else {
+                keys.push(key);
+                counts.push(1);
+            }
+        }
+        Self {
+            universe: universe as u64,
+            keys,
+            counts,
+        }
+    }
+
+    /// Co-occurrence count of the unordered pair `{a, b}` (0 when absent).
+    #[inline]
+    pub fn get(&self, a: SymbolId, b: SymbolId) -> u32 {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let key = lo.index() as u64 * self.universe + hi.index() as u64;
+        match self.keys.binary_search(&key) {
+            Ok(i) => self.counts[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Number of distinct pairs with a non-zero count.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no pair co-occurs.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
 
 /// Per-sequence mining index.
 #[derive(Debug)]
@@ -165,8 +224,7 @@ pub struct DbIndex {
     pub symbol_support: Vec<u32>,
     /// Sequence-level co-occurrence counts of unordered symbol pairs
     /// (`a <= b` keys, including `a == b` meaning "two or more instances").
-    /// Pairs are sparse in the symbol universe, so this one stays a map.
-    pub cooccurrence: HashMap<(SymbolId, SymbolId), u32>,
+    pub cooccurrence: PairCounts,
 }
 
 impl DbIndex {
@@ -193,7 +251,7 @@ impl DbIndex {
             .max()
             .unwrap_or(0);
         let mut symbol_support = vec![0u32; universe];
-        let mut cooccurrence: HashMap<(SymbolId, SymbolId), u32> = HashMap::new();
+        let mut pair_keys: Vec<u64> = Vec::new();
         for seq in &sequences {
             let seq_symbols = seq.symbols_sorted();
             for &s in seq_symbols {
@@ -201,21 +259,23 @@ impl DbIndex {
                 // A pattern with two instances of `s` needs two instances in
                 // the sequence; record the (s, s) "pair" accordingly.
                 if seq.instances_of(s).len() >= 2 {
-                    *cooccurrence.entry((s, s)).or_insert(0) += 1;
+                    pair_keys.push(s.index() as u64 * universe as u64 + s.index() as u64);
                 }
             }
+            // `seq_symbols` is sorted, so `i < j` already yields `lo <= hi`.
             for i in 0..seq_symbols.len() {
                 for j in (i + 1)..seq_symbols.len() {
-                    *cooccurrence
-                        .entry((seq_symbols[i], seq_symbols[j]))
-                        .or_insert(0) += 1;
+                    pair_keys.push(
+                        seq_symbols[i].index() as u64 * universe as u64
+                            + seq_symbols[j].index() as u64,
+                    );
                 }
             }
         }
         Self {
             sequences,
             symbol_support,
-            cooccurrence,
+            cooccurrence: PairCounts::from_keys(universe, pair_keys),
         }
     }
 
@@ -239,8 +299,7 @@ impl DbIndex {
     /// number of sequences with at least two instances of the symbol).
     #[inline]
     pub fn cooccurrence(&self, a: SymbolId, b: SymbolId) -> u32 {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        self.cooccurrence.get(&key).copied().unwrap_or(0)
+        self.cooccurrence.get(a, b)
     }
 
     /// Symbols whose sequence-level support reaches `min_support`, sorted.

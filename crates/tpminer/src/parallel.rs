@@ -161,6 +161,7 @@ impl ParallelTpMiner {
                     #[cfg(any(test, feature = "fault-injection"))]
                     let fault = self.fault;
                     scope.spawn(move |_| {
+                        // xlint::allow(no-unbudgeted-clock): one read per worker seeding its MinerStats::elapsed; budget checks use the shared meter
                         let started = Instant::now();
                         #[allow(unused_mut)]
                         let mut engine = SearchEngine::new(index, config).with_budget(budget);
@@ -186,6 +187,7 @@ impl ParallelTpMiner {
                 .collect();
             handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
         })
+        // xlint::allow(no-panic-lib): crossbeam::scope errs only when a worker panicked; workers catch panics per root, so this is the contained-panic contract, not a new panic path
         .expect("worker panics are contained at the root boundary");
 
         let mut all: Vec<(TemporalPattern, usize)> = Vec::new();
@@ -205,9 +207,8 @@ impl ParallelTpMiner {
                 // Degrade to a lost-work report rather than unwinding the
                 // whole run if it ever fires.
                 Err(_panic) => {
-                    termination = termination.merge(Termination::WorkerFailed {
-                        roots: Vec::new(),
-                    });
+                    termination =
+                        termination.merge(Termination::WorkerFailed { roots: Vec::new() });
                 }
             }
         }

@@ -177,6 +177,7 @@ impl ProbabilisticMiner {
 
     /// Mines all probabilistically frequent patterns of `db`.
     pub fn mine(&self, db: &UncertainDatabase) -> ProbabilisticResult {
+        // xlint::allow(no-unbudgeted-clock): single read per mine seeding ProbabilisticResult::elapsed; stage budgets flow through the shared meter
         let started = Instant::now();
         let min_esup = self.config.min_expected_support.max(f64::MIN_POSITIVE);
 

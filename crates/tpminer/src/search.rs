@@ -374,6 +374,7 @@ impl<'a> SearchEngine<'a> {
     /// order plus the termination status (`Complete` unless the budget
     /// tripped).
     pub fn run(mut self) -> (Vec<(TemporalPattern, usize)>, MinerStats, Termination) {
+        // xlint::allow(no-unbudgeted-clock): single read per run that seeds MinerStats::elapsed; the budget path reuses it via finish()
         let started = Instant::now();
         let roots = self.root_symbols();
         self.grow_roots(&roots);
@@ -388,6 +389,7 @@ impl<'a> SearchEngine<'a> {
         mut self,
         roots: &[SymbolId],
     ) -> (Vec<(TemporalPattern, usize)>, MinerStats, Termination) {
+        // xlint::allow(no-unbudgeted-clock): single read per partitioned run seeding MinerStats::elapsed, mirroring run()
         let started = Instant::now();
         self.grow_roots(roots);
         self.finish(started)
@@ -494,9 +496,7 @@ impl<'a> SearchEngine<'a> {
             for &i in seq.instances_of(symbol) {
                 let group = seq.endpoints.instance(i).start_group;
                 frontier.groups.push(group);
-                frontier
-                    .first_groups
-                    .push(if windowed { group } else { 0 });
+                frontier.first_groups.push(if windowed { group } else { 0 });
                 frontier.bindings.push(i);
             }
             let hi = frontier.groups.len() as u32;
@@ -554,6 +554,7 @@ impl<'a> SearchEngine<'a> {
 
         if node.is_complete() {
             let pattern = TemporalPattern::from_groups(node.groups.clone())
+                // xlint::allow(no-panic-lib): enumeration emits only canonical well-formed prefixes; failure here is a search-invariant break, not recoverable input
                 .expect("generated prefixes are well-formed");
             debug_assert_eq!(
                 pattern.groups(),
@@ -745,9 +746,7 @@ impl<'a> SearchEngine<'a> {
                         break;
                     }
                     let group = frontier.groups[i];
-                    if need_after
-                        && !seq.slot_instances_starting_after(slot, group).is_empty()
-                    {
+                    if need_after && !seq.slot_instances_starting_after(slot, group).is_empty() {
                         g.mark(meet_code + 1);
                         need_after = false;
                     }
@@ -791,10 +790,13 @@ impl<'a> SearchEngine<'a> {
                     symbol: slot.symbol,
                     slot: slot.slot,
                 };
-                if matches!(ext, Ext::MeetFinish(_)) {
-                    groups.last_mut().expect("non-empty pattern").push(endpoint);
-                } else {
-                    groups.push(vec![endpoint]);
+                // Meet joins the last group; After opens a new one. Meet
+                // extensions are only generated for non-empty prefixes, so
+                // the fallback arm can only fire for After.
+                debug_assert!(!matches!(ext, Ext::MeetFinish(_)) || !groups.is_empty());
+                match groups.last_mut() {
+                    Some(last) if matches!(ext, Ext::MeetFinish(_)) => last.push(endpoint),
+                    _ => groups.push(vec![endpoint]),
                 }
                 last_rank = finish_rank(slot.slot);
                 open.remove(k as usize);
@@ -806,10 +808,10 @@ impl<'a> SearchEngine<'a> {
                     symbol: s,
                     slot,
                 };
-                if matches!(ext, Ext::MeetStart(_)) {
-                    groups.last_mut().expect("non-empty pattern").push(endpoint);
-                } else {
-                    groups.push(vec![endpoint]);
+                debug_assert!(!matches!(ext, Ext::MeetStart(_)) || !groups.is_empty());
+                match groups.last_mut() {
+                    Some(last) if matches!(ext, Ext::MeetStart(_)) => last.push(endpoint),
+                    _ => groups.push(vec![endpoint]),
                 }
                 last_rank = start_rank(s);
                 open.push(OpenSlot {
@@ -900,12 +902,7 @@ impl<'a> SearchEngine<'a> {
                                     // every later one also violates the gap
                                     break;
                                 }
-                                scratch.push_with(
-                                    start_group,
-                                    parent.first_groups[i],
-                                    row,
-                                    inst,
-                                );
+                                scratch.push_with(start_group, parent.first_groups[i], row, inst);
                             }
                         }
                     }
@@ -964,8 +961,11 @@ impl<'a> SearchEngine<'a> {
                 let (sg, sf, sb) = (&scratch.groups, &scratch.first_groups, &scratch.bindings);
                 scratch.perm.sort_unstable_by(|&a, &b| {
                     let (a, b) = (a as usize, b as usize);
-                    (sg[a], sf[a], &sb[a * cw..(a + 1) * cw])
-                        .cmp(&(sg[b], sf[b], &sb[b * cw..(b + 1) * cw]))
+                    (sg[a], sf[a], &sb[a * cw..(a + 1) * cw]).cmp(&(
+                        sg[b],
+                        sf[b],
+                        &sb[b * cw..(b + 1) * cw],
+                    ))
                 });
             }
             let lo = child.groups.len() as u32;
@@ -1024,6 +1024,8 @@ impl<'a> SearchEngine<'a> {
 }
 
 /// Inverse of the dense extension-code layout used by [`GatherScratch`].
+// usize::is_multiple_of needs Rust 1.87; the workspace MSRV is 1.75.
+#[allow(clippy::manual_is_multiple_of)]
 fn decode_ext(code: usize) -> Ext {
     if code < FINISH_CODES {
         let k = (code / 2) as u8;
@@ -1335,7 +1337,8 @@ mod tests {
         }
         let db = b.build();
         let index = DbIndex::build(&db);
-        let (patterns, stats, _) = SearchEngine::new(&index, MinerConfig::with_min_support(4)).run();
+        let (patterns, stats, _) =
+            SearchEngine::new(&index, MinerConfig::with_min_support(4)).run();
         assert!(!patterns.is_empty());
         assert!(stats.arena_peak_bytes > 0, "arena ledger never charged");
         assert!(
@@ -1358,7 +1361,10 @@ mod tests {
         let mut engine =
             SearchEngine::new(&index, MinerConfig::with_min_support(3)).poison_root(a, 1);
         assert!(engine.try_grow_root(b_sym), "healthy root must succeed");
-        assert!(!engine.try_grow_root(a), "poisoned root must report failure");
+        assert!(
+            !engine.try_grow_root(a),
+            "poisoned root must report failure"
+        );
         let (emitted, _, termination) = engine.finish(Instant::now());
         assert_eq!(termination, Termination::Complete);
         // Everything B-rooted survives; nothing A-rooted leaked out of the

@@ -1,0 +1,1 @@
+pub fn api() {} // xlint::allow(forbid-unsafe-gate): fixture crate wraps unsafe FFI and cannot forbid

@@ -1,0 +1,2 @@
+// Fixture for `forbid-unsafe-gate`: a lib.rs with no #![forbid(unsafe_code)].
+pub fn api() {}

@@ -1,0 +1,9 @@
+// Fixture for `hot-path-hash`: linted under a hot-path file name.
+fn violating() {
+    let _m: std::collections::HashMap<u32, u32> = Default::default();
+}
+
+fn suppressed() {
+    // xlint::allow(hot-path-hash): fixture demonstrating a justified exception
+    let _s: std::collections::HashSet<u32> = Default::default();
+}

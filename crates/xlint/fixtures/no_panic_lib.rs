@@ -1,0 +1,16 @@
+// Fixture for `no-panic-lib`: one violation, one suppressed, one test-exempt.
+fn violating(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn suppressed(x: Option<u32>) -> u32 {
+    // xlint::allow(no-panic-lib): fixture demonstrating a justified panic site
+    x.expect("fixture")
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture for `no-raw-spawn`: one violation, one suppressed.
+fn violating() {
+    std::thread::spawn(|| {});
+}
+
+fn suppressed() {
+    // xlint::allow(no-raw-spawn): fixture demonstrating a justified one-shot thread
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,11 @@
+// Fixture for `no-unbudgeted-clock`: one violation, one suppressed.
+use std::time::Instant;
+
+fn violating() {
+    let _ = Instant::now();
+}
+
+fn suppressed() {
+    // xlint::allow(no-unbudgeted-clock): fixture demonstrating a justified clock read
+    let _ = Instant::now();
+}

@@ -1,0 +1,14 @@
+// Fixture for `safety-comment`: bare block, documented block, suppressed block.
+fn violating() {
+    unsafe { ffi() }
+}
+
+fn documented() {
+    // SAFETY: ffi has no preconditions in this fixture.
+    unsafe { ffi() }
+}
+
+fn suppressed() {
+    // xlint::allow(safety-comment): fixture demonstrating suppression without a SAFETY note
+    unsafe { ffi() }
+}

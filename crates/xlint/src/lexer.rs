@@ -1,0 +1,523 @@
+//! A small Rust lexer, just deep enough for lint rules.
+//!
+//! The lexer's job is to let rules reason about *code* without being
+//! fooled by comments, strings, or lifetimes:
+//!
+//! - line comments (`//`, `///`, `//!`) and block comments (`/* */`,
+//!   nested to arbitrary depth) become [`TokenKind::LineComment`] /
+//!   [`TokenKind::BlockComment`] tokens — kept, because the rule engine
+//!   reads `// SAFETY:` and `// xlint::allow(...)` directives out of them;
+//! - string literals (`"…"` with escapes, raw strings `r"…"` /
+//!   `r#"…"#` with any number of hashes, byte and raw-byte variants) and
+//!   char literals (`'a'`, `'\n'`, `b'x'`) are single opaque tokens, so a
+//!   `"panic!"` inside a string never matches a rule;
+//! - lifetimes (`'a`, `'static`) are distinguished from char literals by
+//!   lookahead: `'` followed by identifier characters with no closing `'`
+//!   is a lifetime.
+//!
+//! It is *not* a full Rust lexer: numeric literals are tokenized loosely
+//! (enough to not split identifiers), and macro bodies are lexed like
+//! ordinary code, which is exactly what the rules want.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (label uses lex the same way).
+    Lifetime,
+    /// Char or byte-char literal, e.g. `'x'`, `'\u{1F600}'`, `b'\n'`.
+    CharLit,
+    /// Any string literal: plain, raw, byte, or raw-byte.
+    StrLit,
+    /// Numeric literal (loosely tokenized).
+    Num,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// `// …` to end of line, including doc comments.
+    LineComment,
+    /// `/* … */`, nested blocks included, possibly spanning lines.
+    BlockComment,
+}
+
+/// One lexed token: its kind, byte range in the source, and the 1-based
+/// line its first byte sits on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the same source it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// The 1-based line of the token's last byte (equals `line` unless the
+    /// token spans lines, as block comments and raw strings can).
+    pub fn end_line(&self, src: &str) -> usize {
+        self.line + src[self.start..self.end].matches('\n').count()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    /// Advances one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances one full char.
+    fn bump_char(&mut self) {
+        if let Some(c) = self.peek_char() {
+            for _ in 0..c.len_utf8() {
+                self.bump();
+            }
+        }
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated constructs
+/// consume to end of input, and bytes that fit nothing become `Punct`.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+
+    while let Some(b) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => cur.bump(),
+                        (None, _) => break,
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                eat_string(&mut cur);
+                TokenKind::StrLit
+            }
+            b'\'' => lex_quote(&mut cur),
+            b'r' | b'b' if starts_prefixed_literal(&cur) => eat_prefixed_literal(&mut cur),
+            _ if is_ident_start(cur.peek_char().unwrap_or('\0')) => {
+                while cur.peek_char().is_some_and(is_ident_continue) {
+                    cur.bump_char();
+                }
+                TokenKind::Ident
+            }
+            b'0'..=b'9' => {
+                while cur.peek_char().is_some_and(is_ident_continue) {
+                    cur.bump_char();
+                }
+                TokenKind::Num
+            }
+            _ => {
+                cur.bump_char();
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+    tokens
+}
+
+/// Whether the cursor sits on `r"`, `r#"`, `r#ident`, `b"`, `b'`, `br"`,
+/// `rb…` — anything where the leading `r`/`b` belongs to a literal prefix
+/// rather than a plain identifier.
+fn starts_prefixed_literal(cur: &Cursor<'_>) -> bool {
+    let rest = &cur.bytes[cur.pos..];
+    matches!(
+        rest,
+        [b'r', b'"', ..]
+            | [b'r', b'#', ..]
+            | [b'b', b'"', ..]
+            | [b'b', b'\'', ..]
+            | [b'b', b'r', b'"', ..]
+            | [b'b', b'r', b'#', ..]
+    )
+}
+
+/// Lexes a literal beginning with an `r`/`b`/`br` prefix. Raw identifiers
+/// (`r#match`) come through here too because they share the `r#` prefix.
+fn eat_prefixed_literal(cur: &mut Cursor<'_>) -> TokenKind {
+    // Consume the prefix letters.
+    while cur.peek().is_some_and(|c| c == b'r' || c == b'b') {
+        // `b` / `r` / `br`: stop once the next byte opens the literal.
+        if matches!(cur.peek(), Some(b'r')) && matches!(cur.peek_at(1), Some(b'"') | Some(b'#')) {
+            cur.bump(); // the `r` of a raw string
+            break;
+        }
+        if matches!(cur.peek(), Some(b'b'))
+            && matches!(cur.peek_at(1), Some(b'"') | Some(b'\'') | Some(b'r'))
+        {
+            cur.bump();
+            continue;
+        }
+        break;
+    }
+    match cur.peek() {
+        Some(b'"') => {
+            eat_string(cur);
+            TokenKind::StrLit
+        }
+        Some(b'\'') => {
+            cur.bump();
+            eat_char_body(cur);
+            TokenKind::CharLit
+        }
+        Some(b'#') => {
+            // Count hashes: `r##"…"##` raw string vs `r#ident` raw identifier.
+            let mut hashes = 0usize;
+            while cur.peek_at(hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if cur.peek_at(hashes) == Some(b'"') {
+                for _ in 0..=hashes {
+                    cur.bump();
+                }
+                // Scan for `"` followed by `hashes` hashes.
+                'scan: while let Some(c) = cur.peek() {
+                    cur.bump();
+                    if c == b'"' {
+                        for h in 0..hashes {
+                            if cur.peek_at(h) != Some(b'#') {
+                                continue 'scan;
+                            }
+                        }
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                }
+                TokenKind::StrLit
+            } else {
+                // Raw identifier: consume `#` then the identifier.
+                cur.bump();
+                while cur.peek_char().is_some_and(is_ident_continue) {
+                    cur.bump_char();
+                }
+                TokenKind::Ident
+            }
+        }
+        _ => {
+            // Plain identifier that merely started with r/b.
+            while cur.peek_char().is_some_and(is_ident_continue) {
+                cur.bump_char();
+            }
+            TokenKind::Ident
+        }
+    }
+}
+
+/// Consumes a `"…"` string with escape handling; cursor starts on the `"`.
+fn eat_string(cur: &mut Cursor<'_>) {
+    cur.bump();
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                if cur.peek().is_some() {
+                    cur.bump_char();
+                }
+            }
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump_char(),
+        }
+    }
+}
+
+/// After an opening `'` has been consumed, eats the char body and the
+/// closing `'`.
+fn eat_char_body(cur: &mut Cursor<'_>) {
+    match cur.peek() {
+        Some(b'\\') => {
+            cur.bump();
+            if cur.peek().is_some() {
+                cur.bump_char();
+            }
+        }
+        Some(_) => cur.bump_char(),
+        None => return,
+    }
+    // `'\u{…}'` leaves the brace body pending; consume to the quote.
+    while cur.peek().is_some_and(|c| c != b'\'') && cur.peek() != Some(b'\n') {
+        cur.bump_char();
+    }
+    if cur.peek() == Some(b'\'') {
+        cur.bump();
+    }
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime); cursor starts
+/// on the `'`.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    // An escape is always a char literal: `'\n'`.
+    if cur.peek_at(1) == Some(b'\\') {
+        cur.bump();
+        eat_char_body(cur);
+        return TokenKind::CharLit;
+    }
+    // `'c'` with any single char `c` (multi-byte included) is a char literal.
+    let after = cur.src[cur.pos + 1..].chars().next();
+    if let Some(c) = after {
+        let close_at = cur.pos + 1 + c.len_utf8();
+        if cur.bytes.get(close_at) == Some(&b'\'') {
+            cur.bump(); // '
+            cur.bump_char(); // c
+            cur.bump(); // '
+            return TokenKind::CharLit;
+        }
+        if is_ident_start(c) {
+            // Lifetime: consume the quote and the identifier.
+            cur.bump();
+            while cur.peek_char().is_some_and(is_ident_continue) {
+                cur.bump_char();
+            }
+            return TokenKind::Lifetime;
+        }
+    }
+    // Lone or malformed quote: punt as punctuation.
+    cur.bump();
+    TokenKind::Punct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn line_and_doc_comments_are_single_tokens() {
+        let toks = kinds("let x = 1; // trailing unwrap() mention\n/// doc panic!\ncode");
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::LineComment && s.contains("unwrap()")));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::LineComment && s.contains("panic!")));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "code"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_at_matching_depth() {
+        let src = "before /* outer /* inner */ still outer */ after";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "before"),
+                (
+                    TokenKind::BlockComment,
+                    "/* outer /* inner */ still outer */"
+                ),
+                (TokenKind::Ident, "after"),
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comments_track_lines() {
+        let src = "/* a\nb\nc */ x";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].end_line(src), 3);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "contains unwrap() and // no comment";"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::StrLit).count(),
+            1
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s.contains("unwrap")));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = kinds(r#""a \" b" tail"#);
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+        assert_eq!(toks[1], (TokenKind::Ident, "tail"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"inner "quoted" panic!"# ; done"##;
+        let toks = kinds(src);
+        let raw = toks.iter().find(|(k, _)| *k == TokenKind::StrLit).unwrap();
+        assert!(raw.1.starts_with("r#\""));
+        assert!(raw.1.ends_with("\"#"));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "done"));
+    }
+
+    #[test]
+    fn raw_string_two_hashes_ignores_single_hash_close() {
+        let src = r###"r##"has "# inside"## end"###;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+        assert!(toks[0].1.ends_with("\"##"));
+        assert_eq!(toks[1], (TokenKind::Ident, "end"));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings() {
+        let toks = kinds(r##"b"bytes" br#"raw bytes"# b'x'"##);
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+        assert_eq!(toks[1].0, TokenKind::StrLit);
+        assert_eq!(toks[2].0, TokenKind::CharLit);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds("let c: char = 'a'; fn f<'a>(x: &'a str) {} 'x' '\\n' 'static_lt");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        assert_eq!(
+            lifetimes.iter().map(|(_, s)| *s).collect::<Vec<_>>(),
+            vec!["'a", "'a", "'static_lt"]
+        );
+        assert_eq!(
+            chars.iter().map(|(_, s)| *s).collect::<Vec<_>>(),
+            vec!["'a'", "'x'", "'\\n'"]
+        );
+    }
+
+    #[test]
+    fn unicode_char_literals() {
+        let toks = kinds("'é' '\\u{1F600}' 'b");
+        assert_eq!(toks[0].0, TokenKind::CharLit);
+        assert_eq!(toks[1].0, TokenKind::CharLit);
+        assert_eq!(toks[2].0, TokenKind::Lifetime);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("r#match r#unwrap normal");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "r#match"),
+                (TokenKind::Ident, "r#unwrap"),
+                (TokenKind::Ident, "normal"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_is_not_split() {
+        let toks = kinds("x.unwrap_or(0).unwrap()");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(idents, vec!["x", "unwrap_or", "unwrap"]);
+    }
+
+    #[test]
+    fn unterminated_constructs_consume_to_eof_without_panicking() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed", "'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().unwrap().end, src.len());
+        }
+    }
+
+    #[test]
+    fn lines_are_tracked_across_tokens() {
+        let src = "a\nb\n  c // note\nd";
+        let toks = lex(src);
+        let lines: Vec<_> = toks.iter().map(|t| (t.text(src), t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![("a", 1), ("b", 2), ("c", 3), ("// note", 3), ("d", 4)]
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! `xlint` — first-party static analysis for this workspace.
+//!
+//! The engine's two hardest-won properties are invisible to the type
+//! system: the hot path is hash-free (PR 3's ~3.6x) and the library
+//! crates are panic-free by contract (PR 1's budgets and worker
+//! isolation). `xlint` pins those invariants — plus unsafe hygiene,
+//! thread-spawn discipline and clock confinement — as lint rules that run
+//! on every commit, with per-line `// xlint::allow(<rule>): <reason>`
+//! escape hatches that force every exception to carry a justification.
+//!
+//! The crate is pure `std` (zero dependencies), so it builds and behaves
+//! identically under the offline dev-stub environment and in networked
+//! CI. See `CONTRIBUTING.md` ("Lint policy") for the rule catalogue and
+//! `DESIGN.md` for why each invariant exists.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use report::Report;
+use rules::{apply_allows, check_file};
+use source::{CrateKind, FileContext};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose binaries legitimately print, exit, read clocks and unwrap
+/// at the top level: the CLI, the bench harness, and xlint itself.
+/// Everything else under `crates/` is held to the library contract.
+pub const TOOL_CRATES: &[&str] = &["cli", "bench", "xlint"];
+
+/// Lints every workspace source file under `root` and returns the report.
+///
+/// Coverage is the `src/` tree of each member crate plus the umbrella
+/// crate's `src/`. Integration tests, benches, examples and fixtures are
+/// deliberately out of scope: the rules police production code, and test
+/// code is exempt from them anyway.
+pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    let mut files: Vec<(String, String, CrateKind, PathBuf)> = Vec::new();
+
+    // Umbrella crate.
+    collect_rs(&root.join("src"), &mut |p| {
+        files.push(("ptpminer".into(), CrateKind::Lib, p).into_named(root));
+    })?;
+
+    // Member crates.
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    members.sort();
+    for member in members {
+        let name = member
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let kind = if TOOL_CRATES.contains(&name.as_str()) {
+            CrateKind::Tool
+        } else {
+            CrateKind::Lib
+        };
+        collect_rs(&member.join("src"), &mut |p| {
+            files.push((name.clone(), kind, p).into_named(root));
+        })?;
+    }
+
+    run_files(files)
+}
+
+/// Lints an explicit file list (used by the fixture tests and the CLI's
+/// positional-arguments mode). Crate name and kind are derived from the
+/// path the same way the workspace walk does.
+pub fn run_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Report> {
+    let files = paths
+        .iter()
+        .map(|p| {
+            let (name, kind) = classify(root, p);
+            (name, kind, p.clone()).into_named(root)
+        })
+        .collect();
+    run_files(files)
+}
+
+fn run_files(mut files: Vec<(String, String, CrateKind, PathBuf)>) -> io::Result<Report> {
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut violations = Vec::new();
+    let mut suppressed = 0usize;
+    let checked_files = files.len();
+    for (rel, crate_name, kind, abs) in files {
+        let src = fs::read_to_string(&abs)?;
+        let ctx = FileContext::new(rel, crate_name, kind, src);
+        let (mut v, s) = apply_allows(&ctx, check_file(&ctx));
+        violations.append(&mut v);
+        suppressed += s;
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(Report {
+        checked_files,
+        suppressed,
+        violations,
+    })
+}
+
+/// Derives (crate name, kind) from a path, for explicit-file mode.
+fn classify(root: &Path, path: &Path) -> (String, CrateKind) {
+    let rel = rel_path(root, path);
+    let name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("ptpminer")
+        .to_string();
+    let kind = if TOOL_CRATES.contains(&name.as_str()) {
+        CrateKind::Tool
+    } else {
+        CrateKind::Lib
+    };
+    (name, kind)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Normalize separators so rule file lists match on every host.
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op if it is absent),
+/// in sorted order for deterministic reports.
+fn collect_rs(dir: &Path, push: &mut impl FnMut(PathBuf)) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs(&entry, push)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Small helper to carry (crate, kind, abs path) into (rel, crate, kind,
+/// abs) tuples without repeating the relative-path derivation.
+trait IntoNamed {
+    fn into_named(self, root: &Path) -> (String, String, CrateKind, PathBuf);
+}
+
+impl IntoNamed for (String, CrateKind, PathBuf) {
+    fn into_named(self, root: &Path) -> (String, String, CrateKind, PathBuf) {
+        let (name, kind, path) = self;
+        (rel_path(root, &path), name, kind, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_derives_crate_and_kind_from_path() {
+        let root = Path::new("/ws");
+        let (name, kind) = classify(root, Path::new("/ws/crates/tpminer/src/search.rs"));
+        assert_eq!(name, "tpminer");
+        assert_eq!(kind, CrateKind::Lib);
+        let (name, kind) = classify(root, Path::new("/ws/crates/cli/src/main.rs"));
+        assert_eq!(name, "cli");
+        assert_eq!(kind, CrateKind::Tool);
+        let (name, kind) = classify(root, Path::new("/ws/src/lib.rs"));
+        assert_eq!(name, "ptpminer");
+        assert_eq!(kind, CrateKind::Lib);
+    }
+}

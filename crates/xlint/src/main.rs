@@ -1,0 +1,77 @@
+//! CLI entry point: `cargo run -p xlint [-- --json] [--root DIR] [FILES…]`.
+//!
+//! With no file arguments the whole workspace is linted. Exit codes:
+//! `0` clean, `1` unsuppressed violations, `2` usage or I/O error.
+
+// This is the lint tool's own terminal output, not library code.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("xlint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: xlint [--json] [--root DIR] [FILES…]\n\n\
+                     Lints the workspace (or just FILES) against the rule \
+                     catalogue in CONTRIBUTING.md.\n\
+                     Exit codes: 0 clean, 1 violations, 2 usage/IO error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("xlint: unknown flag `{arg}` (try --help)");
+                return ExitCode::from(2);
+            }
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "xlint: {} does not look like a workspace root (no Cargo.toml); \
+             run from the repo root or pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let result = if files.is_empty() {
+        xlint::run_workspace(&root)
+    } else {
+        xlint::run_paths(&root, &files)
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("xlint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

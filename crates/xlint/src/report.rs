@@ -1,0 +1,139 @@
+//! Human and JSON rendering of a lint run.
+//!
+//! JSON is emitted by hand (xlint is dependency-free by design); the
+//! schema is small and stable:
+//!
+//! ```json
+//! {
+//!   "checked_files": 42,
+//!   "suppressed": 3,
+//!   "violations": [
+//!     {"file": "crates/x/src/a.rs", "line": 7, "rule": "no-panic-lib",
+//!      "message": "…"}
+//!   ]
+//! }
+//! ```
+
+use crate::rules::Violation;
+use std::fmt::Write as _;
+
+/// Outcome of linting a file set.
+pub struct Report {
+    pub checked_files: usize,
+    pub suppressed: usize,
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Whether the run is clean (exit code 0).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One `file:line: [rule] message` row per violation plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        let _ = writeln!(
+            out,
+            "xlint: {} file(s) checked, {} violation(s), {} suppressed by allow",
+            self.checked_files,
+            self.violations.len(),
+            self.suppressed
+        );
+        out
+    }
+
+    /// The JSON document described in the module docs.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"checked_files\": {},", self.checked_files);
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&v.file),
+                v.line,
+                json_str(v.rule),
+                json_str(&v.message)
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string per RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_control_chars() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let r = Report {
+            checked_files: 3,
+            suppressed: 0,
+            violations: vec![],
+        };
+        assert!(r.is_clean());
+        assert!(r.render_json().contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn violations_render_in_both_formats() {
+        let r = Report {
+            checked_files: 1,
+            suppressed: 2,
+            violations: vec![Violation {
+                file: "crates/x/src/a.rs".into(),
+                line: 7,
+                rule: "no-panic-lib",
+                message: "it panics".into(),
+            }],
+        };
+        assert!(!r.is_clean());
+        let human = r.render_human();
+        assert!(human.contains("crates/x/src/a.rs:7: [no-panic-lib] it panics"));
+        assert!(human.contains("2 suppressed"));
+        let json = r.render_json();
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"rule\": \"no-panic-lib\""));
+    }
+}

@@ -1,0 +1,524 @@
+//! The rule catalogue and the engine that applies it.
+//!
+//! Every rule pins an invariant the repo has already paid for:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-panic-lib` | library crates are panic-free by contract (PR 1) |
+//! | `hot-path-hash` | the dense-table hot path stays hash-free (PR 3) |
+//! | `safety-comment` | every `unsafe` block justifies itself |
+//! | `forbid-unsafe-gate` | library crates forbid `unsafe_code` outright |
+//! | `no-raw-spawn` | threads come from the work queue, not ad hoc |
+//! | `no-unbudgeted-clock` | clock reads stay inside budget/stats code |
+//!
+//! Rules operate on the [`FileContext`] token stream, so comments, string
+//! literals and `#[cfg(test)]` items never trip them. Suppression is per
+//! line via `// xlint::allow(<rule>): <reason>`; a directive without a
+//! reason is itself reported.
+
+use crate::lexer::TokenKind;
+use crate::source::{CrateKind, FileContext};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Names of all rules, for directive validation and docs.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "no-panic-lib",
+        "no unwrap/expect/panic!/todo!/unimplemented!/unreachable! in non-test library code",
+    ),
+    (
+        "hot-path-hash",
+        "no HashMap/HashSet/BTreeMap in the dense-table hot-path files",
+    ),
+    (
+        "safety-comment",
+        "every unsafe block is preceded by a // SAFETY: comment",
+    ),
+    (
+        "forbid-unsafe-gate",
+        "every library crate's lib.rs carries #![forbid(unsafe_code)]",
+    ),
+    (
+        "no-raw-spawn",
+        "std::thread::spawn confined to the sanctioned worker modules",
+    ),
+    (
+        "no-unbudgeted-clock",
+        "Instant::now() confined to budget/stats modules in library crates",
+    ),
+];
+
+/// Files on the dense-table hot path (PR 3): hash containers here undo a
+/// measured ~3.6x speedup, so they are banned outright.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/tpminer/src/search.rs",
+    "crates/tpminer/src/index.rs",
+    "crates/tpminer/src/parallel.rs",
+    "crates/stream/src/window.rs",
+];
+
+/// Modules allowed to call `std::thread::spawn`: the work-queue scheduler
+/// and the stream publication/refresh workers. Everything else must go
+/// through `ParallelTpMiner`'s queue so panic isolation and budget
+/// observation stay centralized.
+const SPAWN_ALLOWED: &[&str] = &[
+    "crates/tpminer/src/parallel.rs",
+    "crates/stream/src/snapshot.rs",
+    "crates/stream/src/incremental.rs",
+];
+
+/// Library modules allowed to read the monotonic clock. Keeping every
+/// other clock read out of library crates is what makes cancellation and
+/// truncation deterministic under test.
+const CLOCK_ALLOWED: &[&str] = &[
+    "crates/interval-core/src/budget.rs",
+    "crates/tpminer/src/stats.rs",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// Runs every rule over one file.
+pub fn check_file(ctx: &FileContext) -> Vec<Violation> {
+    let mut raw = Vec::new();
+    no_panic_lib(ctx, &mut raw);
+    hot_path_hash(ctx, &mut raw);
+    safety_comment(ctx, &mut raw);
+    forbid_unsafe_gate(ctx, &mut raw);
+    no_raw_spawn(ctx, &mut raw);
+    no_unbudgeted_clock(ctx, &mut raw);
+    raw
+}
+
+/// Applies allow-directives to raw violations. Returns the surviving
+/// violations (malformed or unknown-rule directives are appended as
+/// violations of their own) plus the number suppressed.
+pub fn apply_allows(ctx: &FileContext, raw: Vec<Violation>) -> (Vec<Violation>, usize) {
+    let mut used = vec![false; ctx.allows.len()];
+    let mut out = Vec::new();
+    let mut suppressed = 0usize;
+    for v in raw {
+        let allowed = ctx.allows.iter().enumerate().any(|(i, a)| {
+            let hit = a.rule == v.rule && a.target_line == v.line && !a.reason.is_empty();
+            if hit {
+                used[i] = true;
+            }
+            hit
+        });
+        if allowed {
+            suppressed += 1;
+        } else {
+            out.push(v);
+        }
+    }
+    for (i, a) in ctx.allows.iter().enumerate() {
+        if a.reason.is_empty() {
+            out.push(Violation {
+                file: ctx.path.clone(),
+                line: a.directive_line,
+                rule: "malformed-allow",
+                message: format!(
+                    "xlint::allow({}) has no reason; write `// xlint::allow({}): <why>`",
+                    a.rule, a.rule
+                ),
+            });
+        } else if !RULES.iter().any(|(name, _)| *name == a.rule) {
+            out.push(Violation {
+                file: ctx.path.clone(),
+                line: a.directive_line,
+                rule: "unknown-rule-allow",
+                message: format!("xlint::allow references unknown rule `{}`", a.rule),
+            });
+        } else if !used[i] {
+            out.push(Violation {
+                file: ctx.path.clone(),
+                line: a.directive_line,
+                rule: "unused-allow",
+                message: format!(
+                    "xlint::allow({}) suppresses nothing on line {}; remove it",
+                    a.rule, a.target_line
+                ),
+            });
+        }
+    }
+    (out, suppressed)
+}
+
+fn violation(ctx: &FileContext, line: usize, rule: &'static str, message: String) -> Violation {
+    Violation {
+        file: ctx.path.clone(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// `no-panic-lib`: panicking constructs are banned from non-test library
+/// code. `.unwrap()` / `.expect(` as method calls; `panic!` / `todo!` /
+/// `unimplemented!` / `unreachable!` as macros. `debug_assert!` stays
+/// legal — it vanishes in release builds, which is the sanctioned way to
+/// pin an invariant without breaking the panic-free contract.
+fn no_panic_lib(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if ctx.kind != CrateKind::Lib {
+        return;
+    }
+    for (pos, &ti) in ctx.code.iter().enumerate() {
+        let tok = &ctx.tokens[ti];
+        if tok.kind != TokenKind::Ident || ctx.is_test_line(tok.line) {
+            continue;
+        }
+        let text = ctx.text(ti);
+        match text {
+            "unwrap" | "expect" => {
+                let is_method = ctx.prev_code(pos).is_some_and(|p| ctx.text(p) == ".")
+                    && ctx.next_code(pos).is_some_and(|n| ctx.text(n) == "(");
+                if is_method {
+                    out.push(violation(
+                        ctx,
+                        tok.line,
+                        "no-panic-lib",
+                        format!(
+                            ".{text}() panics on None/Err; propagate the error or use \
+                             debug_assert! + infallible access (library crates are \
+                             panic-free by contract)"
+                        ),
+                    ));
+                }
+            }
+            _ if PANIC_MACROS.contains(&text) => {
+                if ctx.next_code(pos).is_some_and(|n| ctx.text(n) == "!") {
+                    out.push(violation(
+                        ctx,
+                        tok.line,
+                        "no-panic-lib",
+                        format!("{text}! is banned in non-test library code"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `hot-path-hash`: hash/tree containers banned in the dense-table files.
+fn hot_path_hash(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if !HOT_PATH_FILES.contains(&ctx.path.as_str()) {
+        return;
+    }
+    for &ti in &ctx.code {
+        let tok = &ctx.tokens[ti];
+        if tok.kind != TokenKind::Ident || ctx.is_test_line(tok.line) {
+            continue;
+        }
+        let text = ctx.text(ti);
+        if matches!(text, "HashMap" | "HashSet" | "BTreeMap") {
+            out.push(violation(
+                ctx,
+                tok.line,
+                "hot-path-hash",
+                format!(
+                    "{text} in a hot-path file; use the dense Vec/bitset tables \
+                     (PR 3 measured ~3.6x from removing hashing here)"
+                ),
+            ));
+        }
+    }
+}
+
+/// `safety-comment`: each `unsafe {` block needs a `// SAFETY:` comment on
+/// the same line or on the comment lines directly above it.
+fn safety_comment(ctx: &FileContext, out: &mut Vec<Violation>) {
+    for (pos, &ti) in ctx.code.iter().enumerate() {
+        let tok = &ctx.tokens[ti];
+        if tok.kind != TokenKind::Ident || ctx.text(ti) != "unsafe" || ctx.is_test_line(tok.line) {
+            continue;
+        }
+        // Only blocks: `unsafe fn` / `unsafe impl` declare, they don't do.
+        if !ctx.next_code(pos).is_some_and(|n| ctx.text(n) == "{") {
+            continue;
+        }
+        if !has_safety_comment(ctx, tok.line) {
+            out.push(violation(
+                ctx,
+                tok.line,
+                "safety-comment",
+                "unsafe block without a preceding // SAFETY: comment".to_string(),
+            ));
+        }
+    }
+}
+
+fn has_safety_comment(ctx: &FileContext, unsafe_line: usize) -> bool {
+    let comment_on = |line: usize| {
+        ctx.tokens.iter().any(|t| {
+            matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                && (t.line..=t.end_line(&ctx.src)).contains(&line)
+                && t.text(&ctx.src).contains("SAFETY:")
+        })
+    };
+    if comment_on(unsafe_line) {
+        return true;
+    }
+    // Walk up over comment-only (or attribute-only) lines.
+    let mut line = unsafe_line;
+    while line > 1 {
+        line -= 1;
+        if comment_on(line) {
+            return true;
+        }
+        if ctx.line_has_code(line) {
+            // Attribute lines (e.g. `#[cfg(unix)]`) may sit between the
+            // comment and the block; keep walking over those only.
+            let starts_attr = ctx
+                .tokens
+                .iter()
+                .find(|t| {
+                    !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                        && t.line == line
+                })
+                .is_some_and(|t| t.text(&ctx.src) == "#");
+            if starts_attr {
+                continue;
+            }
+            return false;
+        }
+    }
+    false
+}
+
+/// `forbid-unsafe-gate`: a library crate's `lib.rs` must contain
+/// `#![forbid(unsafe_code)]`.
+fn forbid_unsafe_gate(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if ctx.kind != CrateKind::Lib || !ctx.path.ends_with("src/lib.rs") {
+        return;
+    }
+    let toks: Vec<&str> = ctx.code.iter().map(|&i| ctx.text(i)).collect();
+    let found = toks
+        .windows(8)
+        .any(|w| w == ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"]);
+    if !found {
+        out.push(violation(
+            ctx,
+            1,
+            "forbid-unsafe-gate",
+            format!(
+                "library crate `{}` must carry #![forbid(unsafe_code)] in lib.rs",
+                ctx.crate_name
+            ),
+        ));
+    }
+}
+
+/// `no-raw-spawn`: `thread::spawn` outside the sanctioned worker modules.
+/// Tool crates are covered too — the CLI must route mining through the
+/// work queue rather than spawning ad hoc threads.
+fn no_raw_spawn(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if SPAWN_ALLOWED.contains(&ctx.path.as_str()) {
+        return;
+    }
+    for (pos, &ti) in ctx.code.iter().enumerate() {
+        let tok = &ctx.tokens[ti];
+        if tok.kind != TokenKind::Ident || ctx.text(ti) != "spawn" || ctx.is_test_line(tok.line) {
+            continue;
+        }
+        // Match `thread :: spawn` (std::thread::spawn included); scoped
+        // `scope.spawn` and crossbeam handles don't match and are governed
+        // by the work-queue design review instead.
+        let is_thread_spawn = ctx
+            .prev_code(pos)
+            .filter(|&p| ctx.text(p) == ":")
+            .and_then(|_| pos.checked_sub(3))
+            .is_some_and(|p3| {
+                ctx.text(ctx.code[p3]) == "thread" && ctx.text(ctx.code[p3 + 1]) == ":"
+            });
+        if is_thread_spawn {
+            out.push(violation(
+                ctx,
+                tok.line,
+                "no-raw-spawn",
+                "raw thread::spawn outside the sanctioned worker modules; \
+                 route work through the ParallelTpMiner work queue"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `no-unbudgeted-clock`: `Instant::now()` in a library crate outside the
+/// budget/stats modules. Free-floating clock reads make cancellation
+/// timing-dependent and unreproducible; the budget owns time.
+fn no_unbudgeted_clock(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if ctx.kind != CrateKind::Lib || CLOCK_ALLOWED.contains(&ctx.path.as_str()) {
+        return;
+    }
+    for (pos, &ti) in ctx.code.iter().enumerate() {
+        let tok = &ctx.tokens[ti];
+        if tok.kind != TokenKind::Ident || ctx.text(ti) != "now" || ctx.is_test_line(tok.line) {
+            continue;
+        }
+        let is_instant_now = pos >= 3
+            && ctx.text(ctx.code[pos - 1]) == ":"
+            && ctx.text(ctx.code[pos - 2]) == ":"
+            && ctx.text(ctx.code[pos - 3]) == "Instant";
+        if is_instant_now {
+            out.push(violation(
+                ctx,
+                tok.line,
+                "no-unbudgeted-clock",
+                "Instant::now() outside budget/stats modules; clock reads in \
+                 library code must flow through the mining budget"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CrateKind, FileContext};
+
+    fn lib_ctx(path: &str, src: &str) -> FileContext {
+        FileContext::new(path.into(), "demo".into(), CrateKind::Lib, src.into())
+    }
+
+    fn run(path: &str, src: &str) -> Vec<Violation> {
+        let ctx = lib_ctx(path, src);
+        let (v, _) = apply_allows(&ctx, check_file(&ctx));
+        v
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged_but_not_in_tests_or_comments() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // x.unwrap() in a comment\n    x.unwrap()\n}\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let v = run("crates/demo/src/util.rs", src);
+        let panics: Vec<_> = v.iter().filter(|v| v.rule == "no-panic-lib").collect();
+        assert_eq!(panics.len(), 1, "{v:?}");
+        assert_eq!(panics[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(run("crates/demo/src/util.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let src =
+            "fn f() { panic!(\"boom\"); }\nfn g() { todo!() }\nfn h() { debug_assert!(true); }\n";
+        let v = run("crates/demo/src/util.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "no-panic-lib").count(), 2);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_not_unused() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // xlint::allow(no-panic-lib): corrupt index is unrecoverable by contract\n    x.unwrap()\n}\n";
+        let ctx = lib_ctx("crates/demo/src/util.rs", src);
+        let (v, suppressed) = apply_allows(&ctx, check_file(&ctx));
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed_and_does_not_suppress() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // xlint::allow(no-panic-lib)\n}\n";
+        let v = run("crates/demo/src/util.rs", src);
+        assert!(v.iter().any(|v| v.rule == "no-panic-lib"));
+        assert!(v.iter().any(|v| v.rule == "malformed-allow"));
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// xlint::allow(no-panic-lib): stale justification\nfn f() -> u32 { 1 }\n";
+        let v = run("crates/demo/src/util.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn hash_containers_flagged_only_in_hot_path_files() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        assert_eq!(
+            run("crates/tpminer/src/search.rs", src)
+                .iter()
+                .filter(|v| v.rule == "hot-path-hash")
+                .count(),
+            3
+        );
+        assert!(run("crates/demo/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_block_requires_safety_comment() {
+        let bad = "fn f() { unsafe { do_it(); } }\n";
+        let good = "fn f() {\n    // SAFETY: the pointer is valid for the call.\n    unsafe { do_it(); }\n}\n";
+        let attr_between = "fn f() {\n    // SAFETY: handler only does an atomic store.\n    #[cfg(unix)]\n    unsafe { do_it(); }\n}\n";
+        let trailing = "fn f() { unsafe { do_it(); } } // SAFETY: trivially safe\n";
+        assert_eq!(run("crates/demo/src/x.rs", bad).len(), 1);
+        assert!(run("crates/demo/src/x.rs", good).is_empty());
+        assert!(run("crates/demo/src/x.rs", attr_between).is_empty());
+        assert!(run("crates/demo/src/x.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_signature_alone_is_not_a_block() {
+        // The body block inherits the fn's unsafety in 2021 edition without
+        // an inner `unsafe {` — only explicit blocks are checked.
+        let src = "unsafe fn f() { do_it(); }\n";
+        assert!(run("crates/demo/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn missing_forbid_gate_is_flagged_on_lib_rs_only() {
+        let src = "pub fn api() {}\n";
+        let v = run("crates/demo/src/lib.rs", src);
+        assert_eq!(
+            v.iter().filter(|v| v.rule == "forbid-unsafe-gate").count(),
+            1
+        );
+        assert!(run("crates/demo/src/other.rs", src).is_empty());
+        let gated = "#![forbid(unsafe_code)]\npub fn api() {}\n";
+        assert!(run("crates/demo/src/lib.rs", gated).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_sanctioned_modules() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(run("crates/demo/src/x.rs", src).len(), 1);
+        assert!(run("crates/tpminer/src/parallel.rs", src).is_empty());
+        let scoped = "fn f(s: &Scope) { s.spawn(|| {}); }\n";
+        assert!(run("crates/demo/src/x.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn instant_now_flagged_outside_budget_and_stats() {
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+        assert_eq!(
+            run("crates/demo/src/x.rs", src)
+                .iter()
+                .filter(|v| v.rule == "no-unbudgeted-clock")
+                .count(),
+            1
+        );
+        assert!(run("crates/interval-core/src/budget.rs", src).is_empty());
+        assert!(run("crates/tpminer/src/stats.rs", src).is_empty());
+        // Tool crates own their own clocks.
+        let tool = FileContext::new(
+            "crates/cli/src/main.rs".into(),
+            "cli".into(),
+            CrateKind::Tool,
+            src.into(),
+        );
+        let (v, _) = apply_allows(&tool, check_file(&tool));
+        assert!(v.is_empty());
+    }
+}

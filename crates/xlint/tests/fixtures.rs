@@ -1,0 +1,171 @@
+//! End-to-end rule tests over the files in `fixtures/`.
+//!
+//! Each fixture carries both a violating site and a suppressed
+//! (`xlint::allow` + reason) site for one rule. The fixtures are checked
+//! through [`FileContext`] under a synthetic workspace path, because
+//! several rules key on the file's location (hot-path list, `lib.rs`
+//! gate) rather than its content alone.
+
+use std::fs;
+use std::path::Path;
+use xlint::rules::{apply_allows, check_file, Violation};
+use xlint::source::{CrateKind, FileContext};
+
+/// Lints `fixtures/<fixture>` as if it lived at `path` in a crate of the
+/// given kind, returning surviving violations and the suppressed count.
+fn lint(fixture: &str, path: &str, kind: CrateKind) -> (Vec<Violation>, usize) {
+    let file = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(fixture);
+    let src = fs::read_to_string(&file)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", file.display()));
+    let ctx = FileContext::new(path.into(), "fixture".into(), kind, src);
+    apply_allows(&ctx, check_file(&ctx))
+}
+
+fn rules(violations: &[Violation]) -> Vec<&str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn no_panic_lib_fixture() {
+    let (v, suppressed) = lint(
+        "no_panic_lib.rs",
+        "crates/fixture/src/util.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["no-panic-lib"], "{v:?}");
+    assert_eq!(v[0].line, 3, "the bare unwrap, not the allowed expect");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn no_panic_lib_fixture_is_exempt_in_tool_crates() {
+    let (v, suppressed) = lint("no_panic_lib.rs", "crates/cli/src/util.rs", CrateKind::Tool);
+    // The rule never fires, so the allow on the expect goes unused.
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn hot_path_hash_fixture() {
+    let (v, suppressed) = lint(
+        "hot_path_hash.rs",
+        "crates/tpminer/src/search.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["hot-path-hash"], "{v:?}");
+    assert_eq!(v[0].line, 3, "the HashMap, not the allowed HashSet");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn hot_path_hash_fixture_is_silent_off_the_hot_path() {
+    let (v, suppressed) = lint(
+        "hot_path_hash.rs",
+        "crates/fixture/src/other.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn safety_comment_fixture() {
+    let (v, suppressed) = lint(
+        "safety_comment.rs",
+        "crates/fixture/src/ffi.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["safety-comment"], "{v:?}");
+    assert_eq!(v[0].line, 3, "the bare block; documented and allowed pass");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn forbid_unsafe_gate_fixture() {
+    let (v, suppressed) = lint(
+        "forbid_unsafe_gate_violation.rs",
+        "crates/fixture/src/lib.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["forbid-unsafe-gate"], "{v:?}");
+    assert_eq!(suppressed, 0);
+
+    let (v, suppressed) = lint(
+        "forbid_unsafe_gate_allow.rs",
+        "crates/fixture/src/lib.rs",
+        CrateKind::Lib,
+    );
+    assert!(v.is_empty(), "{v:?}");
+    assert_eq!(suppressed, 1);
+
+    // The same gateless file is fine anywhere but lib.rs.
+    let (v, _) = lint(
+        "forbid_unsafe_gate_violation.rs",
+        "crates/fixture/src/util.rs",
+        CrateKind::Lib,
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn no_raw_spawn_fixture() {
+    let (v, suppressed) = lint(
+        "no_raw_spawn.rs",
+        "crates/fixture/src/work.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["no-raw-spawn"], "{v:?}");
+    assert_eq!(v[0].line, 3, "the bare spawn, not the allowed one");
+    assert_eq!(suppressed, 1);
+
+    // The sanctioned worker module may spawn freely.
+    let (v, suppressed) = lint(
+        "no_raw_spawn.rs",
+        "crates/tpminer/src/parallel.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn no_unbudgeted_clock_fixture() {
+    let (v, suppressed) = lint(
+        "no_unbudgeted_clock.rs",
+        "crates/fixture/src/mine.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["no-unbudgeted-clock"], "{v:?}");
+    assert_eq!(v[0].line, 5, "the bare read, not the allowed one");
+    assert_eq!(suppressed, 1);
+
+    // Budget modules own the clock.
+    let (v, suppressed) = lint(
+        "no_unbudgeted_clock.rs",
+        "crates/interval-core/src/budget.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn run_paths_lints_fixtures_end_to_end() {
+    // Drive the public entry point over a real file on disk: the fixture
+    // lands in the `xlint` (tool) crate, so only structural rules apply —
+    // the spawn fixture must come back clean except for its unused allow.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = xlint::run_paths(
+        root,
+        &[manifest.join("fixtures").join("no_unbudgeted_clock.rs")],
+    )
+    .expect("fixture readable");
+    assert_eq!(report.checked_files, 1);
+    assert_eq!(rules(&report.violations), ["unused-allow"]);
+}

@@ -6,6 +6,9 @@
 //! cargo run --release --example association_rules
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ptpminer::prelude::*;
 
 fn main() {

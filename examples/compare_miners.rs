@@ -5,6 +5,9 @@
 //! cargo run --release --example compare_miners
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ptpminer::prelude::*;
 use std::time::Instant;
 

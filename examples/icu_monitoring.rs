@@ -6,6 +6,9 @@
 //! cargo run --release --example icu_monitoring
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ptpminer::datasets::{IcuConfig, IcuEmulator};
 use ptpminer::prelude::*;
 

@@ -6,6 +6,9 @@
 //! cargo run --release --example library_lending
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ptpminer::prelude::*;
 use ptpminer::tpminer::closed_patterns;
 

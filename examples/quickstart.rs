@@ -5,6 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ptpminer::prelude::*;
 
 fn main() {

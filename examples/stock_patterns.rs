@@ -6,6 +6,9 @@
 //! cargo run --release --example stock_patterns
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ptpminer::prelude::*;
 use ptpminer::tpminer::ParallelTpMiner;
 use std::time::Instant;

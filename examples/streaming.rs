@@ -6,6 +6,9 @@
 //! cargo run --example streaming
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::sync::Arc;
 
 use ptpminer::interval_core::StreamEvent;

@@ -5,6 +5,9 @@
 //! cargo run --release --example uncertain_sensors
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ptpminer::interval_core::UncertainDatabaseBuilder;
 use ptpminer::prelude::*;
 use ptpminer::tpminer::ProbabilisticMiner;

@@ -40,6 +40,8 @@
 //!     .any(|p| p.pattern.display(db.symbols()).to_string().contains("fever")));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use datasets;
 pub use interval_core;

@@ -192,11 +192,7 @@ proptest! {
         for op in &ops {
             window.ingest(op.event()).unwrap();
         }
-        let incremental: BTreeMap<SymbolId, usize> = window
-            .support_counts()
-            .iter()
-            .map(|(&id, &count)| (id, count))
-            .collect();
+        let incremental: BTreeMap<SymbolId, usize> = window.support_counts().collect();
         prop_assert_eq!(incremental, recount_support(&window));
     }
 
