@@ -11,9 +11,11 @@
 //! incremental refresh degrades to (slightly worse than) a full re-mine;
 //! that case is included as the honest upper bound.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use interval_core::{StreamEvent, Time};
-use stream::{IncrementalMiner, SlidingWindowDatabase};
+use interval_core::{MiningBudget, StreamEvent, Time};
+use stream::{IncrementalMiner, RefreshJob, RefreshWorker, SlidingWindowDatabase, SnapshotCell};
 use tpminer::{MinerConfig, TpMiner};
 
 /// Sliding-window length in time units.
@@ -137,6 +139,30 @@ fn bench_streaming(c: &mut Criterion) {
                 TpMiner::new(config()).mine(&window.snapshot_database())
             })
         });
+
+        // Pipelined: the ingest thread pays only the ingest plus a freeze
+        // (or a coalesce, when the background worker is still busy) — the
+        // number a `stream --pipeline` driver's event loop sees per slide.
+        let (mut stream, mut window) = steady_state(42);
+        let cell = Arc::new(SnapshotCell::new());
+        let worker = RefreshWorker::spawn(IncrementalMiner::new(config(), 1), Arc::clone(&cell));
+        group.bench_function(
+            BenchmarkId::new("pipelined-ingest", format!("{ratio}")),
+            |b| {
+                b.iter(|| {
+                    for event in stream.advance(slide) {
+                        window.ingest(event).unwrap();
+                    }
+                    worker.submit_or_coalesce(|| RefreshJob {
+                        min_support: None,
+                        view: window.freeze(),
+                        budget: MiningBudget::unlimited(),
+                    })
+                })
+            },
+        );
+        let outcome = worker.shutdown();
+        assert!(outcome.miner.is_some(), "bench worker must join");
     }
     group.finish();
 }

@@ -10,8 +10,10 @@
 //! `serde_json` is a panicking stub.
 
 use crate::alloc_meter;
-use interval_core::{DatabaseBuilder, IntervalDatabase, SymbolId};
+use interval_core::{DatabaseBuilder, IntervalDatabase, MiningBudget, StreamEvent, SymbolId};
+use std::sync::Arc;
 use std::time::Instant;
+use stream::{IncrementalMiner, RefreshJob, RefreshWorker, SlidingWindowDatabase, SnapshotCell};
 use synthgen::{QuestConfig, QuestGenerator};
 use tpminer::{DbIndex, MinerConfig, ParallelTpMiner, TpMiner};
 
@@ -197,7 +199,102 @@ pub fn run() -> SmokeReport {
     report.push("skew_rr_makespan_us", rr_makespan);
     report.push("skew_wq_makespan_us", wq_makespan);
 
+    // --- streaming: synchronous vs pipelined refresh ---
+    // The gated number is the *ingest* wall time: how long the ingest loop
+    // is occupied until the last event is accepted. Synchronous refreshes
+    // stall the loop for every re-mine; the pipelined worker only charges
+    // it a freeze, so the gap is the throughput the pipeline wins back.
+    let events = stream_workload();
+    let config = MinerConfig::with_min_support(4).max_arity(3);
+
+    let started = Instant::now();
+    let mut window = SlidingWindowDatabase::new(STREAM_WINDOW);
+    let mut miner = IncrementalMiner::new(config, 1);
+    for event in &events {
+        let is_watermark = matches!(event, StreamEvent::Watermark(_));
+        window
+            .ingest(event.clone())
+            .expect("workload is well-formed");
+        if is_watermark {
+            miner.refresh(&mut window);
+        }
+    }
+    let sync_final = miner.refresh(&mut window);
+    let sync_total_us = started.elapsed().as_micros() as u64;
+
+    let started = Instant::now();
+    let mut window = SlidingWindowDatabase::new(STREAM_WINDOW);
+    let cell = Arc::new(SnapshotCell::new());
+    let worker = RefreshWorker::spawn(IncrementalMiner::new(config, 1), Arc::clone(&cell));
+    for event in &events {
+        let is_watermark = matches!(event, StreamEvent::Watermark(_));
+        window
+            .ingest(event.clone())
+            .expect("workload is well-formed");
+        if is_watermark {
+            worker.submit_or_coalesce(|| RefreshJob {
+                min_support: None,
+                view: window.freeze(),
+                budget: MiningBudget::unlimited(),
+            });
+        }
+    }
+    let pipe_ingest_stall_ns = started.elapsed().as_nanos() as u64;
+    let outcome = worker.shutdown();
+    let mut miner = outcome.miner.expect("refresh worker must join");
+    let pipe_final = miner.refresh(&mut window);
+    let pipe_total_us = started.elapsed().as_micros() as u64;
+    assert_eq!(
+        sync_final.result.patterns(),
+        pipe_final.result.patterns(),
+        "perf-smoke parity violation: pipelined stream output diverged"
+    );
+    eprintln!(
+        "perf-smoke: streaming {} events — total {} us sync vs {} us pipelined; \
+         pipelined ingest loop stalled only {} ns \
+         ({} background refreshes, {} coalesced)",
+        events.len(),
+        sync_total_us,
+        pipe_total_us,
+        pipe_ingest_stall_ns,
+        outcome.stats.completed_refreshes,
+        outcome.stats.coalesced_refreshes,
+    );
+    report.push("stream_events", events.len() as u64);
+    report.push("stream_patterns", pipe_final.result.len() as u64);
+    report.push("stream_sync_total_us", sync_total_us);
+    report.push("stream_pipe_total_us", pipe_total_us);
+    report.push("stream_pipe_ingest_stall_ns", pipe_ingest_stall_ns);
+    report.push("stream_pipe_refreshes", outcome.stats.completed_refreshes);
+    report.push("stream_pipe_coalesced", outcome.stats.coalesced_refreshes);
+
     report
+}
+
+/// Window length for the streaming workload (about 10 rounds stay live).
+const STREAM_WINDOW: i64 = 100;
+
+/// The streaming workload: a fixed, dense event stream — 8 sequences
+/// carrying 5 co-occurring symbols per round, one watermark (= one refresh
+/// trigger) per round — sized so a refresh costs far more than an ingest.
+pub fn stream_workload() -> Vec<StreamEvent> {
+    let symbols = ["a", "b", "c", "d", "e"];
+    let mut events = Vec::new();
+    for round in 0i64..100 {
+        for seq in 0..8u64 {
+            for (i, sym) in symbols.iter().enumerate() {
+                let start = round * 10 + i as i64;
+                events.push(StreamEvent::Interval {
+                    sequence: seq,
+                    symbol: (*sym).into(),
+                    start,
+                    end: start + 5,
+                });
+            }
+        }
+        events.push(StreamEvent::Watermark(round * 10 + 9));
+    }
+    events
 }
 
 /// Makespan of the legacy static round-robin partition: worker `w` owns

@@ -23,6 +23,8 @@ const FLAGS: &[&str] = &[
     "help",
     "explain",
     "stats",
+    "pipeline",
+    "sync-refresh",
 ];
 
 /// Parses an argument vector (without the program name).

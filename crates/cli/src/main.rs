@@ -63,6 +63,8 @@ commands:
              <file|-> --window W  --min-support FRAC | --abs-support N
              [--refresh-every N] [--max-arity K] [--gap G]
              [--threads N] [--timeout SECS] [--json]
+             [--pipeline | --sync-refresh]  (default: pipelined — refreshes
+             run on a background worker while ingestion continues)
 
 exit codes:
   0 complete   2 usage error   3 budget exhausted (partial result)

@@ -4,23 +4,39 @@
 //! Each input line is one [`StreamEvent`] in the wire format of
 //! [`interval_core::event`] (`open`/`close`/`interval`/`watermark` records;
 //! blank lines and `#` comments are skipped). Events feed a
-//! [`SlidingWindowDatabase`]; every `--refresh-every` watermarks the
-//! [`IncrementalMiner`] re-mines the dirty partitions and prints a one-line
-//! snapshot summary to stderr. At end of input (or on Ctrl-C / `--timeout`)
-//! the final pattern set is printed to stdout and throughput statistics to
-//! stderr.
+//! [`SlidingWindowDatabase`]; every `--refresh-every` watermarks a refresh
+//! trigger fires and the [`IncrementalMiner`] re-mines the dirty partitions,
+//! printing a one-line snapshot summary to stderr. At end of input (or on
+//! Ctrl-C / `--timeout`) the final pattern set is printed to stdout and
+//! throughput statistics to stderr.
+//!
+//! # Pipelined refreshes (default)
+//!
+//! By default refreshes run on a background [`RefreshWorker`] while
+//! ingestion continues: a trigger freezes the window (cheap, `Arc`-shared
+//! indexes) and hands the epoch to the worker; triggers arriving while a
+//! refresh is still in flight are *coalesced* into the next epoch (see
+//! `docs/STREAMING.md`). `--sync-refresh` restores the PR 2 behaviour
+//! (ingestion stalls during each refresh) — useful for debugging and as
+//! the equivalence baseline; `--pipeline` names the default explicitly.
+//! The final pattern set is identical either way.
 //!
 //! Degraded operation matches the batch commands: a truncated run still
 //! prints a sound partial result (exact supports, possibly incomplete) and
-//! reports the truncation through the exit code.
+//! reports the truncation through the exit code. SIGINT and `--timeout`
+//! cancel an in-flight background refresh through its budget token and
+//! join the worker before exiting.
 
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use interval_core::{MiningBudget, StreamEvent, Termination};
-use stream::{IncrementalMiner, PatternSnapshot, SlidingWindowDatabase};
+use interval_core::{CancellationToken, MiningBudget, StreamEvent, Termination};
+use stream::{
+    IncrementalMiner, PatternSnapshot, PipelineStats, RefreshJob, RefreshWorker,
+    SlidingWindowDatabase, SnapshotCell,
+};
 use tpminer::MinerConfig;
 
 use crate::args::Parsed;
@@ -37,6 +53,8 @@ pub const OPTIONS: &[&str] = &[
     "threads",
     "timeout",
     "json",
+    "pipeline",
+    "sync-refresh",
 ];
 
 /// How the support threshold is chosen at each refresh.
@@ -58,6 +76,13 @@ impl Threshold {
     }
 }
 
+/// Where refreshes run: inline on the ingest thread, or on the background
+/// worker with the ingest thread only freezing epochs.
+enum Engine {
+    Sync(IncrementalMiner),
+    Pipelined(RefreshWorker),
+}
+
 pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     let window_len: i64 = p
         .opt_num::<i64>("window")?
@@ -77,6 +102,10 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     if refresh_every == 0 {
         return Err("--refresh-every: must be at least 1".into());
     }
+    if p.flag("pipeline") && p.flag("sync-refresh") {
+        return Err("--pipeline and --sync-refresh are mutually exclusive".into());
+    }
+    let pipelined = !p.flag("sync-refresh");
     let mut config = MinerConfig::default();
     if let Some(k) = p.opt_num::<usize>("max-arity")? {
         config = config.max_arity(k);
@@ -105,7 +134,13 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     };
 
     let mut window = SlidingWindowDatabase::new(window_len);
-    let mut miner = IncrementalMiner::new(config, p.num::<usize>("threads", 0)?);
+    let miner = IncrementalMiner::new(config, p.num::<usize>("threads", 0)?);
+    let cell = Arc::new(SnapshotCell::new());
+    let mut engine = if pipelined {
+        Engine::Pipelined(RefreshWorker::spawn(miner, Arc::clone(&cell)))
+    } else {
+        Engine::Sync(miner.with_cell(Arc::clone(&cell)))
+    };
     let started = Instant::now();
     let mut watermarks = 0u64;
     let mut full_refreshes = 0u64;
@@ -131,32 +166,69 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
         window
             .ingest(event)
             .map_err(|e| format!("line {}: {e}", idx + 1))?;
+        if let Engine::Pipelined(worker) = &engine {
+            if worker.is_busy() {
+                worker.note_events_during_refresh(1);
+            }
+        }
         if is_watermark {
             watermarks += 1;
             if watermarks % refresh_every == 0 {
-                let snapshot = refresh(&mut miner, &mut window, &threshold, &token, deadline);
-                if snapshot.refresh.full {
-                    full_refreshes += 1;
+                match &mut engine {
+                    Engine::Sync(miner) => {
+                        let snapshot = refresh(miner, &mut window, &threshold, &token, deadline);
+                        collect(p, started, snapshot, &mut full_refreshes, &mut latest)?;
+                    }
+                    Engine::Pipelined(worker) => {
+                        for snapshot in worker.drain_completed() {
+                            collect(p, started, snapshot, &mut full_refreshes, &mut latest)?;
+                        }
+                        worker.submit_or_coalesce(|| RefreshJob {
+                            min_support: Some(threshold.absolute_for(window.len())),
+                            view: window.freeze(),
+                            budget: budget_for(&token, deadline),
+                        });
+                    }
                 }
-                report_refresh(p, &snapshot, started)?;
-                latest = Some(snapshot);
             }
         }
     }
 
+    // Wind the pipeline down: the worker finishes (or, with a cancelled
+    // token / expired deadline, promptly aborts) its in-flight refresh,
+    // then hands the miner back for the finale on this thread.
+    let (mut miner, pipeline_stats): (Option<IncrementalMiner>, Option<PipelineStats>) =
+        match engine {
+            Engine::Sync(miner) => (Some(miner), None),
+            Engine::Pipelined(worker) => {
+                let outcome = worker.shutdown();
+                for snapshot in outcome.unreported {
+                    collect(p, started, snapshot, &mut full_refreshes, &mut latest)?;
+                }
+                (outcome.miner, Some(outcome.stats))
+            }
+        };
+    let worker_failed = pipelined && miner.is_none();
+
     // A final refresh folds in everything after the last refresh point —
     // unless the tail was interrupted, where re-mining would be pointless
     // (the budget is already spent); the last published snapshot stands.
-    let finale = match (&stopped, latest) {
-        (None, _) | (Some(_), None) => {
-            let snapshot = refresh(&mut miner, &mut window, &threshold, &token, deadline);
-            if snapshot.refresh.full {
-                full_refreshes += 1;
+    // If the background worker died, the last published snapshot is all
+    // there is.
+    let finale = if let Some(miner) = miner.as_mut() {
+        match (&stopped, latest) {
+            (None, _) | (Some(_), None) => {
+                let snapshot = refresh(miner, &mut window, &threshold, &token, deadline);
+                if snapshot.refresh.full {
+                    full_refreshes += 1;
+                }
+                report_refresh(p, &snapshot, started)?;
+                snapshot
             }
-            report_refresh(p, &snapshot, started)?;
-            snapshot
+            (Some(_), Some(snapshot)) => snapshot,
         }
-        (Some(_), Some(snapshot)) => snapshot,
+    } else {
+        latest.unwrap_or_else(|| cell.load())
     };
 
     let elapsed = started.elapsed();
@@ -171,23 +243,70 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
         elapsed,
         rate,
     );
+    let revisions = miner
+        .as_ref()
+        .map_or_else(|| cell.load().revision, |m| m.revision());
     eprintln!(
         "{} refreshes ({} full); window now holds {} sequences, {} open intervals",
-        miner.revision(),
+        revisions,
         full_refreshes,
         window.len(),
         window.open_intervals(),
     );
+    if let Some(pstats) = &pipeline_stats {
+        let lag = match (window.watermark(), finale.watermark) {
+            (Some(live), Some(done)) => (live.saturating_sub(done)).to_string(),
+            _ => "-".into(),
+        };
+        eprintln!(
+            "pipeline: {} background refreshes ({} coalesced), {} events during refresh, \
+             refresh lag {lag}",
+            pstats.completed_refreshes, pstats.coalesced_refreshes, pstats.events_during_refresh,
+        );
+    }
+    if worker_failed {
+        eprintln!("warning: background refresh worker failed; last published snapshot stands");
+    }
 
     render_final(p, &finale)?;
-    let termination = stopped.as_ref().unwrap_or(finale.result.termination());
+    let termination = if worker_failed {
+        Termination::WorkerFailed { roots: Vec::new() }
+    } else {
+        stopped.unwrap_or_else(|| finale.result.termination().clone())
+    };
     if !termination.is_complete() {
         eprintln!(
             "note: {termination} — partial result: reported supports are exact, \
              but the pattern set may be incomplete"
         );
     }
-    Ok(exit::from_termination(termination))
+    Ok(exit::from_termination(&termination))
+}
+
+/// Counts and reports one refreshed snapshot, remembering it as the latest.
+fn collect(
+    p: &Parsed,
+    started: Instant,
+    snapshot: Arc<PatternSnapshot>,
+    full_refreshes: &mut u64,
+    latest: &mut Option<Arc<PatternSnapshot>>,
+) -> Result<(), String> {
+    if snapshot.refresh.full {
+        *full_refreshes += 1;
+    }
+    report_refresh(p, &snapshot, started)?;
+    *latest = Some(snapshot);
+    Ok(())
+}
+
+/// The budget for one refresh: the shared SIGINT token plus whatever is
+/// left of the `--timeout` deadline.
+fn budget_for(token: &CancellationToken, deadline: Option<Instant>) -> MiningBudget {
+    let mut budget = MiningBudget::unlimited().with_token(token.clone());
+    if let Some(d) = deadline {
+        budget = budget.with_timeout(d.saturating_duration_since(Instant::now()));
+    }
+    budget
 }
 
 /// One incremental refresh under the remaining budget, with the support
@@ -196,15 +315,11 @@ fn refresh(
     miner: &mut IncrementalMiner,
     window: &mut SlidingWindowDatabase,
     threshold: &Threshold,
-    token: &interval_core::CancellationToken,
+    token: &CancellationToken,
     deadline: Option<Instant>,
 ) -> Arc<PatternSnapshot> {
     miner.set_min_support(threshold.absolute_for(window.len()));
-    let mut budget = MiningBudget::unlimited().with_token(token.clone());
-    if let Some(d) = deadline {
-        budget = budget.with_timeout(d.saturating_duration_since(Instant::now()));
-    }
-    miner.refresh_with_budget(window, budget)
+    miner.refresh_with_budget(window, budget_for(token, deadline))
 }
 
 /// One stderr line per refresh: what the window looked like and how much

@@ -22,6 +22,31 @@
 //! Blank lines and lines starting with `#` are ignored. Symbols must be
 //! non-empty and must not contain whitespace (they are whitespace-delimited
 //! on the wire).
+//!
+//! Parsing ([`StreamEvent::parse_line`]) and rendering
+//! ([`Display`](std::fmt::Display)) round-trip:
+//!
+//! ```
+//! use interval_core::StreamEvent;
+//!
+//! let lines = "\
+//! ## one patient's vitals
+//! open      7 fever 3
+//! interval  7 rash 5 20
+//! close     7 fever 12
+//! watermark 21
+//! ";
+//! let events: Vec<StreamEvent> = lines
+//!     .lines()
+//!     .enumerate()
+//!     .filter_map(|(i, line)| StreamEvent::parse_line(line, i + 1).transpose())
+//!     .collect::<Result<_, _>>()
+//!     .unwrap();
+//!
+//! assert_eq!(events.len(), 4); // the comment line carries no event
+//! assert_eq!(events[1].to_string(), "interval 7 rash 5 20");
+//! assert_eq!(events[3], StreamEvent::Watermark(21));
+//! ```
 
 use std::fmt;
 use std::str::FromStr;

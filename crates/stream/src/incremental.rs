@@ -33,7 +33,7 @@ use interval_core::{MiningBudget, SymbolId, TemporalPattern};
 use tpminer::{DbIndex, MinerConfig, MiningResult, ParallelTpMiner};
 
 use crate::snapshot::{PatternSnapshot, RefreshStats, SnapshotCell};
-use crate::window::SlidingWindowDatabase;
+use crate::window::{FrozenView, SlidingWindowDatabase};
 
 /// Result state carried between refreshes.
 struct PrevState {
@@ -124,16 +124,37 @@ impl IncrementalMiner {
     /// Brings the published patterns up to date with the window's current
     /// contents, re-mining only dirty root partitions (plus any partitions
     /// left unfinished by a previously truncated refresh).
+    ///
+    /// Equivalent to [`freeze`](SlidingWindowDatabase::freeze) followed by
+    /// [`refresh_frozen`](Self::refresh_frozen); the pipelined path splits
+    /// the two halves across threads.
     pub fn refresh_with_budget(
         &mut self,
         window: &mut SlidingWindowDatabase,
         budget: MiningBudget,
     ) -> Arc<PatternSnapshot> {
+        let view = window.freeze();
+        self.refresh_frozen(&view, budget)
+    }
+
+    /// Refreshes against a [`FrozenView`] instead of the live window.
+    ///
+    /// This is the half of a refresh that runs on the background
+    /// [`RefreshWorker`](crate::RefreshWorker): it never touches the live
+    /// window, so ingestion can proceed concurrently. For the same frozen
+    /// contents it produces bit-identical patterns to
+    /// [`refresh_with_budget`](Self::refresh_with_budget) — the published
+    /// snapshot reflects exactly the window state at freeze time.
+    pub fn refresh_frozen(
+        &mut self,
+        view: &FrozenView,
+        budget: MiningBudget,
+    ) -> Arc<PatternSnapshot> {
         let min_support = self.config.effective_min_support();
         let mut dirty: BTreeSet<SymbolId> = std::mem::take(&mut self.pending);
-        dirty.extend(window.take_dirty());
+        dirty.extend(view.dirty().iter().copied());
 
-        let index = DbIndex::from_seq_indexes(window.seq_indexes());
+        let index = DbIndex::from_seq_indexes(view.seq_indexes().to_vec());
 
         // Threshold changes (and the very first refresh) invalidate the
         // carry-over: supports carried from the previous snapshot are only
@@ -192,10 +213,10 @@ impl IncrementalMiner {
         self.revision += 1;
         let snapshot = Arc::new(PatternSnapshot {
             revision: self.revision,
-            watermark: window.watermark(),
-            window_start: window.cutoff(),
-            sequences: window.len(),
-            symbols: window.symbols().clone(),
+            watermark: view.watermark(),
+            window_start: view.window_start(),
+            sequences: view.sequences(),
+            symbols: view.symbols().clone(),
             result: MiningResult::from_parts(pairs, stats, termination),
             refresh: RefreshStats {
                 full,

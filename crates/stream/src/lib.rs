@@ -14,7 +14,14 @@
 //!   [`incremental`] for the correctness argument);
 //! - [`PatternSnapshot`] / [`SnapshotCell`] publish each refreshed result
 //!   atomically (an `Arc` swap behind a lock) so concurrent readers always
-//!   see one coherent result while the next refresh is computed.
+//!   see one coherent result while the next refresh is computed;
+//! - [`RefreshWorker`] pipelines refreshes onto a background thread:
+//!   [`SlidingWindowDatabase::freeze`] takes a copy-on-write
+//!   [`FrozenView`] of the window (O(changed sequences)), ingestion
+//!   continues while the worker mines it, and triggers arriving mid-flight
+//!   coalesce into the next epoch — bounded memory, no lost events, and
+//!   snapshots bit-identical to the synchronous path (see [`worker`] and
+//!   `docs/STREAMING.md`).
 //!
 //! ```
 //! use interval_core::StreamEvent;
@@ -47,7 +54,9 @@
 pub mod incremental;
 pub mod snapshot;
 pub mod window;
+pub mod worker;
 
 pub use incremental::IncrementalMiner;
 pub use snapshot::{PatternSnapshot, RefreshStats, SnapshotCell};
-pub use window::{IngestStats, SlidingWindowDatabase};
+pub use window::{FrozenView, IngestStats, SlidingWindowDatabase};
+pub use worker::{PipelineStats, RefreshJob, RefreshWorker, ShutdownOutcome};

@@ -452,6 +452,87 @@ impl SlidingWindowDatabase {
             })
             .collect()
     }
+
+    /// Freezes the current window contents into an immutable refresh epoch.
+    ///
+    /// This is the copy-on-write handoff behind pipelined refreshes: the
+    /// per-sequence endpoint indexes are shared with the live window as
+    /// `Arc`s (only sequences that changed since the previous freeze are
+    /// re-indexed; the rest are pointer copies), the accumulated dirty set
+    /// is drained into the view, and the window immediately resumes
+    /// mutation on the live side. Freezing costs O(changed sequences), not
+    /// O(window).
+    ///
+    /// Ingesting further events after a freeze never mutates the frozen
+    /// indexes — a sequence change replaces the cached `Arc` rather than
+    /// writing through it — so a [`FrozenView`] stays valid for the whole
+    /// refresh no matter how far the live window has moved on.
+    pub fn freeze(&mut self) -> FrozenView {
+        let dirty = self.take_dirty();
+        let seq_indexes = self.seq_indexes();
+        FrozenView {
+            sequences: seq_indexes.len(),
+            dirty,
+            seq_indexes,
+            watermark: self.watermark,
+            window_start: self.cutoff(),
+            symbols: self.symbols.clone(),
+        }
+    }
+}
+
+/// An immutable view of a [`SlidingWindowDatabase`] at one refresh epoch,
+/// produced by [`SlidingWindowDatabase::freeze`].
+///
+/// The view owns everything a refresh needs — the dirty root set, the
+/// per-sequence endpoint indexes (shared with the live window via `Arc`),
+/// and the window metadata stamped onto the published snapshot — so it can
+/// be shipped to a background [`RefreshWorker`](crate::RefreshWorker) while
+/// ingestion keeps mutating the live side.
+#[derive(Debug, Clone)]
+pub struct FrozenView {
+    dirty: Vec<SymbolId>,
+    seq_indexes: Vec<Arc<SeqIndex>>,
+    watermark: Option<Time>,
+    window_start: Option<Time>,
+    sequences: usize,
+    symbols: SymbolTable,
+}
+
+impl FrozenView {
+    /// Root symbols dirtied since the previous freeze (drained from the
+    /// window by [`SlidingWindowDatabase::freeze`]).
+    pub fn dirty(&self) -> &[SymbolId] {
+        &self.dirty
+    }
+
+    /// Per-sequence endpoint indexes of the frozen window, in `SequenceId`
+    /// order (same order as
+    /// [`snapshot_database`](SlidingWindowDatabase::snapshot_database)).
+    pub fn seq_indexes(&self) -> &[Arc<SeqIndex>] {
+        &self.seq_indexes
+    }
+
+    /// The watermark at freeze time.
+    pub fn watermark(&self) -> Option<Time> {
+        self.watermark
+    }
+
+    /// Lower edge of the frozen window (`watermark − window`), if a
+    /// watermark had been observed.
+    pub fn window_start(&self) -> Option<Time> {
+        self.window_start
+    }
+
+    /// Number of minable sequences in the frozen window.
+    pub fn sequences(&self) -> usize {
+        self.sequences
+    }
+
+    /// The symbol table at freeze time.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
 }
 
 #[cfg(test)]

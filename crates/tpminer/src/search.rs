@@ -24,10 +24,10 @@
 //!
 //! # Memory layout
 //!
-//! Embeddings are stored structure-of-arrays: a node owns one [`Frontier`]
+//! Embeddings are stored structure-of-arrays: a node owns one `Frontier`
 //! holding three flat `Vec<u32>` columns (`groups`, `first_groups`, and a
 //! fixed-stride `bindings` arena — every state of a node binds exactly
-//! `open.len()` instances) plus per-sequence [`SeqSpan`] ranges. Candidate
+//! `open.len()` instances) plus per-sequence `SeqSpan` ranges. Candidate
 //! gathering counts extensions in dense stamp-versioned arrays instead of
 //! hash maps, and child projection reuses engine-owned scratch columns plus
 //! a pool of recycled frontiers, so steady-state node growth performs no

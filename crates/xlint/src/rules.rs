@@ -73,6 +73,10 @@ const SPAWN_ALLOWED: &[&str] = &[
     "crates/tpminer/src/parallel.rs",
     "crates/stream/src/snapshot.rs",
     "crates/stream/src/incremental.rs",
+    // The pipelined-refresh worker (PR 5): owns the one long-lived
+    // background thread; its bounded channel + join-on-shutdown lifecycle
+    // is exactly the reviewable surface this rule centralizes.
+    "crates/stream/src/worker.rs",
 ];
 
 /// Library modules allowed to read the monotonic clock. Keeping every

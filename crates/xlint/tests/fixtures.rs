@@ -120,10 +120,19 @@ fn no_raw_spawn_fixture() {
     assert_eq!(v[0].line, 3, "the bare spawn, not the allowed one");
     assert_eq!(suppressed, 1);
 
-    // The sanctioned worker module may spawn freely.
+    // The sanctioned worker modules may spawn freely.
     let (v, suppressed) = lint(
         "no_raw_spawn.rs",
         "crates/tpminer/src/parallel.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+    assert_eq!(suppressed, 0);
+
+    // The pipelined-refresh worker added in PR 5 is sanctioned too.
+    let (v, suppressed) = lint(
+        "no_raw_spawn.rs",
+        "crates/stream/src/worker.rs",
         CrateKind::Lib,
     );
     assert_eq!(rules(&v), ["unused-allow"], "{v:?}");

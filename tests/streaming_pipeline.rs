@@ -1,0 +1,323 @@
+//! Concurrency tests for the pipelined refresh worker (`stream::worker`):
+//!
+//! - **shadow-replay parity**: for any op sequence, running every refresh
+//!   on the background worker publishes, at every revision, exactly the
+//!   snapshot the synchronous path publishes — same patterns, supports,
+//!   window bounds, and refresh accounting (the bit-identical discipline
+//!   the parallel miner established for parallel vs sequential);
+//! - **stress under coalescing**: high-rate ingestion against a worker
+//!   that cannot keep up must lose no events (conservation against the
+//!   ingest counters), never double-count a refresh, and still converge
+//!   to the exact batch result once drained;
+//! - **shutdown**: a cancelled budget token (the SIGINT / `--timeout`
+//!   path) stops an in-flight background refresh and the worker joins
+//!   without deadlock, handing the miner back intact.
+
+use std::sync::Arc;
+
+use interval_core::{MiningBudget, StreamEvent, Termination, Time};
+use proptest::prelude::*;
+use stream::{IncrementalMiner, RefreshJob, RefreshWorker, SlidingWindowDatabase, SnapshotCell};
+use tpminer::{MinerConfig, TpMiner};
+
+const WINDOW: Time = 20;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Interval {
+        sequence: u64,
+        symbol: u32,
+        start: Time,
+        end: Time,
+    },
+    Watermark(Time),
+}
+
+impl Op {
+    fn event(&self) -> StreamEvent {
+        match *self {
+            Op::Interval {
+                sequence,
+                symbol,
+                start,
+                end,
+            } => StreamEvent::Interval {
+                sequence,
+                symbol: format!("s{symbol}"),
+                start,
+                end,
+            },
+            Op::Watermark(at) => StreamEvent::Watermark(at),
+        }
+    }
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (0u32..4, 0u64..4, 0u32..4, 0i64..50, 1i64..8).prop_map(|(kind, sequence, symbol, t, len)| {
+        if kind == 0 {
+            Op::Watermark(t + len)
+        } else {
+            Op::Interval {
+                sequence,
+                symbol,
+                start: t,
+                end: t + len,
+            }
+        }
+    })
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(op(), 1..40)
+}
+
+/// Runs `ops`, refreshing synchronously at every watermark, and returns
+/// every published snapshot in revision order.
+fn run_sync(ops: &[Op], config: MinerConfig) -> Vec<Arc<stream::PatternSnapshot>> {
+    let mut window = SlidingWindowDatabase::new(WINDOW);
+    let mut miner = IncrementalMiner::new(config, 0);
+    let mut published = Vec::new();
+    for op in ops {
+        window.ingest(op.event()).unwrap();
+        if matches!(op, Op::Watermark(_)) {
+            published.push(miner.refresh(&mut window));
+        }
+    }
+    published
+}
+
+/// Runs `ops`, submitting every watermark's epoch to the background worker
+/// (blocking submission: no trigger is coalesced, so revisions line up 1:1
+/// with the synchronous run), and returns every published snapshot.
+fn run_pipelined(ops: &[Op], config: MinerConfig) -> Vec<Arc<stream::PatternSnapshot>> {
+    let mut window = SlidingWindowDatabase::new(WINDOW);
+    let cell = Arc::new(SnapshotCell::new());
+    let worker = RefreshWorker::spawn(IncrementalMiner::new(config, 0), Arc::clone(&cell));
+    let mut published = Vec::new();
+    for op in ops {
+        window.ingest(op.event()).unwrap();
+        if matches!(op, Op::Watermark(_)) {
+            worker.submit(RefreshJob {
+                view: window.freeze(),
+                budget: MiningBudget::unlimited(),
+                min_support: None,
+            });
+        }
+        published.extend(worker.drain_completed());
+    }
+    let outcome = worker.shutdown();
+    assert!(outcome.miner.is_some(), "worker must join cleanly");
+    published.extend(outcome.unreported);
+    published
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shadow replay: the pipelined path publishes, at every revision,
+    /// exactly what the synchronous path publishes for the same events —
+    /// patterns, supports, window bounds, and refresh accounting.
+    #[test]
+    fn pipelined_snapshots_equal_synchronous(ops in ops()) {
+        let config = MinerConfig::with_min_support(2);
+        let sync = run_sync(&ops, config);
+        let pipelined = run_pipelined(&ops, config);
+        prop_assert_eq!(sync.len(), pipelined.len());
+        for (s, p) in sync.iter().zip(&pipelined) {
+            prop_assert_eq!(s.revision, p.revision);
+            prop_assert_eq!(s.watermark, p.watermark);
+            prop_assert_eq!(s.window_start, p.window_start);
+            prop_assert_eq!(s.sequences, p.sequences);
+            prop_assert_eq!(s.result.patterns(), p.result.patterns());
+            prop_assert_eq!(&s.refresh, &p.refresh);
+        }
+    }
+
+    /// Freezing is a point-in-time boundary: events ingested after a freeze
+    /// never leak into that epoch's snapshot, and are never lost — they are
+    /// covered by the *next* epoch.
+    #[test]
+    fn freeze_is_a_consistent_cut(ops in ops()) {
+        let config = MinerConfig::with_min_support(1);
+        let mut window = SlidingWindowDatabase::new(WINDOW);
+        let cell = Arc::new(SnapshotCell::new());
+        let worker = RefreshWorker::spawn(IncrementalMiner::new(config, 0), Arc::clone(&cell));
+        let mut frozen_meta = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            window.ingest(op.event()).unwrap();
+            if i % 7 == 3 {
+                let view = window.freeze();
+                frozen_meta.push((view.watermark(), view.sequences()));
+                worker.submit(RefreshJob {
+                    view,
+                    budget: MiningBudget::unlimited(),
+                    min_support: None,
+                });
+            }
+        }
+        let outcome = worker.shutdown();
+        prop_assert!(outcome.miner.is_some());
+        // Every published snapshot reflects its freeze point, not whatever
+        // the live window had moved on to while it was mined.
+        let mut all: Vec<_> = outcome.unreported;
+        for (snapshot, (watermark, sequences)) in all.drain(..).zip(frozen_meta) {
+            prop_assert_eq!(snapshot.watermark, watermark);
+            prop_assert_eq!(snapshot.sequences, sequences);
+        }
+    }
+}
+
+/// High-rate ingestion against slow refreshes with the coalescing policy:
+/// no event is lost or duplicated, the counters balance, and after the
+/// final drain the result is exactly the batch miner's on the final window.
+#[test]
+fn stress_coalesced_ingestion_converges_to_batch() {
+    // The window keeps ~5 rounds of intervals live and the arity cap
+    // bounds each refresh, so the run is fast — but a refresh still costs
+    // far more than one ingest, so triggers routinely arrive while the
+    // worker is busy and must coalesce.
+    let config = MinerConfig::with_min_support(2).max_arity(3);
+    let mut window = SlidingWindowDatabase::new(50);
+    let cell = Arc::new(SnapshotCell::new());
+    let worker = RefreshWorker::spawn(IncrementalMiner::new(config, 0), Arc::clone(&cell));
+
+    let symbols = ["a", "b", "c", "d"];
+    let mut sent = 0u64;
+    let mut triggers = 0u64;
+    let mut accepted = 0u64;
+    for round in 0i64..40 {
+        for seq in 0..6u64 {
+            for (i, sym) in symbols.iter().enumerate() {
+                let start = round * 10 + i as i64;
+                window
+                    .ingest(StreamEvent::Interval {
+                        sequence: seq,
+                        symbol: (*sym).into(),
+                        start,
+                        end: start + 5,
+                    })
+                    .unwrap();
+                sent += 1;
+                if worker.is_busy() {
+                    worker.note_events_during_refresh(1);
+                }
+            }
+        }
+        window
+            .ingest(StreamEvent::Watermark(round * 10 + 9))
+            .unwrap();
+        sent += 1;
+        triggers += 1;
+        if worker.submit_or_coalesce(|| RefreshJob {
+            min_support: None,
+            view: window.freeze(),
+            budget: MiningBudget::unlimited(),
+        }) {
+            accepted += 1;
+        }
+    }
+
+    // Conservation: every event reached the window exactly once, whatever
+    // the worker was doing at the time, and the window really slid.
+    assert_eq!(window.stats().events, sent);
+    assert!(window.stats().intervals_evicted > 0, "the window slid");
+
+    let outcome = worker.shutdown();
+    let miner = outcome.miner.expect("worker must join cleanly");
+    let stats = outcome.stats;
+    assert_eq!(stats.submitted_refreshes, accepted);
+    assert_eq!(
+        stats.completed_refreshes, accepted,
+        "every accepted epoch completes exactly once"
+    );
+    assert_eq!(
+        stats.coalesced_refreshes,
+        triggers - accepted,
+        "every trigger is either accepted or coalesced"
+    );
+    assert_eq!(outcome.unreported.len() as u64, accepted);
+
+    // Revisions are consecutive: nothing published twice, nothing skipped.
+    for (i, snapshot) in outcome.unreported.iter().enumerate() {
+        assert_eq!(snapshot.revision, i as u64 + 1);
+    }
+
+    // A final synchronous refresh with the recovered miner folds in every
+    // coalesced trigger's dirt; the result must be exactly the batch run.
+    let mut miner = miner;
+    let finale = miner.refresh(&mut window);
+    let batch = TpMiner::new(config).mine(&window.snapshot_database());
+    assert_eq!(finale.result.patterns(), batch.patterns());
+    assert!(finale.result.is_exhaustive());
+}
+
+/// The SIGINT / `--timeout` path: cancelling the budget token of an
+/// in-flight background refresh stops it and `shutdown` joins the worker
+/// without deadlock, keeping the last published snapshot valid.
+#[test]
+fn cancellation_mid_refresh_joins_cleanly() {
+    let config = MinerConfig::with_min_support(1);
+    let mut window = SlidingWindowDatabase::new(10_000);
+    let cell = Arc::new(SnapshotCell::new());
+    let worker = RefreshWorker::spawn(IncrementalMiner::new(config, 0), Arc::clone(&cell));
+
+    // First, a small epoch that completes normally.
+    window
+        .ingest(StreamEvent::Interval {
+            sequence: 0,
+            symbol: "a".into(),
+            start: 0,
+            end: 5,
+        })
+        .unwrap();
+    worker.submit(RefreshJob {
+        view: window.freeze(),
+        budget: MiningBudget::unlimited(),
+        min_support: None,
+    });
+
+    // Then a deliberately heavy epoch whose token we cancel while it is
+    // (potentially) in flight — exactly what the CLI's SIGINT handler does.
+    for seq in 0..10u64 {
+        for (i, sym) in ["a", "b", "c", "d", "e", "f"].iter().enumerate() {
+            window
+                .ingest(StreamEvent::Interval {
+                    sequence: seq,
+                    symbol: (*sym).into(),
+                    start: i as i64,
+                    end: i as i64 + 20,
+                })
+                .unwrap();
+        }
+    }
+    let budget = MiningBudget::unlimited();
+    let token = budget.token();
+    worker.submit(RefreshJob {
+        view: window.freeze(),
+        budget,
+        min_support: None,
+    });
+    token.cancel();
+
+    let outcome = worker.shutdown();
+    let miner = outcome.miner.expect("join must not deadlock after cancel");
+    assert!(miner.revision() >= 1);
+
+    // The published state is one of the two epochs; whichever it is, it is
+    // coherent: either the completed small epoch or the cancelled heavy one
+    // (sound partial result, exact supports).
+    let last = cell.load();
+    assert!(last.revision >= 1);
+    match last.result.termination() {
+        Termination::Complete | Termination::Cancelled => {}
+        other => panic!("unexpected termination {other:?}"),
+    }
+
+    // After the handoff the miner recovers: an unbudgeted refresh restores
+    // exhaustiveness and agrees with the batch miner.
+    let mut miner = miner;
+    let finale = miner.refresh(&mut window);
+    assert!(finale.result.is_exhaustive());
+    let batch = TpMiner::new(config).mine(&window.snapshot_database());
+    assert_eq!(finale.result.patterns(), batch.patterns());
+}
