@@ -142,6 +142,10 @@ fn perf_smoke(json: bool, against: Option<&str>) {
             println!("{key}: {value}");
         }
     }
+    // The WAL tax gate compares two metrics of *this* run, so it applies
+    // with or without a committed baseline.
+    let mut failures = Vec::new();
+    failures.extend(bench::perfsmoke::wal_gate(&report));
     if let Some(path) = against {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read baseline `{path}`: {e}");
@@ -152,13 +156,15 @@ fn perf_smoke(json: bool, against: Option<&str>) {
             eprintln!("baseline `{path}` contains no metrics");
             std::process::exit(2);
         }
-        let failures = bench::perfsmoke::compare(&report, &baseline);
-        if !failures.is_empty() {
-            for f in &failures {
-                eprintln!("perf-smoke REGRESSION: {f}");
-            }
-            std::process::exit(1);
+        failures.extend(bench::perfsmoke::compare(&report, &baseline));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("perf-smoke REGRESSION: {f}");
         }
+        std::process::exit(1);
+    }
+    if against.is_some() {
         eprintln!("perf-smoke: all metrics within thresholds");
     }
 }

@@ -25,6 +25,7 @@ const FLAGS: &[&str] = &[
     "stats",
     "pipeline",
     "sync-refresh",
+    "verify",
 ];
 
 /// Parses an argument vector (without the program name).
@@ -111,12 +112,26 @@ impl Parsed {
 }
 
 /// Every subcommand the CLI understands, for did-you-mean suggestions.
-pub const COMMANDS: &[&str] = &["generate", "stats", "mine", "mine-prob", "stream"];
+pub const COMMANDS: &[&str] = &[
+    "generate",
+    "stats",
+    "mine",
+    "mine-prob",
+    "stream",
+    "recover",
+];
 
 /// The known subcommand closest to a mistyped one (`min` → `mine`), if any
 /// is close enough to be a plausible typo.
 pub fn suggest_command(command: &str) -> Option<&'static str> {
     closest(command, COMMANDS)
+}
+
+/// The known *value* closest to a mistyped enumerated option value
+/// (`--fsync epcoh` → `epoch`) — the same edit-distance machinery the
+/// option and command suggestions use.
+pub fn suggest_value<'a>(value: &str, known: &[&'a str]) -> Option<&'a str> {
+    closest(value, known)
 }
 
 /// The known option with the smallest edit distance to `key`, if close
@@ -210,6 +225,19 @@ mod tests {
     }
 
     #[test]
+    fn enumerated_value_typos_get_suggestions() {
+        let names = &["always", "epoch", "never"];
+        assert_eq!(suggest_value("epcoh", names), Some("epoch"));
+        assert_eq!(suggest_value("alway", names), Some("always"));
+        assert_eq!(suggest_value("nevr", names), Some("never"));
+        assert_eq!(
+            suggest_value("quarterly", names),
+            None,
+            "far-off gets nothing"
+        );
+    }
+
+    #[test]
     fn command_typos_get_suggestions() {
         assert_eq!(suggest_command("min"), Some("mine"));
         assert_eq!(suggest_command("mien"), Some("mine"));
@@ -217,6 +245,7 @@ mod tests {
         assert_eq!(suggest_command("stremm"), Some("stream"));
         assert_eq!(suggest_command("generat"), Some("generate"));
         assert_eq!(suggest_command("mine-porb"), Some("mine-prob"));
+        assert_eq!(suggest_command("recove"), Some("recover"));
         assert_eq!(suggest_command("frobnicate"), None, "far-off gets nothing");
         // An exact command never reaches the suggester in practice, but the
         // suggestion it would produce is still the command itself.

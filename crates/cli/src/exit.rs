@@ -17,6 +17,11 @@ pub const USAGE: u8 = 2;
 pub const BUDGET: u8 = 3;
 /// A worker thread failed — the surviving partitions were printed.
 pub const WORKER_FAILED: u8 = 4;
+/// The run itself completed, but durability degraded: the write-ahead log
+/// stopped accepting writes (or a recovered log had corrupt records) and
+/// the printed result covers in-memory state only. See
+/// `docs/DURABILITY.md`, "Degraded mode".
+pub const DEGRADED: u8 = 5;
 /// Interrupted by Ctrl-C — a sound partial result was printed.
 pub const INTERRUPTED: u8 = 130;
 
@@ -30,24 +35,57 @@ pub fn from_termination(termination: &Termination) -> ExitCode {
     }
 }
 
+/// [`from_termination`], with the stream's sticky WAL-degraded flag folded
+/// in. Degradation only upgrades a *successful* exit: a harder failure
+/// (budget, worker death, Ctrl-C) keeps its own code — it already implies
+/// the run needs attention, and those codes carry more information.
+pub fn from_termination_degraded(termination: &Termination, wal_degraded: bool) -> ExitCode {
+    if wal_degraded && matches!(termination, Termination::Complete) {
+        ExitCode::from(DEGRADED)
+    } else {
+        from_termination(termination)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn codes_are_distinct_and_stable() {
-        let codes = [SUCCESS, USAGE, BUDGET, WORKER_FAILED, INTERRUPTED];
+        let codes = [SUCCESS, USAGE, BUDGET, WORKER_FAILED, DEGRADED, INTERRUPTED];
         for (i, a) in codes.iter().enumerate() {
             for b in &codes[i + 1..] {
                 assert_ne!(a, b);
             }
         }
         assert_eq!(SUCCESS, 0);
+        assert_eq!(DEGRADED, 5);
         assert_eq!(INTERRUPTED, 130, "128 + SIGINT by convention");
     }
 
     #[test]
     fn complete_maps_to_success() {
         assert_eq!(from_termination(&Termination::Complete), ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn degradation_upgrades_success_but_not_harder_failures() {
+        assert_eq!(
+            from_termination_degraded(&Termination::Complete, true),
+            ExitCode::from(DEGRADED)
+        );
+        assert_eq!(
+            from_termination_degraded(&Termination::Complete, false),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            from_termination_degraded(&Termination::Cancelled, true),
+            ExitCode::from(INTERRUPTED)
+        );
+        assert_eq!(
+            from_termination_degraded(&Termination::WorkerFailed { roots: Vec::new() }, true),
+            ExitCode::from(WORKER_FAILED)
+        );
     }
 }

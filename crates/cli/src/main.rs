@@ -26,10 +26,12 @@
 //! | 2    | usage error |
 //! | 3    | budget exhausted (deadline or node cap) — partial result |
 //! | 4    | a worker thread failed — surviving partitions reported |
+//! | 5    | durability degraded — WAL stopped accepting writes (or a recovered log was corrupt); the in-memory result is complete |
 //! | 130  | interrupted by Ctrl-C — partial result |
 
 mod args;
 mod exit;
+mod recover_cmd;
 mod sigint;
 mod stream_cmd;
 
@@ -65,10 +67,19 @@ commands:
              [--threads N] [--timeout SECS] [--json]
              [--pipeline | --sync-refresh]  (default: pipelined — refreshes
              run on a background worker while ingestion continues)
+             [--wal-dir DIR [--fsync always|epoch|never]]  (write-ahead log
+             every event before ingesting it; recover after a crash with
+             `recover DIR`)
+  recover    rebuild a crashed stream's window from its write-ahead log
+             <wal-dir> --window W | --verify  (scan integrity only)
+             [--min-support FRAC | --abs-support N]  (also mine the
+             recovered window)  [--max-arity K] [--gap G] [--threads N]
+             [--json]
 
 exit codes:
   0 complete   2 usage error   3 budget exhausted (partial result)
   4 worker failed (partial result)   130 interrupted (partial result)
+  5 durability degraded (WAL failed or corrupt; in-memory result complete)
 ";
 
 fn main() -> ExitCode {
@@ -134,6 +145,10 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         "stream" => {
             parsed.expect_options(stream_cmd::OPTIONS)?;
             stream_cmd::run(&parsed)
+        }
+        "recover" => {
+            parsed.expect_options(recover_cmd::OPTIONS)?;
+            recover_cmd::run(&parsed)
         }
         other => {
             let mut message = format!("unknown command `{other}`");

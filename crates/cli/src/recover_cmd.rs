@@ -1,0 +1,151 @@
+//! The `recover` subcommand: rebuild a crashed stream's sliding window
+//! from its write-ahead log.
+//!
+//! `recover DIR --window W` replays the log segments under `DIR` (written
+//! by `stream --wal-dir DIR`) through the exact ingest semantics of the
+//! live stream, so the rebuilt window is bit-identical to the pre-crash
+//! one over the durable prefix. A torn final record — the normal signature
+//! of a crash mid-write — is truncated silently; a bad checksum *inside*
+//! the log stops replay at the last trustworthy record and reports what
+//! was dropped. `--verify` scans integrity without replaying (no
+//! `--window` needed), and `--min-support`/`--abs-support` additionally
+//! mine the recovered window, printing patterns in the same shape as
+//! `mine`. See `docs/DURABILITY.md` for the full recovery semantics.
+//!
+//! Exit codes: 0 when the log was clean (a torn tail alone still counts
+//! as clean — nothing durable was lost), 5 when corruption made recovery
+//! stop early (the printed result covers the prefix only).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use durability::{scan_wal, RecoveryReport, StdFs};
+use stream::IncrementalMiner;
+use tpminer::MinerConfig;
+
+use crate::args::Parsed;
+use crate::{exit, stream_cmd};
+
+/// Options every `recover` invocation may use (checked by `expect_options`).
+pub const OPTIONS: &[&str] = &[
+    "window",
+    "min-support",
+    "abs-support",
+    "max-arity",
+    "gap",
+    "threads",
+    "json",
+    "verify",
+];
+
+pub fn run(p: &Parsed) -> Result<ExitCode, String> {
+    let dir = p.input()?;
+
+    if p.flag("verify") {
+        // Integrity scan only: decode every record, check every checksum,
+        // touch nothing.
+        let (events, report) =
+            scan_wal(&StdFs, Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+        report_scan(dir, &report);
+        println!(
+            "verify: {} records decode cleanly across {} segments{}",
+            events.len(),
+            report.segments,
+            if report.is_clean() {
+                ""
+            } else {
+                " (log is NOT clean — see above)"
+            },
+        );
+        return Ok(exit_for(&report));
+    }
+
+    let window_len: i64 = p.opt_num::<i64>("window")?.ok_or_else(|| {
+        "pass --window W (the live stream's window length) or --verify to scan only".to_string()
+    })?;
+    if window_len <= 0 {
+        return Err(format!("--window: `{window_len}` must be positive"));
+    }
+
+    let mut outcome =
+        stream::durable::replay(dir, window_len).map_err(|e| format!("{dir}: {e}"))?;
+    report_scan(dir, &outcome.report);
+    if outcome.records_rejected > 0 {
+        eprintln!(
+            "recover: {} records decoded but were refused by ingest semantics \
+             (the live run refused them identically)",
+            outcome.records_rejected,
+        );
+    }
+    let stats = outcome.window.stats();
+    eprintln!(
+        "recovered window: {} sequences, {} open intervals, watermark {} \
+         ({} events replayed: {} intervals, {} late-dropped, {} evicted)",
+        outcome.window.len(),
+        outcome.window.open_intervals(),
+        outcome
+            .window
+            .watermark()
+            .map_or_else(|| "-".into(), |w| w.to_string()),
+        stats.events,
+        stats.intervals_completed,
+        stats.late_intervals_dropped,
+        stats.intervals_evicted,
+    );
+
+    // Mine the rebuilt window when a threshold was given — the same
+    // snapshot the crashed stream's next refresh would have published.
+    if let Some(threshold) = stream_cmd::threshold_from(p)? {
+        let mut config = MinerConfig::default();
+        if let Some(k) = p.opt_num::<usize>("max-arity")? {
+            config = config.max_arity(k);
+        }
+        if let Some(g) = p.opt_num::<i64>("gap")? {
+            config = config.max_gap(g);
+        }
+        let mut miner = IncrementalMiner::new(config, p.num::<usize>("threads", 0)?);
+        miner.set_min_support(threshold.absolute_for(outcome.window.len()));
+        let snapshot = miner.refresh(&mut outcome.window);
+        stream_cmd::render_final(p, &snapshot)?;
+    }
+
+    Ok(exit_for(&outcome.report))
+}
+
+/// What the scan found, on stderr: one summary line, plus detail lines for
+/// a torn tail (normal after a crash) and for corruption (data loss).
+fn report_scan(dir: &str, report: &RecoveryReport) {
+    eprintln!(
+        "scanned {}: {} segments, {} bytes, {} records",
+        dir, report.segments, report.bytes_scanned, report.records_replayed,
+    );
+    if report.torn_tail_bytes > 0 {
+        eprintln!(
+            "torn tail: final {} bytes end inside a frame (normal after a crash \
+             mid-write) — truncated",
+            report.torn_tail_bytes,
+        );
+    }
+    if let Some(corruption) = &report.corruption {
+        eprintln!(
+            "CORRUPTION in {} at offset {}: {}",
+            corruption.segment.display(),
+            corruption.offset,
+            corruption.reason,
+        );
+        eprintln!(
+            "replay stopped at the last trustworthy record; {} later records \
+             ({} bytes) dropped",
+            report.records_dropped, report.bytes_dropped,
+        );
+    }
+}
+
+/// Clean (torn tail included) → success; corruption → degraded.
+fn exit_for(report: &RecoveryReport) -> ExitCode {
+    if report.corruption.is_some() {
+        ExitCode::from(exit::DEGRADED)
+    } else {
+        ExitCode::from(exit::SUCCESS)
+    }
+}

@@ -26,20 +26,31 @@
 //! reports the truncation through the exit code. SIGINT and `--timeout`
 //! cancel an in-flight background refresh through its budget token and
 //! join the worker before exiting.
+//!
+//! # Durability (`--wal-dir`)
+//!
+//! With `--wal-dir DIR` every event is appended to a checksummed
+//! write-ahead log *before* ingestion ([`stream::Journal`]), so a crashed
+//! stream can be rebuilt with `recover DIR --window W`. `--fsync` picks
+//! the durability/throughput trade-off (`always`, `epoch`, `never` — see
+//! `docs/DURABILITY.md`). If the log stops accepting writes the stream
+//! keeps running from memory and reports the degradation via a sticky
+//! warning, the `wal:` summary and exit code 5.
 
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use durability::FsyncPolicy;
 use interval_core::{CancellationToken, MiningBudget, StreamEvent, Termination};
 use stream::{
-    IncrementalMiner, PatternSnapshot, PipelineStats, RefreshJob, RefreshWorker,
+    IncrementalMiner, Journal, PatternSnapshot, PipelineStats, RefreshJob, RefreshWorker,
     SlidingWindowDatabase, SnapshotCell,
 };
 use tpminer::MinerConfig;
 
-use crate::args::Parsed;
+use crate::args::{self, Parsed};
 use crate::{emit_lines, exit, sigint};
 
 /// Options every `stream` invocation may use (checked by `expect_options`).
@@ -55,10 +66,12 @@ pub const OPTIONS: &[&str] = &[
     "json",
     "pipeline",
     "sync-refresh",
+    "wal-dir",
+    "fsync",
 ];
 
 /// How the support threshold is chosen at each refresh.
-enum Threshold {
+pub(crate) enum Threshold {
     /// A fixed absolute count.
     Absolute(usize),
     /// A fraction of the sequences currently in the window, re-derived at
@@ -68,11 +81,24 @@ enum Threshold {
 }
 
 impl Threshold {
-    fn absolute_for(&self, sequences: usize) -> usize {
+    pub(crate) fn absolute_for(&self, sequences: usize) -> usize {
         match *self {
             Threshold::Absolute(n) => n,
             Threshold::Fraction(f) => ((f * sequences as f64).ceil() as usize).max(1),
         }
+    }
+}
+
+/// The support threshold from `--abs-support` / `--min-support`, if either
+/// was given (`stream` requires one; `recover` mines only when asked).
+pub(crate) fn threshold_from(p: &Parsed) -> Result<Option<Threshold>, String> {
+    match (
+        p.opt_num::<usize>("abs-support")?,
+        p.opt_num::<f64>("min-support")?,
+    ) {
+        (Some(n), _) => Ok(Some(Threshold::Absolute(n))),
+        (None, Some(frac)) => Ok(Some(Threshold::Fraction(frac))),
+        (None, None) => Ok(None),
     }
 }
 
@@ -90,14 +116,8 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     if window_len <= 0 {
         return Err(format!("--window: `{window_len}` must be positive"));
     }
-    let threshold = match (
-        p.opt_num::<usize>("abs-support")?,
-        p.opt_num::<f64>("min-support")?,
-    ) {
-        (Some(n), _) => Threshold::Absolute(n),
-        (None, Some(frac)) => Threshold::Fraction(frac),
-        (None, None) => return Err("pass --min-support FRAC or --abs-support N".into()),
-    };
+    let threshold = threshold_from(p)?
+        .ok_or_else(|| "pass --min-support FRAC or --abs-support N".to_string())?;
     let refresh_every = p.num::<u64>("refresh-every", 1)?;
     if refresh_every == 0 {
         return Err("--refresh-every: must be at least 1".into());
@@ -106,6 +126,22 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
         return Err("--pipeline and --sync-refresh are mutually exclusive".into());
     }
     let pipelined = !p.flag("sync-refresh");
+    let fsync_policy = match p.get("fsync") {
+        None => FsyncPolicy::Epoch,
+        Some(value) => FsyncPolicy::parse(value).ok_or_else(|| {
+            let mut message = format!(
+                "--fsync: unknown policy `{value}` (one of: {})",
+                FsyncPolicy::NAMES.join(", ")
+            );
+            if let Some(suggestion) = args::suggest_value(value, FsyncPolicy::NAMES) {
+                message.push_str(&format!(" (did you mean `{suggestion}`?)"));
+            }
+            message
+        })?,
+    };
+    if p.get("fsync").is_some() && p.get("wal-dir").is_none() {
+        return Err("--fsync needs --wal-dir (there is no log to sync without one)".into());
+    }
     let mut config = MinerConfig::default();
     if let Some(k) = p.opt_num::<usize>("max-arity")? {
         config = config.max_arity(k);
@@ -134,6 +170,13 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     };
 
     let mut window = SlidingWindowDatabase::new(window_len);
+    let mut journal: Option<Journal> = match p.get("wal-dir") {
+        Some(dir) => Some(
+            Journal::open(dir, window_len, fsync_policy)
+                .map_err(|e| format!("--wal-dir {dir}: {e}"))?,
+        ),
+        None => None,
+    };
     let miner = IncrementalMiner::new(config, p.num::<usize>("threads", 0)?);
     let cell = Arc::new(SnapshotCell::new());
     let mut engine = if pipelined {
@@ -163,6 +206,20 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
             continue;
         };
         let is_watermark = matches!(event, StreamEvent::Watermark(_));
+        // Write-ahead: the journal sees the event before the window does,
+        // so the durable log is always a superset of ingested state.
+        if let Some(journal) = journal.as_mut() {
+            let was_degraded = journal.is_degraded();
+            if !journal.append(&event) && !was_degraded {
+                eprintln!(
+                    "warning: WAL degraded — continuing in-memory only ({})",
+                    journal.degraded_reason().unwrap_or("unknown failure"),
+                );
+                if let Engine::Pipelined(worker) = &engine {
+                    worker.note_wal_degraded();
+                }
+            }
+        }
         window
             .ingest(event)
             .map_err(|e| format!("line {}: {e}", idx + 1))?;
@@ -173,6 +230,11 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
         }
         if is_watermark {
             watermarks += 1;
+            // Eviction tie-in: sealed segments that fell entirely behind
+            // the new cutoff are reclaimable.
+            if let (Some(journal), Some(cutoff)) = (journal.as_mut(), window.cutoff()) {
+                journal.reclaim(cutoff);
+            }
             if watermarks % refresh_every == 0 {
                 match &mut engine {
                     Engine::Sync(miner) => {
@@ -199,9 +261,19 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     // then hands the miner back for the finale on this thread.
     let (mut miner, pipeline_stats): (Option<IncrementalMiner>, Option<PipelineStats>) =
         match engine {
-            Engine::Sync(miner) => (Some(miner), None),
+            Engine::Sync(miner) => {
+                // The sync path has no worker to flush through; push the
+                // buffered tail to stable storage before the finale.
+                if let Some(journal) = journal.as_mut() {
+                    journal.flush();
+                }
+                (Some(miner), None)
+            }
             Engine::Pipelined(worker) => {
-                let outcome = worker.shutdown();
+                let outcome = match journal.as_mut() {
+                    Some(journal) => worker.shutdown_flushing(journal),
+                    None => worker.shutdown(),
+                };
                 for snapshot in outcome.unreported {
                     collect(p, started, snapshot, &mut full_refreshes, &mut latest)?;
                 }
@@ -258,10 +330,36 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
             (Some(live), Some(done)) => (live.saturating_sub(done)).to_string(),
             _ => "-".into(),
         };
+        let wal_suffix = if journal.is_some() {
+            let marker = if pstats.wal_degraded {
+                " [WAL DEGRADED]"
+            } else {
+                ""
+            };
+            format!(", {} wal flushes{marker}", pstats.wal_flushes)
+        } else {
+            String::new()
+        };
         eprintln!(
             "pipeline: {} background refreshes ({} coalesced), {} events during refresh, \
-             refresh lag {lag}",
+             refresh lag {lag}{wal_suffix}",
             pstats.completed_refreshes, pstats.coalesced_refreshes, pstats.events_during_refresh,
+        );
+    }
+    if let Some(journal) = &journal {
+        let js = journal.stats();
+        eprintln!(
+            "wal: {} records ({} bytes, {} writes, {} fsyncs, {} retries), \
+             {} segments sealed ({} reclaimed), {} flushes — {}",
+            js.wal.records_appended,
+            js.wal.bytes_written,
+            js.wal.writes,
+            js.wal.syncs,
+            js.wal.retries,
+            js.wal.segments_sealed,
+            js.wal.segments_reclaimed,
+            js.flushes,
+            if js.degraded { "DEGRADED" } else { "healthy" },
         );
     }
     if worker_failed {
@@ -280,7 +378,15 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
              but the pattern set may be incomplete"
         );
     }
-    Ok(exit::from_termination(&termination))
+    let wal_degraded = journal.as_ref().map_or(false, |j| j.is_degraded());
+    if wal_degraded && termination.is_complete() {
+        eprintln!(
+            "note: durability degraded — the printed result is complete in memory, \
+             but events after the WAL failure were not persisted (exit code {})",
+            exit::DEGRADED,
+        );
+    }
+    Ok(exit::from_termination_degraded(&termination, wal_degraded))
 }
 
 /// Counts and reports one refreshed snapshot, remembering it as the latest.
@@ -361,8 +467,9 @@ fn report_refresh(p: &Parsed, s: &PatternSnapshot, started: Instant) -> Result<(
     Ok(())
 }
 
-/// The final pattern set, on stdout, in the same shape as `mine`.
-fn render_final(p: &Parsed, s: &PatternSnapshot) -> Result<(), String> {
+/// The final pattern set, on stdout, in the same shape as `mine`. Also
+/// used by `recover` when asked to mine the rebuilt window.
+pub(crate) fn render_final(p: &Parsed, s: &PatternSnapshot) -> Result<(), String> {
     if p.flag("json") {
         emit_lines(s.result.patterns().iter().map(|fp| {
             serde_json::json!({

@@ -1,0 +1,42 @@
+//! Crash-safe durability for the streaming tier.
+//!
+//! The streaming window (`stream::SlidingWindowDatabase`) lives entirely in
+//! RAM; this crate makes it survive crashes and misbehaving disks:
+//!
+//! - [`wal::WalWriter`] — an append-only write-ahead log of
+//!   [`interval_core::StreamEvent`]s with per-record CRC32 + length framing
+//!   ([`record`]) and epoch-based segment rotation tied to watermark
+//!   progress. Sealed segments are immutable; segments whose every record
+//!   has fallen behind the eviction cutoff are reclaimable.
+//! - [`recovery::scan_wal`] — recovery-by-replay: scans segments in order,
+//!   truncates a torn tail at the last valid record, stops at the first bad
+//!   CRC mid-file, and reports both in a structured
+//!   [`recovery::RecoveryReport`].
+//! - [`io`] — the small filesystem trait the WAL writes through, a
+//!   retry-with-bounded-backoff policy for transient write errors, and (with
+//!   the `fault-injection` feature or under `cfg(test)`) a deterministic
+//!   faulty-filesystem shim for crash-point tests.
+//!
+//! The crate deliberately stops below the window: replaying recovered
+//! events into a `SlidingWindowDatabase` lives in `stream::durable`, which
+//! also owns graceful degradation (sticky `degraded` flag on persistent
+//! write failure). See `docs/DURABILITY.md` for the record format, the
+//! fsync policy trade-offs and the recovery semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod io;
+pub mod record;
+pub mod recovery;
+pub mod wal;
+
+pub use crc32::crc32;
+pub use io::{RetryPolicy, StdFs, WalFile, WalFs};
+pub use record::{frame_record, SegmentScan};
+pub use recovery::{scan_wal, Corruption, RecoveryReport};
+pub use wal::{FsyncPolicy, WalError, WalOptions, WalStats, WalWriter};
+
+#[cfg(any(test, feature = "fault-injection"))]
+pub use io::{FaultPlan, FaultyFs};

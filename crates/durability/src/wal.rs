@@ -1,0 +1,679 @@
+//! The append-only write-ahead log.
+//!
+//! A WAL directory holds numbered segment files (`00000000.wal`,
+//! `00000001.wal`, …), each a concatenation of framed records
+//! ([`crate::record`]). Exactly one segment is open for appending at a
+//! time; rotation is tied to watermark progress — when the watermark has
+//! advanced `rotate_every` stream-time past the segment's base watermark,
+//! the segment is sealed (flushed, fsynced, never written again) and a new
+//! one starts. Sealing at watermarks is what makes old segments
+//! reclaimable: once the eviction cutoff passes everything a sealed
+//! segment contains, replay no longer needs it (see [`WalWriter::reclaim`]).
+//!
+//! Every segment after the first begins with a synthetic watermark record
+//! carrying the rotation watermark, so a replay that starts at any segment
+//! boundary (after reclamation) immediately re-establishes the correct
+//! eviction cutoff instead of accepting stale events.
+//!
+//! Writes are buffered in memory and pushed to the OS at watermark
+//! boundaries (or when the buffer crosses a size threshold); how often the
+//! log reaches *stable storage* is the [`FsyncPolicy`]'s call. See
+//! `docs/DURABILITY.md` for the trade-off table.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use interval_core::{StreamEvent, Time};
+
+use crate::io::{retry_io, write_all_retrying, RetryPolicy, StdFs, WalFile, WalFs};
+use crate::record::frame_record;
+
+/// Buffered bytes that force a write to the OS even between watermarks.
+const WRITE_THRESHOLD: usize = 64 * 1024;
+
+/// How often appended records are pushed to *stable storage*.
+///
+/// Everything always reaches the OS page cache at watermark boundaries;
+/// the policy only decides when `fsync` is paid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every appended record. Maximum durability, maximum cost.
+    Always,
+    /// Fsync when a segment seals (one epoch of watermark progress) and on
+    /// explicit flush. A crash loses at most the current epoch.
+    Epoch,
+    /// Never fsync; durability is whatever the OS happens to have written.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// The accepted `--fsync` spellings, for validation and did-you-mean.
+    pub const NAMES: &'static [&'static str] = &["always", "epoch", "never"];
+
+    /// Parses a `--fsync` value.
+    pub fn parse(value: &str) -> Option<FsyncPolicy> {
+        match value {
+            "always" => Some(FsyncPolicy::Always),
+            "epoch" => Some(FsyncPolicy::Epoch),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Epoch => "epoch",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// Tunables for a [`WalWriter`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// When to fsync (default: [`FsyncPolicy::Epoch`]).
+    pub policy: FsyncPolicy,
+    /// Retry/backoff for transient write errors.
+    pub retry: RetryPolicy,
+    /// Stream-time of watermark progress between segment rotations.
+    /// Callers normally pass the sliding-window length so that one sealed
+    /// segment ≈ one evictable epoch.
+    pub rotate_every: Time,
+}
+
+impl WalOptions {
+    /// Epoch fsync, default retries, rotation every `rotate_every` of
+    /// watermark progress.
+    pub fn new(rotate_every: Time) -> Self {
+        WalOptions {
+            policy: FsyncPolicy::Epoch,
+            retry: RetryPolicy::default(),
+            rotate_every: rotate_every.max(1),
+        }
+    }
+}
+
+/// Counters a [`WalWriter`] maintains; cheap to copy into reports.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WalStats {
+    /// Records appended by the caller (synthetic segment-leading
+    /// watermarks are not counted).
+    pub records_appended: u64,
+    /// Total framed bytes handed to the filesystem.
+    pub bytes_written: u64,
+    /// Buffer flushes to the OS (write syscall batches).
+    pub writes: u64,
+    /// `fsync` calls issued.
+    pub syncs: u64,
+    /// Segments sealed by rotation.
+    pub segments_sealed: u64,
+    /// Sealed segments deleted by [`WalWriter::reclaim`].
+    pub segments_reclaimed: u64,
+    /// Extra attempts spent retrying transient I/O errors.
+    pub retries: u64,
+}
+
+/// A failed WAL operation: what the log was doing plus the I/O error.
+#[derive(Debug)]
+pub struct WalError {
+    context: String,
+    source: io::Error,
+}
+
+impl WalError {
+    /// Wraps `source` with a description of the failed operation.
+    pub fn new(context: impl Into<String>, source: io::Error) -> Self {
+        WalError {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// What the log was doing when it failed.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.context, self.source)
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// A sealed (immutable) segment the writer still knows about.
+#[derive(Debug, Clone)]
+pub struct SealedSegment {
+    /// The segment's index (its file is `{index:08}.wal`).
+    pub index: u64,
+    /// Path of the sealed file.
+    pub path: PathBuf,
+    /// Largest event time of any record in the segment.
+    pub max_time: Time,
+    /// Open endpoints without a matching close at seal time, across the
+    /// whole log so far. Reclamation requires a prefix that ends at zero —
+    /// otherwise a later `close` would replay without its `open`.
+    pub open_depth: u64,
+}
+
+/// The append-only writer: one open segment, buffered framing, rotation,
+/// and reclamation. Generic over [`WalFs`] so crash-point tests can inject
+/// faults; production uses [`StdFs`].
+#[derive(Debug)]
+pub struct WalWriter<F: WalFs = StdFs> {
+    fs: F,
+    dir: PathBuf,
+    opts: WalOptions,
+    file: Option<F::File>,
+    segment_index: u64,
+    segment_base: Option<Time>,
+    segment_max_time: Option<Time>,
+    sealed: Vec<SealedSegment>,
+    buf: Vec<u8>,
+    last_watermark: Option<Time>,
+    open_depth: u64,
+    stats: WalStats,
+    poisoned: bool,
+}
+
+/// The largest time a record pins in the log (an interval is live until
+/// its end).
+fn event_max_time(event: &StreamEvent) -> Time {
+    match *event {
+        StreamEvent::Open { at, .. } | StreamEvent::Close { at, .. } => at,
+        StreamEvent::Interval { end, .. } => end,
+        StreamEvent::Watermark(at) => at,
+    }
+}
+
+/// Parses a segment file name (`{index:08}.wal`) back into its index.
+pub fn segment_index(path: &Path) -> Option<u64> {
+    if path.extension()? != "wal" {
+        return None;
+    }
+    path.file_stem()?.to_str()?.parse().ok()
+}
+
+/// The file name for segment `index`.
+pub fn segment_file_name(index: u64) -> String {
+    format!("{index:08}.wal")
+}
+
+impl WalWriter<StdFs> {
+    /// Opens (or creates) a WAL directory on the real filesystem.
+    pub fn open(dir: impl Into<PathBuf>, opts: WalOptions) -> Result<Self, WalError> {
+        WalWriter::open_with(StdFs, dir, opts)
+    }
+}
+
+impl<F: WalFs> WalWriter<F> {
+    /// Opens (or creates) a WAL directory on an explicit filesystem.
+    ///
+    /// Existing segments are left untouched and treated as sealed by the
+    /// restart; appending continues in a fresh segment numbered after the
+    /// highest already present.
+    pub fn open_with(fs: F, dir: impl Into<PathBuf>, opts: WalOptions) -> Result<Self, WalError> {
+        let dir = dir.into();
+        fs.create_dir_all(&dir)
+            .map_err(|e| WalError::new(format!("creating WAL directory {}", dir.display()), e))?;
+        let existing_max = fs
+            .list(&dir)
+            .map_err(|e| WalError::new(format!("listing WAL directory {}", dir.display()), e))?
+            .iter()
+            .filter_map(|p| segment_index(p))
+            .max();
+        Ok(WalWriter {
+            fs,
+            dir,
+            opts,
+            file: None,
+            segment_index: existing_max.map_or(0, |i| i + 1),
+            segment_base: None,
+            segment_max_time: None,
+            sealed: Vec::new(),
+            buf: Vec::new(),
+            last_watermark: None,
+            open_depth: 0,
+            stats: WalStats::default(),
+            poisoned: false,
+        })
+    }
+
+    /// The directory this log writes to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Segments sealed (and not yet reclaimed) during this writer's life.
+    pub fn sealed_segments(&self) -> &[SealedSegment] {
+        &self.sealed
+    }
+
+    /// Appends one event.
+    ///
+    /// Under [`FsyncPolicy::Always`] the record is on stable storage when
+    /// this returns; otherwise it is buffered and reaches the OS when the
+    /// buffer fills or the segment seals (and stable storage per the
+    /// policy). A watermark event may seal the current segment and start
+    /// the next one.
+    ///
+    /// On error the writer is poisoned — every later call fails fast with
+    /// the same context — because a partially flushed buffer can no longer
+    /// be retried without risking duplicated half-frames. Callers degrade
+    /// to in-memory ingestion instead (see `stream::durable::Journal`).
+    pub fn append(&mut self, event: &StreamEvent) -> Result<(), WalError> {
+        self.check_poison()?;
+        self.ensure_segment().map_err(|e| self.poison(e))?;
+        frame_record(event, &mut self.buf);
+        self.stats.records_appended += 1;
+        let at = event_max_time(event);
+        if self.segment_max_time < Some(at) {
+            self.segment_max_time = Some(at);
+        }
+        match event {
+            StreamEvent::Open { .. } => self.open_depth += 1,
+            StreamEvent::Close { .. } => self.open_depth = self.open_depth.saturating_sub(1),
+            _ => {}
+        }
+        let result = match *event {
+            StreamEvent::Watermark(w) => self.note_watermark(w),
+            _ => {
+                if self.opts.policy == FsyncPolicy::Always {
+                    self.write_buffer().and_then(|()| self.sync())
+                } else if self.buf.len() >= WRITE_THRESHOLD {
+                    self.write_buffer()
+                } else {
+                    Ok(())
+                }
+            }
+        };
+        result.map_err(|e| self.poison(e))
+    }
+
+    /// Pushes everything buffered to the OS and — unless the policy is
+    /// [`FsyncPolicy::Never`] — to stable storage. Called by the stream's
+    /// shutdown path so a clean exit never leaves an unsynced tail.
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        self.check_poison()?;
+        let result = self.write_buffer().and_then(|()| {
+            if self.opts.policy == FsyncPolicy::Never {
+                Ok(())
+            } else {
+                self.sync()
+            }
+        });
+        result.map_err(|e| self.poison(e))
+    }
+
+    /// Deletes the longest reclaimable prefix of sealed segments and
+    /// returns how many were removed.
+    ///
+    /// A prefix is reclaimable when every segment in it has
+    /// `max_time < cutoff` (everything it pins is already evicted) and the
+    /// prefix ends at `open_depth == 0` (no `close` left behind without its
+    /// `open`). Replay of the surviving suffix starts at a synthetic
+    /// watermark, so the cutoff is re-established before any event is
+    /// considered.
+    pub fn reclaim(&mut self, cutoff: Time) -> Result<usize, WalError> {
+        let mut take = 0usize;
+        for (i, seg) in self.sealed.iter().enumerate() {
+            if seg.max_time >= cutoff {
+                break;
+            }
+            if seg.open_depth == 0 {
+                take = i + 1;
+            }
+        }
+        for seg in self.sealed.drain(..take) {
+            self.fs.remove_file(&seg.path).map_err(|e| {
+                WalError::new(format!("reclaiming segment {}", seg.path.display()), e)
+            })?;
+            self.stats.segments_reclaimed += 1;
+        }
+        Ok(take)
+    }
+
+    fn check_poison(&self) -> Result<(), WalError> {
+        if self.poisoned {
+            Err(WalError::new(
+                "write-ahead log is poisoned by an earlier failure",
+                io::Error::other("log disabled"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&mut self, err: WalError) -> WalError {
+        self.poisoned = true;
+        err
+    }
+
+    fn current_path(&self) -> PathBuf {
+        self.dir.join(segment_file_name(self.segment_index))
+    }
+
+    /// Opens the current segment file if none is open, framing the
+    /// synthetic leading watermark that makes the segment self-describing.
+    fn ensure_segment(&mut self) -> Result<(), WalError> {
+        if self.file.is_some() {
+            return Ok(());
+        }
+        let path = self.current_path();
+        let mut retries = 0u64;
+        let file = retry_io(&self.opts.retry, &mut retries, || {
+            self.fs.open_append(&path)
+        })
+        .map_err(|e| WalError::new(format!("opening segment {}", path.display()), e))?;
+        self.stats.retries += retries;
+        self.file = Some(file);
+        if let Some(w) = self.last_watermark {
+            frame_record(&StreamEvent::Watermark(w), &mut self.buf);
+            self.segment_base = Some(w);
+            self.segment_max_time = Some(w);
+        }
+        Ok(())
+    }
+
+    fn write_buffer(&mut self) -> Result<(), WalError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let Some(file) = self.file.as_mut() else {
+            return Ok(());
+        };
+        let mut retries = 0u64;
+        let result = write_all_retrying(file, &self.buf, &self.opts.retry, &mut retries);
+        self.stats.retries += retries;
+        result.map_err(|e| {
+            WalError::new(
+                format!("appending to segment {}", self.current_path().display()),
+                e,
+            )
+        })?;
+        self.stats.bytes_written += self.buf.len() as u64;
+        self.stats.writes += 1;
+        self.buf.clear();
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        let Some(file) = self.file.as_mut() else {
+            return Ok(());
+        };
+        let mut retries = 0u64;
+        let result = retry_io(&self.opts.retry, &mut retries, || file.sync());
+        self.stats.retries += retries;
+        result.map_err(|e| {
+            WalError::new(
+                format!("fsyncing segment {}", self.current_path().display()),
+                e,
+            )
+        })?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    /// Watermark bookkeeping: rotate when the epoch is over, otherwise
+    /// write/sync only as the policy demands.
+    fn note_watermark(&mut self, w: Time) -> Result<(), WalError> {
+        if self.last_watermark < Some(w) {
+            self.last_watermark = Some(w);
+        }
+        let base = *self.segment_base.get_or_insert(w);
+        let rotate = w.saturating_sub(base) >= self.opts.rotate_every;
+        if rotate {
+            self.seal()?;
+        } else if self.opts.policy == FsyncPolicy::Always {
+            self.write_buffer()?;
+            self.sync()?;
+        } else if self.buf.len() >= WRITE_THRESHOLD {
+            // No fsync follows under the lazier policies, so a per-watermark
+            // write() would buy a syscall without buying durability; bytes
+            // move at the threshold or when the epoch seals.
+            self.write_buffer()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes, fsyncs (unless the policy is `Never`), and closes the
+    /// current segment; the next append starts the following one.
+    fn seal(&mut self) -> Result<(), WalError> {
+        self.write_buffer()?;
+        if self.opts.policy != FsyncPolicy::Never {
+            self.sync()?;
+        }
+        if self.file.take().is_some() {
+            self.sealed.push(SealedSegment {
+                index: self.segment_index,
+                path: self.current_path(),
+                max_time: self.segment_max_time.unwrap_or(Time::MIN),
+                open_depth: self.open_depth,
+            });
+            self.stats.segments_sealed += 1;
+            self.segment_index += 1;
+        }
+        self.segment_base = self.last_watermark;
+        self.segment_max_time = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{FaultPlan, FaultyFs};
+    use crate::recovery::scan_wal;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "durability-wal-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn interval(sequence: u64, symbol: &str, start: Time, end: Time) -> StreamEvent {
+        StreamEvent::Interval {
+            sequence,
+            symbol: symbol.into(),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn policy_parsing_round_trips() {
+        for name in FsyncPolicy::NAMES {
+            assert_eq!(FsyncPolicy::parse(name).unwrap().as_str(), *name);
+        }
+        assert!(FsyncPolicy::parse("epcoh").is_none());
+    }
+
+    #[test]
+    fn append_flush_scan_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let mut wal = WalWriter::open(&dir, WalOptions::new(100)).unwrap();
+        let events = vec![
+            interval(1, "a", 0, 5),
+            interval(2, "b", 1, 6),
+            StreamEvent::Watermark(10),
+        ];
+        for event in &events {
+            wal.append(event).unwrap();
+        }
+        wal.flush().unwrap();
+        assert_eq!(wal.stats().records_appended, 3);
+        let (replayed, report) = scan_wal(&StdFs, &dir).unwrap();
+        assert_eq!(replayed, events);
+        assert_eq!(report.records_replayed, 3);
+        assert!(report.corruption.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_seals_and_leads_new_segments_with_a_watermark() {
+        let dir = temp_dir("rotate");
+        let mut wal = WalWriter::open(&dir, WalOptions::new(10)).unwrap();
+        let mut events = Vec::new();
+        for epoch in 0..3i64 {
+            let t = epoch * 10;
+            events.push(interval(epoch as u64, "x", t, t + 3));
+            events.push(StreamEvent::Watermark(t + 10));
+        }
+        for event in &events {
+            wal.append(event).unwrap();
+        }
+        wal.flush().unwrap();
+        assert_eq!(wal.stats().segments_sealed, 2);
+        assert_eq!(wal.sealed_segments().len(), 2);
+
+        let (replayed, report) = scan_wal(&StdFs, &dir).unwrap();
+        // Two sealed segments plus nothing else: the final watermark sealed
+        // the log without opening an empty successor file.
+        assert_eq!(report.segments, 2);
+        // Replay = original events plus one synthetic leading watermark per
+        // later segment, in order; the synthetic records repeat the
+        // rotation watermark so they change nothing when re-ingested.
+        let originals: Vec<&StreamEvent> = replayed
+            .iter()
+            .enumerate()
+            .filter(|&(i, e)| {
+                // Synthetic = a watermark equal to its predecessor.
+                !(i > 0 && matches!(e, StreamEvent::Watermark(w) if replayed[i - 1] == StreamEvent::Watermark(*w)))
+            })
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(originals, events.iter().collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reclaim_removes_only_fully_evicted_prefixes() {
+        let dir = temp_dir("reclaim");
+        let mut wal = WalWriter::open(&dir, WalOptions::new(10)).unwrap();
+        for epoch in 0..4i64 {
+            let t = epoch * 10;
+            wal.append(&interval(epoch as u64, "x", t, t + 3)).unwrap();
+            wal.append(&StreamEvent::Watermark(t + 10)).unwrap();
+        }
+        wal.flush().unwrap();
+        assert_eq!(wal.sealed_segments().len(), 3);
+
+        // Nothing is reclaimable below the first segment's max time.
+        assert_eq!(wal.reclaim(5).unwrap(), 0);
+        // A cutoff past the first two segments reclaims exactly those.
+        let max_times: Vec<Time> = wal.sealed_segments().iter().map(|s| s.max_time).collect();
+        assert_eq!(wal.reclaim(max_times[1] + 1).unwrap(), 2);
+        assert_eq!(wal.sealed_segments().len(), 1);
+        assert_eq!(wal.stats().segments_reclaimed, 2);
+
+        // The surviving log still replays, starting from a synthetic
+        // watermark that re-establishes the cutoff.
+        let (replayed, report) = scan_wal(&StdFs, &dir).unwrap();
+        assert_eq!(report.segments, 1);
+        assert!(matches!(replayed.first(), Some(StreamEvent::Watermark(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_close_depth_blocks_reclaim_until_quiescent() {
+        let dir = temp_dir("depth");
+        let mut wal = WalWriter::open(&dir, WalOptions::new(10)).unwrap();
+        wal.append(&StreamEvent::Open {
+            sequence: 1,
+            symbol: "e".into(),
+            at: 0,
+        })
+        .unwrap();
+        wal.append(&StreamEvent::Watermark(10)).unwrap(); // sets the epoch base
+        wal.append(&StreamEvent::Watermark(20)).unwrap(); // seals seg 1, open pending
+        wal.append(&StreamEvent::Close {
+            sequence: 1,
+            symbol: "e".into(),
+            at: 22,
+        })
+        .unwrap();
+        wal.append(&StreamEvent::Watermark(30)).unwrap(); // seals seg 2, depth 0
+        wal.flush().unwrap();
+        assert_eq!(wal.sealed_segments().len(), 2);
+        assert_eq!(wal.sealed_segments()[0].open_depth, 1);
+
+        // Even with the cutoff far past segment 1, its dangling open pins it.
+        assert_eq!(wal.reclaim(21).unwrap(), 0);
+        // Once the whole quiescent prefix is evicted it all goes at once.
+        assert_eq!(wal.reclaim(100).unwrap(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn always_policy_syncs_every_record() {
+        let dir = temp_dir("always");
+        let mut opts = WalOptions::new(100);
+        opts.policy = FsyncPolicy::Always;
+        let mut wal = WalWriter::open(&dir, opts).unwrap();
+        wal.append(&interval(1, "a", 0, 5)).unwrap();
+        wal.append(&interval(2, "b", 1, 6)).unwrap();
+        assert_eq!(wal.stats().syncs, 2);
+        assert_eq!(wal.stats().writes, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_failure_poisons_the_writer() {
+        let dir = temp_dir("poison");
+        let fs = FaultyFs::new(FaultPlan {
+            fail_appends: true,
+            ..FaultPlan::default()
+        });
+        let mut opts = WalOptions::new(100);
+        opts.policy = FsyncPolicy::Always;
+        opts.retry = RetryPolicy::none();
+        let mut wal = WalWriter::open_with(fs, &dir, opts).unwrap();
+        let err = wal.append(&interval(1, "a", 0, 5)).unwrap_err();
+        assert!(err.context().contains("appending"), "{err}");
+        // Poisoned: the next call fails fast with the sticky context.
+        let err = wal.append(&interval(2, "b", 1, 6)).unwrap_err();
+        assert!(err.context().contains("poisoned"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_appends_into_a_fresh_segment() {
+        let dir = temp_dir("restart");
+        let first = vec![interval(1, "a", 0, 5), StreamEvent::Watermark(6)];
+        {
+            let mut wal = WalWriter::open(&dir, WalOptions::new(100)).unwrap();
+            for event in &first {
+                wal.append(event).unwrap();
+            }
+            wal.flush().unwrap();
+        }
+        let mut wal = WalWriter::open(&dir, WalOptions::new(100)).unwrap();
+        wal.append(&interval(2, "b", 7, 9)).unwrap();
+        wal.flush().unwrap();
+        let (replayed, report) = scan_wal(&StdFs, &dir).unwrap();
+        assert_eq!(report.segments, 2);
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[..2], first[..]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

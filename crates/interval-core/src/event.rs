@@ -235,6 +235,189 @@ impl FromStr for StreamEvent {
     }
 }
 
+// ---------------------------------------------------------------- codec ----
+//
+// Binary record codec used by the durability write-ahead log. The format is
+// deliberately trivial — a tag byte plus fixed-width little-endian fields —
+// so a record's bytes can be validated and decoded without any allocation
+// beyond the symbol string, and without serde (the offline dev-stub
+// environment ships a panicking `serde_json`). Framing (length + CRC) is the
+// WAL's job, not the codec's: these bytes are exactly one record's payload.
+//
+// ```text
+// open      tag=0  sequence:u64  at:i64                sym_len:u64  sym
+// close     tag=1  sequence:u64  at:i64                sym_len:u64  sym
+// interval  tag=2  sequence:u64  start:i64  end:i64    sym_len:u64  sym
+// watermark tag=3  at:i64
+// ```
+
+/// Longest symbol (in bytes) [`StreamEvent::decode`] accepts. Caps the
+/// allocation a corrupt length field can demand.
+pub const MAX_SYMBOL_LEN: usize = 64 * 1024;
+
+const TAG_OPEN: u8 = 0;
+const TAG_CLOSE: u8 = 1;
+const TAG_INTERVAL: u8 = 2;
+const TAG_WATERMARK: u8 = 3;
+
+fn codec_err(message: impl Into<String>) -> IntervalError {
+    IntervalError::Parse {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+/// Bounds-checked reader over one record's bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| codec_err(format!("record truncated reading {what}")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.take(8, what)?);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn i64(&mut self, what: &str) -> Result<i64> {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.take(8, what)?);
+        Ok(i64::from_le_bytes(raw))
+    }
+
+    fn symbol(&mut self) -> Result<String> {
+        let len = self.u64("symbol length")?;
+        if len == 0 {
+            return Err(codec_err("empty symbol"));
+        }
+        if len > MAX_SYMBOL_LEN as u64 {
+            return Err(codec_err(format!(
+                "symbol length {len} exceeds the {MAX_SYMBOL_LEN}-byte cap"
+            )));
+        }
+        let raw = self.take(len as usize, "symbol bytes")?;
+        String::from_utf8(raw.to_vec()).map_err(|_| codec_err("symbol is not valid UTF-8"))
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(codec_err(format!(
+                "{} trailing bytes after the record",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn push_symbol(out: &mut Vec<u8>, symbol: &str) {
+    out.extend_from_slice(&(symbol.len() as u64).to_le_bytes());
+    out.extend_from_slice(symbol.as_bytes());
+}
+
+impl StreamEvent {
+    /// Appends the record's binary encoding (see the codec notes in the
+    /// source) to `out`. Infallible: every in-memory event is encodable.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StreamEvent::Open {
+                sequence,
+                symbol,
+                at,
+            } => {
+                out.push(TAG_OPEN);
+                out.extend_from_slice(&sequence.to_le_bytes());
+                out.extend_from_slice(&at.to_le_bytes());
+                push_symbol(out, symbol);
+            }
+            StreamEvent::Close {
+                sequence,
+                symbol,
+                at,
+            } => {
+                out.push(TAG_CLOSE);
+                out.extend_from_slice(&sequence.to_le_bytes());
+                out.extend_from_slice(&at.to_le_bytes());
+                push_symbol(out, symbol);
+            }
+            StreamEvent::Interval {
+                sequence,
+                symbol,
+                start,
+                end,
+            } => {
+                out.push(TAG_INTERVAL);
+                out.extend_from_slice(&sequence.to_le_bytes());
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&end.to_le_bytes());
+                push_symbol(out, symbol);
+            }
+            StreamEvent::Watermark(at) => {
+                out.push(TAG_WATERMARK);
+                out.extend_from_slice(&at.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes one binary record produced by [`StreamEvent::encode`].
+    ///
+    /// Every malformation — unknown tag, truncation, oversized or non-UTF-8
+    /// symbol, trailing bytes, degenerate interval — is an error, so a
+    /// record that decodes is semantically valid (the same contract the
+    /// textual parser gives).
+    pub fn decode(bytes: &[u8]) -> Result<StreamEvent> {
+        let mut cursor = Cursor { bytes, pos: 0 };
+        let event = match cursor.u8("record tag")? {
+            TAG_OPEN => StreamEvent::Open {
+                sequence: cursor.u64("sequence id")?,
+                at: cursor.i64("time")?,
+                symbol: cursor.symbol()?,
+            },
+            TAG_CLOSE => StreamEvent::Close {
+                sequence: cursor.u64("sequence id")?,
+                at: cursor.i64("time")?,
+                symbol: cursor.symbol()?,
+            },
+            TAG_INTERVAL => {
+                let sequence = cursor.u64("sequence id")?;
+                let start = cursor.i64("start time")?;
+                let end = cursor.i64("end time")?;
+                let symbol = cursor.symbol()?;
+                if start >= end {
+                    return Err(IntervalError::DegenerateInterval { start, end });
+                }
+                StreamEvent::Interval {
+                    sequence,
+                    symbol,
+                    start,
+                    end,
+                }
+            }
+            TAG_WATERMARK => StreamEvent::Watermark(cursor.i64("time")?),
+            other => return Err(codec_err(format!("unknown record tag {other}"))),
+        };
+        cursor.finish()?;
+        Ok(event)
+    }
+}
+
 impl fmt::Display for StreamEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -324,6 +507,83 @@ mod tests {
         assert!(matches!(
             "interval 1 fever 5 5".parse::<StreamEvent>(),
             Err(IntervalError::DegenerateInterval { start: 5, end: 5 })
+        ));
+    }
+
+    #[test]
+    fn binary_codec_round_trips_every_variant() {
+        let events = [
+            StreamEvent::Open {
+                sequence: u64::MAX,
+                symbol: "fever".into(),
+                at: -3,
+            },
+            StreamEvent::Close {
+                sequence: 7,
+                symbol: "ünïcode✓".into(),
+                at: Time::MAX,
+            },
+            StreamEvent::Interval {
+                sequence: 0,
+                symbol: "rash".into(),
+                start: Time::MIN,
+                end: 20,
+            },
+            StreamEvent::Watermark(-99),
+        ];
+        for event in events {
+            let mut bytes = Vec::new();
+            event.encode(&mut bytes);
+            assert_eq!(StreamEvent::decode(&bytes).expect("decode"), event);
+        }
+    }
+
+    #[test]
+    fn binary_codec_rejects_malformed_records() {
+        let mut good = Vec::new();
+        StreamEvent::Watermark(5).encode(&mut good);
+
+        // Empty input, unknown tag, truncation, trailing garbage.
+        assert!(StreamEvent::decode(&[]).is_err());
+        assert!(StreamEvent::decode(&[9]).is_err());
+        assert!(StreamEvent::decode(&good[..good.len() - 1]).is_err());
+        let mut long = good.clone();
+        long.push(0);
+        assert!(StreamEvent::decode(&long).is_err());
+
+        // Symbol validation: empty, oversized length claim, bad UTF-8.
+        let mut open = Vec::new();
+        StreamEvent::Open {
+            sequence: 1,
+            symbol: "ab".into(),
+            at: 2,
+        }
+        .encode(&mut open);
+        let sym_len_at = 1 + 8 + 8;
+        let mut empty_sym = open.clone();
+        empty_sym[sym_len_at..sym_len_at + 8].copy_from_slice(&0u64.to_le_bytes());
+        empty_sym.truncate(sym_len_at + 8);
+        assert!(StreamEvent::decode(&empty_sym).is_err());
+        let mut huge_sym = open.clone();
+        huge_sym[sym_len_at..sym_len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(StreamEvent::decode(&huge_sym).is_err());
+        let mut bad_utf8 = open.clone();
+        bad_utf8[sym_len_at + 8] = 0xFF;
+        assert!(StreamEvent::decode(&bad_utf8).is_err());
+
+        // Degenerate intervals are rejected exactly like the text parser.
+        let mut degenerate = Vec::new();
+        StreamEvent::Interval {
+            sequence: 1,
+            symbol: "x".into(),
+            start: 4,
+            end: 9,
+        }
+        .encode(&mut degenerate);
+        degenerate[17..25].copy_from_slice(&4i64.to_le_bytes());
+        assert!(matches!(
+            StreamEvent::decode(&degenerate),
+            Err(IntervalError::DegenerateInterval { start: 4, end: 4 })
         ));
     }
 

@@ -21,7 +21,12 @@
 //!   continues while the worker mines it, and triggers arriving mid-flight
 //!   coalesce into the next epoch — bounded memory, no lost events, and
 //!   snapshots bit-identical to the synchronous path (see [`worker`] and
-//!   `docs/STREAMING.md`).
+//!   `docs/STREAMING.md`);
+//! - [`durable::Journal`] writes every event ahead of ingestion into a
+//!   checksummed write-ahead log ([`durability`]), [`durable::replay`]
+//!   rebuilds the window after a crash, and persistent write failures
+//!   degrade the stream to in-memory-only instead of killing it (see
+//!   [`durable`] and `docs/DURABILITY.md`).
 //!
 //! ```
 //! use interval_core::StreamEvent;
@@ -51,11 +56,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod incremental;
 pub mod snapshot;
 pub mod window;
 pub mod worker;
 
+pub use durable::{Journal, JournalStats, ReplayOutcome};
 pub use incremental::IncrementalMiner;
 pub use snapshot::{PatternSnapshot, RefreshStats, SnapshotCell};
 pub use window::{FrozenView, IngestStats, SlidingWindowDatabase};

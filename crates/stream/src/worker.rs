@@ -38,7 +38,7 @@
 //! in-flight job (SIGINT, `--timeout`) makes the refresh terminate at its
 //! next budget check, so shutdown never blocks on an unbounded mine.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -71,6 +71,8 @@ struct SharedCounters {
     completed: AtomicU64,
     coalesced: AtomicU64,
     events_during_refresh: AtomicU64,
+    wal_flushes: AtomicU64,
+    wal_degraded: AtomicBool,
 }
 
 /// Point-in-time view of the pipeline's backpressure counters.
@@ -91,6 +93,14 @@ pub struct PipelineStats {
     /// How far (in stream time) the latest published snapshot trails the
     /// live watermark. `None` until both sides have a watermark.
     pub refresh_lag: Option<Time>,
+    /// Write-ahead-log flushes (buffer + fsync) performed on behalf of this
+    /// pipeline — at minimum the shutdown flush. Zero when no WAL is
+    /// attached.
+    pub wal_flushes: u64,
+    /// Sticky degraded flag: the WAL exhausted its write retries and
+    /// ingestion continued in-memory only. Once set it never clears (see
+    /// `docs/DURABILITY.md`, "Degraded mode").
+    pub wal_degraded: bool,
 }
 
 /// A dedicated background thread running [`IncrementalMiner`] refreshes
@@ -235,6 +245,17 @@ impl RefreshWorker {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one write-ahead-log flush performed for this pipeline.
+    pub fn note_wal_flush(&self) {
+        self.counters.wal_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Latches the sticky degraded flag: the WAL stopped accepting writes
+    /// and the stream fell back to in-memory-only ingestion.
+    pub fn note_wal_degraded(&self) {
+        self.counters.wal_degraded.store(true, Ordering::Relaxed);
+    }
+
     /// Completed snapshots not yet collected, in publication order.
     /// Non-blocking.
     pub fn drain_completed(&self) -> Vec<Arc<PatternSnapshot>> {
@@ -256,7 +277,26 @@ impl RefreshWorker {
             coalesced_refreshes: self.counters.coalesced.load(Ordering::Acquire),
             events_during_refresh: self.counters.events_during_refresh.load(Ordering::Relaxed),
             refresh_lag,
+            wal_flushes: self.counters.wal_flushes.load(Ordering::Relaxed),
+            wal_degraded: self.counters.wal_degraded.load(Ordering::Relaxed),
         }
+    }
+
+    /// [`shutdown`](Self::shutdown), preceded by a WAL flush + fsync so a
+    /// clean exit (SIGINT, `--timeout`, end of input) never leaves an
+    /// unsynced tail behind the final refresh. The flush (or the
+    /// degradation it surfaces) lands in the returned stats.
+    pub fn shutdown_flushing<F: durability::WalFs>(
+        self,
+        journal: &mut crate::durable::Journal<F>,
+    ) -> ShutdownOutcome {
+        if journal.flush() {
+            self.note_wal_flush();
+        }
+        if journal.is_degraded() {
+            self.note_wal_degraded();
+        }
+        self.shutdown()
     }
 
     /// Closes the job channel, lets any in-flight or queued refresh finish

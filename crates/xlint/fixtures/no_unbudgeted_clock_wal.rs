@@ -1,0 +1,23 @@
+// Fixture for `no-unbudgeted-clock` in WAL-ish code: a retry loop that
+// bounds fsync backoff by wall time. Sanctioned only inside
+// `crates/durability/src/io.rs` — anywhere else the bare read fires.
+use std::fs::File;
+use std::time::{Duration, Instant};
+
+fn violating_retry(file: &File) -> std::io::Result<()> {
+    let started = Instant::now();
+    loop {
+        match file.sync_all() {
+            Ok(()) => return Ok(()),
+            Err(e) if started.elapsed() > Duration::from_millis(250) => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn suppressed_retry(file: &File) -> std::io::Result<()> {
+    // xlint::allow(no-unbudgeted-clock): fixture — backoff ceiling needs the wall clock
+    let started = Instant::now();
+    let _ = started;
+    file.sync_all()
+}

@@ -161,6 +161,30 @@ fn no_unbudgeted_clock_fixture() {
 }
 
 #[test]
+fn no_unbudgeted_clock_wal_fixture() {
+    // An fsync retry loop timing its backoff with `Instant::now` is still a
+    // violation in any ordinary library module…
+    let (v, suppressed) = lint(
+        "no_unbudgeted_clock_wal.rs",
+        "crates/fixture/src/journal.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["no-unbudgeted-clock"], "{v:?}");
+    assert_eq!(v[0].line, 8, "the bare read, not the allowed one");
+    assert_eq!(suppressed, 1);
+
+    // …but the durability crate's I/O module is the sanctioned home for
+    // exactly this loop (retry backoff ceilings need the wall clock).
+    let (v, suppressed) = lint(
+        "no_unbudgeted_clock_wal.rs",
+        "crates/durability/src/io.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
 fn run_paths_lints_fixtures_end_to_end() {
     // Drive the public entry point over a real file on disk: the fixture
     // lands in the `xlint` (tool) crate, so only structural rules apply —

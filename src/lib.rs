@@ -20,6 +20,9 @@
 //! - [`stream`] — streaming ingestion: a sliding-window database over
 //!   timestamped interval events and an incremental miner that refreshes
 //!   only the partitions the latest events touched.
+//! - [`durability`] — crash safety for the streaming tier: a checksummed
+//!   write-ahead log with epoch-rotated segments, recovery-by-replay, and
+//!   a fault-injecting filesystem shim for crash-point tests.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@
 
 pub use baselines;
 pub use datasets;
+pub use durability;
 pub use interval_core;
 pub use stream;
 pub use synthgen;
