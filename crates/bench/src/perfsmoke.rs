@@ -343,7 +343,84 @@ pub fn run() -> SmokeReport {
     report.push("stream_wal_on_ingest_us", wal_on_ingest_us);
     report.push("stream_wal_flush_us", wal_flush_us);
 
+    // --- service tier: TCP ingest throughput ---
+    // The same streaming workload, pushed through `serve`'s full network
+    // path: wire parsing, per-connection framing, session locking and the
+    // pipelined refresh worker. The gated number is the wall time from the
+    // first `BATCH` byte to its acknowledgement (the server acks only
+    // after every payload event is ingested), so it bounds protocol +
+    // ingest overhead without gating the miner twice.
+    let (serve_ingest_us, serve_patterns) = serve_ingest_throughput(&events);
+    let serve_rate = events.len() as f64 * 1e6 / serve_ingest_us.max(1) as f64;
+    eprintln!(
+        "perf-smoke: serve TCP ingest — {} events in {} us ({:.0} events/s), \
+         {} patterns after sync",
+        events.len(),
+        serve_ingest_us,
+        serve_rate,
+        serve_patterns,
+    );
+    report.push("serve_events", events.len() as u64);
+    report.push("serve_batch_ingest_us", serve_ingest_us);
+    report.push("serve_synced_patterns", serve_patterns);
+
     report
+}
+
+/// Drives one `BATCH` of `events` through an in-process [`server`] over a
+/// real socket; returns (ack wall time in us, patterns after `SYNC`).
+fn serve_ingest_throughput(events: &[StreamEvent]) -> (u64, u64) {
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = server::ServerHandle::launch("127.0.0.1:0", server::ServerConfig::default())
+        .expect("perf-smoke server must bind a loopback port");
+    let sock = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+    let mut writer = sock;
+    fn roundtrip(
+        writer: &mut std::net::TcpStream,
+        reader: &mut BufReader<std::net::TcpStream>,
+        line: &str,
+    ) -> String {
+        writer.write_all(line.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("recv");
+        assert!(reply.starts_with("OK"), "{line} -> {reply}");
+        reply.trim_end().to_owned()
+    }
+
+    roundtrip(
+        &mut writer,
+        &mut reader,
+        "CREATE perf WINDOW 100 ABS-SUPPORT 4 MAX-ARITY 3 REFRESH-EVERY 1",
+    );
+    let mut batch = format!("BATCH perf {}\n", events.len());
+    for event in events {
+        batch.push_str(&event.to_string());
+        batch.push('\n');
+    }
+    let started = Instant::now();
+    writer.write_all(batch.as_bytes()).expect("send batch");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("batch ack");
+    let ingest_us = started.elapsed().as_micros() as u64;
+    assert!(
+        reply.starts_with("OK batch accepted="),
+        "batch must be fully accepted: {reply}"
+    );
+    assert!(reply.contains("rejected=0"), "{reply}");
+
+    let synced = roundtrip(&mut writer, &mut reader, "SYNC perf");
+    let patterns: u64 = synced
+        .rsplit_once("patterns=")
+        .and_then(|(_, n)| n.parse().ok())
+        .expect("SYNC reply carries a pattern count");
+    drop(writer);
+    drop(reader);
+    let drain = handle.shutdown().expect("perf-smoke server must drain");
+    assert!(!drain.any_worker_failed(), "refresh worker died under load");
+    (ingest_us, patterns)
 }
 
 /// Replays of the WAL workload per timing sample (keeps each sample in the
@@ -471,15 +548,15 @@ fn work_queue_makespan(
     loads.into_iter().max().unwrap_or(0)
 }
 
-/// Compares `current` against a committed `baseline`, printing one line per
-/// gated metric. Returns the list of regression messages (empty = pass).
-/// Wall-clock keys (`*_us`) gate at [`MAX_WALL_RATIO`], RSS keys
-/// (`*_rss_bytes`) at [`MAX_RSS_RATIO`]; other keys are informational.
 /// Metrics recorded for information only, never gated: these are bound by
 /// disk hardware (an fsync's cost swings ~3x with page-cache state), so a
 /// cross-run ratio would flake without telling us anything about the code.
 const INFORMATIONAL: &[&str] = &["stream_wal_flush_us"];
 
+/// Compares `current` against a committed `baseline`, printing one line per
+/// gated metric. Returns the list of regression messages (empty = pass).
+/// Wall-clock keys (`*_us`) gate at [`MAX_WALL_RATIO`], RSS keys
+/// (`*_rss_bytes`) at [`MAX_RSS_RATIO`]; other keys are informational.
 pub fn compare(current: &SmokeReport, baseline: &SmokeReport) -> Vec<String> {
     let mut failures = Vec::new();
     for (key, &base) in baseline.entries.iter().map(|(k, v)| (k, v)) {

@@ -2,6 +2,10 @@
 
 use std::collections::HashMap;
 
+// Typo suggestions share the server wire protocol's edit-distance machinery
+// so the CLI and the protocol grammar suggest with identical behavior.
+use interval_core::wire::closest;
+
 /// Parsed command line: subcommand, positional arguments, `--key value` /
 /// `--flag` options.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -26,6 +30,7 @@ const FLAGS: &[&str] = &[
     "pipeline",
     "sync-refresh",
     "verify",
+    "stats-json",
 ];
 
 /// Parses an argument vector (without the program name).
@@ -119,6 +124,8 @@ pub const COMMANDS: &[&str] = &[
     "mine-prob",
     "stream",
     "recover",
+    "serve",
+    "client",
 ];
 
 /// The known subcommand closest to a mistyped one (`min` → `mine`), if any
@@ -134,32 +141,6 @@ pub fn suggest_value<'a>(value: &str, known: &[&'a str]) -> Option<&'a str> {
     closest(value, known)
 }
 
-/// The known option with the smallest edit distance to `key`, if close
-/// enough to be a plausible typo.
-fn closest<'a>(key: &str, known: &[&'a str]) -> Option<&'a str> {
-    known
-        .iter()
-        .map(|&k| (edit_distance(key, k), k))
-        .min()
-        .filter(|&(d, _)| d <= 2)
-        .map(|(_, k)| k)
-}
-
-/// Plain Levenshtein distance (options are short; O(nm) is fine).
-fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    for (i, &ca) in a.iter().enumerate() {
-        let mut current = vec![i + 1];
-        for (j, &cb) in b.iter().enumerate() {
-            let cost = usize::from(ca != cb);
-            current.push((prev[j] + cost).min(prev[j + 1] + 1).min(current[j] + 1));
-        }
-        prev = current;
-    }
-    prev[b.len()]
-}
 
 #[cfg(test)]
 mod tests {
@@ -254,6 +235,7 @@ mod tests {
 
     #[test]
     fn edit_distance_basics() {
+        use interval_core::wire::edit_distance;
         assert_eq!(edit_distance("abc", "abc"), 0);
         assert_eq!(edit_distance("abc", "abd"), 1);
         assert_eq!(edit_distance("", "abc"), 3);

@@ -1,0 +1,132 @@
+//! The `client` subcommand: a scripting client for the service protocol.
+//!
+//! ```text
+//! ptpminer-cli client --addr 127.0.0.1:7464 [script]
+//! ```
+//!
+//! Commands are read from the script file (or stdin with no positional /
+//! `-`), sent to the server one at a time, and each response unit — a
+//! single `OK`/`ERR` line or a whole `BEGIN n … END` block — is printed to
+//! stdout. Blank lines and `#` comments are skipped, so scripts can be
+//! annotated. After a `BATCH <stream> <n>` header the next `n` script
+//! lines are forwarded verbatim as the batch payload (the server replies
+//! once, after the whole batch).
+//!
+//! The exit code is 0 when every command got an `OK` (or block) response
+//! and 2 if any command was answered with `ERR`, so shell scripts and e2e
+//! tests can assert on protocol success without parsing output.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use crate::args::Parsed;
+use crate::{emit_lines, exit};
+
+/// Options the `client` subcommand accepts.
+pub const OPTIONS: &[&str] = &["addr"];
+
+pub fn run(p: &Parsed) -> Result<ExitCode, String> {
+    let addr = p
+        .get("addr")
+        .ok_or_else(|| "pass --addr HOST:PORT (the serve process's address)".to_string())?;
+    let script: Box<dyn Read> = match p.positional.as_slice() {
+        [] => Box::new(std::io::stdin()),
+        [path] if path == "-" => Box::new(std::io::stdin()),
+        [path] => Box::new(std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?),
+        _ => return Err("expected at most one script file".into()),
+    };
+    let sock = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut replies = BufReader::new(sock.try_clone().map_err(|e| e.to_string())?);
+    let mut sock = sock;
+
+    let mut any_err = false;
+    let mut script = BufReader::new(script);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match script.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("script: {e}")),
+        }
+        let command = line.trim_end();
+        if command.is_empty() || command.starts_with('#') {
+            continue;
+        }
+        sock.write_all(command.as_bytes())
+            .and_then(|()| sock.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        // A BATCH header promises n payload lines before the server
+        // answers; forward them from the script without reading replies.
+        if let Some(count) = batch_count(command) {
+            let mut payload = String::new();
+            for _ in 0..count {
+                payload.clear();
+                match script.read_line(&mut payload) {
+                    Ok(0) => return Err(format!(
+                        "script ended inside a BATCH of {count} lines"
+                    )),
+                    Ok(_) => {}
+                    Err(e) => return Err(format!("script: {e}")),
+                }
+                let trimmed = payload.trim_end();
+                sock.write_all(trimmed.as_bytes())
+                    .and_then(|()| sock.write_all(b"\n"))
+                    .map_err(|e| format!("send: {e}"))?;
+            }
+        }
+        any_err |= print_response(&mut replies)?;
+        if command.to_ascii_uppercase().starts_with("QUIT") {
+            break;
+        }
+    }
+    if any_err {
+        Ok(ExitCode::from(exit::USAGE))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// The payload line count of a `BATCH <stream> <n>` command, if it is one.
+fn batch_count(command: &str) -> Option<usize> {
+    let mut words = command.split_whitespace();
+    if !words.next()?.eq_ignore_ascii_case("BATCH") {
+        return None;
+    }
+    let _stream = words.next()?;
+    words.next()?.parse().ok()
+}
+
+/// Reads one response unit and prints it; returns whether it was an `ERR`.
+fn print_response(replies: &mut BufReader<TcpStream>) -> Result<bool, String> {
+    let head = read_reply_line(replies)?;
+    let is_err = head.starts_with("ERR");
+    let mut out = vec![head.clone()];
+    if let Some(rest) = head.strip_prefix("BEGIN ") {
+        let count: usize = rest
+            .split_whitespace()
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("malformed BEGIN header: {head}"))?;
+        for _ in 0..count {
+            out.push(read_reply_line(replies)?);
+        }
+        let end = read_reply_line(replies)?;
+        if end != "END" {
+            return Err(format!("unterminated block: expected END, got {end:?}"));
+        }
+        out.push(end);
+    }
+    emit_lines(out.into_iter())?;
+    Ok(is_err)
+}
+
+fn read_reply_line(replies: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let mut line = String::new();
+    match replies.read_line(&mut line) {
+        Ok(0) => Err("server closed the connection".into()),
+        Ok(_) => Ok(line.trim_end().to_owned()),
+        Err(e) => Err(format!("recv: {e}")),
+    }
+}

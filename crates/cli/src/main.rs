@@ -30,8 +30,10 @@
 //! | 130  | interrupted by Ctrl-C — partial result |
 
 mod args;
+mod client_cmd;
 mod exit;
 mod recover_cmd;
+mod serve_cmd;
 mod sigint;
 mod stream_cmd;
 
@@ -75,6 +77,14 @@ commands:
              [--min-support FRAC | --abs-support N]  (also mine the
              recovered window)  [--max-arity K] [--gap G] [--threads N]
              [--json]
+  serve      run the multi-tenant pattern-mining service (docs/SERVER.md)
+             [--addr HOST:PORT] [--wal-root DIR [--fsync always|epoch|never]]
+             [--threads N] [--port-file PATH] [--stats-json]
+             streams are CREATEd over the wire; SIGINT or SHUTDOWN drains
+             every stream gracefully (WAL flushed, final refresh folded in)
+  client     script the service protocol over one connection
+             --addr HOST:PORT [script|-]  (commands from file or stdin;
+             responses on stdout; exit 2 if any command got ERR)
 
 exit codes:
   0 complete   2 usage error   3 budget exhausted (partial result)
@@ -149,6 +159,14 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         "recover" => {
             parsed.expect_options(recover_cmd::OPTIONS)?;
             recover_cmd::run(&parsed)
+        }
+        "serve" => {
+            parsed.expect_options(serve_cmd::OPTIONS)?;
+            serve_cmd::run(&parsed)
+        }
+        "client" => {
+            parsed.expect_options(client_cmd::OPTIONS)?;
+            client_cmd::run(&parsed)
         }
         other => {
             let mut message = format!("unknown command `{other}`");

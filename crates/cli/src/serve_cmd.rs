@@ -1,0 +1,155 @@
+//! The `serve` subcommand: run the multi-tenant pattern-mining service.
+//!
+//! ```text
+//! ptpminer-cli serve --addr 127.0.0.1:7464 --wal-root /var/lib/ptpminer \
+//!     [--fsync always|epoch|never] [--threads N] [--port-file PATH]
+//!     [--stats-json]
+//! ```
+//!
+//! The process runs until SIGINT or a client's `SHUTDOWN`, then drains
+//! every stream gracefully (WAL flushed, final refresh folded in) and
+//! prints a per-stream summary to stderr. `--port-file` writes the bound
+//! address (useful with `--addr 127.0.0.1:0`, which picks a free port) so
+//! scripts and tests can discover where the server landed. See
+//! `docs/SERVER.md` for the protocol.
+//!
+//! Exit codes follow the rest of the CLI: 0 clean drain, 4 if any
+//! stream's refresh worker died, 5 if any stream's WAL degraded.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use server::{DrainReport, Server, ServerConfig};
+
+use crate::args::Parsed;
+use crate::{exit, sigint, stream_cmd};
+
+/// Options the `serve` subcommand accepts.
+pub const OPTIONS: &[&str] = &[
+    "addr",
+    "wal-root",
+    "fsync",
+    "threads",
+    "port-file",
+    "stats-json",
+];
+
+/// The default listen address when `--addr` is not given.
+const DEFAULT_ADDR: &str = "127.0.0.1:7464";
+
+pub fn run(p: &Parsed) -> Result<ExitCode, String> {
+    if !p.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let fsync = stream_cmd::fsync_from(p)?;
+    if p.get("fsync").is_some() && p.get("wal-root").is_none() {
+        return Err("--fsync needs --wal-root (there are no logs to sync without one)".into());
+    }
+    let config = ServerConfig {
+        wal_root: p.get("wal-root").map(PathBuf::from),
+        fsync,
+        threads: p.num::<usize>("threads", 0)?,
+    };
+    if let Some(root) = &config.wal_root {
+        std::fs::create_dir_all(root).map_err(|e| format!("--wal-root {}: {e}", root.display()))?;
+    }
+    let addr = p.get("addr").unwrap_or(DEFAULT_ADDR);
+    let server = Server::bind(addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(path) = p.get("port-file") {
+        std::fs::write(path, format!("{bound}\n")).map_err(|e| format!("--port-file {path}: {e}"))?;
+    }
+    eprintln!("listening on {bound} (SIGINT or SHUTDOWN drains)");
+
+    let token = sigint::install();
+    let report = server.run(token).map_err(|e| format!("serve: {e}"))?;
+
+    report_drain(&report);
+    if p.flag("stats-json") {
+        eprintln!("{}", stats_json(&report));
+    }
+    if report.any_worker_failed() {
+        Ok(ExitCode::from(exit::WORKER_FAILED))
+    } else if report.any_wal_degraded() {
+        eprintln!(
+            "note: durability degraded — at least one stream's WAL stopped accepting \
+             writes (exit code {})",
+            exit::DEGRADED,
+        );
+        Ok(ExitCode::from(exit::DEGRADED))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Human drain summary, one line per stream plus the server counters.
+fn report_drain(report: &DrainReport) {
+    eprintln!("drained {} stream(s):", report.streams.len());
+    for s in &report.streams {
+        let mut line = format!(
+            "  {}: {} events, revision {}, {} patterns, {} refreshes ({} coalesced)",
+            s.name,
+            s.events,
+            s.final_revision,
+            s.final_patterns,
+            s.pipeline.completed_refreshes,
+            s.pipeline.coalesced_refreshes,
+        );
+        if s.wal_degraded {
+            line.push_str(" [WAL DEGRADED]");
+        }
+        if s.worker_failed {
+            line.push_str(" [WORKER FAILED]");
+        }
+        eprintln!("{line}");
+    }
+    let c = &report.counters;
+    eprintln!(
+        "served {} connection(s), {} command(s) ({} protocol errors), \
+         {} events accepted ({} rejected), {} queries",
+        c.connections, c.commands, c.protocol_errors, c.events_accepted, c.events_rejected,
+        c.queries,
+    );
+}
+
+/// Machine-readable drain report. Hand-built JSON: stream names are
+/// validated by the wire grammar to `[A-Za-z0-9._-]`, so no escaping is
+/// ever needed.
+fn stats_json(report: &DrainReport) -> String {
+    let streams: Vec<String> = report
+        .streams
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":\"{}\",\"events\":{},\"revision\":{},\"patterns\":{},\
+                 \"submitted\":{},\"completed\":{},\"coalesced\":{},\
+                 \"events_during_refresh\":{},\"wal_flushes\":{},\
+                 \"wal_degraded\":{},\"worker_failed\":{}}}",
+                s.name,
+                s.events,
+                s.final_revision,
+                s.final_patterns,
+                s.pipeline.submitted_refreshes,
+                s.pipeline.completed_refreshes,
+                s.pipeline.coalesced_refreshes,
+                s.pipeline.events_during_refresh,
+                s.pipeline.wal_flushes,
+                s.wal_degraded,
+                s.worker_failed,
+            )
+        })
+        .collect();
+    let c = &report.counters;
+    format!(
+        "{{\"connections\":{},\"commands\":{},\"protocol_errors\":{},\
+         \"events_accepted\":{},\"events_rejected\":{},\"queries\":{},\
+         \"streams\":[{}]}}",
+        c.connections,
+        c.commands,
+        c.protocol_errors,
+        c.events_accepted,
+        c.events_rejected,
+        c.queries,
+        streams.join(","),
+    )
+}

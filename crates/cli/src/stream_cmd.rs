@@ -68,6 +68,7 @@ pub const OPTIONS: &[&str] = &[
     "sync-refresh",
     "wal-dir",
     "fsync",
+    "stats-json",
 ];
 
 /// How the support threshold is chosen at each refresh.
@@ -86,6 +87,24 @@ impl Threshold {
             Threshold::Absolute(n) => n,
             Threshold::Fraction(f) => ((f * sequences as f64).ceil() as usize).max(1),
         }
+    }
+}
+
+/// The fsync policy from `--fsync`, with did-you-mean suggestions for
+/// typos. Shared by `stream` (per-run WAL) and `serve` (per-stream WALs).
+pub(crate) fn fsync_from(p: &Parsed) -> Result<FsyncPolicy, String> {
+    match p.get("fsync") {
+        None => Ok(FsyncPolicy::Epoch),
+        Some(value) => FsyncPolicy::parse(value).ok_or_else(|| {
+            let mut message = format!(
+                "--fsync: unknown policy `{value}` (one of: {})",
+                FsyncPolicy::NAMES.join(", ")
+            );
+            if let Some(suggestion) = args::suggest_value(value, FsyncPolicy::NAMES) {
+                message.push_str(&format!(" (did you mean `{suggestion}`?)"));
+            }
+            message
+        }),
     }
 }
 
@@ -126,19 +145,7 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
         return Err("--pipeline and --sync-refresh are mutually exclusive".into());
     }
     let pipelined = !p.flag("sync-refresh");
-    let fsync_policy = match p.get("fsync") {
-        None => FsyncPolicy::Epoch,
-        Some(value) => FsyncPolicy::parse(value).ok_or_else(|| {
-            let mut message = format!(
-                "--fsync: unknown policy `{value}` (one of: {})",
-                FsyncPolicy::NAMES.join(", ")
-            );
-            if let Some(suggestion) = args::suggest_value(value, FsyncPolicy::NAMES) {
-                message.push_str(&format!(" (did you mean `{suggestion}`?)"));
-            }
-            message
-        })?,
-    };
+    let fsync_policy = fsync_from(p)?;
     if p.get("fsync").is_some() && p.get("wal-dir").is_none() {
         return Err("--fsync needs --wal-dir (there is no log to sync without one)".into());
     }
@@ -162,7 +169,7 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     };
 
     let path = p.input()?;
-    let reader: Box<dyn BufRead> = if path == "-" {
+    let mut reader: Box<dyn BufRead> = if path == "-" {
         Box::new(std::io::stdin().lock())
     } else {
         let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
@@ -191,7 +198,9 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     // Why the tail stopped before end of input, if it did.
     let mut stopped: Option<Termination> = None;
 
-    for (idx, line) in reader.lines().enumerate() {
+    let mut line = String::new();
+    let mut idx = 0usize;
+    loop {
         if token.is_cancelled() {
             stopped = Some(Termination::Cancelled);
             break;
@@ -200,9 +209,37 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
             stopped = Some(Termination::DeadlineExceeded);
             break;
         }
-        let line = line.map_err(|e| format!("{path}: {e}"))?;
-        let Some(event) = StreamEvent::parse_line(&line, idx + 1).map_err(|e| e.to_string())?
-        else {
+        line.clear();
+        match reader.read_line(&mut line) {
+            // A zero-byte read is end of input — the file ended or the
+            // writer closed the pipe. It is *final*: break straight to the
+            // wind-down (WAL flush + final refresh); retrying would spin
+            // on zero-byte reads forever.
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A non-blocking stdin (inherited from some process
+                // managers) signals "no data yet", not EOF: back off
+                // briefly instead of busy-polling.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) => {
+                // A hard read error mid-tail behaves like EOF with a
+                // warning: everything accepted so far still gets its
+                // final flush + refresh instead of being thrown away.
+                eprintln!("warning: {path}: {e} — treating as end of input");
+                break;
+            }
+        }
+        idx += 1;
+        let Some(event) = StreamEvent::parse_line(&line, idx).map_err(|e| e.to_string())? else {
             continue;
         };
         let is_watermark = matches!(event, StreamEvent::Watermark(_));
@@ -222,7 +259,7 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
         }
         window
             .ingest(event)
-            .map_err(|e| format!("line {}: {e}", idx + 1))?;
+            .map_err(|e| format!("line {idx}: {e}"))?;
         if let Engine::Pipelined(worker) = &engine {
             if worker.is_busy() {
                 worker.note_events_during_refresh(1);
@@ -364,6 +401,60 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     }
     if worker_failed {
         eprintln!("warning: background refresh worker failed; last published snapshot stands");
+    }
+    if p.flag("stats-json") {
+        // Hand-built JSON (numbers and booleans only, so no escaping is
+        // needed): one machine-readable line for integration tests and
+        // ops tooling, instead of scraping the human summary above.
+        let pipeline = match &pipeline_stats {
+            None => "null".to_owned(),
+            Some(ps) => format!(
+                "{{\"submitted\":{},\"completed\":{},\"coalesced\":{},\
+                 \"events_during_refresh\":{},\"refresh_lag\":{},\
+                 \"wal_flushes\":{},\"wal_degraded\":{}}}",
+                ps.submitted_refreshes,
+                ps.completed_refreshes,
+                ps.coalesced_refreshes,
+                ps.events_during_refresh,
+                ps.refresh_lag
+                    .map_or_else(|| "null".to_owned(), |l| l.to_string()),
+                ps.wal_flushes,
+                ps.wal_degraded,
+            ),
+        };
+        let wal = match &journal {
+            None => "null".to_owned(),
+            Some(j) => {
+                let js = j.stats();
+                format!(
+                    "{{\"records\":{},\"bytes\":{},\"syncs\":{},\"segments_sealed\":{},\
+                     \"segments_reclaimed\":{},\"flushes\":{},\"degraded\":{}}}",
+                    js.wal.records_appended,
+                    js.wal.bytes_written,
+                    js.wal.syncs,
+                    js.wal.segments_sealed,
+                    js.wal.segments_reclaimed,
+                    js.flushes,
+                    js.degraded,
+                )
+            }
+        };
+        eprintln!(
+            "{{\"events\":{},\"intervals\":{},\"late_dropped\":{},\"evicted\":{},\
+             \"watermarks\":{watermarks},\"sequences\":{},\"open_intervals\":{},\
+             \"revision\":{},\"patterns\":{},\"full_refreshes\":{full_refreshes},\
+             \"elapsed_ms\":{},\"worker_failed\":{worker_failed},\
+             \"pipeline\":{pipeline},\"wal\":{wal}}}",
+            stats.events,
+            stats.intervals_completed,
+            stats.late_intervals_dropped,
+            stats.intervals_evicted,
+            window.len(),
+            window.open_intervals(),
+            finale.revision,
+            finale.result.len(),
+            elapsed.as_millis(),
+        );
     }
 
     render_final(p, &finale)?;

@@ -1,0 +1,105 @@
+//! Regression tests for `stream -` end-of-input handling: a closed stdin
+//! pipe must wind the run down (WAL flush + final refresh + summary)
+//! promptly instead of spinning on zero-byte reads, and `--stats-json`
+//! must report the run in machine-readable form.
+
+use std::io::Write;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ptpminer-cli"))
+}
+
+const EVENTS: &str = "\
+interval 0 a 0 5
+interval 0 b 3 8
+watermark 9
+interval 1 a 10 15
+interval 1 b 13 18
+watermark 19
+";
+
+/// Waits for exit with a hard deadline — if EOF handling regresses into a
+/// spin, the child never exits and this fails instead of hanging the suite.
+fn wait_bounded(child: &mut Child) -> std::process::ExitStatus {
+    for _ in 0..600 {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let _ = child.kill();
+    panic!("stream did not exit after stdin closed (EOF spin regression)");
+}
+
+fn run_stream(extra: &[&str]) -> (std::process::ExitStatus, String, String) {
+    let mut child = bin()
+        .args([
+            "stream",
+            "-",
+            "--window",
+            "1000",
+            "--abs-support",
+            "2",
+            "--refresh-every",
+            "1",
+        ])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        stdin.write_all(EVENTS.as_bytes()).unwrap();
+        // Dropping stdin closes the pipe: the next read returns 0 bytes.
+    }
+    let status = wait_bounded(&mut child);
+    let out = child.wait_with_output().unwrap();
+    (
+        status,
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn closed_stdin_pipe_triggers_final_refresh_and_clean_exit() {
+    let (status, stdout, stderr) = run_stream(&[]);
+    assert_eq!(status.code(), Some(0), "stderr: {stderr}");
+    // The wind-down ran: ingest summary on stderr, final patterns on
+    // stdout (the post-EOF refresh folded in the tail after the last
+    // watermark trigger).
+    assert!(stderr.contains("ingested 6 events"), "{stderr}");
+    assert!(stdout.contains("frequent patterns:"), "{stdout}");
+    assert!(stdout.contains("a+ | b+ | a- | b-"), "{stdout}");
+}
+
+#[test]
+fn stats_json_reports_the_run_machine_readably() {
+    let (status, _stdout, stderr) = run_stream(&["--stats-json"]);
+    assert_eq!(status.code(), Some(0), "stderr: {stderr}");
+    let json_line = stderr
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON stats line in: {stderr}"));
+    for needle in [
+        "\"events\":6",
+        "\"watermarks\":2",
+        "\"worker_failed\":false",
+        "\"pipeline\":{",
+        "\"wal\":null",
+    ] {
+        assert!(json_line.contains(needle), "missing {needle}: {json_line}");
+    }
+}
+
+#[test]
+fn sync_refresh_path_handles_eof_identically() {
+    let (status, stdout, stderr) = run_stream(&["--sync-refresh"]);
+    assert_eq!(status.code(), Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("a+ | b+ | a- | b-"), "{stdout}");
+    assert!(stderr.contains("ingested 6 events"), "{stderr}");
+}

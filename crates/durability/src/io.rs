@@ -3,7 +3,7 @@
 //! `fault-injection` feature) a deterministic faulty-filesystem shim.
 //!
 //! The WAL never touches `std::fs` directly: it is generic over [`WalFs`],
-//! so crash-point tests swap in [`FaultyFs`] to inject short writes,
+//! so crash-point tests swap in `FaultyFs` to inject short writes,
 //! interrupted syscalls, fsync failures, bit flips at chosen offsets and a
 //! hard "disk dies after N bytes" cliff — all deterministic, no timing or
 //! randomness involved.

@@ -49,6 +49,7 @@ pub mod pattern;
 pub mod probability;
 pub mod sequence;
 pub mod symbols;
+pub mod wire;
 
 pub use allen::AllenRelation;
 pub use budget::{BudgetMeter, CancellationToken, MiningBudget, Termination};
@@ -66,3 +67,4 @@ pub use pattern::{PatternEndpoint, SlotInfo, TemporalPattern};
 pub use probability::ProbabilityConfig;
 pub use sequence::{IntervalSequence, UncertainSequence};
 pub use symbols::{SymbolId, SymbolTable};
+pub use wire::{CreateSpec, Request, SupportSpec, WireError};

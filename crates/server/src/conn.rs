@@ -1,0 +1,443 @@
+//! Per-connection protocol loop: capped line reading and request dispatch.
+//!
+//! Each accepted socket gets one thread (spawned by [`crate::accept`], the
+//! sanctioned spawn site) running `serve`. The read side uses a short
+//! socket timeout so the loop can observe the server's draining flag
+//! between requests — a connection never pins the drain behind an idle
+//! client. Lines longer than [`interval_core::wire::MAX_LINE_BYTES`] are
+//! rejected *and discarded without being buffered*: the reader switches to
+//! a discard state that consumes up to the newline in fixed-size chunks,
+//! so a hostile client cannot make the server allocate its line.
+//!
+//! One connection failing — malformed frames, a mid-`BATCH` disconnect, a
+//! kill -9 on the client — affects only that connection: sessions are
+//! owned by the registry, not the connection, and every response path
+//! keeps the loop alive except genuine I/O errors and `QUIT`.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use interval_core::wire::{Request, WireError, MAX_LINE_BYTES};
+use interval_core::StreamEvent;
+
+use crate::session::StreamSession;
+use crate::{proto, Shared};
+
+/// Socket read timeout: the cadence at which an idle connection re-checks
+/// the draining flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// What one attempt to read a request line produced.
+enum Next {
+    /// A complete line (without its terminator).
+    Line(String),
+    /// A line exceeded the cap and was discarded through the newline.
+    Oversize,
+    /// The peer closed the connection.
+    Eof,
+    /// The read timed out with no (or only partial) data; poll flags and
+    /// try again — any partial data stays buffered.
+    Idle,
+}
+
+/// A capped, timeout-tolerant line reader over the socket.
+struct LineReader {
+    reader: BufReader<TcpStream>,
+    buf: Vec<u8>,
+    discarding: bool,
+}
+
+impl LineReader {
+    fn new(sock: TcpStream) -> Self {
+        LineReader {
+            reader: BufReader::new(sock),
+            buf: Vec::new(),
+            discarding: false,
+        }
+    }
+
+    fn next(&mut self) -> std::io::Result<Next> {
+        use std::io::ErrorKind;
+        loop {
+            if self.discarding {
+                // Consume through the newline in buffer-sized chunks.
+                let consumed = match self.reader.fill_buf() {
+                    Ok([]) => return Ok(Next::Eof),
+                    Ok(bytes) => match bytes.iter().position(|&b| b == b'\n') {
+                        Some(pos) => {
+                            self.reader.consume(pos + 1);
+                            self.discarding = false;
+                            return Ok(Next::Oversize);
+                        }
+                        None => bytes.len(),
+                    },
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                        ) =>
+                    {
+                        return Ok(Next::Idle)
+                    }
+                    Err(e) => return Err(e),
+                };
+                self.reader.consume(consumed);
+                continue;
+            }
+            let budget = (MAX_LINE_BYTES + 1).saturating_sub(self.buf.len());
+            if budget == 0 {
+                self.buf.clear();
+                self.discarding = true;
+                continue;
+            }
+            let mut limited = Read::by_ref(&mut self.reader).take(budget as u64);
+            match limited.read_until(b'\n', &mut self.buf) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(Next::Eof)
+                    } else {
+                        // EOF terminated a final, newline-less line.
+                        Ok(Next::Line(self.take_line()))
+                    };
+                }
+                Ok(_) => {
+                    if self.buf.last() == Some(&b'\n') {
+                        return Ok(Next::Line(self.take_line()));
+                    }
+                    if self.buf.len() > MAX_LINE_BYTES {
+                        self.buf.clear();
+                        self.discarding = true;
+                        continue;
+                    }
+                    // Short read without a delimiter: more data may follow.
+                    continue;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    // Partial data (if any) stays in `buf` for the retry.
+                    return Ok(Next::Idle);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn take_line(&mut self) -> String {
+        if self.buf.last() == Some(&b'\n') {
+            self.buf.pop();
+        }
+        if self.buf.last() == Some(&b'\r') {
+            self.buf.pop();
+        }
+        let line = String::from_utf8_lossy(&self.buf).into_owned();
+        self.buf.clear();
+        line
+    }
+}
+
+/// Runs the protocol loop for one accepted connection until the client
+/// quits, hangs up, errors, or the server drains.
+pub(crate) fn serve(sock: TcpStream, shared: Arc<Shared>) {
+    let _ = sock.set_nodelay(true);
+    let _ = sock.set_read_timeout(Some(READ_TICK));
+    let writer_sock = match sock.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(writer_sock);
+    let mut lines = LineReader::new(sock);
+    loop {
+        if shared.draining.load(Ordering::Relaxed) {
+            break;
+        }
+        match lines.next() {
+            Ok(Next::Idle) => continue,
+            Ok(Next::Eof) | Err(_) => break,
+            Ok(Next::Oversize) => {
+                shared.counters.note_protocol_error();
+                let message = WireError::Oversize {
+                    limit: MAX_LINE_BYTES,
+                }
+                .to_string();
+                if respond_err(&mut writer, &message).is_err() {
+                    break;
+                }
+            }
+            Ok(Next::Line(line)) => match Request::parse_line(&line) {
+                Ok(None) => continue,
+                Err(e) => {
+                    shared.counters.note_protocol_error();
+                    if respond_err(&mut writer, &e.to_string()).is_err() {
+                        break;
+                    }
+                }
+                Ok(Some(request)) => {
+                    shared.counters.note_command();
+                    match dispatch(request, &shared, &mut lines, &mut writer) {
+                        Ok(false) => {}
+                        Ok(true) | Err(_) => break,
+                    }
+                }
+            },
+        }
+    }
+    let _ = writer.flush();
+}
+
+fn respond_err(writer: &mut BufWriter<TcpStream>, message: &str) -> std::io::Result<()> {
+    proto::err(writer, message)?;
+    writer.flush()
+}
+
+fn respond_ok(writer: &mut BufWriter<TcpStream>, detail: &str) -> std::io::Result<()> {
+    proto::ok(writer, detail)?;
+    writer.flush()
+}
+
+/// Handles one parsed request. `Ok(true)` closes the connection.
+fn dispatch(
+    request: Request,
+    shared: &Arc<Shared>,
+    lines: &mut LineReader,
+    writer: &mut BufWriter<TcpStream>,
+) -> std::io::Result<bool> {
+    match request {
+        Request::Create { stream, spec } => {
+            if shared.registry.get(&stream).is_some() {
+                shared.counters.note_protocol_error();
+                respond_err(writer, &format!("stream {stream:?} already exists"))?;
+                return Ok(false);
+            }
+            match StreamSession::open(&stream, &spec, &shared.config) {
+                Err(reason) => {
+                    shared.counters.note_protocol_error();
+                    respond_err(writer, &reason)?;
+                }
+                Ok((session, outcome)) => {
+                    if let Err(reason) = shared.registry.insert(Arc::clone(&session)) {
+                        // Lost a CREATE race (or hit the cap): tear the
+                        // fresh session down again.
+                        session.drain();
+                        shared.counters.note_protocol_error();
+                        respond_err(writer, &reason)?;
+                        return Ok(false);
+                    }
+                    let detail = if outcome.recovered_events > 0 {
+                        format!(
+                            "recovered stream={stream} events={} watermark={} clean={}",
+                            outcome.recovered_events,
+                            outcome
+                                .recovered_watermark
+                                .map_or_else(|| "-".to_owned(), |t| t.to_string()),
+                            outcome.replay_clean,
+                        )
+                    } else {
+                        format!("created stream={stream} wal={}", outcome.durable)
+                    };
+                    respond_ok(writer, &detail)?;
+                }
+            }
+            Ok(false)
+        }
+        Request::Event { stream, event } => {
+            let Some(session) = shared.registry.get(&stream) else {
+                shared.counters.note_protocol_error();
+                respond_err(writer, &format!("no such stream {stream:?}"))?;
+                return Ok(false);
+            };
+            match session.ingest(event) {
+                Ok(ack) => {
+                    shared.counters.note_events_accepted(1);
+                    if ack.degraded_now {
+                        respond_ok(writer, "accepted wal=degraded")?;
+                    } else {
+                        respond_ok(writer, "accepted")?;
+                    }
+                }
+                Err(reason) => {
+                    shared.counters.note_events_rejected(1);
+                    respond_err(writer, &format!("rejected: {reason}"))?;
+                }
+            }
+            Ok(false)
+        }
+        Request::Batch { stream, count } => ingest_batch(&stream, count, shared, lines, writer),
+        Request::Query {
+            stream,
+            prefix,
+            top,
+        } => {
+            let Some(session) = shared.registry.get(&stream) else {
+                shared.counters.note_protocol_error();
+                respond_err(writer, &format!("no such stream {stream:?}"))?;
+                return Ok(false);
+            };
+            shared.counters.note_query();
+            let reply = session.query(prefix.as_deref(), top);
+            proto::query_reply(writer, &reply)?;
+            writer.flush()?;
+            Ok(false)
+        }
+        Request::Sync { stream } => {
+            let Some(session) = shared.registry.get(&stream) else {
+                shared.counters.note_protocol_error();
+                respond_err(writer, &format!("no such stream {stream:?}"))?;
+                return Ok(false);
+            };
+            match session.sync() {
+                Ok(snapshot) => respond_ok(
+                    writer,
+                    &format!(
+                        "synced revision={} watermark={} patterns={}",
+                        snapshot.revision,
+                        snapshot
+                            .watermark
+                            .map_or_else(|| "-".to_owned(), |t| t.to_string()),
+                        snapshot.result.len(),
+                    ),
+                )?,
+                Err(reason) => {
+                    shared.counters.note_protocol_error();
+                    respond_err(writer, &reason)?;
+                }
+            }
+            Ok(false)
+        }
+        Request::Stats { stream } => {
+            let mut payload = Vec::new();
+            match stream {
+                Some(name) => {
+                    let Some(session) = shared.registry.get(&name) else {
+                        shared.counters.note_protocol_error();
+                        respond_err(writer, &format!("no such stream {name:?}"))?;
+                        return Ok(false);
+                    };
+                    payload.push(proto::stats_line(&session.stats()));
+                }
+                None => {
+                    payload.push(proto::server_line(
+                        &shared.counters.snapshot(),
+                        shared.registry.len(),
+                    ));
+                    for session in shared.registry.all() {
+                        payload.push(proto::stats_line(&session.stats()));
+                    }
+                }
+            }
+            proto::block(writer, "", &payload)?;
+            writer.flush()?;
+            Ok(false)
+        }
+        Request::Drop { stream } => {
+            match shared.registry.remove(&stream) {
+                None => {
+                    shared.counters.note_protocol_error();
+                    respond_err(writer, &format!("no such stream {stream:?}"))?;
+                }
+                Some(session) => {
+                    let drain = session.drain();
+                    respond_ok(
+                        writer,
+                        &format!(
+                            "dropped stream={stream} events={} revision={} wal_degraded={}",
+                            drain.events, drain.final_revision, drain.wal_degraded,
+                        ),
+                    )?;
+                }
+            }
+            Ok(false)
+        }
+        Request::Health => {
+            let draining = shared.draining.load(Ordering::Relaxed)
+                || shared.shutdown_requested.load(Ordering::Relaxed);
+            respond_ok(
+                writer,
+                &format!(
+                    "healthy streams={} draining={draining}",
+                    shared.registry.len()
+                ),
+            )?;
+            Ok(false)
+        }
+        Request::Ping => {
+            respond_ok(writer, "pong")?;
+            Ok(false)
+        }
+        Request::Shutdown => {
+            shared.shutdown_requested.store(true, Ordering::Relaxed);
+            respond_ok(writer, "draining")?;
+            Ok(false)
+        }
+        Request::Quit => {
+            respond_ok(writer, "bye")?;
+            Ok(true)
+        }
+    }
+}
+
+/// Reads and ingests the `count` event lines following a `BATCH` header.
+/// The payload is always consumed — even when the stream does not exist —
+/// so the connection's framing stays intact.
+fn ingest_batch(
+    stream: &str,
+    count: usize,
+    shared: &Arc<Shared>,
+    lines: &mut LineReader,
+    writer: &mut BufWriter<TcpStream>,
+) -> std::io::Result<bool> {
+    let session: Option<Arc<StreamSession>> = shared.registry.get(stream);
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut remaining = count;
+    while remaining > 0 {
+        if shared.draining.load(Ordering::Relaxed) {
+            return Ok(true);
+        }
+        match lines.next() {
+            Ok(Next::Idle) => continue,
+            // A client killed mid-batch: everything accepted so far stays
+            // accepted (and journaled); only the connection dies.
+            Ok(Next::Eof) | Err(_) => return Ok(true),
+            Ok(Next::Oversize) => {
+                remaining -= 1;
+                rejected += 1;
+            }
+            Ok(Next::Line(line)) => {
+                remaining -= 1;
+                match StreamEvent::parse_line(&line, count - remaining) {
+                    Ok(None) => {} // blank/comment payload line: counted, no event
+                    Err(e) => {
+                        rejected += 1;
+                        let _ = e;
+                    }
+                    Ok(Some(event)) => match &session {
+                        None => rejected += 1,
+                        Some(session) => match session.ingest(event) {
+                            Ok(_) => accepted += 1,
+                            Err(_) => rejected += 1,
+                        },
+                    },
+                }
+            }
+        }
+    }
+    shared.counters.note_events_accepted(accepted);
+    shared.counters.note_events_rejected(rejected);
+    if session.is_none() {
+        shared.counters.note_protocol_error();
+        respond_err(
+            writer,
+            &format!("no such stream {stream:?} (batch payload discarded)"),
+        )?;
+    } else {
+        respond_ok(writer, &format!("batch accepted={accepted} rejected={rejected}"))?;
+    }
+    Ok(false)
+}

@@ -1,0 +1,164 @@
+//! The pattern-mining service tier: a long-running TCP server multiplexing
+//! multiple independent named streams over the streaming engine.
+//!
+//! Everything below this crate already exists as a library — the
+//! [`interval_core::StreamEvent`] wire format, the sliding window, the
+//! pipelined [`stream::RefreshWorker`], [`stream::SnapshotCell`]
+//! publication and the per-stream write-ahead log — but was only reachable
+//! through a single-stream CLI. This crate is the step that turns
+//! "library + CLI" into "system serving traffic":
+//!
+//! - **Multi-tenancy** — each `CREATE`d stream is an independent
+//!   [`session::StreamSession`] owning its own window, refresh worker and
+//!   (optionally) WAL directory under the server's `--wal-root`. A stream
+//!   whose WAL directory already exists is *recovered by replay* before it
+//!   goes live, so a restarted server resumes where the crash left it.
+//! - **Reads never block writes** — `QUERY` is served entirely from the
+//!   latest published [`stream::PatternSnapshot`]; it takes no ingest lock
+//!   and holds nothing but an `Arc` while it filters and sorts.
+//! - **Graceful drain** — SIGINT or `SHUTDOWN` stops accepting, joins
+//!   every connection, then drains each stream through
+//!   [`stream::RefreshWorker::shutdown_flushing`]: the WAL tail is fsynced
+//!   and a final synchronous refresh folds in every accepted event, so no
+//!   accepted event is lost.
+//!
+//! The request grammar lives in [`interval_core::wire`]; the line-oriented
+//! response framing (`OK …` / `ERR …` / `BEGIN n … END`) in [`proto`]. See
+//! `docs/SERVER.md` for the protocol reference and deployment guidance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accept;
+pub mod conn;
+pub mod proto;
+pub mod registry;
+pub mod session;
+pub mod stats;
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use durability::FsyncPolicy;
+use interval_core::CancellationToken;
+use stream::PipelineStats;
+
+pub use accept::ServerHandle;
+pub use registry::Registry;
+pub use session::StreamSession;
+pub use stats::{CountersSnapshot, ServerCounters};
+
+/// Server-wide configuration, fixed at bind time.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Directory that holds one WAL sub-directory per durable stream.
+    /// `None` disables the `WAL` keyword of `CREATE` entirely.
+    pub wal_root: Option<PathBuf>,
+    /// Fsync policy for every durable stream's journal.
+    pub fsync: FsyncPolicy,
+    /// Worker threads per stream's miner (0 = automatic).
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            wal_root: None,
+            fsync: FsyncPolicy::Epoch,
+            threads: 0,
+        }
+    }
+}
+
+/// State shared between the accept loop and every connection thread.
+pub(crate) struct Shared {
+    pub(crate) registry: Registry,
+    pub(crate) counters: ServerCounters,
+    pub(crate) config: ServerConfig,
+    /// Set once the server has stopped accepting; connection loops exit at
+    /// their next poll instead of waiting for the client to hang up.
+    pub(crate) draining: AtomicBool,
+    /// Set by the first `SHUTDOWN` request; the accept loop treats it
+    /// exactly like a cancelled token.
+    pub(crate) shutdown_requested: AtomicBool,
+}
+
+/// What one stream looked like when the drain closed it.
+#[derive(Debug, Clone)]
+pub struct StreamDrain {
+    /// Stream name.
+    pub name: String,
+    /// Final pipeline counters (refreshes, coalescing, WAL flushes).
+    pub pipeline: PipelineStats,
+    /// Whether the stream's WAL had degraded (sticky).
+    pub wal_degraded: bool,
+    /// Whether the stream's refresh worker died instead of joining.
+    pub worker_failed: bool,
+    /// Events this stream accepted over its lifetime.
+    pub events: u64,
+    /// Revision of the snapshot left published after the final refresh.
+    pub final_revision: u64,
+    /// Patterns in that final snapshot.
+    pub final_patterns: usize,
+}
+
+/// Everything [`Server::run`] hands back after a graceful drain.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Per-stream drain outcomes, in name order.
+    pub streams: Vec<StreamDrain>,
+    /// Final connection/command counters.
+    pub counters: CountersSnapshot,
+}
+
+impl DrainReport {
+    /// Whether any stream's refresh worker died instead of joining.
+    pub fn any_worker_failed(&self) -> bool {
+        self.streams.iter().any(|s| s.worker_failed)
+    }
+
+    /// Whether any stream's WAL degraded.
+    pub fn any_wal_degraded(&self) -> bool {
+        self.streams.iter().any(|s| s.wal_degraded)
+    }
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listening socket. Port 0 picks a free port; read it back
+    /// with [`local_addr`](Self::local_addr).
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                registry: Registry::new(),
+                counters: ServerCounters::default(),
+                config,
+                draining: AtomicBool::new(false),
+                shutdown_requested: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The address the server actually listens on.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until `token` is cancelled (SIGINT) or a
+    /// `SHUTDOWN` request arrives, then drains: stop accepting, join every
+    /// connection, flush + shut down every stream. The only error this can
+    /// return is a failure to switch the listener to non-blocking mode,
+    /// before any request is served.
+    pub fn run(self, token: CancellationToken) -> std::io::Result<DrainReport> {
+        accept::run_loop(self.listener, self.shared, token)
+    }
+}

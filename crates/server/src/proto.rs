@@ -1,0 +1,164 @@
+//! Response framing for the service protocol.
+//!
+//! Requests are parsed by [`interval_core::wire`]; this module renders the
+//! three response shapes the server ever sends:
+//!
+//! ```text
+//! OK <detail>                      # single-line success
+//! ERR <reason>                     # single-line failure (connection stays up)
+//! BEGIN <n> [k=v ...]              # framed payload: exactly n lines follow
+//! <payload line> × n
+//! END
+//! ```
+//!
+//! The `BEGIN <n> … END` frame lets a client read a variable-length reply
+//! without sniffing — it knows the exact line count up front and `END`
+//! double-checks framing. Payload lines are guaranteed to never start with
+//! `OK`, `ERR`, `BEGIN` or `END` confusion because clients must count, not
+//! sniff.
+
+use std::io::{self, Write};
+
+use crate::session::{QueryReply, SessionStats};
+use crate::stats::CountersSnapshot;
+
+/// Writes a single-line success response.
+pub fn ok(w: &mut impl Write, detail: &str) -> io::Result<()> {
+    if detail.is_empty() {
+        w.write_all(b"OK\n")
+    } else {
+        writeln!(w, "OK {detail}")
+    }
+}
+
+/// Writes a single-line error response.
+pub fn err(w: &mut impl Write, reason: &str) -> io::Result<()> {
+    // Keep the frame single-line no matter what the reason contains.
+    let flat = reason.replace(['\n', '\r'], " ");
+    writeln!(w, "ERR {flat}")
+}
+
+/// Writes a framed payload: `BEGIN <n> [suffix]`, the lines, `END`.
+pub fn block(w: &mut impl Write, suffix: &str, lines: &[String]) -> io::Result<()> {
+    if suffix.is_empty() {
+        writeln!(w, "BEGIN {}", lines.len())?;
+    } else {
+        writeln!(w, "BEGIN {} {suffix}", lines.len())?;
+    }
+    for line in lines {
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.write_all(b"END\n")
+}
+
+/// Renders a query reply: header carries the snapshot provenance, each
+/// payload line is `<support>\t<pattern>` in canonical order.
+pub fn query_reply(w: &mut impl Write, reply: &QueryReply) -> io::Result<()> {
+    let suffix = format!(
+        "revision={} watermark={} sequences={}",
+        reply.revision,
+        reply
+            .watermark
+            .map_or_else(|| "-".to_owned(), |t| t.to_string()),
+        reply.sequences,
+    );
+    let lines: Vec<String> = reply
+        .lines
+        .iter()
+        .map(|l| format!("{}\t{}", l.support, l.pattern))
+        .collect();
+    block(w, &suffix, &lines)
+}
+
+/// One `STATS` payload line for a stream — stable `k=v` pairs.
+pub fn stats_line(s: &SessionStats) -> String {
+    let lag = s
+        .pipeline
+        .refresh_lag
+        .map_or_else(|| "-".to_owned(), |t| t.to_string());
+    let wal = match &s.journal {
+        None => "wal=none".to_owned(),
+        Some(j) => format!(
+            "wal_records={} wal_flushes={} wal_degraded={}",
+            j.wal.records_appended, j.flushes, j.degraded
+        ),
+    };
+    format!(
+        "stream={} events={} watermarks={} sequences={} open={} revision={} patterns={} \
+         submitted={} completed={} coalesced={} during_refresh={} lag={lag} queries={} {wal}",
+        s.name,
+        s.events,
+        s.watermarks,
+        s.sequences,
+        s.open_intervals,
+        s.revision,
+        s.patterns,
+        s.pipeline.submitted_refreshes,
+        s.pipeline.completed_refreshes,
+        s.pipeline.coalesced_refreshes,
+        s.pipeline.events_during_refresh,
+        s.queries,
+    )
+}
+
+/// The server-wide `STATS` payload line.
+pub fn server_line(c: &CountersSnapshot, streams: usize) -> String {
+    format!(
+        "server streams={streams} connections={} commands={} protocol_errors={} \
+         events_accepted={} events_rejected={} queries={}",
+        c.connections, c.commands, c.protocol_errors, c.events_accepted, c.events_rejected, c.queries,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::QueryLine;
+
+    #[test]
+    fn frames_render_exactly() {
+        let mut buf = Vec::new();
+        ok(&mut buf, "created stream=s").unwrap();
+        ok(&mut buf, "").unwrap();
+        err(&mut buf, "multi\nline\rreason").unwrap();
+        block(&mut buf, "k=v", &["a".into(), "b".into()]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(
+            text,
+            "OK created stream=s\nOK\nERR multi line reason\nBEGIN 2 k=v\na\nb\nEND\n"
+        );
+    }
+
+    #[test]
+    fn query_reply_renders_provenance_and_tab_separated_lines() {
+        let reply = QueryReply {
+            revision: 3,
+            watermark: Some(42),
+            sequences: 7,
+            lines: vec![
+                QueryLine {
+                    support: 5,
+                    pattern: "a+ | a-".into(),
+                },
+                QueryLine {
+                    support: 2,
+                    pattern: "b+ | b-".into(),
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        query_reply(&mut buf, &reply).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(
+            text,
+            "BEGIN 2 revision=3 watermark=42 sequences=7\n5\ta+ | a-\n2\tb+ | b-\nEND\n"
+        );
+    }
+
+    #[test]
+    fn server_line_is_stable() {
+        let line = server_line(&CountersSnapshot::default(), 2);
+        assert!(line.starts_with("server streams=2 connections=0"), "{line}");
+    }
+}

@@ -1,0 +1,125 @@
+//! The stream registry: name → session, shared by every connection.
+//!
+//! Lookups are reads on a `parking_lot::RwLock` over a `BTreeMap` (sorted,
+//! so `STATS` and drain reports come out in deterministic name order). The
+//! lock is held only for map operations — never across an ingest, query or
+//! drain — so one tenant's traffic cannot serialize another's behind the
+//! registry.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::session::StreamSession;
+use crate::StreamDrain;
+
+/// Hard cap on concurrently registered streams; each one owns a refresh
+/// worker thread, so an unbounded registry is an unbounded thread pool.
+pub const MAX_STREAMS: usize = 256;
+
+/// Name → session map. See the module docs for the locking contract.
+#[derive(Default)]
+pub struct Registry {
+    streams: RwLock<BTreeMap<String, Arc<StreamSession>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks a stream up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<StreamSession>> {
+        self.streams.read().get(name).cloned()
+    }
+
+    /// Registers a new session. Fails if the name is taken or the registry
+    /// is full.
+    pub fn insert(&self, session: Arc<StreamSession>) -> Result<(), String> {
+        let mut map = self.streams.write();
+        if map.len() >= MAX_STREAMS {
+            return Err(format!("stream limit reached ({MAX_STREAMS})"));
+        }
+        let name = session.name().to_owned();
+        if map.contains_key(&name) {
+            return Err(format!("stream {name:?} already exists"));
+        }
+        map.insert(name, session);
+        Ok(())
+    }
+
+    /// Unregisters and returns a session (the caller drains it).
+    pub fn remove(&self, name: &str) -> Option<Arc<StreamSession>> {
+        self.streams.write().remove(name)
+    }
+
+    /// Every registered session, in name order.
+    pub fn all(&self) -> Vec<Arc<StreamSession>> {
+        self.streams.read().values().cloned().collect()
+    }
+
+    /// Number of registered streams.
+    pub fn len(&self) -> usize {
+        self.streams.read().len()
+    }
+
+    /// Whether no streams are registered.
+    pub fn is_empty(&self) -> bool {
+        self.streams.read().is_empty()
+    }
+
+    /// Removes and drains every session, in name order. Sessions are taken
+    /// out of the map first so no new traffic can reach them mid-drain.
+    pub fn drain_all(&self) -> Vec<StreamDrain> {
+        let taken: Vec<Arc<StreamSession>> = {
+            let mut map = self.streams.write();
+            std::mem::take(&mut *map).into_values().collect()
+        };
+        taken.iter().map(|s| s.drain()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_core::wire::{CreateSpec, SupportSpec};
+    use crate::ServerConfig;
+
+    fn session(name: &str) -> Arc<StreamSession> {
+        let spec = CreateSpec {
+            window: 100,
+            support: SupportSpec::Absolute(1),
+            refresh_every: 1,
+            max_arity: None,
+            max_gap: None,
+            durable: false,
+        };
+        StreamSession::open(name, &spec, &ServerConfig::default())
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn insert_get_remove_and_duplicate_rejection() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        r.insert(session("a")).unwrap();
+        r.insert(session("b")).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.get("a").is_some());
+        assert!(r.get("missing").is_none());
+        let err = r.insert(session("a")).unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        let names: Vec<String> = r.all().iter().map(|s| s.name().to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"], "deterministic order");
+        let removed = r.remove("a").unwrap();
+        removed.drain();
+        assert_eq!(r.len(), 1);
+        for drain in r.drain_all() {
+            assert!(!drain.worker_failed);
+        }
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,593 @@
+//! One tenant's stream: window + refresh worker + optional journal.
+//!
+//! A [`StreamSession`] is the unit of multi-tenancy. Its mutable ingest
+//! state (window, worker handle, journal) sits behind one mutex taken by
+//! writers — `EVENT`, `BATCH`, `SYNC`, `DROP` — while the *read path* goes
+//! straight to the shared [`SnapshotCell`]: `QUERY` clones the latest
+//! published `Arc<PatternSnapshot>` and never touches the ingest lock, so
+//! queries cannot block ingestion (and ingestion cannot block queries
+//! beyond the cell's pointer swap).
+//!
+//! # Recovery by replay
+//!
+//! A durable session whose WAL directory already exists is rebuilt with
+//! [`stream::durable::replay`] *before* it goes live: the recovered window
+//! carries the same contents, watermark and ingest counters the pre-crash
+//! window had over the durable prefix, and the journal then resumes in a
+//! fresh segment after the sealed ones. An initial refresh is submitted so
+//! the first `QUERY` after recovery already sees the recovered patterns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use interval_core::wire::{CreateSpec, SupportSpec};
+use interval_core::{MiningBudget, StreamEvent, Time};
+use parking_lot::Mutex;
+use stream::{
+    IncrementalMiner, Journal, JournalStats, PatternSnapshot, PipelineStats, RefreshJob,
+    RefreshWorker, SlidingWindowDatabase, SnapshotCell,
+};
+use tpminer::MinerConfig;
+
+use crate::{ServerConfig, StreamDrain};
+
+/// How long [`StreamSession::sync`] waits for the worker before deciding
+/// it is unresponsive (a dead worker never completes its epoch).
+const SYNC_POLL: Duration = Duration::from_millis(1);
+const SYNC_POLL_LIMIT: u32 = 30_000;
+
+/// What `CREATE` found when it opened the session.
+#[derive(Debug, Clone, Default)]
+pub struct CreateOutcome {
+    /// Whether the session journals to a WAL directory.
+    pub durable: bool,
+    /// Events replayed from a pre-existing WAL (0 for a fresh stream).
+    pub recovered_events: u64,
+    /// Records that decoded but were refused by ingest semantics on replay.
+    pub recovered_rejected: u64,
+    /// The recovered window's watermark, if any.
+    pub recovered_watermark: Option<Time>,
+    /// Whether the replayed log was corruption-free (torn tails are clean).
+    pub replay_clean: bool,
+}
+
+/// The result of ingesting one event.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestAck {
+    /// Whether the window accepted the event.
+    pub accepted: bool,
+    /// Set exactly once, on the append that latched WAL degradation.
+    pub degraded_now: bool,
+}
+
+/// One frequent pattern prepared for the wire: support + rendered form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryLine {
+    /// Exact support in the snapshot's window.
+    pub support: usize,
+    /// The pattern in the same textual form the offline miner prints.
+    pub pattern: String,
+}
+
+/// A consistent read served from one published snapshot.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// Snapshot revision the reply was computed from.
+    pub revision: u64,
+    /// The snapshot's watermark.
+    pub watermark: Option<Time>,
+    /// Sequences in the mined window.
+    pub sequences: usize,
+    /// Matching patterns, sorted by descending support then pattern text.
+    pub lines: Vec<QueryLine>,
+}
+
+/// Point-in-time statistics for one stream.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// Stream name.
+    pub name: String,
+    /// Events accepted since creation (including replayed ones).
+    pub events: u64,
+    /// Watermarks observed.
+    pub watermarks: u64,
+    /// Sequences currently in the live window.
+    pub sequences: usize,
+    /// Open (unclosed) intervals in the live window.
+    pub open_intervals: usize,
+    /// Revision of the latest published snapshot.
+    pub revision: u64,
+    /// Patterns in the latest published snapshot.
+    pub patterns: usize,
+    /// Pipeline counters, with `refresh_lag` against the live watermark.
+    pub pipeline: PipelineStats,
+    /// Journal counters when the stream is durable.
+    pub journal: Option<JournalStats>,
+    /// `QUERY` requests served from this stream.
+    pub queries: u64,
+}
+
+/// Mutable ingest-side state, behind the session mutex.
+struct Ingest {
+    window: SlidingWindowDatabase,
+    worker: Option<RefreshWorker>,
+    journal: Option<Journal>,
+    support: SupportSpec,
+    refresh_every: u64,
+    watermarks: u64,
+    events: u64,
+}
+
+/// One named stream session. See the module docs for the locking story.
+pub struct StreamSession {
+    name: String,
+    cell: Arc<SnapshotCell>,
+    queries: AtomicU64,
+    ingest: Mutex<Ingest>,
+}
+
+impl StreamSession {
+    /// Opens (or recovers) a session per the `CREATE` spec. Fails when the
+    /// spec asks for a WAL but the server has no `wal_root`, or when the
+    /// WAL directory cannot be opened/replayed.
+    pub fn open(
+        name: &str,
+        spec: &CreateSpec,
+        config: &ServerConfig,
+    ) -> Result<(Arc<StreamSession>, CreateOutcome), String> {
+        let mut outcome = CreateOutcome {
+            replay_clean: true,
+            ..CreateOutcome::default()
+        };
+        let mut window = SlidingWindowDatabase::new(spec.window);
+        let mut journal = None;
+        if spec.durable {
+            let root = config
+                .wal_root
+                .as_ref()
+                .ok_or_else(|| "stream asked for WAL but the server has no --wal-root".to_owned())?;
+            let dir = root.join(name);
+            if dir.is_dir() {
+                let replayed = stream::durable::replay(&dir, spec.window)
+                    .map_err(|e| format!("WAL replay for {name:?} failed: {e}"))?;
+                outcome.recovered_events = replayed.report.records_replayed;
+                outcome.recovered_rejected = replayed.records_rejected;
+                outcome.recovered_watermark = replayed.window.watermark();
+                outcome.replay_clean = replayed.report.is_clean();
+                window = replayed.window;
+            }
+            journal = Some(
+                Journal::open(&dir, spec.window, config.fsync)
+                    .map_err(|e| format!("WAL open for {name:?} failed: {e}"))?,
+            );
+            outcome.durable = true;
+        }
+
+        let mut miner_config = MinerConfig::with_min_support(1);
+        if let Some(k) = spec.max_arity {
+            miner_config = miner_config.max_arity(k);
+        }
+        if let Some(g) = spec.max_gap {
+            miner_config = miner_config.max_gap(g);
+        }
+        let cell = Arc::new(SnapshotCell::new());
+        let miner = IncrementalMiner::new(miner_config, config.threads);
+        let worker = RefreshWorker::spawn(miner, Arc::clone(&cell));
+
+        let events = outcome.recovered_events.saturating_sub(outcome.recovered_rejected);
+        let mut ingest = Ingest {
+            window,
+            worker: Some(worker),
+            journal,
+            support: spec.support,
+            refresh_every: spec.refresh_every.max(1),
+            watermarks: 0,
+            events,
+        };
+        // Publish the recovered state immediately: the first QUERY after a
+        // recovery must not have to wait for new traffic to trigger a
+        // refresh.
+        if events > 0 {
+            submit_refresh(&mut ingest);
+        }
+        let session = Arc::new(StreamSession {
+            name: name.to_owned(),
+            cell,
+            queries: AtomicU64::new(0),
+            ingest: Mutex::new(ingest),
+        });
+        Ok((session, outcome))
+    }
+
+    /// Stream name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ingests one event: journal first (write-ahead), then the window,
+    /// then maybe a refresh trigger. `Err` carries the refusal reason; the
+    /// session stays usable either way.
+    pub fn ingest(&self, event: StreamEvent) -> Result<IngestAck, String> {
+        let mut guard = self.ingest.lock();
+        let ingest = &mut *guard;
+        let mut degraded_now = false;
+        if let Some(journal) = ingest.journal.as_mut() {
+            let was_degraded = journal.is_degraded();
+            if !journal.append(&event) && !was_degraded {
+                degraded_now = true;
+                if let Some(worker) = &ingest.worker {
+                    worker.note_wal_degraded();
+                }
+            }
+        }
+        let is_watermark = matches!(event, StreamEvent::Watermark(_));
+        ingest
+            .window
+            .ingest(event)
+            .map_err(|e| e.to_string())?;
+        ingest.events += 1;
+        if let Some(worker) = &ingest.worker {
+            if worker.is_busy() {
+                worker.note_events_during_refresh(1);
+            }
+        }
+        if is_watermark {
+            ingest.watermarks += 1;
+            if let (Some(journal), Some(cutoff)) = (ingest.journal.as_mut(), ingest.window.cutoff())
+            {
+                journal.reclaim(cutoff);
+            }
+            if ingest.watermarks % ingest.refresh_every == 0 {
+                coalesce_refresh(ingest);
+            }
+        }
+        Ok(IngestAck {
+            accepted: true,
+            degraded_now,
+        })
+    }
+
+    /// Forces a refresh covering everything ingested so far and waits for
+    /// it to publish. This is the barrier deterministic tests (and clients
+    /// that just loaded a batch) use before querying.
+    pub fn sync(&self) -> Result<Arc<PatternSnapshot>, String> {
+        let mut guard = self.ingest.lock();
+        let ingest = &mut *guard;
+        if ingest.worker.is_some() {
+            wait_idle(ingest)?;
+            submit_refresh(ingest);
+            wait_idle(ingest)?;
+            if let Some(worker) = &ingest.worker {
+                // Collected so shutdown's `unreported` stays small; the
+                // cell already holds the newest snapshot.
+                let _ = worker.drain_completed();
+            }
+        }
+        Ok(self.cell.load())
+    }
+
+    /// Serves a query from the latest published snapshot — no ingest lock.
+    /// Results are canonically ordered: support descending, then pattern
+    /// text ascending, so replies are deterministic for a given snapshot.
+    pub fn query(&self, prefix: Option<&str>, top: Option<usize>) -> QueryReply {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let snapshot = self.cell.load();
+        let root_filter = prefix.and_then(|name| snapshot.symbols.lookup(name));
+        let mut lines: Vec<QueryLine> = snapshot
+            .result
+            .patterns()
+            .iter()
+            .filter(|fp| match (prefix, root_filter) {
+                (None, _) => true,
+                // A prefix symbol the snapshot has never seen matches
+                // nothing (rather than erroring: the symbol may simply not
+                // have arrived yet).
+                (Some(_), None) => false,
+                (Some(_), Some(root)) => fp
+                    .pattern
+                    .groups()
+                    .first()
+                    .and_then(|g| g.first())
+                    .is_some_and(|e| e.symbol == root),
+            })
+            .map(|fp| QueryLine {
+                support: fp.support,
+                pattern: fp.pattern.display(&snapshot.symbols).to_string(),
+            })
+            .collect();
+        lines.sort_by(|a, b| {
+            b.support
+                .cmp(&a.support)
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        });
+        if let Some(k) = top {
+            lines.truncate(k);
+        }
+        QueryReply {
+            revision: snapshot.revision,
+            watermark: snapshot.watermark,
+            sequences: snapshot.sequences,
+            lines,
+        }
+    }
+
+    /// Point-in-time statistics (takes the ingest lock briefly).
+    pub fn stats(&self) -> SessionStats {
+        let guard = self.ingest.lock();
+        let snapshot = self.cell.load();
+        let pipeline = guard
+            .worker
+            .as_ref()
+            .map(|w| w.stats(guard.window.watermark()))
+            .unwrap_or_default();
+        SessionStats {
+            name: self.name.clone(),
+            events: guard.events,
+            watermarks: guard.watermarks,
+            sequences: guard.window.len(),
+            open_intervals: guard.window.open_intervals(),
+            revision: snapshot.revision,
+            patterns: snapshot.result.len(),
+            pipeline,
+            journal: guard.journal.as_ref().map(|j| j.stats()),
+            queries: self.queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the session: flush the WAL, join the worker, and run one
+    /// final synchronous refresh so the published snapshot covers every
+    /// accepted event. Idempotent — a second drain reports the first's
+    /// leftovers without touching anything.
+    pub fn drain(&self) -> StreamDrain {
+        let mut guard = self.ingest.lock();
+        let ingest = &mut *guard;
+        let mut worker_failed = false;
+        let mut pipeline = PipelineStats::default();
+        if let Some(worker) = ingest.worker.take() {
+            let outcome = match ingest.journal.as_mut() {
+                Some(journal) => worker.shutdown_flushing(journal),
+                None => worker.shutdown(),
+            };
+            pipeline = outcome.stats;
+            match outcome.miner {
+                Some(mut miner) => {
+                    miner.set_min_support(
+                        ingest.support.absolute_for(ingest.window.len()),
+                    );
+                    // Publishes through the cell the miner is still wired
+                    // to; folds in everything after the last refresh.
+                    let _ = miner.refresh_with_budget(&mut ingest.window, MiningBudget::unlimited());
+                }
+                None => worker_failed = true,
+            }
+        }
+        let wal_degraded =
+            pipeline.wal_degraded || ingest.journal.as_ref().is_some_and(|j| j.is_degraded());
+        let snapshot = self.cell.load();
+        StreamDrain {
+            name: self.name.clone(),
+            pipeline,
+            wal_degraded,
+            worker_failed,
+            events: ingest.events,
+            final_revision: snapshot.revision,
+            final_patterns: snapshot.result.len(),
+        }
+    }
+}
+
+/// Freezes the window and hands the worker an epoch (blocking submit; the
+/// caller holds the ingest lock, so this is only used where a stall is the
+/// intended semantics — recovery publication, SYNC, final refreshes).
+fn submit_refresh(ingest: &mut Ingest) {
+    let min_support = Some(ingest.support.absolute_for(ingest.window.len()));
+    if let Some(worker) = &ingest.worker {
+        worker.submit(RefreshJob {
+            view: ingest.window.freeze(),
+            budget: MiningBudget::unlimited(),
+            min_support,
+        });
+    }
+}
+
+/// The ingest-path trigger: freeze + submit only when the worker is idle,
+/// coalescing into the next epoch otherwise (bounded backpressure).
+fn coalesce_refresh(ingest: &mut Ingest) {
+    let min_support = Some(ingest.support.absolute_for(ingest.window.len()));
+    let window = &mut ingest.window;
+    if let Some(worker) = &ingest.worker {
+        worker.submit_or_coalesce(|| RefreshJob {
+            view: window.freeze(),
+            budget: MiningBudget::unlimited(),
+            min_support,
+        });
+    }
+}
+
+/// Polls the worker until its queue is empty. Bounded: a worker that died
+/// mid-refresh never completes its epoch, and SYNC must fail rather than
+/// hang the connection forever.
+fn wait_idle(ingest: &Ingest) -> Result<(), String> {
+    let Some(worker) = &ingest.worker else {
+        return Ok(());
+    };
+    for _ in 0..SYNC_POLL_LIMIT {
+        if !worker.is_busy() {
+            return Ok(());
+        }
+        std::thread::sleep(SYNC_POLL);
+    }
+    Err("refresh worker unresponsive (sync timed out)".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(window: Time, support: SupportSpec) -> CreateSpec {
+        CreateSpec {
+            window,
+            support,
+            refresh_every: 1,
+            max_arity: None,
+            max_gap: None,
+            durable: false,
+        }
+    }
+
+    fn interval(sequence: u64, symbol: &str, start: Time, end: Time) -> StreamEvent {
+        StreamEvent::Interval {
+            sequence,
+            symbol: symbol.into(),
+            start,
+            end,
+        }
+    }
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "server-session-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn ingest_sync_query_round_trip() {
+        let config = ServerConfig::default();
+        let (session, outcome) =
+            StreamSession::open("s", &spec(100, SupportSpec::Absolute(2)), &config).unwrap();
+        assert_eq!(outcome.recovered_events, 0);
+        for seq in 0..3u64 {
+            session.ingest(interval(seq, "fever", 0, 5)).unwrap();
+        }
+        session.ingest(StreamEvent::Watermark(10)).unwrap();
+        let snapshot = session.sync().unwrap();
+        assert!(snapshot.revision >= 1);
+        let reply = session.query(None, None);
+        assert_eq!(reply.lines.len(), 1);
+        assert_eq!(reply.lines[0].support, 3);
+        // Prefix filtering: an unknown symbol matches nothing.
+        assert!(session.query(Some("rash"), None).lines.is_empty());
+        assert_eq!(session.query(Some("fever"), None).lines.len(), 1);
+        let drain = session.drain();
+        assert!(!drain.worker_failed);
+        assert!(!drain.wal_degraded);
+        assert_eq!(drain.events, 4);
+    }
+
+    #[test]
+    fn query_orders_by_support_then_pattern_and_truncates() {
+        let config = ServerConfig::default();
+        let (session, _) =
+            StreamSession::open("s", &spec(1000, SupportSpec::Absolute(1)), &config).unwrap();
+        for seq in 0..3u64 {
+            session.ingest(interval(seq, "a", 0, 5)).unwrap();
+        }
+        session.ingest(interval(0, "b", 10, 15)).unwrap();
+        session.ingest(StreamEvent::Watermark(20)).unwrap();
+        session.sync().unwrap();
+        let reply = session.query(None, None);
+        assert!(reply.lines.len() >= 2);
+        for pair in reply.lines.windows(2) {
+            assert!(
+                pair[0].support > pair[1].support
+                    || (pair[0].support == pair[1].support && pair[0].pattern <= pair[1].pattern),
+                "canonical order violated: {pair:?}"
+            );
+        }
+        let top1 = session.query(None, Some(1));
+        assert_eq!(top1.lines.len(), 1);
+        assert_eq!(top1.lines[0].support, 3);
+        session.drain();
+    }
+
+    #[test]
+    fn rejected_events_leave_the_session_usable() {
+        let config = ServerConfig::default();
+        let (session, _) =
+            StreamSession::open("s", &spec(100, SupportSpec::Absolute(1)), &config).unwrap();
+        // A close without an open is refused by ingest semantics.
+        let refused = session.ingest(StreamEvent::Close {
+            sequence: 1,
+            symbol: "x".into(),
+            at: 5,
+        });
+        assert!(refused.is_err());
+        session.ingest(interval(1, "x", 0, 4)).unwrap();
+        session.ingest(StreamEvent::Watermark(6)).unwrap();
+        let snapshot = session.sync().unwrap();
+        assert_eq!(snapshot.result.len(), 1);
+        session.drain();
+    }
+
+    #[test]
+    fn durable_session_recovers_by_replay_on_reopen() {
+        let root = temp_root("recover");
+        let config = ServerConfig {
+            wal_root: Some(root.clone()),
+            fsync: durability::FsyncPolicy::Always,
+            threads: 1,
+        };
+        let mut s = spec(100, SupportSpec::Absolute(2));
+        s.durable = true;
+        let (session, outcome) = StreamSession::open("vitals", &s, &config).unwrap();
+        assert!(outcome.durable);
+        assert_eq!(outcome.recovered_events, 0);
+        for seq in 0..2u64 {
+            session.ingest(interval(seq, "fever", 0, 5)).unwrap();
+            session.ingest(interval(seq, "rash", 3, 9)).unwrap();
+        }
+        session.ingest(StreamEvent::Watermark(12)).unwrap();
+        let before = session.sync().unwrap();
+        let drain = session.drain();
+        assert!(!drain.wal_degraded, "healthy WAL through the drain");
+
+        // Re-open the same name: the WAL directory exists, so the session
+        // must recover by replay and immediately publish the old patterns.
+        let (revived, outcome) = StreamSession::open("vitals", &s, &config).unwrap();
+        assert_eq!(outcome.recovered_events, 5);
+        assert_eq!(outcome.recovered_watermark, Some(12));
+        assert!(outcome.replay_clean);
+        let after = revived.sync().unwrap();
+        let render = |s: &PatternSnapshot| {
+            let mut lines: Vec<String> = s
+                .result
+                .patterns()
+                .iter()
+                .map(|fp| format!("{}\t{}", fp.support, fp.pattern.display(&s.symbols)))
+                .collect();
+            lines.sort();
+            lines
+        };
+        assert_eq!(render(&before), render(&after));
+        revived.drain();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn wal_without_root_is_refused() {
+        let mut s = spec(100, SupportSpec::Absolute(1));
+        s.durable = true;
+        let Err(err) = StreamSession::open("s", &s, &ServerConfig::default()) else {
+            panic!("durable CREATE without --wal-root must be refused");
+        };
+        assert!(err.contains("wal-root"), "{err}");
+    }
+
+    #[test]
+    fn drain_is_idempotent() {
+        let config = ServerConfig::default();
+        let (session, _) =
+            StreamSession::open("s", &spec(100, SupportSpec::Absolute(1)), &config).unwrap();
+        session.ingest(interval(1, "a", 0, 5)).unwrap();
+        let first = session.drain();
+        let second = session.drain();
+        assert_eq!(first.events, second.events);
+        assert!(!second.worker_failed);
+    }
+}

@@ -1,0 +1,104 @@
+//! Server-wide connection and command counters.
+//!
+//! Counters are plain relaxed atomics: they are monotone operational
+//! telemetry, not synchronization. The snapshot type is a plain struct so
+//! callers (the CLI's `--stats-json`, `STATS` responses, tests) can render
+//! it without a serialization dependency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters shared by every connection thread.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    connections: AtomicU64,
+    commands: AtomicU64,
+    protocol_errors: AtomicU64,
+    events_accepted: AtomicU64,
+    events_rejected: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl ServerCounters {
+    /// Records an accepted connection.
+    pub fn note_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one parsed, dispatched request frame.
+    pub fn note_command(&self) {
+        self.commands.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request that failed to parse or was refused.
+    pub fn note_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` events accepted into some stream's window.
+    pub fn note_events_accepted(&self, n: u64) {
+        self.events_accepted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` events refused by ingest semantics or the event parser.
+    pub fn note_events_rejected(&self, n: u64) {
+        self.events_rejected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one served `QUERY`.
+    pub fn note_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            commands: self.commands.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            events_accepted: self.events_accepted.load(Ordering::Relaxed),
+            events_rejected: self.events_rejected.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`ServerCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Request frames parsed and dispatched.
+    pub commands: u64,
+    /// Requests that failed to parse or were refused.
+    pub protocol_errors: u64,
+    /// Events accepted into stream windows.
+    pub events_accepted: u64,
+    /// Events refused (parse failure or ingest refusal).
+    pub events_rejected: u64,
+    /// `QUERY` requests served.
+    pub queries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_into_snapshots() {
+        let c = ServerCounters::default();
+        c.note_connection();
+        c.note_command();
+        c.note_command();
+        c.note_protocol_error();
+        c.note_events_accepted(10);
+        c.note_events_rejected(2);
+        c.note_query();
+        let s = c.snapshot();
+        assert_eq!(s.connections, 1);
+        assert_eq!(s.commands, 2);
+        assert_eq!(s.protocol_errors, 1);
+        assert_eq!(s.events_accepted, 10);
+        assert_eq!(s.events_rejected, 2);
+        assert_eq!(s.queries, 1);
+    }
+}

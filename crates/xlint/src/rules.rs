@@ -77,6 +77,11 @@ const SPAWN_ALLOWED: &[&str] = &[
     // background thread; its bounded channel + join-on-shutdown lifecycle
     // is exactly the reviewable surface this rule centralizes.
     "crates/stream/src/worker.rs",
+    // The service tier's accept loop (PR 7): one thread per connection
+    // plus the ServerHandle background thread, all retained and joined.
+    // Other crates/server modules must NOT spawn — stream workers come
+    // from `RefreshWorker::spawn`, connection threads only from here.
+    "crates/server/src/accept.rs",
 ];
 
 /// Library modules allowed to read the monotonic clock. Keeping every

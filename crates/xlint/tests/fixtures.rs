@@ -137,6 +137,24 @@ fn no_raw_spawn_fixture() {
     );
     assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
     assert_eq!(suppressed, 0);
+
+    // The server's accept loop (PR 7) is the service tier's one sanctioned
+    // spawn site…
+    let (v, suppressed) = lint(
+        "no_raw_spawn.rs",
+        "crates/server/src/accept.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+    assert_eq!(suppressed, 0);
+
+    // …and sanctioning it must not leak to the rest of crates/server: a
+    // spawn in the connection or session modules still fails.
+    for module in ["crates/server/src/conn.rs", "crates/server/src/session.rs"] {
+        let (v, suppressed) = lint("no_raw_spawn.rs", module, CrateKind::Lib);
+        assert_eq!(rules(&v), ["no-raw-spawn"], "{module}: {v:?}");
+        assert_eq!(suppressed, 1, "{module}");
+    }
 }
 
 #[test]
