@@ -142,10 +142,12 @@ fn perf_smoke(json: bool, against: Option<&str>) {
             println!("{key}: {value}");
         }
     }
-    // The WAL tax gate compares two metrics of *this* run, so it applies
-    // with or without a committed baseline.
+    // The WAL tax and shard speedup gates compare metrics of *this* run,
+    // so they apply with or without a committed baseline (the shard gate
+    // additionally requires enough cores to be meaningful).
     let mut failures = Vec::new();
     failures.extend(bench::perfsmoke::wal_gate(&report));
+    failures.extend(bench::perfsmoke::shard_gate(&report));
     if let Some(path) = against {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read baseline `{path}`: {e}");

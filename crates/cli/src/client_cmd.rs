@@ -1,8 +1,14 @@
 //! The `client` subcommand: a scripting client for the service protocol.
 //!
 //! ```text
-//! ptpminer-cli client --addr 127.0.0.1:7464 [script]
+//! ptpminer-cli client --addr 127.0.0.1:7464 [--timeout SECS] [script]
 //! ```
+//!
+//! `--timeout SECS` bounds both the TCP connect and every wait for a
+//! response line, so a hung or unresponsive server fails the script with a
+//! clear error instead of blocking forever. Asynchronous `REV` push lines
+//! (from an active `SUBSCRIBE`) are printed as they arrive, before the
+//! response they precede.
 //!
 //! Commands are read from the script file (or stdin with no positional /
 //! `-`), sent to the server one at a time, and each response unit — a
@@ -17,26 +23,60 @@
 //! tests can assert on protocol success without parsing output.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use crate::args::Parsed;
 use crate::{emit_lines, exit};
 
 /// Options the `client` subcommand accepts.
-pub const OPTIONS: &[&str] = &["addr"];
+pub const OPTIONS: &[&str] = &["addr", "timeout"];
+
+/// Connects, honouring `--timeout` for both name resolution targets and
+/// the TCP handshake (a plain `connect` otherwise).
+fn connect(addr: &str, timeout: Option<Duration>) -> Result<TcpStream, String> {
+    let Some(limit) = timeout else {
+        return TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"));
+    };
+    let targets: Vec<_> = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("connect {addr}: {e}"))?
+        .collect();
+    let mut last = None;
+    for target in &targets {
+        match TcpStream::connect_timeout(target, limit) {
+            Ok(sock) => return Ok(sock),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(match last {
+        Some(e) => format!("connect {addr}: {e} (within {limit:.1?})"),
+        None => format!("connect {addr}: no usable address"),
+    })
+}
 
 pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     let addr = p
         .get("addr")
         .ok_or_else(|| "pass --addr HOST:PORT (the serve process's address)".to_string())?;
+    let timeout = match p.opt_num::<f64>("timeout")? {
+        Some(secs) if !secs.is_finite() || secs <= 0.0 || secs > 1e9 => {
+            return Err(format!(
+                "--timeout: `{secs}` is not a usable number of seconds"
+            ));
+        }
+        Some(secs) => Some(Duration::from_secs_f64(secs)),
+        None => None,
+    };
     let script: Box<dyn Read> = match p.positional.as_slice() {
         [] => Box::new(std::io::stdin()),
         [path] if path == "-" => Box::new(std::io::stdin()),
         [path] => Box::new(std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?),
         _ => return Err("expected at most one script file".into()),
     };
-    let sock = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let sock = connect(addr, timeout)?;
+    sock.set_read_timeout(timeout).map_err(|e| e.to_string())?;
     let mut replies = BufReader::new(sock.try_clone().map_err(|e| e.to_string())?);
     let mut sock = sock;
 
@@ -76,7 +116,7 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
                     .map_err(|e| format!("send: {e}"))?;
             }
         }
-        any_err |= print_response(&mut replies)?;
+        any_err |= print_response(&mut replies, timeout)?;
         if command.to_ascii_uppercase().starts_with("QUIT") {
             break;
         }
@@ -99,8 +139,18 @@ fn batch_count(command: &str) -> Option<usize> {
 }
 
 /// Reads one response unit and prints it; returns whether it was an `ERR`.
-fn print_response(replies: &mut BufReader<TcpStream>) -> Result<bool, String> {
-    let head = read_reply_line(replies)?;
+/// `REV` push lines arriving ahead of the response (possible with an
+/// active `SUBSCRIBE`) are printed and skipped — they are never part of a
+/// response unit.
+fn print_response(
+    replies: &mut BufReader<TcpStream>,
+    timeout: Option<Duration>,
+) -> Result<bool, String> {
+    let mut head = read_reply_line(replies, timeout)?;
+    while head.starts_with("REV ") {
+        emit_lines(std::iter::once(head))?;
+        head = read_reply_line(replies, timeout)?;
+    }
     let is_err = head.starts_with("ERR");
     let mut out = vec![head.clone()];
     if let Some(rest) = head.strip_prefix("BEGIN ") {
@@ -110,9 +160,9 @@ fn print_response(replies: &mut BufReader<TcpStream>) -> Result<bool, String> {
             .and_then(|n| n.parse().ok())
             .ok_or_else(|| format!("malformed BEGIN header: {head}"))?;
         for _ in 0..count {
-            out.push(read_reply_line(replies)?);
+            out.push(read_reply_line(replies, timeout)?);
         }
-        let end = read_reply_line(replies)?;
+        let end = read_reply_line(replies, timeout)?;
         if end != "END" {
             return Err(format!("unterminated block: expected END, got {end:?}"));
         }
@@ -122,11 +172,25 @@ fn print_response(replies: &mut BufReader<TcpStream>) -> Result<bool, String> {
     Ok(is_err)
 }
 
-fn read_reply_line(replies: &mut BufReader<TcpStream>) -> Result<String, String> {
+fn read_reply_line(
+    replies: &mut BufReader<TcpStream>,
+    timeout: Option<Duration>,
+) -> Result<String, String> {
     let mut line = String::new();
     match replies.read_line(&mut line) {
         Ok(0) => Err("server closed the connection".into()),
         Ok(_) => Ok(line.trim_end().to_owned()),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(format!(
+                "recv: no response within {} — server hung or unreachable (--timeout)",
+                timeout.map_or_else(|| "the timeout".to_owned(), |t| format!("{t:.1?}")),
+            ))
+        }
         Err(e) => Err(format!("recv: {e}")),
     }
 }

@@ -2,9 +2,16 @@
 //!
 //! ```text
 //! ptpminer-cli serve --addr 127.0.0.1:7464 --wal-root /var/lib/ptpminer \
-//!     [--fsync always|epoch|never] [--threads N] [--port-file PATH]
-//!     [--stats-json]
+//!     [--fsync always|epoch|never] [--threads N] [--refresh-workers N]
+//!     [--max-lag T] [--port-file PATH] [--stats-json]
 //! ```
+//!
+//! `--refresh-workers N` gives every stream's refresh pool `N` shard
+//! workers (LPT-balanced over dirty roots, bit-identical output);
+//! `--max-lag T` switches every stream to the adaptive refresh trigger
+//! (refresh once the published snapshot trails the live watermark by more
+//! than `T`), overriding each stream's `EVERY` cadence. See
+//! `docs/STREAMING.md` for tuning guidance.
 //!
 //! The process runs until SIGINT or a client's `SHUTDOWN`, then drains
 //! every stream gracefully (WAL flushed, final refresh folded in) and
@@ -30,6 +37,8 @@ pub const OPTIONS: &[&str] = &[
     "wal-root",
     "fsync",
     "threads",
+    "refresh-workers",
+    "max-lag",
     "port-file",
     "stats-json",
 ];
@@ -45,10 +54,16 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     if p.get("fsync").is_some() && p.get("wal-root").is_none() {
         return Err("--fsync needs --wal-root (there are no logs to sync without one)".into());
     }
+    let max_lag = p.opt_num::<i64>("max-lag")?;
+    if max_lag.is_some_and(|l| l < 0) {
+        return Err("--max-lag: must be non-negative".into());
+    }
     let config = ServerConfig {
         wal_root: p.get("wal-root").map(PathBuf::from),
         fsync,
         threads: p.num::<usize>("threads", 0)?,
+        refresh_workers: p.num::<usize>("refresh-workers", 1)?.max(1),
+        max_lag,
     };
     if let Some(root) = &config.wal_root {
         std::fs::create_dir_all(root).map_err(|e| format!("--wal-root {}: {e}", root.display()))?;
@@ -123,8 +138,10 @@ fn stats_json(report: &DrainReport) -> String {
             format!(
                 "{{\"name\":\"{}\",\"events\":{},\"revision\":{},\"patterns\":{},\
                  \"submitted\":{},\"completed\":{},\"coalesced\":{},\
-                 \"events_during_refresh\":{},\"wal_flushes\":{},\
-                 \"wal_degraded\":{},\"worker_failed\":{}}}",
+                 \"events_during_refresh\":{},\"refresh_lag\":{},\
+                 \"subscribers\":{},\"subscriber_delivered\":{},\
+                 \"subscriber_dropped\":{},\"subscriber_max_lag\":{},\
+                 \"wal_flushes\":{},\"wal_degraded\":{},\"worker_failed\":{}}}",
                 s.name,
                 s.events,
                 s.final_revision,
@@ -133,6 +150,13 @@ fn stats_json(report: &DrainReport) -> String {
                 s.pipeline.completed_refreshes,
                 s.pipeline.coalesced_refreshes,
                 s.pipeline.events_during_refresh,
+                s.pipeline
+                    .refresh_lag
+                    .map_or_else(|| "null".to_owned(), |l| l.to_string()),
+                s.pipeline.subscribers,
+                s.pipeline.subscriber_delivered,
+                s.pipeline.subscriber_dropped,
+                s.pipeline.subscriber_max_lag,
                 s.pipeline.wal_flushes,
                 s.wal_degraded,
                 s.worker_failed,

@@ -6,9 +6,11 @@
 //! blank lines and `#` comments are skipped). Events feed a
 //! [`SlidingWindowDatabase`]; every `--refresh-every` watermarks a refresh
 //! trigger fires and the [`IncrementalMiner`] re-mines the dirty partitions,
-//! printing a one-line snapshot summary to stderr. At end of input (or on
-//! Ctrl-C / `--timeout`) the final pattern set is printed to stdout and
-//! throughput statistics to stderr.
+//! printing a one-line snapshot summary to stderr. `--max-lag T` replaces
+//! the periodic trigger with an adaptive one: refresh only once the
+//! published snapshot trails the live watermark by more than `T` time
+//! units. At end of input (or on Ctrl-C / `--timeout`) the final pattern
+//! set is printed to stdout and throughput statistics to stderr.
 //!
 //! # Pipelined refreshes (default)
 //!
@@ -16,7 +18,9 @@
 //! ingestion continues: a trigger freezes the window (cheap, `Arc`-shared
 //! indexes) and hands the epoch to the worker; triggers arriving while a
 //! refresh is still in flight are *coalesced* into the next epoch (see
-//! `docs/STREAMING.md`). `--sync-refresh` restores the PR 2 behaviour
+//! `docs/STREAMING.md`). `--refresh-workers N` shards each refresh's
+//! dirty roots across a pool of `N` mining workers (LPT-balanced,
+//! bit-identical output; see `docs/STREAMING.md` for sizing). `--sync-refresh` restores the PR 2 behaviour
 //! (ingestion stalls during each refresh) — useful for debugging and as
 //! the equivalence baseline; `--pipeline` names the default explicitly.
 //! The final pattern set is identical either way.
@@ -61,6 +65,8 @@ pub const OPTIONS: &[&str] = &[
     "max-arity",
     "gap",
     "refresh-every",
+    "refresh-workers",
+    "max-lag",
     "threads",
     "timeout",
     "json",
@@ -141,10 +147,24 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     if refresh_every == 0 {
         return Err("--refresh-every: must be at least 1".into());
     }
+    let max_lag = p.opt_num::<i64>("max-lag")?;
+    if max_lag.is_some_and(|l| l < 0) {
+        return Err("--max-lag: must be non-negative".into());
+    }
+    if max_lag.is_some() && p.get("refresh-every").is_some() {
+        return Err(
+            "--max-lag and --refresh-every are mutually exclusive (adaptive vs periodic trigger)"
+                .into(),
+        );
+    }
     if p.flag("pipeline") && p.flag("sync-refresh") {
         return Err("--pipeline and --sync-refresh are mutually exclusive".into());
     }
     let pipelined = !p.flag("sync-refresh");
+    let refresh_workers = p.num::<usize>("refresh-workers", 1)?.max(1);
+    if refresh_workers > 1 && !pipelined {
+        return Err("--refresh-workers needs the pipelined engine (drop --sync-refresh)".into());
+    }
     let fsync_policy = fsync_from(p)?;
     if p.get("fsync").is_some() && p.get("wal-dir").is_none() {
         return Err("--fsync needs --wal-dir (there is no log to sync without one)".into());
@@ -187,7 +207,11 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     let miner = IncrementalMiner::new(config, p.num::<usize>("threads", 0)?);
     let cell = Arc::new(SnapshotCell::new());
     let mut engine = if pipelined {
-        Engine::Pipelined(RefreshWorker::spawn(miner, Arc::clone(&cell)))
+        Engine::Pipelined(RefreshWorker::spawn_pool(
+            miner,
+            Arc::clone(&cell),
+            refresh_workers,
+        ))
     } else {
         Engine::Sync(miner.with_cell(Arc::clone(&cell)))
     };
@@ -272,7 +296,19 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
             if let (Some(journal), Some(cutoff)) = (journal.as_mut(), window.cutoff()) {
                 journal.reclaim(cutoff);
             }
-            if watermarks % refresh_every == 0 {
+            // With --max-lag the trigger is adaptive: refresh only once
+            // the published snapshot trails the live watermark by more
+            // than the bound (a never-published stream qualifies at
+            // once). Otherwise every --refresh-every'th watermark fires.
+            let due = match max_lag {
+                Some(bound) => match (window.watermark(), cell.load().watermark) {
+                    (Some(live), Some(done)) => live.saturating_sub(done) > bound,
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                },
+                None => watermarks % refresh_every == 0,
+            };
+            if due {
                 match &mut engine {
                     Engine::Sync(miner) => {
                         let snapshot = refresh(miner, &mut window, &threshold, &token, deadline);
@@ -411,6 +447,8 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
             Some(ps) => format!(
                 "{{\"submitted\":{},\"completed\":{},\"coalesced\":{},\
                  \"events_during_refresh\":{},\"refresh_lag\":{},\
+                 \"subscribers\":{},\"subscriber_delivered\":{},\
+                 \"subscriber_dropped\":{},\"subscriber_max_lag\":{},\
                  \"wal_flushes\":{},\"wal_degraded\":{}}}",
                 ps.submitted_refreshes,
                 ps.completed_refreshes,
@@ -418,6 +456,10 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
                 ps.events_during_refresh,
                 ps.refresh_lag
                     .map_or_else(|| "null".to_owned(), |l| l.to_string()),
+                ps.subscribers,
+                ps.subscriber_delivered,
+                ps.subscriber_dropped,
+                ps.subscriber_max_lag,
                 ps.wal_flushes,
                 ps.wal_degraded,
             ),

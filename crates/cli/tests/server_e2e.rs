@@ -73,11 +73,16 @@ impl Conn {
     }
 
     /// Sends a command; returns the whole response unit (line or block).
+    /// `REV` push lines arriving ahead of the response (possible on a
+    /// subscribed connection) are skipped.
     fn send(&mut self, command: &str) -> Vec<String> {
         self.writer
             .write_all(format!("{command}\n").as_bytes())
             .unwrap();
-        let head = self.read_line();
+        let mut head = self.read_line();
+        while head.starts_with("REV ") {
+            head = self.read_line();
+        }
         let mut out = vec![head.clone()];
         if let Some(rest) = head.strip_prefix("BEGIN ") {
             let count: usize = rest.split_whitespace().next().unwrap().parse().unwrap();
@@ -89,6 +94,19 @@ impl Conn {
             out.push(end);
         }
         out
+    }
+
+    /// Reads one asynchronous push line, or `None` if the connection stays
+    /// quiet for `timeout`.
+    fn read_push(&mut self, timeout: Duration) -> Option<String> {
+        self.reader.get_ref().set_read_timeout(Some(timeout)).unwrap();
+        let mut line = String::new();
+        let got = match self.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(line.trim_end().to_owned()),
+        };
+        self.reader.get_ref().set_read_timeout(None).unwrap();
+        got
     }
 
     fn ok(&mut self, command: &str) {
@@ -301,6 +319,103 @@ fn two_streams_over_tcp_match_offline_mine_and_sigint_drains_cleanly() {
         recovered, query_alpha,
         "replayed WAL diverges from the served snapshot"
     );
+}
+
+#[test]
+fn subscribe_streams_revision_pushes_until_unsubscribe() {
+    let dir = temp_dir("subscribe");
+    let (mut child, addr) = launch_serve(&dir, &["--refresh-workers", "2"]);
+    let mut writer = Conn::open(&addr);
+    writer.ok("CREATE s WINDOW 100000 ABS-SUPPORT 2 REFRESH-EVERY 1");
+
+    let mut sub = Conn::open(&addr);
+    // Grammar-valid but unusable subscriptions are clean errors.
+    assert!(sub.send("SUBSCRIBE nope")[0].starts_with("ERR"), "unknown stream");
+    assert!(sub.send("UNSUBSCRIBE")[0].starts_with("ERR"), "nothing active");
+    let reply = sub.send("SUBSCRIBE s");
+    assert!(reply[0].starts_with("OK subscribed stream=s"), "{reply:?}");
+    let reply = sub.send("SUBSCRIBE s");
+    assert!(reply[0].starts_with("ERR already subscribed"), "{reply:?}");
+
+    // Ingest on another connection: every published refresh must reach
+    // the subscriber as a REV push without the subscriber asking.
+    ingest(&mut writer, "s", &workload(["a", "b"], 4));
+    writer.ok("SYNC s");
+    let mut revisions: Vec<u64> = Vec::new();
+    while let Some(line) = sub.read_push(Duration::from_secs(2)) {
+        assert!(line.starts_with("REV stream=s revision="), "{line}");
+        let revision = line
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("revision="))
+            .unwrap()
+            .parse()
+            .unwrap();
+        revisions.push(revision);
+        if revisions.len() > 64 {
+            break;
+        }
+    }
+    assert!(!revisions.is_empty(), "no REV push arrived after SYNC");
+    assert!(
+        revisions.windows(2).all(|w| w[0] < w[1]),
+        "pushed revisions must be strictly increasing: {revisions:?}"
+    );
+
+    // The subscription is observable per-tenant in STATS.
+    let stats = writer.send("STATS s");
+    assert!(
+        stats.iter().any(|l| l.contains("subscribers=1")),
+        "{stats:?}"
+    );
+
+    // UNSUBSCRIBE must name the active stream (when it names one), then
+    // reports the subscriber's delivery accounting.
+    assert!(sub.send("UNSUBSCRIBE other")[0].starts_with("ERR"));
+    let reply = sub.send("UNSUBSCRIBE s");
+    assert!(
+        reply[0].starts_with("OK unsubscribed stream=s delivered="),
+        "{reply:?}"
+    );
+    // Disconnected subscribers are pruned at the next publication (not
+    // eagerly), so force one refresh before checking the count.
+    writer.ok("SYNC s");
+    let stats = writer.send("STATS s");
+    assert!(
+        stats.iter().any(|l| l.contains("subscribers=0")),
+        "gone after UNSUBSCRIBE + publish: {stats:?}"
+    );
+
+    writer.ok("SHUTDOWN");
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+}
+
+#[test]
+fn client_times_out_cleanly_against_a_hung_server() {
+    // A socket that accepts and then never responds: the client must fail
+    // with a timeout error, not block forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let hold = std::thread::spawn(move || {
+        let held = listener.accept().ok();
+        std::thread::sleep(Duration::from_secs(5));
+        drop(held);
+    });
+
+    let dir = temp_dir("client-timeout");
+    let script = dir.join("script.txt");
+    std::fs::write(&script, "PING\n").unwrap();
+    let out = bin()
+        .args(["client", "--addr", &addr, "--timeout", "0.5"])
+        .arg(&script)
+        .output()
+        .unwrap();
+    assert_ne!(out.status.code(), Some(0), "a hung server must not exit 0");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no response within"),
+        "expected a timeout error, got: {stderr}"
+    );
+    drop(hold); // detached on purpose: it outlives the client by design
 }
 
 #[test]

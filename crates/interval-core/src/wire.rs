@@ -17,6 +17,8 @@
 //! BATCH  <stream> <count>             # <count> event lines follow
 //! QUERY  <stream> [PREFIX <symbol>] [TOP <k>]
 //! SYNC   <stream>                     # block until a fresh refresh lands
+//! SUBSCRIBE   <stream>                # push revision lines until UNSUBSCRIBE
+//! UNSUBSCRIBE [<stream>]              # stop the connection's subscription
 //! STATS  [<stream>]
 //! DROP   <stream>
 //! HEALTH | PING | SHUTDOWN | QUIT
@@ -44,7 +46,18 @@ pub const MAX_STREAM_NAME: usize = 64;
 
 /// Every protocol verb, for did-you-mean suggestions and docs.
 pub const VERBS: &[&str] = &[
-    "CREATE", "EVENT", "BATCH", "QUERY", "SYNC", "STATS", "DROP", "HEALTH", "PING", "SHUTDOWN",
+    "CREATE",
+    "EVENT",
+    "BATCH",
+    "QUERY",
+    "SYNC",
+    "SUBSCRIBE",
+    "UNSUBSCRIBE",
+    "STATS",
+    "DROP",
+    "HEALTH",
+    "PING",
+    "SHUTDOWN",
     "QUIT",
 ];
 
@@ -148,6 +161,18 @@ pub enum Request {
     Sync {
         /// Target stream.
         stream: String,
+    },
+    /// Start pushing this stream's published revisions to the connection
+    /// (one `REV` line per snapshot) until `UNSUBSCRIBE` or disconnect.
+    Subscribe {
+        /// Target stream.
+        stream: String,
+    },
+    /// Stop the connection's active subscription. The stream name is
+    /// optional; when given it must match the active subscription.
+    Unsubscribe {
+        /// Restrict to one stream when given.
+        stream: Option<String>,
     },
     /// Pipeline/server statistics for one stream or all of them.
     Stats {
@@ -280,6 +305,12 @@ impl Request {
             "QUERY" => parse_query(rest)?,
             "SYNC" => Request::Sync {
                 stream: one_stream("SYNC", rest)?,
+            },
+            "SUBSCRIBE" => Request::Subscribe {
+                stream: one_stream("SUBSCRIBE", rest)?,
+            },
+            "UNSUBSCRIBE" => Request::Unsubscribe {
+                stream: optional_stream("UNSUBSCRIBE", rest)?,
             },
             "STATS" => Request::Stats {
                 stream: optional_stream("STATS", rest)?,
@@ -704,6 +735,42 @@ mod tests {
         match err("QUERY s PERFIX fever") {
             WireError::Malformed { message, .. } => {
                 assert!(message.contains("did you mean PREFIX"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscribe_takes_one_stream_and_unsubscribe_an_optional_one() {
+        assert_eq!(
+            parse("SUBSCRIBE vitals"),
+            Request::Subscribe {
+                stream: "vitals".into()
+            }
+        );
+        assert_eq!(
+            parse("subscribe s1"),
+            Request::Subscribe {
+                stream: "s1".into()
+            }
+        );
+        assert!(matches!(err("SUBSCRIBE"), WireError::Malformed { .. }));
+        assert!(matches!(err("SUBSCRIBE a b"), WireError::Malformed { .. }));
+        assert!(matches!(
+            err("SUBSCRIBE bad/name"),
+            WireError::BadStreamName { .. }
+        ));
+        assert_eq!(parse("UNSUBSCRIBE"), Request::Unsubscribe { stream: None });
+        assert_eq!(
+            parse("UNSUBSCRIBE vitals"),
+            Request::Unsubscribe {
+                stream: Some("vitals".into())
+            }
+        );
+        assert!(matches!(err("UNSUBSCRIBE a b"), WireError::Malformed { .. }));
+        match err("SUBSCIRBE s") {
+            WireError::UnknownCommand { suggestion, .. } => {
+                assert_eq!(suggestion, Some("SUBSCRIBE"));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -22,13 +22,26 @@ use std::time::Duration;
 
 use interval_core::wire::{Request, WireError, MAX_LINE_BYTES};
 use interval_core::StreamEvent;
+use stream::SnapshotSubscriber;
 
 use crate::session::StreamSession;
 use crate::{proto, Shared};
 
 /// Socket read timeout: the cadence at which an idle connection re-checks
-/// the draining flag.
+/// the draining flag — and drains any pending push subscription.
 const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Bounded queue depth of one connection's push subscription. A
+/// subscriber that falls more than this many revisions behind starts
+/// dropping (counted, reported on `UNSUBSCRIBE` and in `STATS`);
+/// publication never waits for it.
+const SUBSCRIBER_CAPACITY: usize = 64;
+
+/// The connection's active push subscription (at most one).
+struct ActiveSub {
+    stream: String,
+    subscriber: SnapshotSubscriber,
+}
 
 /// What one attempt to read a request line produced.
 enum Next {
@@ -153,8 +166,14 @@ pub(crate) fn serve(sock: TcpStream, shared: Arc<Shared>) {
     };
     let mut writer = BufWriter::new(writer_sock);
     let mut lines = LineReader::new(sock);
+    let mut active: Option<ActiveSub> = None;
     loop {
         if shared.draining.load(Ordering::Relaxed) {
+            break;
+        }
+        // Push pending subscription revisions between requests — at worst
+        // one READ_TICK after publication on an otherwise idle connection.
+        if pump_subscription(&mut active, &mut writer).is_err() {
             break;
         }
         match lines.next() {
@@ -180,7 +199,7 @@ pub(crate) fn serve(sock: TcpStream, shared: Arc<Shared>) {
                 }
                 Ok(Some(request)) => {
                     shared.counters.note_command();
-                    match dispatch(request, &shared, &mut lines, &mut writer) {
+                    match dispatch(request, &shared, &mut lines, &mut writer, &mut active) {
                         Ok(false) => {}
                         Ok(true) | Err(_) => break,
                     }
@@ -201,12 +220,37 @@ fn respond_ok(writer: &mut BufWriter<TcpStream>, detail: &str) -> std::io::Resul
     writer.flush()
 }
 
+/// Writes every snapshot the active subscription has queued as `REV` push
+/// lines. Queue-empty and sender-gone (the stream was `DROP`ped) look the
+/// same here — the subscription simply goes quiet; `UNSUBSCRIBE` still
+/// reports its final counters. Only genuine socket errors propagate.
+fn pump_subscription(
+    active: &mut Option<ActiveSub>,
+    writer: &mut BufWriter<TcpStream>,
+) -> std::io::Result<()> {
+    let Some(sub) = active.as_ref() else {
+        return Ok(());
+    };
+    let mut wrote = false;
+    while let Some(snapshot) = sub.subscriber.try_next() {
+        let line = proto::rev_line(&sub.stream, &snapshot, sub.subscriber.dropped());
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        wrote = true;
+    }
+    if wrote {
+        writer.flush()?;
+    }
+    Ok(())
+}
+
 /// Handles one parsed request. `Ok(true)` closes the connection.
 fn dispatch(
     request: Request,
     shared: &Arc<Shared>,
     lines: &mut LineReader,
     writer: &mut BufWriter<TcpStream>,
+    active: &mut Option<ActiveSub>,
 ) -> std::io::Result<bool> {
     match request {
         Request::Create { stream, spec } => {
@@ -348,6 +392,62 @@ fn dispatch(
                         &format!(
                             "dropped stream={stream} events={} revision={} wal_degraded={}",
                             drain.events, drain.final_revision, drain.wal_degraded,
+                        ),
+                    )?;
+                }
+            }
+            Ok(false)
+        }
+        Request::Subscribe { stream } => {
+            if let Some(sub) = active.as_ref() {
+                shared.counters.note_protocol_error();
+                respond_err(
+                    writer,
+                    &format!(
+                        "already subscribed to {:?} (UNSUBSCRIBE first)",
+                        sub.stream
+                    ),
+                )?;
+                return Ok(false);
+            }
+            let Some(session) = shared.registry.get(&stream) else {
+                shared.counters.note_protocol_error();
+                respond_err(writer, &format!("no such stream {stream:?}"))?;
+                return Ok(false);
+            };
+            let subscriber = session.subscribe(SUBSCRIBER_CAPACITY);
+            respond_ok(
+                writer,
+                &format!("subscribed stream={stream} capacity={SUBSCRIBER_CAPACITY}"),
+            )?;
+            *active = Some(ActiveSub { stream, subscriber });
+            Ok(false)
+        }
+        Request::Unsubscribe { stream } => {
+            match active.take() {
+                None => {
+                    shared.counters.note_protocol_error();
+                    respond_err(writer, "no active subscription")?;
+                }
+                Some(sub) => {
+                    if let Some(name) = &stream {
+                        if name != &sub.stream {
+                            shared.counters.note_protocol_error();
+                            respond_err(
+                                writer,
+                                &format!("subscribed to {:?}, not {name:?}", sub.stream),
+                            )?;
+                            *active = Some(sub);
+                            return Ok(false);
+                        }
+                    }
+                    respond_ok(
+                        writer,
+                        &format!(
+                            "unsubscribed stream={} delivered={} dropped={}",
+                            sub.stream,
+                            sub.subscriber.delivered(),
+                            sub.subscriber.dropped(),
                         ),
                     )?;
                 }

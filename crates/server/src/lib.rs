@@ -42,7 +42,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use durability::FsyncPolicy;
-use interval_core::CancellationToken;
+use interval_core::{CancellationToken, Time};
 use stream::PipelineStats;
 
 pub use accept::ServerHandle;
@@ -60,6 +60,13 @@ pub struct ServerConfig {
     pub fsync: FsyncPolicy,
     /// Worker threads per stream's miner (0 = automatic).
     pub threads: usize,
+    /// Shard workers in every stream's refresh pool (0 and 1 both mean a
+    /// single worker; see [`stream::ShardPool`]).
+    pub refresh_workers: usize,
+    /// Adaptive refresh bound: when set, a watermark triggers a refresh
+    /// only once the published snapshot trails the live watermark by more
+    /// than this many time units, replacing the per-`refresh_every` tick.
+    pub max_lag: Option<Time>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +75,8 @@ impl Default for ServerConfig {
             wal_root: None,
             fsync: FsyncPolicy::Epoch,
             threads: 0,
+            refresh_workers: 1,
+            max_lag: None,
         }
     }
 }

@@ -9,7 +9,13 @@
 //! BEGIN <n> [k=v ...]              # framed payload: exactly n lines follow
 //! <payload line> × n
 //! END
+//! REV <k=v ...>                    # asynchronous push (active SUBSCRIBE only)
 //! ```
+//!
+//! `REV` lines appear only between request/response exchanges on a
+//! connection with an active subscription — never inside a `BEGIN … END`
+//! frame — so clients that subscribe must treat any `REV`-prefixed line as
+//! a push and keep waiting for the response they asked for.
 //!
 //! The `BEGIN <n> … END` frame lets a client read a variable-length reply
 //! without sniffing — it knows the exact line count up front and `END`
@@ -18,6 +24,8 @@
 //! sniff.
 
 use std::io::{self, Write};
+
+use stream::PatternSnapshot;
 
 use crate::session::{QueryReply, SessionStats};
 use crate::stats::CountersSnapshot;
@@ -71,6 +79,21 @@ pub fn query_reply(w: &mut impl Write, reply: &QueryReply) -> io::Result<()> {
     block(w, &suffix, &lines)
 }
 
+/// One pushed revision notification for an active subscription.
+/// `dropped` is the subscriber's cumulative drop count, so a client can
+/// detect that it missed revisions without comparing revision numbers.
+pub fn rev_line(stream: &str, snapshot: &PatternSnapshot, dropped: u64) -> String {
+    format!(
+        "REV stream={stream} revision={} watermark={} sequences={} patterns={} dropped={dropped}",
+        snapshot.revision,
+        snapshot
+            .watermark
+            .map_or_else(|| "-".to_owned(), |t| t.to_string()),
+        snapshot.sequences,
+        snapshot.result.len(),
+    )
+}
+
 /// One `STATS` payload line for a stream — stable `k=v` pairs.
 pub fn stats_line(s: &SessionStats) -> String {
     let lag = s
@@ -86,7 +109,8 @@ pub fn stats_line(s: &SessionStats) -> String {
     };
     format!(
         "stream={} events={} watermarks={} sequences={} open={} revision={} patterns={} \
-         submitted={} completed={} coalesced={} during_refresh={} lag={lag} queries={} {wal}",
+         submitted={} completed={} coalesced={} during_refresh={} lag={lag} \
+         subscribers={} sub_delivered={} sub_dropped={} sub_max_lag={} queries={} {wal}",
         s.name,
         s.events,
         s.watermarks,
@@ -98,6 +122,10 @@ pub fn stats_line(s: &SessionStats) -> String {
         s.pipeline.completed_refreshes,
         s.pipeline.coalesced_refreshes,
         s.pipeline.events_during_refresh,
+        s.pipeline.subscribers,
+        s.pipeline.subscriber_delivered,
+        s.pipeline.subscriber_dropped,
+        s.pipeline.subscriber_max_lag,
         s.queries,
     )
 }

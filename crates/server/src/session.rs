@@ -26,7 +26,7 @@ use interval_core::{MiningBudget, StreamEvent, Time};
 use parking_lot::Mutex;
 use stream::{
     IncrementalMiner, Journal, JournalStats, PatternSnapshot, PipelineStats, RefreshJob,
-    RefreshWorker, SlidingWindowDatabase, SnapshotCell,
+    RefreshWorker, SlidingWindowDatabase, SnapshotCell, SnapshotSubscriber,
 };
 use tpminer::MinerConfig;
 
@@ -115,6 +115,7 @@ struct Ingest {
     journal: Option<Journal>,
     support: SupportSpec,
     refresh_every: u64,
+    max_lag: Option<Time>,
     watermarks: u64,
     events: u64,
 }
@@ -173,7 +174,8 @@ impl StreamSession {
         }
         let cell = Arc::new(SnapshotCell::new());
         let miner = IncrementalMiner::new(miner_config, config.threads);
-        let worker = RefreshWorker::spawn(miner, Arc::clone(&cell));
+        let worker =
+            RefreshWorker::spawn_pool(miner, Arc::clone(&cell), config.refresh_workers.max(1));
 
         let events = outcome.recovered_events.saturating_sub(outcome.recovered_rejected);
         let mut ingest = Ingest {
@@ -182,6 +184,7 @@ impl StreamSession {
             journal,
             support: spec.support,
             refresh_every: spec.refresh_every.max(1),
+            max_lag: config.max_lag,
             watermarks: 0,
             events,
         };
@@ -238,7 +241,19 @@ impl StreamSession {
             {
                 journal.reclaim(cutoff);
             }
-            if ingest.watermarks % ingest.refresh_every == 0 {
+            let due = match ingest.max_lag {
+                // Adaptive trigger: refresh only once the published
+                // snapshot trails the live watermark by more than the
+                // bound. A stream that has never published qualifies
+                // immediately.
+                Some(bound) => match (ingest.window.watermark(), self.cell.load().watermark) {
+                    (Some(live), Some(done)) => live.saturating_sub(done) > bound,
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                },
+                None => ingest.watermarks % ingest.refresh_every == 0,
+            };
+            if due {
                 coalesce_refresh(ingest);
             }
         }
@@ -310,6 +325,15 @@ impl StreamSession {
             sequences: snapshot.sequences,
             lines,
         }
+    }
+
+    /// Attaches a bounded push subscriber to this session's snapshot
+    /// cell: every snapshot published after this call is enqueued, and a
+    /// full queue drops the revision for this subscriber only —
+    /// publication and ingest never wait (see
+    /// [`SnapshotCell::subscribe`]).
+    pub fn subscribe(&self, capacity: usize) -> SnapshotSubscriber {
+        self.cell.subscribe(capacity)
     }
 
     /// Point-in-time statistics (takes the ingest lock briefly).
@@ -532,6 +556,7 @@ mod tests {
             wal_root: Some(root.clone()),
             fsync: durability::FsyncPolicy::Always,
             threads: 1,
+            ..ServerConfig::default()
         };
         let mut s = spec(100, SupportSpec::Absolute(2));
         s.durable = true;
@@ -577,6 +602,60 @@ mod tests {
             panic!("durable CREATE without --wal-root must be refused");
         };
         assert!(err.contains("wal-root"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_trigger_refreshes_on_lag_not_every_watermark() {
+        let config = ServerConfig {
+            max_lag: Some(50),
+            ..ServerConfig::default()
+        };
+        let (session, _) =
+            StreamSession::open("s", &spec(10_000, SupportSpec::Absolute(1)), &config).unwrap();
+        session.ingest(interval(1, "a", 0, 5)).unwrap();
+        // The first qualifying watermark publishes (nothing published yet
+        // counts as unbounded lag); wait for it so later lag comparisons
+        // run against a real snapshot watermark.
+        session.ingest(StreamEvent::Watermark(10)).unwrap();
+        for _ in 0..3_000 {
+            if session.query(None, Some(0)).revision > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let published = session.query(None, Some(0)).revision;
+        assert!(published >= 1);
+        let submitted_before = session.stats().pipeline.submitted_refreshes;
+        // Watermarks within the bound of the published snapshot must not
+        // submit new refreshes, even though refresh_every == 1.
+        for t in [20, 30, 40] {
+            session.ingest(StreamEvent::Watermark(t)).unwrap();
+        }
+        assert_eq!(
+            session.stats().pipeline.submitted_refreshes,
+            submitted_before,
+            "watermarks within max_lag must not trigger refreshes"
+        );
+        // A watermark beyond the bound triggers again.
+        session.ingest(StreamEvent::Watermark(200)).unwrap();
+        assert!(session.stats().pipeline.submitted_refreshes > submitted_before);
+        session.drain();
+    }
+
+    #[test]
+    fn subscriber_sees_session_publications() {
+        let config = ServerConfig::default();
+        let (session, _) =
+            StreamSession::open("s", &spec(100, SupportSpec::Absolute(1)), &config).unwrap();
+        let sub = session.subscribe(8);
+        session.ingest(interval(1, "a", 0, 5)).unwrap();
+        session.ingest(StreamEvent::Watermark(10)).unwrap();
+        session.sync().unwrap();
+        let snapshot = sub
+            .next_timeout(Duration::from_secs(5))
+            .expect("a published snapshot");
+        assert!(snapshot.revision >= 1);
+        session.drain();
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use interval_core::{MiningBudget, SymbolId, TemporalPattern};
 use tpminer::{DbIndex, MinerConfig, MiningResult, ParallelTpMiner};
 
+use crate::pool::ShardPool;
 use crate::snapshot::{PatternSnapshot, RefreshStats, SnapshotCell};
 use crate::window::{FrozenView, SlidingWindowDatabase};
 
@@ -150,11 +151,40 @@ impl IncrementalMiner {
         view: &FrozenView,
         budget: MiningBudget,
     ) -> Arc<PatternSnapshot> {
+        self.refresh_frozen_inner(view, budget, None)
+    }
+
+    /// [`refresh_frozen`](Self::refresh_frozen), with the mine split
+    /// across the shard `pool` instead of this miner's own worker scope:
+    /// dirty roots are LPT-sharded over the pool's threads and the shard
+    /// results merge into one canonical result. For the same frozen
+    /// contents the published snapshot is bit-identical to
+    /// [`refresh_frozen`](Self::refresh_frozen) at any pool size (see
+    /// [`ShardPool`]'s parity contract); all carry-over, truncation and
+    /// pending-partition state behaves identically.
+    pub fn refresh_frozen_pooled(
+        &mut self,
+        view: &FrozenView,
+        budget: MiningBudget,
+        pool: &ShardPool,
+    ) -> Arc<PatternSnapshot> {
+        self.refresh_frozen_inner(view, budget, Some(pool))
+    }
+
+    fn refresh_frozen_inner(
+        &mut self,
+        view: &FrozenView,
+        budget: MiningBudget,
+        pool: Option<&ShardPool>,
+    ) -> Arc<PatternSnapshot> {
         let min_support = self.config.effective_min_support();
         let mut dirty: BTreeSet<SymbolId> = std::mem::take(&mut self.pending);
         dirty.extend(view.dirty().iter().copied());
 
-        let index = DbIndex::from_seq_indexes(view.seq_indexes().to_vec());
+        // `Arc` so the shard pool's workers can hold the index while the
+        // dispatcher waits for their replies; the single-threaded path
+        // pays one refcount for the symmetry.
+        let index = Arc::new(DbIndex::from_seq_indexes(view.seq_indexes().to_vec()));
 
         // Threshold changes (and the very first refresh) invalidate the
         // carry-over: supports carried from the previous snapshot are only
@@ -170,9 +200,12 @@ impl IncrementalMiner {
             dirty.iter().copied().collect()
         };
 
-        let mined = ParallelTpMiner::new(self.config, self.threads)
-            .with_budget(budget)
-            .mine_partitions(&index, &roots);
+        let mined = match pool {
+            Some(pool) => pool.mine_sharded(&index, &roots, self.config, budget),
+            None => ParallelTpMiner::new(self.config, self.threads)
+                .with_budget(budget)
+                .mine_partitions(&index, &roots),
+        };
 
         let mut by_root: HashMap<SymbolId, Vec<(TemporalPattern, usize)>> = HashMap::new();
         let mut carried = 0usize;

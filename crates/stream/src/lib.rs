@@ -58,12 +58,16 @@
 
 pub mod durable;
 pub mod incremental;
+pub mod pool;
 pub mod snapshot;
 pub mod window;
 pub mod worker;
 
 pub use durable::{Journal, JournalStats, ReplayOutcome};
 pub use incremental::IncrementalMiner;
-pub use snapshot::{PatternSnapshot, RefreshStats, SnapshotCell};
+pub use pool::ShardPool;
+pub use snapshot::{
+    PatternSnapshot, RefreshStats, SnapshotCell, SnapshotSubscriber, SubscriberStats,
+};
 pub use window::{FrozenView, IngestStats, SlidingWindowDatabase};
 pub use worker::{PipelineStats, RefreshJob, RefreshWorker, ShutdownOutcome};

@@ -1,0 +1,242 @@
+//! Sharded refresh pool: long-lived mining workers for one refresh epoch.
+//!
+//! A single [`RefreshWorker`](crate::RefreshWorker) thread mines every
+//! refresh alone, so refresh latency is bound by one core no matter how
+//! many the host has. The [`ShardPool`] scales the *mine* half of a
+//! refresh across N long-lived worker threads: the epoch's dirty roots are
+//! split into N shards with the same LPT scheduling the offline miner uses
+//! ([`tpminer::lpt_shards`] — heaviest estimated subtree first, each root
+//! to the least-loaded shard), each worker mines its shard on its own
+//! thread ([`ParallelTpMiner::mine_shard`]), and the outcomes merge into
+//! one canonical result ([`ParallelTpMiner::merge_shards`]).
+//!
+//! # Bit parity
+//!
+//! The merged result is bit-identical to a single
+//! [`mine_partitions`](ParallelTpMiner::mine_partitions) call over the
+//! same roots, for every pool size: per-root mining is deterministic, the
+//! shards partition the roots exactly, counters merge additively, and the
+//! merge sorts patterns canonically. `tests/streaming_pipeline.rs`
+//! property-tests the pipelined pooled path against the synchronous path
+//! for pool sizes 1, 2 and 8.
+//!
+//! # Fault isolation
+//!
+//! Subtree panics are already contained per root inside the engine; the
+//! pool additionally wraps each whole shard in `catch_unwind`, so even a
+//! panic outside subtree expansion (index pathology, allocation failure
+//! unwound as panic) degrades to a [`ShardOutcome::failed`] report naming
+//! the shard's roots — the refresh still publishes, with
+//! `Termination::WorkerFailed` listing exactly what was lost, and the
+//! worker thread survives to serve the next epoch.
+//!
+//! This module is on the sanctioned-spawn list of `cargo run -p xlint`
+//! (`no-raw-spawn`): pool workers are long-lived, bounded-channel-fed and
+//! joined on drop, the lifecycle the lint exists to keep reviewable.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use interval_core::{MiningBudget, SymbolId};
+use tpminer::{lpt_shards, DbIndex, MinerConfig, MiningResult, ParallelTpMiner, ShardOutcome};
+
+/// One shard of a refresh epoch, handed to a pool worker.
+struct ShardJob {
+    index: Arc<DbIndex>,
+    roots: Vec<SymbolId>,
+    config: MinerConfig,
+    budget: MiningBudget,
+    shard: usize,
+    reply: mpsc::Sender<(usize, ShardOutcome)>,
+}
+
+/// A pool of long-lived shard-mining threads.
+///
+/// The pool is owned by whoever drives refreshes (the
+/// [`RefreshWorker`](crate::RefreshWorker) dispatcher thread, or a caller
+/// running synchronous refreshes) and is reused across epochs: workers
+/// park on their job channel between refreshes, so a refresh pays no
+/// spawn cost. Dropping the pool closes the channels and joins every
+/// worker.
+pub struct ShardPool {
+    senders: Vec<SyncSender<ShardJob>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns a pool of `workers` shard miners (0 is clamped to 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::sync_channel::<ShardJob>(1);
+            let handle = std::thread::spawn(move || {
+                // `recv` drains a buffered job before reporting disconnect,
+                // so dropping the pool lets in-flight shards finish first.
+                while let Ok(job) = rx.recv() {
+                    let ShardJob {
+                        index,
+                        roots,
+                        config,
+                        budget,
+                        shard,
+                        reply,
+                    } = job;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        ParallelTpMiner::new(config, 1)
+                            .with_budget(budget)
+                            .mine_shard(&index, &roots)
+                    }))
+                    .unwrap_or_else(|_panic| ShardOutcome::failed(roots));
+                    // The dispatcher stops collecting on its own failure
+                    // paths; a dead reply channel just discards the shard.
+                    let _ = reply.send((shard, outcome));
+                }
+            });
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Mines the level-1 subtrees rooted at `roots`, split across the
+    /// pool, and merges the shards into one canonical [`MiningResult`] —
+    /// bit-identical to
+    /// [`mine_partitions`](ParallelTpMiner::mine_partitions) over the same
+    /// roots (see the module docs). A shard whose worker died (or whose
+    /// reply never arrived) is reported as lost via
+    /// `Termination::WorkerFailed` instead of failing the refresh.
+    pub fn mine_sharded(
+        &self,
+        index: &Arc<DbIndex>,
+        roots: &[SymbolId],
+        config: MinerConfig,
+        budget: MiningBudget,
+    ) -> MiningResult {
+        if roots.is_empty() {
+            return ParallelTpMiner::merge_shards(Vec::new());
+        }
+        let bins = lpt_shards(index, roots, self.senders.len());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut slots: Vec<Option<ShardOutcome>> = Vec::with_capacity(bins.len());
+        let mut expected = 0usize;
+        for (shard, bin) in bins.iter().enumerate() {
+            slots.push(None);
+            let job = ShardJob {
+                index: Arc::clone(index),
+                roots: bin.clone(),
+                config,
+                budget: budget.clone(),
+                shard,
+                reply: reply_tx.clone(),
+            };
+            // A dead worker (its thread exited) leaves the slot empty; the
+            // shard is reported lost below rather than mined elsewhere, so
+            // the failure stays visible instead of silently re-balancing.
+            if self.senders[shard].send(job).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(reply_tx);
+        for _ in 0..expected {
+            match reply_rx.recv() {
+                Ok((shard, outcome)) => slots[shard] = Some(outcome),
+                // Every outstanding reply sender died mid-shard.
+                Err(_) => break,
+            }
+        }
+        let outcomes = slots
+            .into_iter()
+            .zip(bins)
+            .map(|(slot, bin)| slot.unwrap_or_else(|| ShardOutcome::failed(bin)))
+            .collect();
+        ParallelTpMiner::merge_shards(outcomes)
+    }
+}
+
+impl Drop for ShardPool {
+    /// Joining on drop keeps the no-detached-threads discipline; workers
+    /// have no unbounded work (a shard is budget-observed like any mine),
+    /// so the join is prompt.
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_core::{DatabaseBuilder, Termination};
+
+    fn index() -> Arc<DbIndex> {
+        let mut b = DatabaseBuilder::new();
+        for i in 0..6i64 {
+            b.sequence()
+                .interval("A", i, i + 5)
+                .interval("B", i + 3, i + 8)
+                .interval("C", i + 6, i + 10);
+        }
+        Arc::new(DbIndex::build(&b.build()))
+    }
+
+    #[test]
+    fn pool_matches_mine_partitions_at_every_size() {
+        let index = index();
+        let config = MinerConfig::with_min_support(2);
+        let roots = index.frequent_symbols(2);
+        let whole = ParallelTpMiner::new(config, 1).mine_partitions(&index, &roots);
+        for workers in [1, 2, 3, 8] {
+            let pool = ShardPool::new(workers);
+            let mined = pool.mine_sharded(&index, &roots, config, MiningBudget::unlimited());
+            assert_eq!(whole.patterns(), mined.patterns(), "workers={workers}");
+            assert_eq!(whole.termination(), mined.termination());
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_epochs() {
+        let index = index();
+        let config = MinerConfig::with_min_support(2);
+        let roots = index.frequent_symbols(2);
+        let pool = ShardPool::new(2);
+        let first = pool.mine_sharded(&index, &roots, config, MiningBudget::unlimited());
+        let second = pool.mine_sharded(&index, &roots, config, MiningBudget::unlimited());
+        assert_eq!(first.patterns(), second.patterns());
+    }
+
+    #[test]
+    fn empty_roots_mine_to_an_empty_complete_result() {
+        let pool = ShardPool::new(2);
+        let mined = pool.mine_sharded(
+            &index(),
+            &[],
+            MinerConfig::with_min_support(2),
+            MiningBudget::unlimited(),
+        );
+        assert!(mined.is_empty());
+        assert!(mined.is_exhaustive());
+    }
+
+    #[test]
+    fn cancelled_budget_stops_every_shard() {
+        let index = index();
+        let config = MinerConfig::with_min_support(1);
+        let pool = ShardPool::new(3);
+        let budget = MiningBudget::unlimited();
+        budget.token().cancel();
+        let roots = index.frequent_symbols(1);
+        let mined = pool.mine_sharded(&index, &roots, config, budget);
+        assert_eq!(mined.termination(), &Termination::Cancelled);
+    }
+}

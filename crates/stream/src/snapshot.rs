@@ -1,6 +1,8 @@
 //! Published mining snapshots and the cell readers load them from.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
 
 use interval_core::{SymbolTable, Termination, Time};
 use parking_lot::RwLock;
@@ -96,6 +98,83 @@ impl Default for PatternSnapshot {
 #[derive(Debug, Default)]
 pub struct SnapshotCell {
     current: RwLock<Arc<PatternSnapshot>>,
+    subscribers: Mutex<Vec<SubEntry>>,
+}
+
+/// Per-subscriber counters shared between the cell (writer) and the
+/// [`SnapshotSubscriber`] handle (reader).
+#[derive(Debug, Default)]
+struct SubCounters {
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    /// Revision of the last snapshot successfully enqueued; the
+    /// subscriber's *lag* is the cell's current revision minus this.
+    last_enqueued: AtomicU64,
+}
+
+/// The cell's send-side record of one subscriber.
+#[derive(Debug)]
+struct SubEntry {
+    sender: SyncSender<Arc<PatternSnapshot>>,
+    counters: Arc<SubCounters>,
+}
+
+/// Aggregate subscriber accounting, folded into
+/// [`PipelineStats`](crate::PipelineStats) by the pipeline driver.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct SubscriberStats {
+    /// Currently connected subscribers.
+    pub subscribers: u64,
+    /// Snapshots enqueued to subscriber channels, summed over all
+    /// subscribers (past and present).
+    pub subscriber_delivered: u64,
+    /// Revisions dropped because a subscriber's channel was full, summed
+    /// over all subscribers. Drops are per-subscriber: a slow consumer
+    /// loses *its own* revisions and nothing else.
+    pub subscriber_dropped: u64,
+    /// The worst current lag (published revisions since the last one
+    /// enqueued) across connected subscribers.
+    pub subscriber_max_lag: u64,
+}
+
+/// The receiving end of [`SnapshotCell::subscribe`]: a bounded channel
+/// that gets every published snapshot the subscriber keeps up with.
+///
+/// Publication never blocks on a subscriber — when the channel is full
+/// the new revision is *dropped for that subscriber* (counted in
+/// [`SnapshotSubscriber::dropped`]) and the publisher moves on. Delivered
+/// snapshots arrive in publication order (revisions strictly increase);
+/// a gap in revisions is exactly the drop count. Dropping the handle
+/// unsubscribes: the cell prunes the dead channel on its next publish.
+#[derive(Debug)]
+pub struct SnapshotSubscriber {
+    receiver: Receiver<Arc<PatternSnapshot>>,
+    counters: Arc<SubCounters>,
+}
+
+impl SnapshotSubscriber {
+    /// The next published snapshot, if one is already queued.
+    /// Non-blocking; `None` when the queue is empty (the cell may still
+    /// publish more later — this is not a disconnect signal).
+    pub fn try_next(&self) -> Option<Arc<PatternSnapshot>> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Blocks until the next snapshot or `timeout`, whichever comes
+    /// first.
+    pub fn next_timeout(&self, timeout: std::time::Duration) -> Option<Arc<PatternSnapshot>> {
+        self.receiver.recv_timeout(timeout).ok()
+    }
+
+    /// Snapshots enqueued to this subscriber so far.
+    pub fn delivered(&self) -> u64 {
+        self.counters.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Revisions this subscriber missed because its queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.counters.dropped.load(Ordering::Relaxed)
+    }
 }
 
 impl SnapshotCell {
@@ -110,9 +189,66 @@ impl SnapshotCell {
         self.current.read().clone()
     }
 
-    /// Atomically publishes a new snapshot.
+    /// Atomically publishes a new snapshot, then fans it out to every
+    /// subscriber. Fan-out is strictly non-blocking: a full subscriber
+    /// queue drops the revision for that subscriber (counted), a
+    /// disconnected subscriber is pruned, and readers polling
+    /// [`load`](Self::load) are never delayed past the pointer swap.
     pub fn store(&self, snapshot: Arc<PatternSnapshot>) {
-        *self.current.write() = snapshot;
+        *self.current.write() = snapshot.clone();
+        let mut subscribers = self.subscribers.lock().unwrap_or_else(|e| e.into_inner());
+        subscribers.retain(|entry| match entry.sender.try_send(Arc::clone(&snapshot)) {
+            Ok(()) => {
+                entry.counters.delivered.fetch_add(1, Ordering::Relaxed);
+                entry
+                    .counters
+                    .last_enqueued
+                    .store(snapshot.revision, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                entry.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+    }
+
+    /// Registers a push subscriber with a queue of `capacity` snapshots
+    /// (clamped to at least 1) and returns its receiving handle. The
+    /// subscriber sees every snapshot published *after* this call that it
+    /// keeps up with; see [`SnapshotSubscriber`] for the drop policy.
+    pub fn subscribe(&self, capacity: usize) -> SnapshotSubscriber {
+        let (sender, receiver) = mpsc::sync_channel(capacity.max(1));
+        let counters = Arc::new(SubCounters {
+            last_enqueued: AtomicU64::new(self.load().revision),
+            ..SubCounters::default()
+        });
+        let mut subscribers = self.subscribers.lock().unwrap_or_else(|e| e.into_inner());
+        subscribers.push(SubEntry {
+            sender,
+            counters: Arc::clone(&counters),
+        });
+        SnapshotSubscriber { receiver, counters }
+    }
+
+    /// Aggregate accounting across currently connected subscribers (plus
+    /// cumulative delivered/dropped totals of past ones is *not* kept —
+    /// totals cover live entries, which is what the pipeline reports).
+    pub fn subscriber_stats(&self) -> SubscriberStats {
+        let revision = self.load().revision;
+        let subscribers = self.subscribers.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stats = SubscriberStats {
+            subscribers: subscribers.len() as u64,
+            ..SubscriberStats::default()
+        };
+        for entry in subscribers.iter() {
+            stats.subscriber_delivered += entry.counters.delivered.load(Ordering::Relaxed);
+            stats.subscriber_dropped += entry.counters.dropped.load(Ordering::Relaxed);
+            let lag = revision.saturating_sub(entry.counters.last_enqueued.load(Ordering::Relaxed));
+            stats.subscriber_max_lag = stats.subscriber_max_lag.max(lag);
+        }
+        stats
     }
 }
 
@@ -138,6 +274,125 @@ mod tests {
         cell.store(Arc::new(next));
         assert_eq!(old.revision, 0, "held snapshot unaffected");
         assert_eq!(cell.load().revision, 1);
+    }
+
+    fn publish(cell: &SnapshotCell, revision: u64) {
+        let mut s = PatternSnapshot::empty();
+        s.revision = revision;
+        cell.store(Arc::new(s));
+    }
+
+    #[test]
+    fn subscribers_receive_snapshots_in_publication_order() {
+        let cell = SnapshotCell::new();
+        let sub = cell.subscribe(8);
+        for revision in 1..=5 {
+            publish(&cell, revision);
+        }
+        for expected in 1..=5 {
+            assert_eq!(sub.try_next().map(|s| s.revision), Some(expected));
+        }
+        assert!(sub.try_next().is_none());
+        assert_eq!(sub.delivered(), 5);
+        assert_eq!(sub.dropped(), 0);
+    }
+
+    #[test]
+    fn slow_subscriber_drops_revisions_but_never_blocks_publication() {
+        let cell = SnapshotCell::new();
+        let sub = cell.subscribe(2);
+        // Ten publications into a queue of two: if fan-out blocked on the
+        // stalled subscriber this loop would deadlock (nothing drains).
+        for revision in 1..=10 {
+            publish(&cell, revision);
+        }
+        assert_eq!(cell.load().revision, 10, "publication went through");
+        assert_eq!(sub.delivered(), 2);
+        assert_eq!(sub.dropped(), 8);
+        // The survivors are the oldest enqueued, still in order.
+        assert_eq!(sub.try_next().map(|s| s.revision), Some(1));
+        assert_eq!(sub.try_next().map(|s| s.revision), Some(2));
+        assert!(sub.try_next().is_none());
+    }
+
+    #[test]
+    fn disconnected_subscriber_is_pruned_on_next_publish() {
+        let cell = SnapshotCell::new();
+        let sub = cell.subscribe(1);
+        assert_eq!(cell.subscriber_stats().subscribers, 1);
+        drop(sub);
+        publish(&cell, 1);
+        assert_eq!(cell.subscriber_stats().subscribers, 0);
+    }
+
+    #[test]
+    fn subscriber_stats_report_worst_lag_and_drop_totals() {
+        let cell = SnapshotCell::new();
+        let slow = cell.subscribe(1);
+        let fast = cell.subscribe(16);
+        for revision in 1..=4 {
+            publish(&cell, revision);
+        }
+        let stats = cell.subscriber_stats();
+        assert_eq!(stats.subscribers, 2);
+        // slow enqueued revision 1 then dropped 2..4; fast kept up.
+        assert_eq!(stats.subscriber_dropped, 3);
+        assert_eq!(stats.subscriber_delivered, 1 + 4);
+        assert_eq!(stats.subscriber_max_lag, 3);
+        drop((slow, fast));
+    }
+
+    #[test]
+    fn concurrent_readers_and_subscribers_survive_rapid_publication() {
+        const REVISIONS: u64 = 300;
+        let cell = Arc::new(SnapshotCell::new());
+        let subs: Vec<_> = (0..3).map(|_| cell.subscribe(4)).collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while last < REVISIONS {
+                        let s = cell.load();
+                        assert!(s.revision >= last, "revisions move forward");
+                        last = last.max(s.revision);
+                    }
+                })
+            })
+            .collect();
+        let drainers: Vec<_> = subs
+            .into_iter()
+            .map(|sub| {
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    // Drain until the final revision arrives or the
+                    // publisher has clearly stopped (it may have dropped
+                    // the tail for this subscriber).
+                    while last < REVISIONS {
+                        match sub.next_timeout(std::time::Duration::from_millis(500)) {
+                            Some(s) => {
+                                assert!(s.revision > last, "strictly increasing per subscriber");
+                                last = s.revision;
+                            }
+                            None => break,
+                        }
+                    }
+                    (sub.delivered(), sub.dropped())
+                })
+            })
+            .collect();
+        for revision in 1..=REVISIONS {
+            publish(&cell, revision);
+        }
+        for reader in readers {
+            reader.join().unwrap();
+        }
+        for drainer in drainers {
+            let (delivered, dropped) = drainer.join().unwrap();
+            assert!(delivered >= 1);
+            // Every publication was either enqueued or dropped.
+            assert!(delivered + dropped <= REVISIONS);
+        }
     }
 
     #[test]

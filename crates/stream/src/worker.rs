@@ -47,6 +47,7 @@ use interval_core::{MiningBudget, Time};
 use serde::Serialize;
 
 use crate::incremental::IncrementalMiner;
+use crate::pool::ShardPool;
 use crate::snapshot::{PatternSnapshot, SnapshotCell};
 use crate::window::FrozenView;
 
@@ -93,6 +94,19 @@ pub struct PipelineStats {
     /// How far (in stream time) the latest published snapshot trails the
     /// live watermark. `None` until both sides have a watermark.
     pub refresh_lag: Option<Time>,
+    /// Currently connected snapshot subscribers
+    /// ([`SnapshotCell::subscribe`]).
+    pub subscribers: u64,
+    /// Snapshots enqueued to subscriber channels, summed over connected
+    /// subscribers.
+    pub subscriber_delivered: u64,
+    /// Revisions dropped because a subscriber's bounded queue was full —
+    /// the per-subscriber cost of falling behind; publication itself never
+    /// blocks.
+    pub subscriber_dropped: u64,
+    /// Worst current lag (revisions published since the last enqueued one)
+    /// across connected subscribers.
+    pub subscriber_max_lag: u64,
     /// Write-ahead-log flushes (buffer + fsync) performed on behalf of this
     /// pipeline — at minimum the shutdown flush. Zero when no WAL is
     /// attached.
@@ -103,13 +117,20 @@ pub struct PipelineStats {
     pub wal_degraded: bool,
 }
 
-/// A dedicated background thread running [`IncrementalMiner`] refreshes
-/// against [`FrozenView`]s while the caller keeps ingesting.
+/// A dedicated background dispatcher thread running [`IncrementalMiner`]
+/// refreshes against [`FrozenView`]s while the caller keeps ingesting.
+///
+/// The dispatcher owns the miner state and a [`ShardPool`] of mining
+/// threads ([`spawn_pool`](Self::spawn_pool)): each accepted epoch's
+/// dirty roots are LPT-sharded across the pool and merged into one
+/// published snapshot, bit-identical to the single-threaded path at every
+/// pool size. [`spawn`](Self::spawn) is the pool-of-one special case.
 ///
 /// This module is on the sanctioned-spawn list of `cargo run -p xlint`
-/// (`no-raw-spawn`): it owns the only long-lived worker thread in the
-/// workspace, and its lifecycle (bounded channel, cancellation, join on
-/// shutdown) is the part the lint exists to keep reviewable.
+/// (`no-raw-spawn`): it owns the dispatcher thread (the pool's threads
+/// live in [`crate::pool`], also sanctioned), and its lifecycle (bounded
+/// channel, cancellation, join on shutdown) is the part the lint exists
+/// to keep reviewable.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -162,16 +183,28 @@ pub struct ShutdownOutcome {
 }
 
 impl RefreshWorker {
-    /// Spawns the worker thread. Every refresh it completes is published
-    /// into `cell` (the miner is rewired to it) and also queued for
-    /// [`drain_completed`](Self::drain_completed).
+    /// Spawns the dispatcher with a single mining thread — equivalent to
+    /// [`spawn_pool`](Self::spawn_pool) with `workers == 1`.
     pub fn spawn(miner: IncrementalMiner, cell: Arc<SnapshotCell>) -> Self {
+        Self::spawn_pool(miner, cell, 1)
+    }
+
+    /// Spawns the dispatcher thread plus a [`ShardPool`] of `workers`
+    /// mining threads (0 is clamped to 1). Every refresh the dispatcher
+    /// completes is published into `cell` (the miner is rewired to it) and
+    /// also queued for [`drain_completed`](Self::drain_completed).
+    /// Snapshots are bit-identical across pool sizes; `workers > 1` only
+    /// shortens each epoch's mine on multi-core hosts.
+    pub fn spawn_pool(miner: IncrementalMiner, cell: Arc<SnapshotCell>, workers: usize) -> Self {
         let miner = miner.with_cell(Arc::clone(&cell));
         let (job_tx, job_rx) = mpsc::sync_channel::<RefreshJob>(1);
         let (out_tx, out_rx) = mpsc::channel::<Arc<PatternSnapshot>>();
         let counters = Arc::new(SharedCounters::default());
         let shared = Arc::clone(&counters);
         let handle = std::thread::spawn(move || {
+            // The pool lives on the dispatcher thread for its whole run,
+            // parked between epochs, and joins when the dispatcher exits.
+            let pool = ShardPool::new(workers);
             let mut miner = miner;
             // `recv` drains any buffered job before reporting disconnect,
             // so dropping the sender lets in-flight work finish first.
@@ -179,7 +212,7 @@ impl RefreshWorker {
                 if let Some(min_support) = job.min_support {
                     miner.set_min_support(min_support);
                 }
-                let snapshot = miner.refresh_frozen(&job.view, job.budget);
+                let snapshot = miner.refresh_frozen_pooled(&job.view, job.budget, &pool);
                 shared.completed.fetch_add(1, Ordering::Release);
                 // The driver may have dropped its receiver during shutdown;
                 // the cell already holds the snapshot, so losing the copy
@@ -271,12 +304,17 @@ impl RefreshWorker {
             (Some(live), Some(done)) => Some(live.saturating_sub(done)),
             _ => None,
         };
+        let subs = self.cell.subscriber_stats();
         PipelineStats {
             submitted_refreshes: self.counters.submitted.load(Ordering::Acquire),
             completed_refreshes: self.counters.completed.load(Ordering::Acquire),
             coalesced_refreshes: self.counters.coalesced.load(Ordering::Acquire),
             events_during_refresh: self.counters.events_during_refresh.load(Ordering::Relaxed),
             refresh_lag,
+            subscribers: subs.subscribers,
+            subscriber_delivered: subs.subscriber_delivered,
+            subscriber_dropped: subs.subscriber_dropped,
+            subscriber_max_lag: subs.subscriber_max_lag,
             wal_flushes: self.counters.wal_flushes.load(Ordering::Relaxed),
             wal_degraded: self.counters.wal_degraded.load(Ordering::Relaxed),
         }

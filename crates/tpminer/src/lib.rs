@@ -57,7 +57,7 @@ pub use index::{DbIndex, SeqIndex};
 pub use interval_core::budget::{CancellationToken, MiningBudget, Termination};
 pub use maximal::{is_maximal_in, maximal_patterns};
 pub use miner::{FrequentPattern, MiningResult, TpMiner};
-pub use parallel::ParallelTpMiner;
+pub use parallel::{lpt_shards, ParallelTpMiner, ShardOutcome};
 pub use probabilistic::{ProbabilisticConfig, ProbabilisticMiner, ProbabilisticPattern};
 pub use rules::{generate_rules, RuleConfig, TemporalRule};
 pub use stats::MinerStats;

@@ -74,6 +74,66 @@ fn queue_order(index: &DbIndex, roots: &[SymbolId]) -> Vec<SymbolId> {
     ordered
 }
 
+/// Statically partitions `roots` into at most `shards` LPT shards: roots
+/// are taken heaviest-first (the same [`queue_order`] the shared queue
+/// uses) and each is assigned to the currently least-loaded shard. This is
+/// the offline form of the greedy list scheduling the atomic-cursor queue
+/// performs online, for drivers that must split the work *before*
+/// dispatching it — e.g. a pool of long-lived refresh workers that each
+/// mine their shard on their own thread and merge via [`merge_shards`]
+/// ([`ParallelTpMiner::merge_shards`]).
+///
+/// Shards are deterministic for a given index and never empty: the shard
+/// count is clamped to the number of roots, and an empty `roots` yields no
+/// shards at all.
+pub fn lpt_shards(index: &DbIndex, roots: &[SymbolId], shards: usize) -> Vec<Vec<SymbolId>> {
+    if roots.is_empty() {
+        return Vec::new();
+    }
+    let count = worker_count(roots.len(), shards);
+    let mut bins: Vec<Vec<SymbolId>> = vec![Vec::new(); count];
+    let mut loads: Vec<u64> = vec![0; count];
+    for root in queue_order(index, roots) {
+        // Least-loaded shard, ties broken by shard position so the
+        // assignment is a pure function of the index and root set.
+        let lightest = (0..count).min_by_key(|&i| (loads[i], i)).unwrap_or(0);
+        loads[lightest] += index.root_weight(root).max(1);
+        bins[lightest].push(root);
+    }
+    bins
+}
+
+/// The result of one shard's queue run: the patterns and counters of every
+/// root the shard's engine finished, plus the roots whose subtrees
+/// panicked and were rolled back at the root boundary.
+///
+/// Produced by [`ParallelTpMiner::mine_shard`]; any number of outcomes
+/// covering disjoint root sets merge into one canonical [`MiningResult`]
+/// via [`ParallelTpMiner::merge_shards`].
+#[derive(Debug)]
+pub struct ShardOutcome {
+    pairs: Vec<(TemporalPattern, usize)>,
+    stats: MinerStats,
+    termination: Termination,
+    failed: Vec<SymbolId>,
+}
+
+impl ShardOutcome {
+    /// A degraded outcome recording that the whole shard was lost without
+    /// producing patterns. Drivers substitute this when the thread running
+    /// [`ParallelTpMiner::mine_shard`] died instead of returning — the
+    /// engine never got to contain the failure, so every root of the shard
+    /// is reported lost.
+    pub fn failed(roots: Vec<SymbolId>) -> Self {
+        Self {
+            pairs: Vec::new(),
+            stats: MinerStats::default(),
+            termination: Termination::WorkerFailed { roots: Vec::new() },
+            failed: roots,
+        }
+    }
+}
+
 impl ParallelTpMiner {
     /// Creates a parallel miner using `threads` workers (values of 0 use
     /// the machine's available parallelism). The worker count is further
@@ -154,34 +214,13 @@ impl ParallelTpMiner {
         let outcomes = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let config = self.config;
-                    let budget = self.budget.clone();
                     let ordered = &ordered;
                     let cursor = &cursor;
-                    #[cfg(any(test, feature = "fault-injection"))]
-                    let fault = self.fault;
                     scope.spawn(move |_| {
-                        // xlint::allow(no-unbudgeted-clock): one read per worker seeding its MinerStats::elapsed; budget checks use the shared meter
-                        let started = Instant::now();
-                        #[allow(unused_mut)]
-                        let mut engine = SearchEngine::new(index, config).with_budget(budget);
-                        #[cfg(any(test, feature = "fault-injection"))]
-                        let mut engine = match fault {
-                            Some((root, after_nodes)) => engine.poison_root(root, after_nodes),
-                            None => engine,
-                        };
-                        let mut failed: Vec<SymbolId> = Vec::new();
-                        while !engine.stopped() {
+                        self.queue_run(index, || {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(&root) = ordered.get(i) else {
-                                break;
-                            };
-                            if !engine.try_grow_root(root) {
-                                failed.push(root);
-                            }
-                        }
-                        let (pairs, stats, termination) = engine.finish(started);
-                        (pairs, stats, termination, failed)
+                            ordered.get(i).copied()
+                        })
                     })
                 })
                 .collect();
@@ -190,27 +229,88 @@ impl ParallelTpMiner {
         // xlint::allow(no-panic-lib): crossbeam::scope errs only when a worker panicked; workers catch panics per root, so this is the contained-panic contract, not a new panic path
         .expect("worker panics are contained at the root boundary");
 
+        // Belt and braces: subtree panics are caught per root inside the
+        // engine, so a failed join should be unreachable. Degrade to a
+        // lost-work report rather than unwinding the whole run.
+        let outcomes = outcomes
+            .into_iter()
+            .map(|joined| joined.unwrap_or_else(|_panic| ShardOutcome::failed(Vec::new())))
+            .collect();
+        Self::merge_shards(outcomes)
+    }
+
+    /// Mines the level-1 subtrees rooted at `roots` on the **calling**
+    /// thread, as one shard of a larger run. Unlike
+    /// [`mine_partitions`](Self::mine_partitions) this spawns nothing — it
+    /// is the per-worker half of an externally scheduled pool: split the
+    /// dirty roots with [`lpt_shards`], run `mine_shard` on each shard
+    /// wherever the pool lives, and combine with
+    /// [`merge_shards`](Self::merge_shards). The merged result is
+    /// bit-identical to one `mine_partitions` call over the union of the
+    /// shards (per-root mining is deterministic and the merge sorts
+    /// canonically).
+    pub fn mine_shard(&self, index: &DbIndex, roots: &[SymbolId]) -> ShardOutcome {
+        let ordered = queue_order(index, roots);
+        let mut next = 0usize;
+        self.queue_run(index, || {
+            let i = next;
+            next += 1;
+            ordered.get(i).copied()
+        })
+    }
+
+    /// One engine's run over a claim stream: claims roots until the queue
+    /// is empty or the budget stops the engine, recycling frontier scratch
+    /// across every claimed root and containing subtree panics at the root
+    /// boundary.
+    fn queue_run(
+        &self,
+        index: &DbIndex,
+        mut claim: impl FnMut() -> Option<SymbolId>,
+    ) -> ShardOutcome {
+        // xlint::allow(no-unbudgeted-clock): one read per worker seeding its MinerStats::elapsed; budget checks use the shared meter
+        let started = Instant::now();
+        #[allow(unused_mut)]
+        let mut engine = SearchEngine::new(index, self.config).with_budget(self.budget.clone());
+        #[cfg(any(test, feature = "fault-injection"))]
+        let mut engine = match self.fault {
+            Some((root, after_nodes)) => engine.poison_root(root, after_nodes),
+            None => engine,
+        };
+        let mut failed: Vec<SymbolId> = Vec::new();
+        while !engine.stopped() {
+            let Some(root) = claim() else {
+                break;
+            };
+            if !engine.try_grow_root(root) {
+                failed.push(root);
+            }
+        }
+        let (pairs, stats, termination) = engine.finish(started);
+        ShardOutcome {
+            pairs,
+            stats,
+            termination,
+            failed,
+        }
+    }
+
+    /// Merges shard outcomes covering disjoint root sets into one
+    /// canonical [`MiningResult`]: patterns are concatenated and sorted
+    /// canonically, counters merge additively, terminations merge to the
+    /// most abnormal, and every failed root across all shards is reported
+    /// in a single [`Termination::WorkerFailed`]. The output is
+    /// independent of shard count and shard assignment.
+    pub fn merge_shards(outcomes: Vec<ShardOutcome>) -> MiningResult {
         let mut all: Vec<(TemporalPattern, usize)> = Vec::new();
         let mut stats = MinerStats::default();
         let mut termination = Termination::Complete;
         let mut failed_roots: Vec<SymbolId> = Vec::new();
         for outcome in outcomes {
-            match outcome {
-                Ok((pairs, worker_stats, worker_termination, worker_failed)) => {
-                    all.extend(pairs);
-                    stats.merge(&worker_stats);
-                    termination = termination.merge(worker_termination);
-                    failed_roots.extend(worker_failed);
-                }
-                // Belt and braces: subtree panics are caught per root
-                // inside the engine, so this branch should be unreachable.
-                // Degrade to a lost-work report rather than unwinding the
-                // whole run if it ever fires.
-                Err(_panic) => {
-                    termination =
-                        termination.merge(Termination::WorkerFailed { roots: Vec::new() });
-                }
-            }
+            all.extend(outcome.pairs);
+            stats.merge(&outcome.stats);
+            termination = termination.merge(outcome.termination);
+            failed_roots.extend(outcome.failed);
         }
         if !failed_roots.is_empty() {
             failed_roots.sort_unstable();
@@ -308,6 +408,65 @@ mod tests {
         assert_eq!(ordered, vec![a, b, c, d]);
         // The order is a pure function of the index, not the input order.
         assert_eq!(queue_order(&index, &[b, a, d, c]), ordered);
+    }
+
+    #[test]
+    fn lpt_shards_partition_all_roots_exactly_once() {
+        let db = demo_db();
+        let index = DbIndex::build(&db);
+        let symbols = db.symbols();
+        let roots: Vec<SymbolId> = ["A", "B", "C", "D"]
+            .iter()
+            .map(|s| symbols.lookup(s).unwrap())
+            .collect();
+        for shards in [1, 2, 3, 4, 16] {
+            let bins = lpt_shards(&index, &roots, shards);
+            assert!(bins.len() <= shards.max(1));
+            assert!(bins.iter().all(|b| !b.is_empty()), "shards={shards}");
+            let mut seen: Vec<SymbolId> = bins.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            let mut expected = roots.clone();
+            expected.sort_unstable();
+            assert_eq!(seen, expected, "shards={shards}");
+        }
+        assert!(lpt_shards(&index, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn sharded_mine_merges_bit_identical_to_one_queue_run() {
+        let db = demo_db();
+        let index = DbIndex::build(&db);
+        let roots = SearchEngine::new(&index, MinerConfig::with_min_support(1)).root_symbols();
+        let config = MinerConfig::with_min_support(1);
+        let miner = ParallelTpMiner::new(config, 1);
+        let whole = miner.mine_partitions(&index, &roots);
+        for shards in [1, 2, 3, 8] {
+            let outcomes: Vec<ShardOutcome> = lpt_shards(&index, &roots, shards)
+                .iter()
+                .map(|bin| miner.mine_shard(&index, bin))
+                .collect();
+            let merged = ParallelTpMiner::merge_shards(outcomes);
+            assert_eq!(whole.patterns(), merged.patterns(), "shards={shards}");
+            assert_eq!(whole.termination(), merged.termination());
+        }
+    }
+
+    #[test]
+    fn dead_shard_outcome_reports_lost_roots() {
+        let db = demo_db();
+        let index = DbIndex::build(&db);
+        let symbols = db.symbols();
+        let a = symbols.lookup("A").unwrap();
+        let d = symbols.lookup("D").unwrap();
+        let config = MinerConfig::with_min_support(1);
+        let miner = ParallelTpMiner::new(config, 1);
+        let survived = miner.mine_shard(&index, &[d]);
+        let merged = ParallelTpMiner::merge_shards(vec![survived, ShardOutcome::failed(vec![a])]);
+        match merged.termination() {
+            Termination::WorkerFailed { roots } => assert_eq!(roots, &vec![a]),
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+        assert!(!merged.is_empty());
     }
 
     #[test]

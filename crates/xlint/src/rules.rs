@@ -73,10 +73,14 @@ const SPAWN_ALLOWED: &[&str] = &[
     "crates/tpminer/src/parallel.rs",
     "crates/stream/src/snapshot.rs",
     "crates/stream/src/incremental.rs",
-    // The pipelined-refresh worker (PR 5): owns the one long-lived
-    // background thread; its bounded channel + join-on-shutdown lifecycle
-    // is exactly the reviewable surface this rule centralizes.
+    // The pipelined-refresh worker (PR 5): owns the dispatcher thread;
+    // its bounded channel + join-on-shutdown lifecycle is exactly the
+    // reviewable surface this rule centralizes.
     "crates/stream/src/worker.rs",
+    // The sharded refresh pool (PR 8): long-lived shard miners fed by
+    // bounded channels and joined on drop — the dispatcher in worker.rs
+    // is their only driver.
+    "crates/stream/src/pool.rs",
     // The service tier's accept loop (PR 7): one thread per connection
     // plus the ServerHandle background thread, all retained and joined.
     // Other crates/server modules must NOT spawn — stream workers come

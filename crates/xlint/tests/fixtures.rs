@@ -138,6 +138,15 @@ fn no_raw_spawn_fixture() {
     assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
     assert_eq!(suppressed, 0);
 
+    // The sharded refresh pool (PR 8) spawns one thread per shard worker.
+    let (v, suppressed) = lint(
+        "no_raw_spawn.rs",
+        "crates/stream/src/pool.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+    assert_eq!(suppressed, 0);
+
     // The server's accept loop (PR 7) is the service tier's one sanctioned
     // spawn site…
     let (v, suppressed) = lint(

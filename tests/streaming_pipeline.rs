@@ -88,11 +88,20 @@ fn run_sync(ops: &[Op], config: MinerConfig) -> Vec<Arc<stream::PatternSnapshot>
 
 /// Runs `ops`, submitting every watermark's epoch to the background worker
 /// (blocking submission: no trigger is coalesced, so revisions line up 1:1
-/// with the synchronous run), and returns every published snapshot.
-fn run_pipelined(ops: &[Op], config: MinerConfig) -> Vec<Arc<stream::PatternSnapshot>> {
+/// with the synchronous run) dispatching over a shard pool of `pool_size`
+/// mining threads, and returns every published snapshot.
+fn run_pipelined(
+    ops: &[Op],
+    config: MinerConfig,
+    pool_size: usize,
+) -> Vec<Arc<stream::PatternSnapshot>> {
     let mut window = SlidingWindowDatabase::new(WINDOW);
     let cell = Arc::new(SnapshotCell::new());
-    let worker = RefreshWorker::spawn(IncrementalMiner::new(config, 0), Arc::clone(&cell));
+    let worker = RefreshWorker::spawn_pool(
+        IncrementalMiner::new(config, 0),
+        Arc::clone(&cell),
+        pool_size,
+    );
     let mut published = Vec::new();
     for op in ops {
         window.ingest(op.event()).unwrap();
@@ -116,20 +125,24 @@ proptest! {
 
     /// Shadow replay: the pipelined path publishes, at every revision,
     /// exactly what the synchronous path publishes for the same events —
-    /// patterns, supports, window bounds, and refresh accounting.
+    /// patterns, supports, window bounds, and refresh accounting — at
+    /// every shard-pool size (the single dedicated worker of PR 5 and the
+    /// multi-worker pools alike).
     #[test]
     fn pipelined_snapshots_equal_synchronous(ops in ops()) {
         let config = MinerConfig::with_min_support(2);
         let sync = run_sync(&ops, config);
-        let pipelined = run_pipelined(&ops, config);
-        prop_assert_eq!(sync.len(), pipelined.len());
-        for (s, p) in sync.iter().zip(&pipelined) {
-            prop_assert_eq!(s.revision, p.revision);
-            prop_assert_eq!(s.watermark, p.watermark);
-            prop_assert_eq!(s.window_start, p.window_start);
-            prop_assert_eq!(s.sequences, p.sequences);
-            prop_assert_eq!(s.result.patterns(), p.result.patterns());
-            prop_assert_eq!(&s.refresh, &p.refresh);
+        for pool_size in [1usize, 2, 8] {
+            let pipelined = run_pipelined(&ops, config, pool_size);
+            prop_assert_eq!(sync.len(), pipelined.len(), "pool_size={}", pool_size);
+            for (s, p) in sync.iter().zip(&pipelined) {
+                prop_assert_eq!(s.revision, p.revision);
+                prop_assert_eq!(s.watermark, p.watermark);
+                prop_assert_eq!(s.window_start, p.window_start);
+                prop_assert_eq!(s.sequences, p.sequences);
+                prop_assert_eq!(s.result.patterns(), p.result.patterns());
+                prop_assert_eq!(&s.refresh, &p.refresh);
+            }
         }
     }
 
@@ -249,6 +262,67 @@ fn stress_coalesced_ingestion_converges_to_batch() {
     let batch = TpMiner::new(config).mine(&window.snapshot_database());
     assert_eq!(finale.result.patterns(), batch.patterns());
     assert!(finale.result.is_exhaustive());
+}
+
+/// A stalled subscriber (bounded queue, never drained) must not delay
+/// snapshot publication or ingest by a single event: the pipeline runs to
+/// completion at full rate, the stalled subscriber just loses revisions —
+/// counted, observable, and strictly its own problem.
+#[test]
+fn stalled_subscriber_never_delays_publication_or_ingest() {
+    let config = MinerConfig::with_min_support(2).max_arity(3);
+    let mut window = SlidingWindowDatabase::new(50);
+    let cell = Arc::new(SnapshotCell::new());
+    // Capacity-1 queue, never drained: every publication past the first
+    // would block here if fan-out were blocking.
+    let stalled = cell.subscribe(1);
+    let worker = RefreshWorker::spawn_pool(IncrementalMiner::new(config, 0), Arc::clone(&cell), 2);
+
+    let mut sent = 0u64;
+    for round in 0i64..25 {
+        for seq in 0..4u64 {
+            for (i, sym) in ["a", "b", "c"].iter().enumerate() {
+                let start = round * 10 + i as i64;
+                window
+                    .ingest(StreamEvent::Interval {
+                        sequence: seq,
+                        symbol: (*sym).into(),
+                        start,
+                        end: start + 5,
+                    })
+                    .unwrap();
+                sent += 1;
+            }
+        }
+        window
+            .ingest(StreamEvent::Watermark(round * 10 + 9))
+            .unwrap();
+        sent += 1;
+        // Blocking submission: every epoch is mined and *published* while
+        // the subscriber stays stalled.
+        worker.submit(RefreshJob {
+            view: window.freeze(),
+            budget: MiningBudget::unlimited(),
+            min_support: None,
+        });
+    }
+    // Ingest never stalled: every event reached the window.
+    assert_eq!(window.stats().events, sent);
+
+    let stats = worker.stats(window.watermark());
+    assert_eq!(stats.subscribers, 1);
+    assert_eq!(stats.subscriber_delivered, 1, "only the first fit the queue");
+    let outcome = worker.shutdown();
+    assert!(outcome.miner.is_some());
+
+    // Publication went through all 25 epochs regardless of the stall...
+    assert_eq!(cell.load().revision, 25);
+    // ...and the stalled subscriber lost exactly the ones it had no room
+    // for, in order, with the loss counted.
+    assert_eq!(stalled.delivered(), 1);
+    assert_eq!(stalled.dropped(), 24);
+    assert_eq!(stalled.try_next().map(|s| s.revision), Some(1));
+    assert!(stalled.try_next().is_none());
 }
 
 /// The SIGINT / `--timeout` path: cancelling the budget token of an

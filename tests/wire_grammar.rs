@@ -1,0 +1,140 @@
+//! Property tests over the wire request grammar (`interval_core::wire`),
+//! focused on the read-side verbs the service tier streams results for:
+//!
+//! - **round trip**: formatting a structurally valid `QUERY` / `SUBSCRIBE`
+//!   / `UNSUBSCRIBE` frame (any keyword order, any casing, messy
+//!   whitespace) and parsing it back yields exactly the intended request;
+//! - **junk rejection without desync**: arbitrary printable garbage never
+//!   panics the parser, and — because each line parses independently — a
+//!   junk line never corrupts the parse of the valid frame after it.
+
+use interval_core::wire::Request;
+use proptest::prelude::*;
+
+const STREAMS: &[&str] = &["s", "vitals", "tenant-7.shard_2", "a1-b2.c"];
+const SYMBOLS: &[&str] = &["fever", "Rash", "x9", "alpha_3"];
+
+/// Applies one of three casings to a keyword.
+fn cased(word: &str, casing: u8) -> String {
+    match casing % 3 {
+        0 => word.to_ascii_uppercase(),
+        1 => word.to_ascii_lowercase(),
+        _ => word
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                if i % 2 == 0 {
+                    c.to_ascii_lowercase()
+                } else {
+                    c.to_ascii_uppercase()
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Whitespace separator: one to three spaces or a tab.
+fn sep(kind: u8) -> &'static str {
+    match kind % 4 {
+        0 => " ",
+        1 => "  ",
+        2 => "   ",
+        _ => "\t",
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// QUERY round trip: for every combination of PREFIX/TOP presence,
+    /// argument order, keyword casing and whitespace, the formatted line
+    /// parses back to exactly the intended request.
+    #[test]
+    fn query_frames_round_trip(
+        (stream_i, sym_i, top) in (0usize..4, 0usize..4, 1usize..10_000),
+        (has_prefix, has_top, top_first) in (0u8..2, 0u8..2, 0u8..2),
+        (casing, ws) in (0u8..3, 0u8..4),
+    ) {
+        let stream = STREAMS[stream_i];
+        let symbol = SYMBOLS[sym_i];
+        let prefix = (has_prefix == 1).then(|| symbol.to_owned());
+        let top_arg = (has_top == 1).then_some(top);
+
+        let mut clauses: Vec<String> = Vec::new();
+        let prefix_clause = format!("{}{}{}", cased("PREFIX", casing), sep(ws), symbol);
+        let top_clause = format!("{}{}{}", cased("TOP", casing), sep(ws), top);
+        if top_first == 1 {
+            if top_arg.is_some() { clauses.push(top_clause); }
+            if prefix.is_some() { clauses.push(prefix_clause); }
+        } else {
+            if prefix.is_some() { clauses.push(prefix_clause); }
+            if top_arg.is_some() { clauses.push(top_clause); }
+        }
+        let mut line = format!("{}{}{}", cased("QUERY", casing), sep(ws), stream);
+        for clause in &clauses {
+            line.push_str(sep(ws));
+            line.push_str(clause);
+        }
+
+        let parsed = Request::parse_line(&line).expect("valid frame").expect("a request");
+        prop_assert_eq!(parsed, Request::Query {
+            stream: stream.to_owned(),
+            prefix,
+            top: top_arg,
+        });
+    }
+
+    /// SUBSCRIBE / UNSUBSCRIBE round trip across casing and whitespace.
+    #[test]
+    fn subscribe_frames_round_trip(
+        (stream_i, casing, ws, bare_unsub) in (0usize..4, 0u8..3, 0u8..4, 0u8..2),
+    ) {
+        let stream = STREAMS[stream_i];
+        let line = format!("{}{}{}", cased("SUBSCRIBE", casing), sep(ws), stream);
+        let parsed = Request::parse_line(&line).expect("valid frame").expect("a request");
+        prop_assert_eq!(parsed, Request::Subscribe { stream: stream.to_owned() });
+
+        let line = if bare_unsub == 1 {
+            cased("UNSUBSCRIBE", casing)
+        } else {
+            format!("{}{}{}", cased("UNSUBSCRIBE", casing), sep(ws), stream)
+        };
+        let parsed = Request::parse_line(&line).expect("valid frame").expect("a request");
+        let expected = if bare_unsub == 1 { None } else { Some(stream.to_owned()) };
+        prop_assert_eq!(parsed, Request::Unsubscribe { stream: expected });
+    }
+
+    /// Junk never panics the parser, and a junk line never desyncs the
+    /// next frame: parsing garbage then a known-good line gives exactly
+    /// the same result as parsing the good line alone.
+    #[test]
+    fn junk_is_rejected_without_desync(junk in "{0,60}") {
+        // Must classify (Ok or Err) without panicking.
+        let _ = Request::parse_line(&junk);
+
+        let good = "QUERY vitals PREFIX fever TOP 7";
+        let after_junk = Request::parse_line(good);
+        prop_assert_eq!(after_junk, Ok(Some(Request::Query {
+            stream: "vitals".to_owned(),
+            prefix: Some("fever".to_owned()),
+            top: Some(7),
+        })));
+    }
+
+    /// Structured near-misses of the SUBSCRIBE grammar (missing stream,
+    /// trailing junk, invalid names) are Malformed/BadStreamName errors,
+    /// never accepted and never a panic.
+    #[test]
+    fn subscribe_near_misses_error_cleanly(
+        (variant, stream_i) in (0u8..4, 0usize..4),
+    ) {
+        let stream = STREAMS[stream_i];
+        let line = match variant {
+            0 => "SUBSCRIBE".to_owned(),
+            1 => format!("SUBSCRIBE {stream} extra-arg"),
+            2 => format!("SUBSCRIBE -{stream}"),
+            _ => format!("SUBSCRIBE ../{stream}"),
+        };
+        prop_assert!(Request::parse_line(&line).is_err());
+    }
+}
