@@ -27,6 +27,13 @@ use tpminer::{
     PruningConfig, Termination, TpMiner,
 };
 
+/// Exit codes, mirroring the `cli/src/exit.rs` registry (the bench
+/// harness does not depend on the CLI crate; xlint's `exit-code-registry`
+/// rule bans re-deriving these as bare numerals). `1` is the generic
+/// gate-failure code, distinct from every registry code.
+const EXIT_REGRESSION: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+
 /// Per-invocation wall-clock cap from `--timeout`, if any.
 static RUN_TIMEOUT: OnceLock<Option<Duration>> = OnceLock::new();
 
@@ -66,7 +73,7 @@ fn main() {
                 let value = args.next().unwrap_or_default();
                 if value.is_empty() {
                     eprintln!("--against needs a baseline file path");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_USAGE);
                 }
                 perf_against = Some(value);
             }
@@ -74,7 +81,7 @@ fn main() {
                 let value = args.next().unwrap_or_default();
                 scale = Scale::parse(&value).unwrap_or_else(|| {
                     eprintln!("unknown scale `{value}` (expected quick|full)");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_USAGE);
                 });
             }
             "--timeout" => {
@@ -85,7 +92,7 @@ fn main() {
                     }
                     _ => {
                         eprintln!("bad --timeout `{value}` (expected seconds)");
-                        std::process::exit(2);
+                        std::process::exit(EXIT_USAGE);
                     }
                 }
             }
@@ -106,7 +113,7 @@ fn main() {
     }
     if perf_json || perf_against.is_some() {
         eprintln!("--json/--against only apply to the --quick perf-smoke suite");
-        std::process::exit(2);
+        std::process::exit(EXIT_USAGE);
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = (1..=8).map(|i| format!("e{i}")).collect();
@@ -151,12 +158,12 @@ fn perf_smoke(json: bool, against: Option<&str>) {
     if let Some(path) = against {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read baseline `{path}`: {e}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         });
         let baseline = bench::perfsmoke::SmokeReport::from_json(&text);
         if baseline.entries().is_empty() {
             eprintln!("baseline `{path}` contains no metrics");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
         failures.extend(bench::perfsmoke::compare(&report, &baseline));
     }
@@ -164,7 +171,7 @@ fn perf_smoke(json: bool, against: Option<&str>) {
         for f in &failures {
             eprintln!("perf-smoke REGRESSION: {f}");
         }
-        std::process::exit(1);
+        std::process::exit(EXIT_REGRESSION);
     }
     if against.is_some() {
         eprintln!("perf-smoke: all metrics within thresholds");

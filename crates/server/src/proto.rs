@@ -100,11 +100,17 @@ pub fn stats_line(s: &SessionStats) -> String {
         .pipeline
         .refresh_lag
         .map_or_else(|| "-".to_owned(), |t| t.to_string());
+    // The journal counts its own flushes/degradation; the pipeline keeps a
+    // sticky mirror (`PipelineStats::wal_flushes`/`wal_degraded`) that can
+    // see flushes the journal view misses across a worker handoff. Report
+    // the union so neither side's observation is dropped.
     let wal = match &s.journal {
         None => "wal=none".to_owned(),
         Some(j) => format!(
             "wal_records={} wal_flushes={} wal_degraded={}",
-            j.wal.records_appended, j.flushes, j.degraded
+            j.wal.records_appended,
+            j.flushes.max(s.pipeline.wal_flushes),
+            j.degraded || s.pipeline.wal_degraded
         ),
     };
     format!(
@@ -135,7 +141,12 @@ pub fn server_line(c: &CountersSnapshot, streams: usize) -> String {
     format!(
         "server streams={streams} connections={} commands={} protocol_errors={} \
          events_accepted={} events_rejected={} queries={}",
-        c.connections, c.commands, c.protocol_errors, c.events_accepted, c.events_rejected, c.queries,
+        c.connections,
+        c.commands,
+        c.protocol_errors,
+        c.events_accepted,
+        c.events_rejected,
+        c.queries,
     )
 }
 

@@ -109,9 +109,15 @@ pub struct SessionStats {
 }
 
 /// Mutable ingest-side state, behind the session mutex.
+///
+/// The worker handle is an `Arc` so the blocking paths — `SYNC`'s
+/// wait-for-idle, `DROP`'s join — can clone it under a brief lock and
+/// then block *without* the lock. Holding the ingest mutex across a
+/// channel send or a thread join is this codebase's deadlock shape, and
+/// `xlint`'s `lock-discipline` rule rejects it.
 struct Ingest {
     window: SlidingWindowDatabase,
-    worker: Option<RefreshWorker>,
+    worker: Option<Arc<RefreshWorker>>,
     journal: Option<Journal>,
     support: SupportSpec,
     refresh_every: u64,
@@ -144,10 +150,9 @@ impl StreamSession {
         let mut window = SlidingWindowDatabase::new(spec.window);
         let mut journal = None;
         if spec.durable {
-            let root = config
-                .wal_root
-                .as_ref()
-                .ok_or_else(|| "stream asked for WAL but the server has no --wal-root".to_owned())?;
+            let root = config.wal_root.as_ref().ok_or_else(|| {
+                "stream asked for WAL but the server has no --wal-root".to_owned()
+            })?;
             let dir = root.join(name);
             if dir.is_dir() {
                 let replayed = stream::durable::replay(&dir, spec.window)
@@ -177,10 +182,12 @@ impl StreamSession {
         let worker =
             RefreshWorker::spawn_pool(miner, Arc::clone(&cell), config.refresh_workers.max(1));
 
-        let events = outcome.recovered_events.saturating_sub(outcome.recovered_rejected);
+        let events = outcome
+            .recovered_events
+            .saturating_sub(outcome.recovered_rejected);
         let mut ingest = Ingest {
             window,
-            worker: Some(worker),
+            worker: Some(Arc::new(worker)),
             journal,
             support: spec.support,
             refresh_every: spec.refresh_every.max(1),
@@ -190,9 +197,12 @@ impl StreamSession {
         };
         // Publish the recovered state immediately: the first QUERY after a
         // recovery must not have to wait for new traffic to trigger a
-        // refresh.
+        // refresh. No lock exists yet, so the blocking submit is safe here.
         if events > 0 {
-            submit_refresh(&mut ingest);
+            let job = freeze_job(&mut ingest);
+            if let Some(worker) = &ingest.worker {
+                worker.submit(job);
+            }
         }
         let session = Arc::new(StreamSession {
             name: name.to_owned(),
@@ -212,6 +222,11 @@ impl StreamSession {
     /// then maybe a refresh trigger. `Err` carries the refusal reason; the
     /// session stays usable either way.
     pub fn ingest(&self, event: StreamEvent) -> Result<IngestAck, String> {
+        // A due refresh is frozen under the lock but *submitted* after it
+        // drops: `RefreshWorker::submit` can block on the one-deep job
+        // queue, and blocking under the ingest lock would stall every
+        // other writer (and trip `lock-discipline`).
+        let mut deferred: Option<(Arc<RefreshWorker>, RefreshJob)> = None;
         let mut guard = self.ingest.lock();
         let ingest = &mut *guard;
         let mut degraded_now = false;
@@ -225,10 +240,7 @@ impl StreamSession {
             }
         }
         let is_watermark = matches!(event, StreamEvent::Watermark(_));
-        ingest
-            .window
-            .ingest(event)
-            .map_err(|e| e.to_string())?;
+        ingest.window.ingest(event).map_err(|e| e.to_string())?;
         ingest.events += 1;
         if let Some(worker) = &ingest.worker {
             if worker.is_busy() {
@@ -254,8 +266,21 @@ impl StreamSession {
                 None => ingest.watermarks % ingest.refresh_every == 0,
             };
             if due {
-                coalesce_refresh(ingest);
+                // The ingest-path trigger: freeze only when the worker is
+                // idle, coalescing into the next epoch otherwise (bounded
+                // backpressure, same accounting as `submit_or_coalesce`).
+                if let Some(worker) = ingest.worker.clone() {
+                    if worker.is_busy() {
+                        worker.note_coalesced();
+                    } else {
+                        deferred = Some((worker, freeze_job(ingest)));
+                    }
+                }
             }
+        }
+        drop(guard);
+        if let Some((worker, job)) = deferred {
+            worker.submit(job);
         }
         Ok(IngestAck {
             accepted: true,
@@ -267,18 +292,27 @@ impl StreamSession {
     /// it to publish. This is the barrier deterministic tests (and clients
     /// that just loaded a batch) use before querying.
     pub fn sync(&self) -> Result<Arc<PatternSnapshot>, String> {
-        let mut guard = self.ingest.lock();
-        let ingest = &mut *guard;
-        if ingest.worker.is_some() {
-            wait_idle(ingest)?;
-            submit_refresh(ingest);
-            wait_idle(ingest)?;
-            if let Some(worker) = &ingest.worker {
-                // Collected so shutdown's `unreported` stays small; the
-                // cell already holds the newest snapshot.
-                let _ = worker.drain_completed();
+        // Clone the worker handle under a brief lock; every wait happens
+        // without it, so concurrent EVENT/STATS requests stay live for the
+        // whole barrier instead of queueing behind a sleeping SYNC.
+        let Some(worker) = self.ingest.lock().worker.clone() else {
+            return Ok(self.cell.load());
+        };
+        wait_idle(&worker)?;
+        let job = {
+            let mut guard = self.ingest.lock();
+            if guard.worker.is_none() {
+                // A concurrent DROP drained the session between our clone
+                // and now; its final refresh already published everything.
+                return Ok(self.cell.load());
             }
-        }
+            freeze_job(&mut guard)
+        };
+        worker.submit(job);
+        wait_idle(&worker)?;
+        // Collected so shutdown's `unreported` stays small; the cell
+        // already holds the newest snapshot.
+        let _ = worker.drain_completed();
         Ok(self.cell.load())
     }
 
@@ -364,78 +398,104 @@ impl StreamSession {
     /// accepted event. Idempotent — a second drain reports the first's
     /// leftovers without touching anything.
     pub fn drain(&self) -> StreamDrain {
-        let mut guard = self.ingest.lock();
-        let ingest = &mut *guard;
         let mut worker_failed = false;
         let mut pipeline = PipelineStats::default();
-        if let Some(worker) = ingest.worker.take() {
-            let outcome = match ingest.journal.as_mut() {
-                Some(journal) => worker.shutdown_flushing(journal),
-                None => worker.shutdown(),
-            };
-            pipeline = outcome.stats;
-            match outcome.miner {
-                Some(mut miner) => {
-                    miner.set_min_support(
-                        ingest.support.absolute_for(ingest.window.len()),
-                    );
-                    // Publishes through the cell the miner is still wired
-                    // to; folds in everything after the last refresh.
-                    let _ = miner.refresh_with_budget(&mut ingest.window, MiningBudget::unlimited());
+        // Phase 1 — brief lock: detach the worker handle (new triggers
+        // coalesce into nothing from here on) and flush the WAL so the
+        // shutdown stats include the final flush.
+        let taken = {
+            let mut guard = self.ingest.lock();
+            let taken = guard.worker.take();
+            if let (Some(worker), Some(journal)) = (taken.as_deref(), guard.journal.as_mut()) {
+                // xlint::allow(lock-discipline): Journal::flush is WAL disk I/O; the rule's deadlock scope is channels/joins/sockets, and the journal lives inside the ingest mutex by design.
+                if journal.flush() {
+                    worker.note_wal_flush();
                 }
+                if journal.is_degraded() {
+                    worker.note_wal_degraded();
+                }
+            }
+            taken
+        };
+        // Phase 2 — no lock: reclaim sole ownership (a concurrent SYNC may
+        // hold a clone; it finishes without the ingest lock, so a bounded
+        // wait suffices), then join the worker thread.
+        let mut recovered_miner = None;
+        if let Some(mut arc) = taken {
+            let mut sole = None;
+            for _ in 0..SYNC_POLL_LIMIT {
+                match Arc::try_unwrap(arc) {
+                    Ok(worker) => {
+                        sole = Some(worker);
+                        break;
+                    }
+                    Err(shared) => {
+                        arc = shared;
+                        std::thread::sleep(SYNC_POLL);
+                    }
+                }
+            }
+            match sole {
+                Some(worker) => {
+                    let outcome = worker.shutdown();
+                    pipeline = outcome.stats;
+                    match outcome.miner {
+                        Some(miner) => recovered_miner = Some(miner),
+                        None => worker_failed = true,
+                    }
+                }
+                // A SYNC pinned its clone past the timeout: the session is
+                // wedged the same way a dead worker wedges it. Report it
+                // rather than joining under contention.
                 None => worker_failed = true,
             }
         }
+        // Phase 3 — freeze the final epoch under a brief lock; the mine
+        // itself runs without the lock and publishes through the cell the
+        // miner is still wired to, folding in everything after the last
+        // refresh.
+        if let Some(mut miner) = recovered_miner {
+            let view = {
+                let mut guard = self.ingest.lock();
+                miner.set_min_support(guard.support.absolute_for(guard.window.len()));
+                guard.window.freeze()
+            };
+            let _ = miner.refresh_frozen(&view, MiningBudget::unlimited());
+        }
+        // Phase 4 — brief lock: the final report.
+        let guard = self.ingest.lock();
         let wal_degraded =
-            pipeline.wal_degraded || ingest.journal.as_ref().is_some_and(|j| j.is_degraded());
+            pipeline.wal_degraded || guard.journal.as_ref().is_some_and(|j| j.is_degraded());
         let snapshot = self.cell.load();
         StreamDrain {
             name: self.name.clone(),
             pipeline,
             wal_degraded,
             worker_failed,
-            events: ingest.events,
+            events: guard.events,
             final_revision: snapshot.revision,
             final_patterns: snapshot.result.len(),
         }
     }
 }
 
-/// Freezes the window and hands the worker an epoch (blocking submit; the
-/// caller holds the ingest lock, so this is only used where a stall is the
-/// intended semantics — recovery publication, SYNC, final refreshes).
-fn submit_refresh(ingest: &mut Ingest) {
+/// Freezes the window into a refresh epoch. Freezing needs the ingest
+/// lock (it mutates the window's dirty set); the *submit* is the caller's
+/// job, after the lock drops — `RefreshWorker::submit` can block.
+fn freeze_job(ingest: &mut Ingest) -> RefreshJob {
     let min_support = Some(ingest.support.absolute_for(ingest.window.len()));
-    if let Some(worker) = &ingest.worker {
-        worker.submit(RefreshJob {
-            view: ingest.window.freeze(),
-            budget: MiningBudget::unlimited(),
-            min_support,
-        });
-    }
-}
-
-/// The ingest-path trigger: freeze + submit only when the worker is idle,
-/// coalescing into the next epoch otherwise (bounded backpressure).
-fn coalesce_refresh(ingest: &mut Ingest) {
-    let min_support = Some(ingest.support.absolute_for(ingest.window.len()));
-    let window = &mut ingest.window;
-    if let Some(worker) = &ingest.worker {
-        worker.submit_or_coalesce(|| RefreshJob {
-            view: window.freeze(),
-            budget: MiningBudget::unlimited(),
-            min_support,
-        });
+    RefreshJob {
+        view: ingest.window.freeze(),
+        budget: MiningBudget::unlimited(),
+        min_support,
     }
 }
 
 /// Polls the worker until its queue is empty. Bounded: a worker that died
 /// mid-refresh never completes its epoch, and SYNC must fail rather than
-/// hang the connection forever.
-fn wait_idle(ingest: &Ingest) -> Result<(), String> {
-    let Some(worker) = &ingest.worker else {
-        return Ok(());
-    };
+/// hang the connection forever. Callers must not hold the ingest lock —
+/// this sleeps.
+fn wait_idle(worker: &RefreshWorker) -> Result<(), String> {
     for _ in 0..SYNC_POLL_LIMIT {
         if !worker.is_busy() {
             return Ok(());
@@ -656,6 +716,78 @@ mod tests {
             .expect("a published snapshot");
         assert!(snapshot.revision >= 1);
         session.drain();
+    }
+
+    #[test]
+    fn concurrent_syncs_and_ingest_make_progress() {
+        // SYNC no longer holds the ingest lock while it waits for the
+        // worker, so writers on other connections keep landing during a
+        // barrier and every sync still observes a coherent snapshot.
+        let config = ServerConfig::default();
+        let (session, _) =
+            StreamSession::open("s", &spec(100_000, SupportSpec::Absolute(1)), &config).unwrap();
+        for seq in 0..20u64 {
+            session.ingest(interval(seq, "a", 0, 5)).unwrap();
+        }
+        session.ingest(StreamEvent::Watermark(10)).unwrap();
+        let syncers: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&session);
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        s.sync().unwrap();
+                    }
+                })
+            })
+            .collect();
+        let writer = {
+            let s = Arc::clone(&session);
+            std::thread::spawn(move || {
+                for seq in 20..120u64 {
+                    s.ingest(interval(seq, "b", 0, 5)).unwrap();
+                    if seq % 25 == 0 {
+                        s.ingest(StreamEvent::Watermark(10 + seq as Time)).unwrap();
+                    }
+                }
+            })
+        };
+        for t in syncers {
+            t.join().unwrap();
+        }
+        writer.join().unwrap();
+        let snapshot = session.sync().unwrap();
+        assert!(snapshot.revision >= 1);
+        let drain = session.drain();
+        assert!(!drain.worker_failed);
+        // 20 + 1 watermark up front, 100 intervals + 4 watermarks (seq
+        // 25/50/75/100) from the writer.
+        assert_eq!(drain.events, 125);
+    }
+
+    #[test]
+    fn drain_while_sync_is_in_flight_completes() {
+        // DROP reclaims the worker handle with a bounded wait, so a
+        // concurrent SYNC (which holds a clone of the handle while it
+        // waits) delays the drain instead of deadlocking it.
+        let config = ServerConfig::default();
+        let (session, _) =
+            StreamSession::open("s", &spec(100_000, SupportSpec::Absolute(1)), &config).unwrap();
+        for seq in 0..10u64 {
+            session.ingest(interval(seq, "a", 0, 5)).unwrap();
+        }
+        session.ingest(StreamEvent::Watermark(10)).unwrap();
+        let syncer = {
+            let s = Arc::clone(&session);
+            // The sync may lose the race and see a drained session; either
+            // way it must return (Ok from the published cell) not hang.
+            std::thread::spawn(move || {
+                let _ = s.sync();
+            })
+        };
+        let drain = session.drain();
+        syncer.join().unwrap();
+        assert!(!drain.worker_failed);
+        assert_eq!(drain.events, 11);
     }
 
     #[test]

@@ -43,6 +43,8 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
+use parking_lot::Mutex;
+
 use interval_core::{MiningBudget, Time};
 use serde::Serialize;
 
@@ -158,7 +160,10 @@ pub struct PipelineStats {
 /// ```
 pub struct RefreshWorker {
     sender: Option<SyncSender<RefreshJob>>,
-    results: Receiver<Arc<PatternSnapshot>>,
+    /// Behind a mutex only to make the handle `Sync` (drivers share it as
+    /// `Arc<RefreshWorker>` so they can block on it without holding their
+    /// own locks); collection itself is non-blocking `try_iter`.
+    results: Mutex<Receiver<Arc<PatternSnapshot>>>,
     handle: Option<JoinHandle<IncrementalMiner>>,
     counters: Arc<SharedCounters>,
     cell: Arc<SnapshotCell>,
@@ -223,7 +228,7 @@ impl RefreshWorker {
         });
         Self {
             sender: Some(job_tx),
-            results: out_rx,
+            results: Mutex::new(out_rx),
             handle: Some(handle),
             counters,
             cell,
@@ -263,11 +268,21 @@ impl RefreshWorker {
     /// complete collapse into the next accepted epoch instead of queueing.
     pub fn submit_or_coalesce(&self, make_job: impl FnOnce() -> RefreshJob) -> bool {
         if self.is_busy() {
-            self.counters.coalesced.fetch_add(1, Ordering::Release);
+            self.note_coalesced();
             return false;
         }
         self.submit(make_job());
         true
+    }
+
+    /// Records one coalesced trigger: a refresh was due while another was
+    /// still in flight, so the request collapsed into the next epoch.
+    /// Exposed for drivers that must make the busy/idle decision under
+    /// their own lock and only submit after dropping it (a blocking
+    /// [`submit`](Self::submit) must never run under a lock); they keep
+    /// the same accounting as [`submit_or_coalesce`](Self::submit_or_coalesce).
+    pub fn note_coalesced(&self) {
+        self.counters.coalesced.fetch_add(1, Ordering::Release);
     }
 
     /// Records `n` events ingested while a refresh was in flight (the
@@ -292,7 +307,7 @@ impl RefreshWorker {
     /// Completed snapshots not yet collected, in publication order.
     /// Non-blocking.
     pub fn drain_completed(&self) -> Vec<Arc<PatternSnapshot>> {
-        self.results.try_iter().collect()
+        self.results.lock().try_iter().collect()
     }
 
     /// Current pipeline counters. `refresh_lag` compares `live_watermark`

@@ -1,0 +1,25 @@
+//! budget-poll fixture (suppressed): the same unpolled growth loop, but
+//! carrying a reasoned allow. A real polled loop rides along to show the
+//! rule's happy path needs no annotation.
+
+impl Engine {
+    fn refresh_all(&mut self) {
+        // xlint::allow(budget-poll): fixture — the caller caps this loop at one pass per shard.
+        loop {
+            self.expand_all();
+        }
+    }
+
+    fn refresh_metered(&mut self) {
+        loop {
+            self.meter.on_node();
+            self.expand_all();
+        }
+    }
+
+    fn expand_all(&mut self) {
+        self.expand(0);
+    }
+
+    fn expand(&mut self, _node: u32) {}
+}

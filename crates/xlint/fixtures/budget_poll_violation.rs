@@ -1,0 +1,25 @@
+//! budget-poll fixture (violating): the first loop drives pattern growth
+//! through a helper without ever reaching a MiningBudget poll; the second
+//! loop is bookkeeping only and must stay silent.
+
+impl Engine {
+    fn refresh_all(&mut self) {
+        loop {
+            self.expand_all();
+        }
+    }
+
+    fn expand_all(&mut self) {
+        self.expand(0);
+    }
+
+    fn expand(&mut self, _node: u32) {}
+
+    fn bookkeeping(&self) {
+        for _slot in 0..3 {
+            self.tally();
+        }
+    }
+
+    fn tally(&self) {}
+}

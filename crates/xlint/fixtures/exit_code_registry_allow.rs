@@ -1,0 +1,7 @@
+//! exit-code-registry fixture (suppressed): the numeric exit carries a
+//! reasoned allow.
+
+fn fail_fast() {
+    // xlint::allow(exit-code-registry): fixture — exercising the suppression path itself.
+    std::process::exit(9);
+}

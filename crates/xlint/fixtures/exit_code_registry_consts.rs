@@ -1,0 +1,6 @@
+//! The registry half of the exit-code fixtures: stands in for
+//! `crates/cli/src/exit.rs` so the `exit::NAME` resolution check has
+//! constants to check against.
+
+pub const SUCCESS: u8 = 0;
+pub const USAGE: u8 = 2;

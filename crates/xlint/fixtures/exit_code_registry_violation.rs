@@ -1,0 +1,14 @@
+//! exit-code-registry fixture (violating): numeric exits outside the
+//! registry module. The named-constant call shows the sanctioned shape.
+
+fn fail_fast() {
+    std::process::exit(9);
+}
+
+fn usage() -> ExitCode {
+    ExitCode::from(64)
+}
+
+fn fail_named() {
+    std::process::exit(i32::from(exit::USAGE));
+}

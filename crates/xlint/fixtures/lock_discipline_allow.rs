@@ -1,0 +1,8 @@
+//! lock-discipline fixture (suppressed): the same guard-across-send
+//! shape, carrying a reasoned allow on the blocking line.
+
+fn publish(shared: &Mutex<State>, tx: &Sender<Job>) {
+    let guard = shared.lock();
+    // xlint::allow(lock-discipline): fixture — the channel is unbounded here; this send never parks.
+    tx.send(guard.next_job());
+}

@@ -1,0 +1,16 @@
+//! lock-discipline fixture (violating): a mutex guard stays live across a
+//! channel send. The second function shows the sanctioned shape — freeze
+//! what you need inside a block so the guard dies before the send.
+
+fn publish(shared: &Mutex<State>, tx: &Sender<Job>) {
+    let guard = shared.lock();
+    tx.send(guard.next_job());
+}
+
+fn publish_frozen(shared: &Mutex<State>, tx: &Sender<Job>) {
+    let job = {
+        let guard = shared.lock();
+        guard.next_job()
+    };
+    tx.send(job);
+}

@@ -1,0 +1,19 @@
+//! wire-drift fixture (suppressed): the rogue variant carries a reasoned
+//! allow, so the drift is acknowledged rather than silent.
+
+pub const VERBS: &[&str] = &["PING", "QUERY"];
+
+pub enum Request {
+    Ping,
+    Query { stream: String },
+    // xlint::allow(wire-drift): fixture — internal marker variant, never parsed off the wire.
+    Rogue,
+}
+
+fn parse(verb: &str) -> Option<Request> {
+    match verb {
+        "PING" => Some(Request::Ping),
+        "QUERY" => None,
+        _ => None,
+    }
+}

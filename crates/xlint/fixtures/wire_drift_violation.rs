@@ -1,0 +1,19 @@
+//! wire-drift fixture (violating): `Request::Rogue` exists in the enum
+//! but has no entry in the VERBS table, so the protocol surfaces
+//! disagree.
+
+pub const VERBS: &[&str] = &["PING", "QUERY"];
+
+pub enum Request {
+    Ping,
+    Query { stream: String },
+    Rogue,
+}
+
+fn parse(verb: &str) -> Option<Request> {
+    match verb {
+        "PING" => Some(Request::Ping),
+        "QUERY" => None,
+        _ => None,
+    }
+}

@@ -16,13 +16,17 @@
 #![forbid(unsafe_code)]
 
 pub mod lexer;
+pub mod model;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod source;
 
+use model::Model;
 use report::Report;
-use rules::{apply_allows, check_file};
+use rules::{apply_allows, check_file, Violation};
 use source::{CrateKind, FileContext};
+use std::collections::HashSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -38,6 +42,12 @@ pub const TOOL_CRATES: &[&str] = &["cli", "bench", "xlint"];
 /// crate's `src/`. Integration tests, benches, examples and fixtures are
 /// deliberately out of scope: the rules police production code, and test
 /// code is exempt from them anyway.
+///
+/// A workspace run is the only mode that activates the semantic tier
+/// (`budget-poll`, `lock-discipline`, `wire-drift`,
+/// `exit-code-registry`): those rules resolve call edges across crates,
+/// so a partial file set would make them guess. Explicit-file mode
+/// ([`run_paths`]) stays per-file.
 pub fn run_workspace(root: &Path) -> io::Result<Report> {
     let mut files: Vec<(String, String, CrateKind, PathBuf)> = Vec::new();
 
@@ -69,12 +79,42 @@ pub fn run_workspace(root: &Path) -> io::Result<Report> {
         })?;
     }
 
-    run_files(files)
+    let docs = fs::read_to_string(root.join("docs").join("SERVER.md")).ok();
+    run_files(files, docs, true)
+}
+
+/// Lints only the files that differ from `base` (`git diff --name-only
+/// <base>`), for fast pre-commit runs. The whole workspace is still
+/// *analyzed* — the semantic tier needs every call edge — but only
+/// violations (including unused-allow reports) in changed files are
+/// kept, so `checked_files`/`suppressed` describe the full analysis
+/// while the violation list is scoped to the diff.
+pub fn run_changed(root: &Path, base: &str) -> io::Result<Report> {
+    let output = std::process::Command::new("git")
+        .args(["diff", "--name-only", base])
+        .current_dir(root)
+        .output()?;
+    if !output.status.success() {
+        return Err(io::Error::other(format!(
+            "git diff --name-only {base} failed: {}",
+            String::from_utf8_lossy(&output.stderr).trim()
+        )));
+    }
+    let changed: HashSet<String> = String::from_utf8_lossy(&output.stdout)
+        .lines()
+        .map(|l| l.trim().replace('\\', "/"))
+        .filter(|l| !l.is_empty())
+        .collect();
+    let mut report = run_workspace(root)?;
+    report.violations.retain(|v| changed.contains(&v.file));
+    Ok(report)
 }
 
 /// Lints an explicit file list (used by the fixture tests and the CLI's
 /// positional-arguments mode). Crate name and kind are derived from the
-/// path the same way the workspace walk does.
+/// path the same way the workspace walk does. Only the per-file tier
+/// runs: semantic rules need whole-workspace call edges (see
+/// [`run_workspace`]).
 pub fn run_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Report> {
     let files = paths
         .iter()
@@ -83,18 +123,40 @@ pub fn run_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Report> {
             (name, kind, p.clone()).into_named(root)
         })
         .collect();
-    run_files(files)
+    run_files(files, None, false)
 }
 
-fn run_files(mut files: Vec<(String, String, CrateKind, PathBuf)>) -> io::Result<Report> {
+fn run_files(
+    mut files: Vec<(String, String, CrateKind, PathBuf)>,
+    docs: Option<String>,
+    semantic_tier: bool,
+) -> io::Result<Report> {
     files.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut violations = Vec::new();
-    let mut suppressed = 0usize;
     let checked_files = files.len();
+    let mut ctxs: Vec<FileContext> = Vec::with_capacity(files.len());
     for (rel, crate_name, kind, abs) in files {
         let src = fs::read_to_string(&abs)?;
-        let ctx = FileContext::new(rel, crate_name, kind, src);
-        let (mut v, s) = apply_allows(&ctx, check_file(&ctx));
+        ctxs.push(FileContext::new(rel, crate_name, kind, src));
+    }
+
+    // Per-file tier, then the semantic tier routed back to the owning
+    // file so one apply_allows pass per file sees the combined set (this
+    // is what keeps unused-allow reporting exact for semantic allows).
+    let mut raw: Vec<Vec<Violation>> = ctxs.iter().map(check_file).collect();
+    if semantic_tier {
+        let refs: Vec<&FileContext> = ctxs.iter().collect();
+        let model = Model::build(&refs);
+        for v in semantic::check_workspace(&refs, &model, docs.as_deref()) {
+            if let Some(i) = ctxs.iter().position(|c| c.path == v.file) {
+                raw[i].push(v);
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    let mut suppressed = 0usize;
+    for (ctx, raw) in ctxs.iter().zip(raw) {
+        let (mut v, s) = apply_allows(ctx, raw);
         violations.append(&mut v);
         suppressed += s;
     }

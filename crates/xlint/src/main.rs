@@ -1,7 +1,12 @@
-//! CLI entry point: `cargo run -p xlint [-- --json] [--root DIR] [FILES…]`.
+//! CLI entry point:
+//! `cargo run -p xlint [-- --json|--sarif] [--changed[=BASE]] [--root DIR] [FILES…]`.
 //!
-//! With no file arguments the whole workspace is linted. Exit codes:
-//! `0` clean, `1` unsuppressed violations, `2` usage or I/O error.
+//! With no file arguments the whole workspace is linted (both the
+//! per-file and semantic tiers). `--changed` analyzes the workspace but
+//! reports only violations in files differing from BASE (default HEAD).
+//! Explicit FILES run the per-file tier only — semantic rules need every
+//! call edge. Exit codes: `0` clean, `1` unsuppressed violations, `2`
+//! usage or I/O error.
 
 // This is the lint tool's own terminal output, not library code.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -9,49 +14,79 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Exit codes, mirroring the `cli/src/exit.rs` registry (xlint cannot
+/// depend on the CLI crate; `exit-code-registry` bans re-deriving these
+/// as bare numerals anywhere else).
+const EXIT_VIOLATIONS: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root = PathBuf::from(".");
+    let mut changed: Option<String> = None;
     let mut files: Vec<PathBuf> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--sarif" => format = Format::Sarif,
+            "--changed" => changed = Some("HEAD".to_string()),
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
                     eprintln!("xlint: --root requires a directory argument");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: xlint [--json] [--root DIR] [FILES…]\n\n\
-                     Lints the workspace (or just FILES) against the rule \
-                     catalogue in CONTRIBUTING.md.\n\
+                    "usage: xlint [--json|--sarif] [--changed[=BASE]] [--root DIR] [FILES…]\n\n\
+                     Lints the workspace against the rule catalogue in CONTRIBUTING.md.\n\
+                     Modes:\n\
+                     \x20 (default)        whole workspace, per-file + semantic rules\n\
+                     \x20 --changed[=BASE] analyze everything, report only files in\n\
+                     \x20                  `git diff --name-only BASE` (default HEAD)\n\
+                     \x20 FILES…           just those files, per-file rules only\n\
+                     Output: --json (stable schema) or --sarif (GitHub code scanning).\n\
                      Exit codes: 0 clean, 1 violations, 2 usage/IO error."
                 );
                 return ExitCode::SUCCESS;
             }
+            _ if arg.starts_with("--changed=") => {
+                changed = Some(arg["--changed=".len()..].to_string());
+            }
             _ if arg.starts_with('-') => {
                 eprintln!("xlint: unknown flag `{arg}` (try --help)");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_USAGE);
             }
             _ => files.push(PathBuf::from(arg)),
         }
     }
 
+    if changed.is_some() && !files.is_empty() {
+        eprintln!("xlint: --changed and explicit FILES are mutually exclusive");
+        return ExitCode::from(EXIT_USAGE);
+    }
     if !root.join("Cargo.toml").is_file() {
         eprintln!(
             "xlint: {} does not look like a workspace root (no Cargo.toml); \
              run from the repo root or pass --root",
             root.display()
         );
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     }
 
-    let result = if files.is_empty() {
+    let result = if let Some(base) = changed {
+        xlint::run_changed(&root, &base)
+    } else if files.is_empty() {
         xlint::run_workspace(&root)
     } else {
         xlint::run_paths(&root, &files)
@@ -60,18 +95,18 @@ fn main() -> ExitCode {
         Ok(report) => report,
         Err(err) => {
             eprintln!("xlint: {err}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
 
-    if json {
-        print!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_human());
+    match format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => print!("{}", report.render_json()),
+        Format::Sarif => print!("{}", report.render_sarif()),
     }
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_VIOLATIONS)
     }
 }

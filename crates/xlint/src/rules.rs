@@ -54,6 +54,24 @@ pub const RULES: &[(&str, &str)] = &[
         "no-unbudgeted-clock",
         "Instant::now() confined to budget/stats modules in library crates",
     ),
+    // The semantic tier (src/semantic.rs): cross-crate rules that need the
+    // workspace item model, so they run from run_workspace, not per file.
+    (
+        "budget-poll",
+        "every loop on a mining growth path reaches a MiningBudget poll",
+    ),
+    (
+        "lock-discipline",
+        "no lock guard live across channel send/recv, thread join, or socket I/O in stream/server",
+    ),
+    (
+        "wire-drift",
+        "wire verbs and PipelineStats fields agree across parser, dispatcher, docs and stats output",
+    ),
+    (
+        "exit-code-registry",
+        "process exit codes are named constants from cli/src/exit.rs, never numeric literals",
+    ),
 ];
 
 /// Files on the dense-table hot path (PR 3): hash containers here undo a
@@ -208,15 +226,15 @@ fn no_panic_lib(ctx: &FileContext, out: &mut Vec<Violation>) {
                     ));
                 }
             }
-            _ if PANIC_MACROS.contains(&text) => {
-                if ctx.next_code(pos).is_some_and(|n| ctx.text(n) == "!") {
-                    out.push(violation(
-                        ctx,
-                        tok.line,
-                        "no-panic-lib",
-                        format!("{text}! is banned in non-test library code"),
-                    ));
-                }
+            _ if PANIC_MACROS.contains(&text)
+                && ctx.next_code(pos).is_some_and(|n| ctx.text(n) == "!") =>
+            {
+                out.push(violation(
+                    ctx,
+                    tok.line,
+                    "no-panic-lib",
+                    format!("{text}! is banned in non-test library code"),
+                ));
             }
             _ => {}
         }
@@ -257,7 +275,7 @@ fn safety_comment(ctx: &FileContext, out: &mut Vec<Violation>) {
             continue;
         }
         // Only blocks: `unsafe fn` / `unsafe impl` declare, they don't do.
-        if !ctx.next_code(pos).is_some_and(|n| ctx.text(n) == "{") {
+        if ctx.next_code(pos).is_none_or(|n| ctx.text(n) != "{") {
             continue;
         }
         if !has_safety_comment(ctx, tok.line) {

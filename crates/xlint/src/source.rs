@@ -165,7 +165,7 @@ fn find_test_regions(src: &str, tokens: &[Token], code: &[usize]) -> Vec<(usize,
             }
             scan += 1;
         }
-        if !(mentions_test && !mentions_not) {
+        if !mentions_test || mentions_not {
             pos = attr_end + 1;
             continue;
         }

@@ -8,7 +8,9 @@
 
 use std::fs;
 use std::path::Path;
+use xlint::model::Model;
 use xlint::rules::{apply_allows, check_file, Violation};
+use xlint::semantic;
 use xlint::source::{CrateKind, FileContext};
 
 /// Lints `fixtures/<fixture>` as if it lived at `path` in a crate of the
@@ -21,6 +23,48 @@ fn lint(fixture: &str, path: &str, kind: CrateKind) -> (Vec<Violation>, usize) {
         .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", file.display()));
     let ctx = FileContext::new(path.into(), "fixture".into(), kind, src);
     apply_allows(&ctx, check_file(&ctx))
+}
+
+/// Lints a set of fixtures as a miniature workspace: each fixture lands
+/// at its synthetic workspace `path`, the item model is built over the
+/// whole set, and both the per-file and semantic tiers run — mirroring
+/// `run_workspace` — with allows applied per owning file.
+fn lint_workspace(files: &[(&str, &str)], docs: Option<&str>) -> (Vec<Violation>, usize) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let ctxs: Vec<FileContext> = files
+        .iter()
+        .map(|(fixture, path)| {
+            let src = fs::read_to_string(dir.join(fixture))
+                .unwrap_or_else(|e| panic!("fixture {fixture} unreadable: {e}"));
+            let name = path
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+                .unwrap_or("fixture");
+            let kind = if xlint::TOOL_CRATES.contains(&name) {
+                CrateKind::Tool
+            } else {
+                CrateKind::Lib
+            };
+            FileContext::new((*path).into(), name.into(), kind, src)
+        })
+        .collect();
+    let refs: Vec<&FileContext> = ctxs.iter().collect();
+    let model = Model::build(&refs);
+    let mut raw: Vec<Vec<Violation>> = refs.iter().map(|c| check_file(c)).collect();
+    for v in semantic::check_workspace(&refs, &model, docs) {
+        if let Some(i) = ctxs.iter().position(|c| c.path == v.file) {
+            raw[i].push(v);
+        }
+    }
+    let mut out = Vec::new();
+    let mut suppressed = 0usize;
+    for (ctx, raw) in ctxs.iter().zip(raw) {
+        let (mut v, s) = apply_allows(ctx, raw);
+        out.append(&mut v);
+        suppressed += s;
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    (out, suppressed)
 }
 
 fn rules(violations: &[Violation]) -> Vec<&str> {
@@ -212,6 +256,140 @@ fn no_unbudgeted_clock_wal_fixture() {
 }
 
 #[test]
+fn budget_poll_fixture_pair() {
+    // Violating: the unpolled growth loop fires; the bookkeeping loop is
+    // silent because it never reaches a growth entry point.
+    let (v, suppressed) = lint_workspace(
+        &[("budget_poll_violation.rs", "crates/tpminer/src/search.rs")],
+        None,
+    );
+    assert_eq!(rules(&v), ["budget-poll"], "{v:?}");
+    assert_eq!(v[0].line, 7, "the unpolled loop, not the bookkeeping one");
+    assert_eq!(suppressed, 0);
+
+    // Suppressed: the reasoned allow absorbs the violation; the metered
+    // loop alongside needs no annotation at all.
+    let (v, suppressed) = lint_workspace(
+        &[("budget_poll_allow.rs", "crates/tpminer/src/search.rs")],
+        None,
+    );
+    assert!(v.is_empty(), "{v:?}");
+    assert_eq!(suppressed, 1);
+
+    // Off the mining path the rule does not apply, so the allow would be
+    // flagged as unused — suppressions must never outlive their rule.
+    let (v, _) = lint_workspace(&[("budget_poll_allow.rs", "crates/cli/src/main.rs")], None);
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+}
+
+#[test]
+fn lock_discipline_fixture_pair() {
+    let (v, suppressed) = lint_workspace(
+        &[(
+            "lock_discipline_violation.rs",
+            "crates/server/src/session.rs",
+        )],
+        None,
+    );
+    assert_eq!(rules(&v), ["lock-discipline"], "{v:?}");
+    assert_eq!(
+        v[0].line, 7,
+        "the send under the guard; the frozen variant passes"
+    );
+    assert!(v[0].message.contains("`guard`"), "{v:?}");
+    assert_eq!(suppressed, 0);
+
+    let (v, suppressed) = lint_workspace(
+        &[("lock_discipline_allow.rs", "crates/server/src/session.rs")],
+        None,
+    );
+    assert!(v.is_empty(), "{v:?}");
+    assert_eq!(suppressed, 1);
+
+    // Outside the stream/server crates guards may block freely (the
+    // mining engine has no cross-thread lock protocol), so the allow
+    // comes back as unused.
+    let (v, _) = lint_workspace(
+        &[("lock_discipline_allow.rs", "crates/tpminer/src/helper.rs")],
+        None,
+    );
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+}
+
+#[test]
+fn wire_drift_fixture_pair() {
+    let docs = Some("The server speaks PING and QUERY.");
+    let (v, suppressed) = lint_workspace(
+        &[(
+            "wire_drift_violation.rs",
+            "crates/interval-core/src/wire.rs",
+        )],
+        docs,
+    );
+    assert_eq!(rules(&v), ["wire-drift"], "{v:?}");
+    assert!(v[0].message.contains("Request::Rogue"), "{v:?}");
+    assert_eq!(v[0].line, 10, "anchors on the rogue variant");
+    assert_eq!(suppressed, 0);
+
+    let (v, suppressed) = lint_workspace(
+        &[("wire_drift_allow.rs", "crates/interval-core/src/wire.rs")],
+        docs,
+    );
+    assert!(v.is_empty(), "{v:?}");
+    assert_eq!(suppressed, 1);
+
+    // The anchors are path-keyed: the same file anywhere else is not the
+    // protocol definition, so nothing fires and the allow is unused.
+    let (v, _) = lint_workspace(
+        &[("wire_drift_allow.rs", "crates/interval-core/src/other.rs")],
+        docs,
+    );
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+}
+
+#[test]
+fn exit_code_registry_fixture_pair() {
+    // Violating: one numeric `exit(…)` and one numeric `ExitCode::from`;
+    // the `exit::USAGE` call resolves against the registry stand-in and
+    // passes.
+    let (v, suppressed) = lint_workspace(
+        &[
+            ("exit_code_registry_consts.rs", "crates/cli/src/exit.rs"),
+            ("exit_code_registry_violation.rs", "crates/cli/src/main.rs"),
+        ],
+        None,
+    );
+    assert_eq!(
+        rules(&v),
+        ["exit-code-registry", "exit-code-registry"],
+        "{v:?}"
+    );
+    assert_eq!(
+        (v[0].line, v[1].line),
+        (5, 9),
+        "the numeric exit and the numeric ExitCode::from"
+    );
+    assert_eq!(suppressed, 0);
+
+    let (v, suppressed) = lint_workspace(
+        &[
+            ("exit_code_registry_consts.rs", "crates/cli/src/exit.rs"),
+            ("exit_code_registry_allow.rs", "crates/cli/src/main.rs"),
+        ],
+        None,
+    );
+    assert!(v.is_empty(), "{v:?}");
+    assert_eq!(suppressed, 1);
+
+    // The registry module itself is the one sanctioned home for numbers.
+    let (v, _) = lint_workspace(
+        &[("exit_code_registry_consts.rs", "crates/cli/src/exit.rs")],
+        None,
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
 fn run_paths_lints_fixtures_end_to_end() {
     // Drive the public entry point over a real file on disk: the fixture
     // lands in the `xlint` (tool) crate, so only structural rules apply —
@@ -228,4 +406,29 @@ fn run_paths_lints_fixtures_end_to_end() {
     .expect("fixture readable");
     assert_eq!(report.checked_files, 1);
     assert_eq!(rules(&report.violations), ["unused-allow"]);
+}
+
+#[test]
+fn run_changed_analyzes_everything_but_scopes_the_report() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    // `HEAD` is always a valid base inside the repo; whatever the diff
+    // contains, the full workspace is still analyzed (checked_files) and
+    // every surviving violation must name a changed file.
+    let report = xlint::run_changed(root, "HEAD").expect("git diff against HEAD");
+    assert!(
+        report.checked_files > 50,
+        "the whole workspace is analyzed, not just the diff: {}",
+        report.checked_files
+    );
+
+    // An unknown base is a clean error, not a panic or an empty report.
+    let err = match xlint::run_changed(root, "xlint-no-such-ref") {
+        Err(e) => e,
+        Ok(r) => panic!("unknown base accepted: {} files", r.checked_files),
+    };
+    assert!(err.to_string().contains("git diff"), "{err}");
 }
