@@ -12,10 +12,11 @@
 use crate::alloc_meter;
 use durability::FsyncPolicy;
 use interval_core::{DatabaseBuilder, IntervalDatabase, MiningBudget, StreamEvent, SymbolId};
+use segment::{SegmentOptions, SegmentReader, SegmentStore};
 use std::sync::Arc;
 use std::time::Instant;
 use stream::{
-    IncrementalMiner, PatternSnapshot, RefreshJob, RefreshWorker, ShardPool,
+    FrozenView, IncrementalMiner, PatternSnapshot, RefreshJob, RefreshWorker, ShardPool,
     SlidingWindowDatabase, SnapshotCell,
 };
 use synthgen::{QuestConfig, QuestGenerator};
@@ -358,6 +359,96 @@ pub fn run() -> SmokeReport {
     report.push("stream_wal_on_ingest_us", wal_on_ingest_us);
     report.push("stream_wal_flush_us", wal_flush_us);
 
+    // --- segment store: out-of-core spill + historical re-mine ---
+    // The WAL workload again, but through the cold path: a window a
+    // quarter of the WAL run's size (50 time units against a ~200-unit
+    // stream — the mined historical range spans 4x the in-RAM cap, so
+    // this genuinely exercises out-of-core re-mining, not a cache hit),
+    // every watermark eviction spilled into a `SegmentStore`, sealed into
+    // checksummed segment files, and the whole span re-mined from disk
+    // through `SegmentReader` — the same path `history` and the `HISTORY`
+    // wire verb take (see docs/STORAGE.md).
+    const SEGMENT_WINDOW: i64 = 50;
+    let seg_events = wal_workload();
+    let seg_dir =
+        std::env::temp_dir().join(format!("ptpminer-perfsmoke-seg-{}", std::process::id()));
+    std::fs::remove_dir_all(&seg_dir).ok();
+    let mut seg_store = SegmentStore::open(
+        &seg_dir,
+        SegmentOptions {
+            seal_bytes: 256 << 10, // several seals over this workload
+            ..SegmentOptions::default()
+        },
+    )
+    .expect("temp segment dir must open");
+    let mut window = SlidingWindowDatabase::new(SEGMENT_WINDOW);
+    window.retain_evicted(true);
+    let started = Instant::now();
+    for event in &seg_events {
+        let is_watermark = matches!(event, StreamEvent::Watermark(_));
+        window
+            .ingest(event.clone())
+            .expect("workload is well-formed");
+        if is_watermark {
+            for (sequence, iv) in window.take_evicted() {
+                seg_store.append(sequence, window.symbols().name(iv.symbol), iv.start, iv.end);
+            }
+            seg_store.maybe_seal();
+        }
+    }
+    let tail: Vec<_> = window.completed_intervals().collect();
+    for (sequence, iv) in tail {
+        seg_store.append(sequence, window.symbols().name(iv.symbol), iv.start, iv.end);
+    }
+    seg_store.seal();
+    let segment_spill_us = started.elapsed().as_micros() as u64;
+    assert!(
+        !seg_store.is_degraded(),
+        "perf-smoke segment store must stay healthy"
+    );
+    let seg_stats = seg_store.stats().clone();
+    drop(seg_store);
+
+    let started = Instant::now();
+    let reader = SegmentReader::open(&seg_dir).expect("sealed store must reopen");
+    let load = reader
+        .load_range(0, 1_000)
+        .expect("sealed segments must read back");
+    let segment_load_us = started.elapsed().as_micros() as u64;
+    let min_sup = load.sequences / 4;
+    let dirty: Vec<SymbolId> = load.symbols.iter().map(|(id, _)| id).collect();
+    let view = FrozenView::from_parts(dirty, load.seq_indexes, Some(1_000), Some(0), load.symbols);
+    let started = Instant::now();
+    let mut miner = IncrementalMiner::new(MinerConfig::with_min_support(min_sup), 0);
+    let history = miner.refresh_frozen(&view, MiningBudget::unlimited());
+    let segment_mine_us = started.elapsed().as_micros() as u64;
+    assert!(
+        !history.result.patterns().is_empty(),
+        "out-of-core re-mine found no patterns — workload degenerated"
+    );
+    eprintln!(
+        "perf-smoke: segment store — spilled {} records into {} segments \
+         ({} bytes) in {} us; reloaded {} intervals across {} sequences in \
+         {} us; re-mined {} patterns in {} us",
+        seg_stats.records_sealed,
+        seg_stats.segments_sealed,
+        seg_stats.bytes_sealed,
+        segment_spill_us,
+        load.intervals,
+        load.sequences,
+        segment_load_us,
+        history.result.len(),
+        segment_mine_us,
+    );
+    report.push("segment_spill_ingest_us", segment_spill_us);
+    report.push("segment_segments_sealed", seg_stats.segments_sealed);
+    report.push("segment_records_sealed", seg_stats.records_sealed);
+    report.push("segment_bytes_sealed", seg_stats.bytes_sealed);
+    report.push("segment_history_load_us", segment_load_us);
+    report.push("segment_history_mine_us", segment_mine_us);
+    report.push("segment_history_patterns", history.result.len() as u64);
+    std::fs::remove_dir_all(&seg_dir).ok();
+
     // --- service tier: TCP ingest throughput ---
     // The same streaming workload, pushed through `serve`'s full network
     // path: wire parsing, per-connection framing, session locking and the
@@ -448,8 +539,8 @@ pub fn run() -> SmokeReport {
         assert_eq!(drained, FANOUT_REVISIONS, "fan-out lost revisions");
         assert_eq!(sub.dropped(), 0, "sized-to-run queue must not drop");
     }
-    let fanout_rate =
-        (FANOUT_REVISIONS * FANOUT_SUBSCRIBERS as u64) as f64 * 1e6 / fanout_publish_us.max(1) as f64;
+    let fanout_rate = (FANOUT_REVISIONS * FANOUT_SUBSCRIBERS as u64) as f64 * 1e6
+        / fanout_publish_us.max(1) as f64;
     eprintln!(
         "perf-smoke: subscriber fan-out — {} revisions to {} subscribers in {} us \
          ({:.0} deliveries/s)",
@@ -784,7 +875,10 @@ mod tests {
         if cores >= SHARD_GATE_MIN_CORES {
             assert!(shard_gate(&slow).is_some(), "must fail on a wide host");
         } else {
-            assert!(shard_gate(&slow).is_none(), "informational on {cores} cores");
+            assert!(
+                shard_gate(&slow).is_none(),
+                "informational on {cores} cores"
+            );
         }
         let mut fast = SmokeReport::default();
         fast.push("stream_shard1_refresh_us", 1000);

@@ -123,6 +123,7 @@ pub const COMMANDS: &[&str] = &[
     "mine",
     "mine-prob",
     "stream",
+    "history",
     "recover",
     "serve",
     "client",
@@ -140,7 +141,6 @@ pub fn suggest_command(command: &str) -> Option<&'static str> {
 pub fn suggest_value<'a>(value: &str, known: &[&'a str]) -> Option<&'a str> {
     closest(value, known)
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -104,9 +104,7 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
             for _ in 0..count {
                 payload.clear();
                 match script.read_line(&mut payload) {
-                    Ok(0) => return Err(format!(
-                        "script ended inside a BATCH of {count} lines"
-                    )),
+                    Ok(0) => return Err(format!("script ended inside a BATCH of {count} lines")),
                     Ok(_) => {}
                     Err(e) => return Err(format!("script: {e}")),
                 }

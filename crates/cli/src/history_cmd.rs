@@ -1,0 +1,89 @@
+//! The `history` subcommand: re-mine a historical time range out of the
+//! cold segment store a `stream --segment-dir` run left behind.
+//!
+//! `history DIR --from T1 --to T2` opens DIR read-only with a
+//! [`SegmentReader`], loads every sealed interval whose end falls in
+//! `[T1, T2]` (segments whose footer bounds miss the range are skipped
+//! without being read), rebuilds the same frozen state a live refresh
+//! would see, and mines it with the unchanged [`IncrementalMiner`] under
+//! the usual `--timeout` / `--max-nodes` / Ctrl-C budget. Memory is
+//! bounded by one segment image plus the loaded range, so windows far
+//! larger than the live in-RAM cap mine fine — see `docs/STORAGE.md`
+//! "Out-of-core mining".
+//!
+//! The output is the `mine` format (text or `--json`), and the pattern
+//! set over a sealed range is identical to an offline `mine` of the same
+//! events (property-tested in `tests/history_parity.rs`). Against a
+//! *live* segment directory the answer covers everything sealed so far;
+//! intervals still in the window or pending seal appear once sealed.
+
+use std::process::ExitCode;
+
+use interval_core::SymbolId;
+use segment::SegmentReader;
+use stream::{FrozenView, IncrementalMiner};
+use tpminer::MinerConfig;
+
+use crate::args::Parsed;
+use crate::stream_cmd::{render_final, threshold_from};
+use crate::{budget_from, exit, report_truncation};
+
+/// Options every `history` invocation may use (checked by `expect_options`).
+pub const OPTIONS: &[&str] = &[
+    "from",
+    "to",
+    "min-support",
+    "abs-support",
+    "max-arity",
+    "gap",
+    "threads",
+    "timeout",
+    "max-nodes",
+    "json",
+];
+
+pub fn run(p: &Parsed) -> Result<ExitCode, String> {
+    let dir = p.input()?;
+    let from = p
+        .opt_num::<i64>("from")?
+        .ok_or_else(|| "pass --from T1 (start of the historical range)".to_string())?;
+    let to = p
+        .opt_num::<i64>("to")?
+        .ok_or_else(|| "pass --to T2 (end of the historical range)".to_string())?;
+    if from > to {
+        return Err(format!("--from {from} is after --to {to}"));
+    }
+    let mut config = MinerConfig::default();
+    if let Some(k) = p.opt_num::<usize>("max-arity")? {
+        config = config.max_arity(k);
+    }
+    if let Some(g) = p.opt_num::<i64>("gap")? {
+        config = config.max_gap(g);
+    }
+    let budget = budget_from(p)?;
+
+    let reader = SegmentReader::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let load = reader
+        .load_range(from, to)
+        .map_err(|e| format!("{dir}: {e}"))?;
+    eprintln!(
+        "history [{from}, {to}]: {} segments read ({} skipped by time bounds), \
+         {} sequences, {} intervals",
+        load.segments_read, load.segments_skipped, load.sequences, load.intervals,
+    );
+    config.min_support = match threshold_from(p)? {
+        Some(threshold) => threshold.absolute_for(load.sequences),
+        None => 1,
+    };
+
+    // Every symbol is "dirty": a historical mine has no carried state to
+    // be incremental against, so the whole range is mined fresh.
+    let dirty: Vec<SymbolId> = load.symbols.iter().map(|(id, _)| id).collect();
+    let view = FrozenView::from_parts(dirty, load.seq_indexes, Some(to), Some(from), load.symbols);
+    let mut miner = IncrementalMiner::new(config, p.num::<usize>("threads", 0)?);
+    let snapshot = miner.refresh_frozen(&view, budget);
+
+    report_truncation(snapshot.result.termination());
+    render_final(p, &snapshot)?;
+    Ok(exit::from_termination(snapshot.result.termination()))
+}

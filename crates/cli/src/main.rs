@@ -32,6 +32,7 @@
 mod args;
 mod client_cmd;
 mod exit;
+mod history_cmd;
 mod recover_cmd;
 mod serve_cmd;
 mod sigint;
@@ -72,6 +73,14 @@ commands:
              [--wal-dir DIR [--fsync always|epoch|never]]  (write-ahead log
              every event before ingesting it; recover after a crash with
              `recover DIR`)
+             [--segment-dir DIR [--segment-bytes N]]  (seal evicted
+             intervals into cold segment files; re-mine any past range
+             with `history DIR`)
+  history    re-mine a historical time range from a segment directory
+             <segment-dir> --from T1 --to T2
+             [--min-support FRAC | --abs-support N]  (default: all
+             patterns with support >= 1)  [--max-arity K] [--gap G]
+             [--threads N] [--timeout SECS] [--max-nodes N] [--json]
   recover    rebuild a crashed stream's window from its write-ahead log
              <wal-dir> --window W | --verify  (scan integrity only)
              [--min-support FRAC | --abs-support N]  (also mine the
@@ -79,6 +88,8 @@ commands:
              [--json]
   serve      run the multi-tenant pattern-mining service (docs/SERVER.md)
              [--addr HOST:PORT] [--wal-root DIR [--fsync always|epoch|never]]
+             [--segment-dir DIR]  (per-stream cold segment stores; enables
+             the HISTORY wire verb, see docs/STORAGE.md)
              [--threads N] [--port-file PATH] [--stats-json]
              streams are CREATEd over the wire; SIGINT or SHUTDOWN drains
              every stream gracefully (WAL flushed, final refresh folded in)
@@ -155,6 +166,10 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         "stream" => {
             parsed.expect_options(stream_cmd::OPTIONS)?;
             stream_cmd::run(&parsed)
+        }
+        "history" => {
+            parsed.expect_options(history_cmd::OPTIONS)?;
+            history_cmd::run(&parsed)
         }
         "recover" => {
             parsed.expect_options(recover_cmd::OPTIONS)?;

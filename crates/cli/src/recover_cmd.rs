@@ -20,6 +20,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use durability::{scan_wal, RecoveryReport, StdFs};
+use interval_core::StreamEvent;
 use stream::IncrementalMiner;
 use tpminer::MinerConfig;
 
@@ -47,6 +48,18 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
         let (events, report) =
             scan_wal(&StdFs, Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
         report_scan(dir, &report);
+        // The segment-reclaim watermark documented in docs/DURABILITY.md
+        // §2: the highest watermark in the durable prefix. WAL segments
+        // wholly below the eviction cutoff this watermark implies are the
+        // ones a live stream would have reclaimed.
+        let watermark = events.iter().rev().find_map(|e| match e {
+            StreamEvent::Watermark(t) => Some(*t),
+            _ => None,
+        });
+        eprintln!(
+            "segment-reclaim watermark: {}",
+            watermark.map_or_else(|| "-".to_owned(), |t| t.to_string()),
+        );
         println!(
             "verify: {} records decode cleanly across {} segments{}",
             events.len(),

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! ptpminer-cli serve --addr 127.0.0.1:7464 --wal-root /var/lib/ptpminer \
-//!     [--fsync always|epoch|never] [--threads N] [--refresh-workers N]
-//!     [--max-lag T] [--port-file PATH] [--stats-json]
+//!     [--segment-dir DIR] [--fsync always|epoch|never] [--threads N]
+//!     [--refresh-workers N] [--max-lag T] [--port-file PATH] [--stats-json]
 //! ```
 //!
 //! `--refresh-workers N` gives every stream's refresh pool `N` shard
@@ -12,6 +12,12 @@
 //! (refresh once the published snapshot trails the live watermark by more
 //! than `T`), overriding each stream's `EVERY` cadence. See
 //! `docs/STREAMING.md` for tuning guidance.
+//!
+//! `--segment-dir DIR` attaches a cold segment store to every stream
+//! (one sub-directory per stream under `DIR`): watermark-evicted
+//! intervals are sealed into immutable segment files, WAL reclaim is
+//! re-tied to "sealed and fsynced", and the `HISTORY` wire verb re-mines
+//! any sealed time range without touching ingest. See `docs/STORAGE.md`.
 //!
 //! The process runs until SIGINT or a client's `SHUTDOWN`, then drains
 //! every stream gracefully (WAL flushed, final refresh folded in) and
@@ -35,6 +41,7 @@ use crate::{exit, sigint, stream_cmd};
 pub const OPTIONS: &[&str] = &[
     "addr",
     "wal-root",
+    "segment-dir",
     "fsync",
     "threads",
     "refresh-workers",
@@ -60,6 +67,7 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     }
     let config = ServerConfig {
         wal_root: p.get("wal-root").map(PathBuf::from),
+        segment_root: p.get("segment-dir").map(PathBuf::from),
         fsync,
         threads: p.num::<usize>("threads", 0)?,
         refresh_workers: p.num::<usize>("refresh-workers", 1)?.max(1),
@@ -68,11 +76,16 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     if let Some(root) = &config.wal_root {
         std::fs::create_dir_all(root).map_err(|e| format!("--wal-root {}: {e}", root.display()))?;
     }
+    if let Some(root) = &config.segment_root {
+        std::fs::create_dir_all(root)
+            .map_err(|e| format!("--segment-dir {}: {e}", root.display()))?;
+    }
     let addr = p.get("addr").unwrap_or(DEFAULT_ADDR);
     let server = Server::bind(addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     if let Some(path) = p.get("port-file") {
-        std::fs::write(path, format!("{bound}\n")).map_err(|e| format!("--port-file {path}: {e}"))?;
+        std::fs::write(path, format!("{bound}\n"))
+            .map_err(|e| format!("--port-file {path}: {e}"))?;
     }
     eprintln!("listening on {bound} (SIGINT or SHUTDOWN drains)");
 
@@ -122,7 +135,11 @@ fn report_drain(report: &DrainReport) {
     eprintln!(
         "served {} connection(s), {} command(s) ({} protocol errors), \
          {} events accepted ({} rejected), {} queries",
-        c.connections, c.commands, c.protocol_errors, c.events_accepted, c.events_rejected,
+        c.connections,
+        c.commands,
+        c.protocol_errors,
+        c.events_accepted,
+        c.events_rejected,
         c.queries,
     );
 }

@@ -40,6 +40,18 @@
 //! `docs/DURABILITY.md`). If the log stops accepting writes the stream
 //! keeps running from memory and reports the degradation via a sticky
 //! warning, the `wal:` summary and exit code 5.
+//!
+//! # Cold storage (`--segment-dir`)
+//!
+//! With `--segment-dir DIR` everything the watermark evicts is *sealed*
+//! instead of lost: evicted (and late-dropped) intervals buffer in a
+//! [`segment::SegmentStore`] and seal into immutable checksummed segment
+//! files once `--segment-bytes` worth accumulates (plus a forced seal at
+//! shutdown covering the final window contents). WAL reclaim is then
+//! re-tied to what is **sealed and fsynced** — never merely evicted — so
+//! the union of WAL + segments always holds every event. Historical
+//! ranges mine back out of DIR with the `history` subcommand. See
+//! `docs/STORAGE.md`.
 
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -48,6 +60,7 @@ use std::time::{Duration, Instant};
 
 use durability::FsyncPolicy;
 use interval_core::{CancellationToken, MiningBudget, StreamEvent, Termination};
+use segment::{SegmentOptions, SegmentStore};
 use stream::{
     IncrementalMiner, Journal, PatternSnapshot, PipelineStats, RefreshJob, RefreshWorker,
     SlidingWindowDatabase, SnapshotCell,
@@ -74,6 +87,8 @@ pub const OPTIONS: &[&str] = &[
     "sync-refresh",
     "wal-dir",
     "fsync",
+    "segment-dir",
+    "segment-bytes",
     "stats-json",
 ];
 
@@ -169,6 +184,11 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
     if p.get("fsync").is_some() && p.get("wal-dir").is_none() {
         return Err("--fsync needs --wal-dir (there is no log to sync without one)".into());
     }
+    if p.get("segment-bytes").is_some() && p.get("segment-dir").is_none() {
+        return Err(
+            "--segment-bytes needs --segment-dir (there is no store to seal without one)".into(),
+        );
+    }
     let mut config = MinerConfig::default();
     if let Some(k) = p.opt_num::<usize>("max-arity")? {
         config = config.max_arity(k);
@@ -204,6 +224,26 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
         ),
         None => None,
     };
+    let mut store: Option<SegmentStore> = match p.get("segment-dir") {
+        Some(dir) => {
+            let mut options = SegmentOptions::default();
+            if let Some(bytes) = p.opt_num::<usize>("segment-bytes")? {
+                if bytes == 0 {
+                    return Err("--segment-bytes: must be at least 1".into());
+                }
+                options.seal_bytes = bytes;
+            }
+            Some(
+                SegmentStore::open(dir, options)
+                    .map_err(|e| format!("--segment-dir {dir}: {e}"))?,
+            )
+        }
+        None => None,
+    };
+    if store.is_some() {
+        window.retain_evicted(true);
+    }
+    let mut seal_warned = false;
     let miner = IncrementalMiner::new(config, p.num::<usize>("threads", 0)?);
     let cell = Arc::new(SnapshotCell::new());
     let mut engine = if pipelined {
@@ -291,10 +331,21 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
         }
         if is_watermark {
             watermarks += 1;
-            // Eviction tie-in: sealed segments that fell entirely behind
-            // the new cutoff are reclaimable.
+            // Cold storage first: the intervals this watermark evicted
+            // spill into the segment store, which may seal; only then may
+            // the WAL reclaim — and never past what the store has sealed
+            // and fsynced (`reclaim_bound`), so the union of WAL +
+            // segments always covers every event.
+            if let Some(store) = store.as_mut() {
+                spill_evicted(store, &mut window);
+                seal_and_note(store, &engine, false, &mut seal_warned);
+            }
             if let (Some(journal), Some(cutoff)) = (journal.as_mut(), window.cutoff()) {
-                journal.reclaim(cutoff);
+                let bound = match store.as_mut() {
+                    Some(store) => store.reclaim_bound(cutoff),
+                    None => cutoff,
+                };
+                journal.reclaim(bound);
             }
             // With --max-lag the trigger is adaptive: refresh only once
             // the published snapshot trails the live watermark by more
@@ -327,6 +378,20 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
                 }
             }
         }
+    }
+
+    // Shutdown spill: the window's remaining contents will never be
+    // evicted now, so persist them (plus any undrained evictions) and
+    // force a final seal — the segment directory then covers every
+    // completed interval the stream saw, and `history` over it matches
+    // an offline `mine` of the same events.
+    if let Some(store) = store.as_mut() {
+        spill_evicted(store, &mut window);
+        let live: Vec<_> = window.completed_intervals().collect();
+        for (sequence, iv) in live {
+            store.append(sequence, window.symbols().name(iv.symbol), iv.start, iv.end);
+        }
+        seal_and_note(store, &engine, true, &mut seal_warned);
     }
 
     // Wind the pipeline down: the worker finishes (or, with a cancelled
@@ -435,6 +500,26 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
             if js.degraded { "DEGRADED" } else { "healthy" },
         );
     }
+    if let Some(store) = &store {
+        let ss = store.stats();
+        eprintln!(
+            "segments: {} sealed ({} records, {} bytes, {} failures, {} skipped), \
+             sealed through {} — {}",
+            ss.segments_sealed,
+            ss.records_sealed,
+            ss.bytes_sealed,
+            ss.seal_failures,
+            ss.appends_skipped,
+            store
+                .sealed_through()
+                .map_or_else(|| "-".into(), |t| t.to_string()),
+            if store.is_degraded() {
+                "DEGRADED"
+            } else {
+                "healthy"
+            },
+        );
+    }
     if worker_failed {
         eprintln!("warning: background refresh worker failed; last published snapshot stands");
     }
@@ -449,7 +534,9 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
                  \"events_during_refresh\":{},\"refresh_lag\":{},\
                  \"subscribers\":{},\"subscriber_delivered\":{},\
                  \"subscriber_dropped\":{},\"subscriber_max_lag\":{},\
-                 \"wal_flushes\":{},\"wal_degraded\":{}}}",
+                 \"wal_flushes\":{},\"wal_degraded\":{},\
+                 \"segments_sealed\":{},\"segment_records\":{},\
+                 \"segment_bytes\":{},\"segment_seal_failures\":{}}}",
                 ps.submitted_refreshes,
                 ps.completed_refreshes,
                 ps.coalesced_refreshes,
@@ -462,7 +549,35 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
                 ps.subscriber_max_lag,
                 ps.wal_flushes,
                 ps.wal_degraded,
+                ps.segments_sealed,
+                ps.segment_records,
+                ps.segment_bytes,
+                ps.segment_seal_failures,
             ),
+        };
+        let seg = match &store {
+            None => "null".to_owned(),
+            Some(store) => {
+                let ss = store.stats();
+                format!(
+                    "{{\"segments_sealed\":{},\"records_sealed\":{},\"bytes_sealed\":{},\
+                     \"seal_failures\":{},\"appends_skipped\":{},\"segments_adopted\":{},\
+                     \"partials_deleted\":{},\"seal_micros\":{},\"sealed_through\":{},\
+                     \"degraded\":{}}}",
+                    ss.segments_sealed,
+                    ss.records_sealed,
+                    ss.bytes_sealed,
+                    ss.seal_failures,
+                    ss.appends_skipped,
+                    ss.segments_adopted,
+                    ss.partials_deleted,
+                    ss.seal_micros,
+                    store
+                        .sealed_through()
+                        .map_or_else(|| "null".to_owned(), |t| t.to_string()),
+                    store.is_degraded(),
+                )
+            }
         };
         let wal = match &journal {
             None => "null".to_owned(),
@@ -486,7 +601,7 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
              \"watermarks\":{watermarks},\"sequences\":{},\"open_intervals\":{},\
              \"revision\":{},\"patterns\":{},\"full_refreshes\":{full_refreshes},\
              \"elapsed_ms\":{},\"worker_failed\":{worker_failed},\
-             \"pipeline\":{pipeline},\"wal\":{wal}}}",
+             \"pipeline\":{pipeline},\"wal\":{wal},\"segment\":{seg}}}",
             stats.events,
             stats.intervals_completed,
             stats.late_intervals_dropped,
@@ -519,7 +634,62 @@ pub fn run(p: &Parsed) -> Result<ExitCode, String> {
             exit::DEGRADED,
         );
     }
-    Ok(exit::from_termination_degraded(&termination, wal_degraded))
+    let seg_degraded = store.as_ref().map_or(false, |s| s.is_degraded());
+    if seg_degraded && !wal_degraded && termination.is_complete() {
+        eprintln!(
+            "note: segment store degraded — evicted intervals after the seal failure \
+             were not persisted to cold storage; the WAL (reclaim frozen at the durable \
+             floor) still holds them (exit code {})",
+            exit::DEGRADED,
+        );
+    }
+    Ok(exit::from_termination_degraded(
+        &termination,
+        wal_degraded || seg_degraded,
+    ))
+}
+
+/// Drains the window's captured evictions (watermark evictions and
+/// late-arrival drops) into the segment store.
+fn spill_evicted(store: &mut SegmentStore, window: &mut SlidingWindowDatabase) {
+    for (sequence, iv) in window.take_evicted() {
+        store.append(sequence, window.symbols().name(iv.symbol), iv.start, iv.end);
+    }
+}
+
+/// Runs a seal (forced at shutdown, threshold-gated otherwise) and
+/// forwards the per-seal deltas to the pipeline counters; warns once on
+/// the first failure.
+fn seal_and_note(store: &mut SegmentStore, engine: &Engine, force: bool, warned: &mut bool) {
+    let before = store.stats().clone();
+    let ran = if force {
+        store.seal();
+        true
+    } else {
+        store.maybe_seal()
+    };
+    if !ran {
+        return;
+    }
+    let after = store.stats();
+    if let Engine::Pipelined(worker) = engine {
+        if after.segments_sealed > before.segments_sealed {
+            worker.note_segment_seal(
+                after.records_sealed - before.records_sealed,
+                after.bytes_sealed - before.bytes_sealed,
+            );
+        }
+        if after.seal_failures > before.seal_failures {
+            worker.note_segment_seal_failure();
+        }
+    }
+    if store.is_degraded() && !*warned {
+        *warned = true;
+        eprintln!(
+            "warning: segment store degraded — WAL reclaim frozen at the durable floor ({})",
+            store.degraded_reason().unwrap_or("unknown failure"),
+        );
+    }
 }
 
 /// Counts and reports one refreshed snapshot, remembering it as the latest.

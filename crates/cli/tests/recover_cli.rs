@@ -79,6 +79,11 @@ fn recover_verify_scans_without_a_window() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    // Golden: the verify summary reports the segment-reclaim watermark
+    // documented in docs/DURABILITY.md §2 (the torn-tail fixture's durable
+    // prefix ends at watermark 12).
+    let err = stderr(&out);
+    assert!(err.contains("segment-reclaim watermark: 12"), "{err}");
 }
 
 #[test]

@@ -99,7 +99,10 @@ impl Conn {
     /// Reads one asynchronous push line, or `None` if the connection stays
     /// quiet for `timeout`.
     fn read_push(&mut self, timeout: Duration) -> Option<String> {
-        self.reader.get_ref().set_read_timeout(Some(timeout)).unwrap();
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(timeout))
+            .unwrap();
         let mut line = String::new();
         let got = match self.reader.read_line(&mut line) {
             Ok(0) | Err(_) => None,
@@ -141,7 +144,9 @@ fn ingest(conn: &mut Conn, stream: &str, events: &[(i64, String, i64, i64)]) {
             conn.ok(&format!("EVENT {stream} watermark {}", seq * 40 - 1));
         }
         current_seq = Some(*seq);
-        conn.ok(&format!("EVENT {stream} interval {seq} {sym} {start} {end}"));
+        conn.ok(&format!(
+            "EVENT {stream} interval {seq} {sym} {start} {end}"
+        ));
     }
     if let Some(seq) = current_seq {
         conn.ok(&format!("EVENT {stream} watermark {}", (seq + 1) * 40 - 1));
@@ -173,10 +178,7 @@ fn parse_mine(stdout: &str) -> Vec<(usize, String)> {
         .filter_map(|line| {
             let line = line.strip_prefix("  ")?;
             let (pattern, support) = line.rsplit_once("   (support ")?;
-            Some((
-                support.strip_suffix(')')?.parse().ok()?,
-                pattern.to_owned(),
-            ))
+            Some((support.strip_suffix(')')?.parse().ok()?, pattern.to_owned()))
         })
         .collect()
 }
@@ -330,8 +332,14 @@ fn subscribe_streams_revision_pushes_until_unsubscribe() {
 
     let mut sub = Conn::open(&addr);
     // Grammar-valid but unusable subscriptions are clean errors.
-    assert!(sub.send("SUBSCRIBE nope")[0].starts_with("ERR"), "unknown stream");
-    assert!(sub.send("UNSUBSCRIBE")[0].starts_with("ERR"), "nothing active");
+    assert!(
+        sub.send("SUBSCRIBE nope")[0].starts_with("ERR"),
+        "unknown stream"
+    );
+    assert!(
+        sub.send("UNSUBSCRIBE")[0].starts_with("ERR"),
+        "nothing active"
+    );
     let reply = sub.send("SUBSCRIBE s");
     assert!(reply[0].starts_with("OK subscribed stream=s"), "{reply:?}");
     let reply = sub.send("SUBSCRIBE s");

@@ -33,7 +33,7 @@ pub mod recovery;
 pub mod wal;
 
 pub use crc32::crc32;
-pub use io::{RetryPolicy, StdFs, WalFile, WalFs};
+pub use io::{retry_io, write_all_retrying, RetryPolicy, StdFs, WalFile, WalFs};
 pub use record::{frame_record, SegmentScan};
 pub use recovery::{scan_wal, Corruption, RecoveryReport};
 pub use wal::{FsyncPolicy, WalError, WalOptions, WalStats, WalWriter};

@@ -16,6 +16,8 @@
 //! EVENT  <stream> <event line>        # StreamEvent text format
 //! BATCH  <stream> <count>             # <count> event lines follow
 //! QUERY  <stream> [PREFIX <symbol>] [TOP <k>]
+//! HISTORY <stream> FROM <t1> TO <t2>  # re-mine a sealed time range
+//!        [SUPPORT <fraction> | ABS-SUPPORT <n>] [TOP <k>]
 //! SYNC   <stream>                     # block until a fresh refresh lands
 //! SUBSCRIBE   <stream>                # push revision lines until UNSUBSCRIBE
 //! UNSUBSCRIBE [<stream>]              # stop the connection's subscription
@@ -50,6 +52,7 @@ pub const VERBS: &[&str] = &[
     "EVENT",
     "BATCH",
     "QUERY",
+    "HISTORY",
     "SYNC",
     "SUBSCRIBE",
     "UNSUBSCRIBE",
@@ -74,6 +77,9 @@ const CREATE_KEYWORDS: &[&str] = &[
 
 /// Keyword parameters accepted inside `QUERY`.
 const QUERY_KEYWORDS: &[&str] = &["PREFIX", "TOP"];
+
+/// Keyword parameters accepted inside `HISTORY`.
+const HISTORY_KEYWORDS: &[&str] = &["FROM", "TO", "SUPPORT", "ABS-SUPPORT", "TOP"];
 
 /// A minimum-support threshold as specified on the wire or the CLI: either
 /// an absolute sequence count or a fraction of the live window resolved per
@@ -154,6 +160,22 @@ pub enum Request {
         stream: String,
         /// Only patterns rooted at this symbol.
         prefix: Option<String>,
+        /// At most this many patterns, by descending support.
+        top: Option<usize>,
+    },
+    /// Re-mine a sealed historical time range out of the stream's cold
+    /// segment store (served without touching the live ingest path).
+    History {
+        /// Target stream (its segment directory; the live session need
+        /// not exist).
+        stream: String,
+        /// Start of the historical range (inclusive).
+        from: Time,
+        /// End of the historical range (inclusive).
+        to: Time,
+        /// Minimum-support threshold, resolved against the sequences in
+        /// the loaded range. Defaults to every pattern (support 1).
+        support: Option<SupportSpec>,
         /// At most this many patterns, by descending support.
         top: Option<usize>,
     },
@@ -303,6 +325,7 @@ impl Request {
             "EVENT" => parse_event(rest)?,
             "BATCH" => parse_batch(rest)?,
             "QUERY" => parse_query(rest)?,
+            "HISTORY" => parse_history(rest)?,
             "SYNC" => Request::Sync {
                 stream: one_stream("SYNC", rest)?,
             },
@@ -344,7 +367,10 @@ fn bare(command: &'static str, rest: &str, request: Request) -> Result<Request, 
     if rest.is_empty() {
         Ok(request)
     } else {
-        Err(malformed(command, format!("takes no arguments, got {rest:?}")))
+        Err(malformed(
+            command,
+            format!("takes no arguments, got {rest:?}"),
+        ))
     }
 }
 
@@ -515,7 +541,9 @@ fn parse_query(rest: &str) -> Result<Request, WireError> {
                 prefix = Some(symbol.to_owned());
             }
             "TOP" => {
-                let field = fields.next().ok_or_else(|| malformed(CMD, "TOP needs a count"))?;
+                let field = fields
+                    .next()
+                    .ok_or_else(|| malformed(CMD, "TOP needs a count"))?;
                 let k: usize = parse_num(CMD, "top-k count", field)?;
                 if k == 0 {
                     return Err(malformed(CMD, "TOP must be at least 1"));
@@ -528,6 +556,63 @@ fn parse_query(rest: &str) -> Result<Request, WireError> {
     Ok(Request::Query {
         stream,
         prefix,
+        top,
+    })
+}
+
+fn parse_history(rest: &str) -> Result<Request, WireError> {
+    const CMD: &str = "HISTORY";
+    let mut fields = fields_of(rest);
+    let stream = stream_name(CMD, fields.next())?;
+    let mut from: Option<Time> = None;
+    let mut to: Option<Time> = None;
+    let mut support: Option<SupportSpec> = None;
+    let mut top: Option<usize> = None;
+    while let Some(raw) = fields.next() {
+        let keyword = raw.to_ascii_uppercase();
+        let mut value = |what: &str| -> Result<String, WireError> {
+            fields
+                .next()
+                .map(str::to_owned)
+                .ok_or_else(|| malformed(CMD, format!("{keyword} needs a {what}")))
+        };
+        match keyword.as_str() {
+            "FROM" => from = Some(parse_num(CMD, "start time", &value("time")?)?),
+            "TO" => to = Some(parse_num(CMD, "end time", &value("time")?)?),
+            "SUPPORT" => {
+                let f: f64 = parse_num(CMD, "support fraction", &value("fraction")?)?;
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(malformed(CMD, "SUPPORT must be in (0, 1]"));
+                }
+                support = Some(SupportSpec::Fraction(f));
+            }
+            "ABS-SUPPORT" => {
+                let n: usize = parse_num(CMD, "support count", &value("count")?)?;
+                if n == 0 {
+                    return Err(malformed(CMD, "ABS-SUPPORT must be at least 1"));
+                }
+                support = Some(SupportSpec::Absolute(n));
+            }
+            "TOP" => {
+                let k: usize = parse_num(CMD, "top-k count", &value("count")?)?;
+                if k == 0 {
+                    return Err(malformed(CMD, "TOP must be at least 1"));
+                }
+                top = Some(k);
+            }
+            _ => return Err(keyword_typo(CMD, raw, HISTORY_KEYWORDS)),
+        }
+    }
+    let from = from.ok_or_else(|| malformed(CMD, "missing FROM"))?;
+    let to = to.ok_or_else(|| malformed(CMD, "missing TO"))?;
+    if from > to {
+        return Err(malformed(CMD, format!("FROM {from} is after TO {to}")));
+    }
+    Ok(Request::History {
+        stream,
+        from,
+        to,
+        support,
         top,
     })
 }
@@ -578,7 +663,9 @@ mod tests {
 
     #[test]
     fn create_parses_full_and_minimal_forms() {
-        let r = parse("CREATE vitals WINDOW 100 SUPPORT 0.1 REFRESH-EVERY 64 MAX-ARITY 3 MAX-GAP 10 WAL");
+        let r = parse(
+            "CREATE vitals WINDOW 100 SUPPORT 0.1 REFRESH-EVERY 64 MAX-ARITY 3 MAX-GAP 10 WAL",
+        );
         match r {
             Request::Create { stream, spec } => {
                 assert_eq!(stream, "vitals");
@@ -613,16 +700,34 @@ mod tests {
             err("CREATE s SUPPORT 0.5"),
             WireError::Malformed { message, .. } if message.contains("WINDOW")
         ));
-        assert!(matches!(err("CREATE s WINDOW 0 SUPPORT 0.5"), WireError::Malformed { .. }));
-        assert!(matches!(err("CREATE s WINDOW -5 SUPPORT 0.5"), WireError::Malformed { .. }));
-        assert!(matches!(err("CREATE s WINDOW 10 SUPPORT 0"), WireError::Malformed { .. }));
-        assert!(matches!(err("CREATE s WINDOW 10 SUPPORT 1.5"), WireError::Malformed { .. }));
-        assert!(matches!(err("CREATE s WINDOW 10 ABS-SUPPORT 0"), WireError::Malformed { .. }));
+        assert!(matches!(
+            err("CREATE s WINDOW 0 SUPPORT 0.5"),
+            WireError::Malformed { .. }
+        ));
+        assert!(matches!(
+            err("CREATE s WINDOW -5 SUPPORT 0.5"),
+            WireError::Malformed { .. }
+        ));
+        assert!(matches!(
+            err("CREATE s WINDOW 10 SUPPORT 0"),
+            WireError::Malformed { .. }
+        ));
+        assert!(matches!(
+            err("CREATE s WINDOW 10 SUPPORT 1.5"),
+            WireError::Malformed { .. }
+        ));
+        assert!(matches!(
+            err("CREATE s WINDOW 10 ABS-SUPPORT 0"),
+            WireError::Malformed { .. }
+        ));
         assert!(matches!(
             err("CREATE s WINDOW 10 SUPPORT 0.5 REFRESH-EVERY 0"),
             WireError::Malformed { .. }
         ));
-        assert!(matches!(err("CREATE s WINDOW 10 SUPPORT"), WireError::Malformed { .. }));
+        assert!(matches!(
+            err("CREATE s WINDOW 10 SUPPORT"),
+            WireError::Malformed { .. }
+        ));
     }
 
     #[test]
@@ -680,7 +785,10 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(matches!(parse("EVENT s watermark 9"), Request::Event { .. }));
+        assert!(matches!(
+            parse("EVENT s watermark 9"),
+            Request::Event { .. }
+        ));
         assert!(matches!(err("EVENT s"), WireError::Malformed { .. }));
         assert!(matches!(
             err("EVENT s interval 1 fever 5 5"),
@@ -699,9 +807,15 @@ mod tests {
             }
         );
         assert!(matches!(err("BATCH s 0"), WireError::Malformed { .. }));
-        assert!(matches!(err("BATCH s 1000000"), WireError::Malformed { .. }));
+        assert!(matches!(
+            err("BATCH s 1000000"),
+            WireError::Malformed { .. }
+        ));
         assert!(matches!(err("BATCH s"), WireError::Malformed { .. }));
-        assert!(matches!(err("BATCH s 5 extra"), WireError::Malformed { .. }));
+        assert!(matches!(
+            err("BATCH s 5 extra"),
+            WireError::Malformed { .. }
+        ));
     }
 
     #[test]
@@ -741,6 +855,74 @@ mod tests {
     }
 
     #[test]
+    fn history_requires_a_range_and_bounds_its_keywords() {
+        assert_eq!(
+            parse("HISTORY vitals FROM 0 TO 100"),
+            Request::History {
+                stream: "vitals".into(),
+                from: 0,
+                to: 100,
+                support: None,
+                top: None
+            }
+        );
+        assert_eq!(
+            parse("history s from -5 to 10 abs-support 2 top 3"),
+            Request::History {
+                stream: "s".into(),
+                from: -5,
+                to: 10,
+                support: Some(SupportSpec::Absolute(2)),
+                top: Some(3)
+            }
+        );
+        assert_eq!(
+            parse("HISTORY s FROM 0 TO 10 SUPPORT 0.5"),
+            Request::History {
+                stream: "s".into(),
+                from: 0,
+                to: 10,
+                support: Some(SupportSpec::Fraction(0.5)),
+                top: None
+            }
+        );
+        assert!(matches!(err("HISTORY s"), WireError::Malformed { .. }));
+        assert!(matches!(
+            err("HISTORY s FROM 5"),
+            WireError::Malformed { .. }
+        ));
+        assert!(matches!(err("HISTORY s TO 5"), WireError::Malformed { .. }));
+        assert!(matches!(
+            err("HISTORY s FROM 10 TO 5"),
+            WireError::Malformed { message, .. } if message.contains("after")
+        ));
+        assert!(matches!(
+            err("HISTORY s FROM 0 TO 10 SUPPORT 0"),
+            WireError::Malformed { .. }
+        ));
+        assert!(matches!(
+            err("HISTORY s FROM 0 TO 10 TOP 0"),
+            WireError::Malformed { .. }
+        ));
+        assert!(matches!(
+            err("HISTORY bad/name FROM 0 TO 10"),
+            WireError::BadStreamName { .. }
+        ));
+        match err("HISTORY s FORM 0 TO 10") {
+            WireError::Malformed { message, .. } => {
+                assert!(message.contains("did you mean FROM"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match err("HISOTRY s FROM 0 TO 10") {
+            WireError::UnknownCommand { suggestion, .. } => {
+                assert_eq!(suggestion, Some("HISTORY"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn subscribe_takes_one_stream_and_unsubscribe_an_optional_one() {
         assert_eq!(
             parse("SUBSCRIBE vitals"),
@@ -767,7 +949,10 @@ mod tests {
                 stream: Some("vitals".into())
             }
         );
-        assert!(matches!(err("UNSUBSCRIBE a b"), WireError::Malformed { .. }));
+        assert!(matches!(
+            err("UNSUBSCRIBE a b"),
+            WireError::Malformed { .. }
+        ));
         match err("SUBSCIRBE s") {
             WireError::UnknownCommand { suggestion, .. } => {
                 assert_eq!(suggestion, Some("SUBSCRIBE"));
@@ -825,10 +1010,18 @@ mod tests {
                 "{bad:?} should be rejected"
             );
         }
-        for good in ["a", "vitals", "tenant-7.shard_2", &"x".repeat(MAX_STREAM_NAME)] {
+        for good in [
+            "a",
+            "vitals",
+            "tenant-7.shard_2",
+            &"x".repeat(MAX_STREAM_NAME),
+        ] {
             assert!(validate_stream_name(good).is_ok(), "{good:?} should pass");
         }
-        assert!(matches!(err("SYNC bad/name"), WireError::BadStreamName { .. }));
+        assert!(matches!(
+            err("SYNC bad/name"),
+            WireError::BadStreamName { .. }
+        ));
         assert!(matches!(err("DROP -x"), WireError::BadStreamName { .. }));
         assert!(matches!(
             err("QUERY ../etc"),

@@ -1,0 +1,95 @@
+//! Persistent, time-partitioned segment storage for evicted stream epochs.
+//!
+//! The sliding window ([`stream`]'s `SlidingWindowDatabase`) holds only
+//! the live time range; everything the watermark evicts used to vanish.
+//! This crate turns eviction into *sealing*: evicted (and late-dropped)
+//! intervals are buffered by a [`SegmentStore`] and periodically sealed
+//! into immutable, checksummed, footer-indexed segment files
+//! (`{epoch:08}.seg`) tracked by an append-only manifest, and the
+//! write-ahead log is reclaimed only up to what is **sealed and fsynced**
+//! — never merely evicted. A [`SegmentReader`] rebuilds per-sequence
+//! endpoint indexes ([`tpminer::SeqIndex`]) from cold segments on demand,
+//! so the existing incremental miner can re-mine any historical time range
+//! under a mining budget, with memory bounded by one segment plus the
+//! loaded range — windows larger than RAM via spill-and-reload.
+//!
+//! The division of labour:
+//!
+//! - [`format`] — the on-disk segment file layout (CRC framing shared
+//!   byte-for-byte with the WAL, per-sequence footer index, fixed trailer);
+//! - [`store`] — the writer: buffering, the two-step seal protocol, the
+//!   manifest, crash recovery on open, sticky degradation on seal failure;
+//! - [`reader`] — the read-only side: range loads that reconstruct
+//!   minable state for `[from, to]` without touching the writer.
+//!
+//! See `docs/STORAGE.md` for the format diagram, the seal/reclaim
+//! lifecycle, and the out-of-core tuning table.
+//!
+//! ```
+//! use segment::{SegmentOptions, SegmentReader, SegmentStore};
+//!
+//! let dir = std::env::temp_dir().join(format!("seg-doc-{}", std::process::id()));
+//! let mut store = SegmentStore::open(&dir, SegmentOptions::default()).unwrap();
+//! store.append(1, "fever", 0, 5);
+//! store.append(1, "rash", 3, 9);
+//! assert!(store.seal());
+//!
+//! let reader = SegmentReader::open(&dir).unwrap();
+//! let load = reader.load_range(0, 10).unwrap();
+//! assert_eq!(load.sequences, 1);
+//! assert_eq!(load.intervals, 2);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod reader;
+pub mod store;
+
+pub use format::{Footer, ParsedSegment, SeqEntry};
+pub use reader::{RangeLoad, SegmentReader};
+pub use store::{
+    SegmentMeta, SegmentOptions, SegmentStats, SegmentStore, DEFAULT_SEAL_BYTES, MANIFEST_FILE,
+};
+
+/// Errors from sealing, opening, or reading segments.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A segment file, footer, or manifest failed validation.
+    Corrupt(String),
+}
+
+impl SegmentError {
+    /// A corruption error with the given reason.
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        SegmentError::Corrupt(reason.into())
+    }
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Io(e) => write!(f, "segment I/O error: {e}"),
+            SegmentError::Corrupt(reason) => write!(f, "segment corrupt: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SegmentError::Io(e) => Some(e),
+            SegmentError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SegmentError {
+    fn from(e: std::io::Error) -> Self {
+        SegmentError::Io(e)
+    }
+}

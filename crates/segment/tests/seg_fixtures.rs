@@ -1,0 +1,110 @@
+//! Corruption-path tests against the committed segment fixtures under
+//! `tests/fixtures/seg/` (repo root).
+//!
+//! The fixtures were produced by the real pipeline —
+//! `ptpminer-cli stream --segment-dir … --segment-bytes 1` over a small
+//! workload — then damaged deterministically:
+//!
+//! - `clean/`     — 3 sealed segments + MANIFEST, untouched
+//! - `bit_flip/`  — one bit flipped inside segment 0's first body frame
+//!   (the footer still validates; only the per-record CRC scan catches it)
+//! - `truncated/` — segment 1 cut in half (footer and trailer gone)
+//!
+//! They pin the on-disk format: a byte-level change to the segment layout
+//! that silently reads old files differently will fail here first.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use segment::{SegmentOptions, SegmentReader, SegmentStore};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/seg")
+        .join(name)
+}
+
+fn temp_copy(of: &Path, tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "seg-fixture-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    for entry in std::fs::read_dir(of).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn clean_fixture_reads_fully() {
+    let reader = SegmentReader::open(fixture("clean")).unwrap();
+    assert_eq!(reader.segments().len(), 3);
+    assert_eq!(reader.records(), 5);
+    let load = reader.load_range(0, 60).unwrap();
+    assert_eq!(load.intervals, 5);
+    assert_eq!(load.sequences, 3);
+    assert_eq!(load.segments_read, 3);
+    // A narrow range skips non-intersecting segments by footer bounds
+    // without reading them.
+    let narrow = reader.load_range(21, 27).unwrap();
+    assert_eq!(narrow.intervals, 2);
+    assert_eq!(narrow.segments_read, 1);
+    assert_eq!(narrow.segments_skipped, 2);
+}
+
+#[test]
+fn bit_flip_fixture_errors_naming_the_segment() {
+    let reader = SegmentReader::open(fixture("bit_flip")).unwrap();
+    // The footer still validates, so the segment lists fine…
+    assert_eq!(reader.segments().len(), 3);
+    // …but decoding its body must fail loudly, naming the file — never
+    // silently dropping records.
+    let err = reader.load_range(0, 60).unwrap_err();
+    assert!(err.to_string().contains("00000000.seg"), "{err}");
+    // A range that skips the damaged segment by its footer time bounds
+    // still answers from the healthy ones.
+    let load = reader.load_range(21, 60).unwrap();
+    assert_eq!(load.intervals, 3);
+    assert_eq!(load.segments_read, 2);
+}
+
+#[test]
+fn truncated_fixture_errors_on_read_and_is_quarantined_on_reopen() {
+    let reader = SegmentReader::open(fixture("truncated")).unwrap();
+    let err = reader.load_range(0, 60).unwrap_err();
+    assert!(err.to_string().contains("00000001.seg"), "{err}");
+
+    // A writer reopening the same directory (work on a temp copy: the
+    // store mutates) must exclude the listed-but-corrupt segment, keep it
+    // on disk for forensics, and carry on healthy in a fresh epoch.
+    let dir = temp_copy(&fixture("truncated"), "reopen");
+    let mut store = SegmentStore::open(&dir, SegmentOptions::default()).unwrap();
+    assert_eq!(store.stats().segments_corrupt, 1);
+    assert!(!store.is_degraded());
+    assert!(dir.join("00000001.seg").exists(), "kept for forensics");
+    store.append(9, "after", 100, 110);
+    assert!(store.seal());
+    assert!(
+        dir.join("00000003.seg").exists(),
+        "sealing resumes past every on-disk epoch"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_fixture_reopens_with_nothing_to_repair() {
+    let dir = temp_copy(&fixture("clean"), "noop");
+    let store = SegmentStore::open(&dir, SegmentOptions::default()).unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.segments_corrupt, 0);
+    assert_eq!(stats.segments_missing, 0);
+    assert_eq!(stats.segments_adopted, 0);
+    assert_eq!(stats.partials_deleted, 0);
+    assert_eq!(stats.manifest_lines_dropped, 0);
+    assert_eq!(store.segments().len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}

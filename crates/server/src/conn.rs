@@ -329,6 +329,41 @@ fn dispatch(
             writer.flush()?;
             Ok(false)
         }
+        Request::History {
+            stream,
+            from,
+            to,
+            support,
+            top,
+        } => {
+            shared.counters.note_query();
+            let Some(root) = shared.config.segment_root.as_ref() else {
+                shared.counters.note_protocol_error();
+                respond_err(writer, "server has no --segment-dir (HISTORY disabled)")?;
+                return Ok(false);
+            };
+            // Served straight off the sealed segment files — no registry
+            // lookup, no ingest lock: the stream may be live, draining or
+            // long dropped, and ingestion never waits on a historical mine.
+            match crate::session::mine_history(
+                &root.join(&stream),
+                from,
+                to,
+                support,
+                top,
+                shared.config.threads,
+            ) {
+                Ok(reply) => {
+                    proto::query_reply(writer, &reply)?;
+                    writer.flush()?;
+                }
+                Err(reason) => {
+                    shared.counters.note_protocol_error();
+                    respond_err(writer, &reason)?;
+                }
+            }
+            Ok(false)
+        }
         Request::Sync { stream } => {
             let Some(session) = shared.registry.get(&stream) else {
                 shared.counters.note_protocol_error();
@@ -403,10 +438,7 @@ fn dispatch(
                 shared.counters.note_protocol_error();
                 respond_err(
                     writer,
-                    &format!(
-                        "already subscribed to {:?} (UNSUBSCRIBE first)",
-                        sub.stream
-                    ),
+                    &format!("already subscribed to {:?} (UNSUBSCRIBE first)", sub.stream),
                 )?;
                 return Ok(false);
             }
@@ -537,7 +569,10 @@ fn ingest_batch(
             &format!("no such stream {stream:?} (batch payload discarded)"),
         )?;
     } else {
-        respond_ok(writer, &format!("batch accepted={accepted} rejected={rejected}"))?;
+        respond_ok(
+            writer,
+            &format!("batch accepted={accepted} rejected={rejected}"),
+        )?;
     }
     Ok(false)
 }

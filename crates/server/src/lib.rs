@@ -56,6 +56,12 @@ pub struct ServerConfig {
     /// Directory that holds one WAL sub-directory per durable stream.
     /// `None` disables the `WAL` keyword of `CREATE` entirely.
     pub wal_root: Option<PathBuf>,
+    /// Directory that holds one cold segment-store sub-directory per
+    /// stream. When set, every stream spills watermark-evicted intervals
+    /// into sealed segment files under `<segment_root>/<name>` and the
+    /// `HISTORY` verb can re-mine any sealed time range (see
+    /// `docs/STORAGE.md`). `None` disables sealing and `HISTORY`.
+    pub segment_root: Option<PathBuf>,
     /// Fsync policy for every durable stream's journal.
     pub fsync: FsyncPolicy,
     /// Worker threads per stream's miner (0 = automatic).
@@ -73,6 +79,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             wal_root: None,
+            segment_root: None,
             fsync: FsyncPolicy::Epoch,
             threads: 0,
             refresh_workers: 1,

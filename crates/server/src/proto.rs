@@ -116,7 +116,8 @@ pub fn stats_line(s: &SessionStats) -> String {
     format!(
         "stream={} events={} watermarks={} sequences={} open={} revision={} patterns={} \
          submitted={} completed={} coalesced={} during_refresh={} lag={lag} \
-         subscribers={} sub_delivered={} sub_dropped={} sub_max_lag={} queries={} {wal}",
+         subscribers={} sub_delivered={} sub_dropped={} sub_max_lag={} \
+         sealed={} seal_records={} seal_bytes={} seal_failures={} queries={} {wal}",
         s.name,
         s.events,
         s.watermarks,
@@ -132,6 +133,10 @@ pub fn stats_line(s: &SessionStats) -> String {
         s.pipeline.subscriber_delivered,
         s.pipeline.subscriber_dropped,
         s.pipeline.subscriber_max_lag,
+        s.pipeline.segments_sealed,
+        s.pipeline.segment_records,
+        s.pipeline.segment_bytes,
+        s.pipeline.segment_seal_failures,
         s.queries,
     )
 }

@@ -84,8 +84,8 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use interval_core::wire::{CreateSpec, SupportSpec};
     use crate::ServerConfig;
+    use interval_core::wire::{CreateSpec, SupportSpec};
 
     fn session(name: &str) -> Arc<StreamSession> {
         let spec = CreateSpec {

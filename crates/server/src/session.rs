@@ -17,6 +17,7 @@
 //! fresh segment after the sealed ones. An initial refresh is submitted so
 //! the first `QUERY` after recovery already sees the recovered patterns.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,9 +25,10 @@ use std::time::Duration;
 use interval_core::wire::{CreateSpec, SupportSpec};
 use interval_core::{MiningBudget, StreamEvent, Time};
 use parking_lot::Mutex;
+use segment::{SegmentOptions, SegmentReader, SegmentStore};
 use stream::{
-    IncrementalMiner, Journal, JournalStats, PatternSnapshot, PipelineStats, RefreshJob,
-    RefreshWorker, SlidingWindowDatabase, SnapshotCell, SnapshotSubscriber,
+    FrozenView, IncrementalMiner, Journal, JournalStats, PatternSnapshot, PipelineStats,
+    RefreshJob, RefreshWorker, SlidingWindowDatabase, SnapshotCell, SnapshotSubscriber,
 };
 use tpminer::MinerConfig;
 
@@ -36,6 +38,10 @@ use crate::{ServerConfig, StreamDrain};
 /// it is unresponsive (a dead worker never completes its epoch).
 const SYNC_POLL: Duration = Duration::from_millis(1);
 const SYNC_POLL_LIMIT: u32 = 30_000;
+
+/// Wall-clock budget for one `HISTORY` request, so a huge cold range
+/// cannot pin a connection thread forever.
+const HISTORY_DEADLINE: Duration = Duration::from_secs(30);
 
 /// What `CREATE` found when it opened the session.
 #[derive(Debug, Clone, Default)]
@@ -119,6 +125,7 @@ struct Ingest {
     window: SlidingWindowDatabase,
     worker: Option<Arc<RefreshWorker>>,
     journal: Option<Journal>,
+    store: Option<SegmentStore>,
     support: SupportSpec,
     refresh_every: u64,
     max_lag: Option<Time>,
@@ -169,6 +176,15 @@ impl StreamSession {
             );
             outcome.durable = true;
         }
+        let mut store = None;
+        if let Some(root) = &config.segment_root {
+            let opened = SegmentStore::open(root.join(name), SegmentOptions::default())
+                .map_err(|e| format!("segment store for {name:?} failed: {e}"))?;
+            // Keep watermark-evicted intervals so the ingest path can
+            // spill them into the cold store instead of dropping them.
+            window.retain_evicted(true);
+            store = Some(opened);
+        }
 
         let mut miner_config = MinerConfig::with_min_support(1);
         if let Some(k) = spec.max_arity {
@@ -189,6 +205,7 @@ impl StreamSession {
             window,
             worker: Some(Arc::new(worker)),
             journal,
+            store,
             support: spec.support,
             refresh_every: spec.refresh_every.max(1),
             max_lag: config.max_lag,
@@ -249,9 +266,30 @@ impl StreamSession {
         }
         if is_watermark {
             ingest.watermarks += 1;
-            if let (Some(journal), Some(cutoff)) = (ingest.journal.as_mut(), ingest.window.cutoff())
-            {
-                journal.reclaim(cutoff);
+            if let Some(cutoff) = ingest.window.cutoff() {
+                // Spill watermark-evicted intervals into the cold store and
+                // seal when the buffer is full. The WAL reclaim floor is
+                // then tied to "sealed and fsynced", not "evicted": a
+                // degraded store freezes the floor so nothing durable is
+                // dropped before it reaches a cold segment.
+                if let Some(store) = ingest.store.as_mut() {
+                    for (sequence, iv) in ingest.window.take_evicted() {
+                        store.append(
+                            sequence,
+                            ingest.window.symbols().name(iv.symbol),
+                            iv.start,
+                            iv.end,
+                        );
+                    }
+                    seal_and_note(store, ingest.worker.as_deref(), false);
+                }
+                let bound = match ingest.store.as_mut() {
+                    Some(store) => store.reclaim_bound(cutoff),
+                    None => cutoff,
+                };
+                if let Some(journal) = ingest.journal.as_mut() {
+                    journal.reclaim(bound);
+                }
             }
             let due = match ingest.max_lag {
                 // Adaptive trigger: refresh only once the published
@@ -417,6 +455,7 @@ impl StreamSession {
             }
             taken
         };
+        let first_drain = taken.is_some();
         // Phase 2 — no lock: reclaim sole ownership (a concurrent SYNC may
         // hold a clone; it finishes without the ingest lock, so a bounded
         // wait suffices), then join the worker thread.
@@ -462,8 +501,36 @@ impl StreamSession {
             };
             let _ = miner.refresh_frozen(&view, MiningBudget::unlimited());
         }
-        // Phase 4 — brief lock: the final report.
-        let guard = self.ingest.lock();
+        // Phase 4 — brief lock: final spill + seal, then the report. Only
+        // the drain that actually took the worker spills — a second drain
+        // re-spilling the same completed intervals would duplicate them.
+        let mut guard = self.ingest.lock();
+        if first_drain {
+            let ingest = &mut *guard;
+            if let Some(store) = ingest.store.as_mut() {
+                for (sequence, iv) in ingest.window.take_evicted() {
+                    store.append(
+                        sequence,
+                        ingest.window.symbols().name(iv.symbol),
+                        iv.start,
+                        iv.end,
+                    );
+                }
+                let completed: Vec<_> = ingest.window.completed_intervals().collect();
+                for (sequence, iv) in completed {
+                    store.append(
+                        sequence,
+                        ingest.window.symbols().name(iv.symbol),
+                        iv.start,
+                        iv.end,
+                    );
+                }
+                // Forced: the drain must leave everything sealed on disk.
+                // The worker is already gone, so the seal is not counted in
+                // the pipeline stats — the store's own counters keep it.
+                seal_and_note(store, None, true);
+            }
+        }
         let wal_degraded =
             pipeline.wal_degraded || guard.journal.as_ref().is_some_and(|j| j.is_degraded());
         let snapshot = self.cell.load();
@@ -489,6 +556,84 @@ fn freeze_job(ingest: &mut Ingest) -> RefreshJob {
         budget: MiningBudget::unlimited(),
         min_support,
     }
+}
+
+/// Seals the segment store's buffered spill (forced or when full) and
+/// folds the seal outcome into the pipeline counters when a worker is
+/// still attached. Callers hold the ingest lock; sealing is disk I/O, the
+/// same class the journal already performs under this lock.
+fn seal_and_note(store: &mut SegmentStore, worker: Option<&RefreshWorker>, force: bool) {
+    let before = store.stats().clone();
+    let ran = if force {
+        store.seal();
+        true
+    } else {
+        store.maybe_seal()
+    };
+    if !ran {
+        return;
+    }
+    let after = store.stats();
+    if let Some(worker) = worker {
+        if after.segments_sealed > before.segments_sealed {
+            worker.note_segment_seal(
+                after.records_sealed - before.records_sealed,
+                after.bytes_sealed - before.bytes_sealed,
+            );
+        }
+        if after.seal_failures > before.seal_failures {
+            worker.note_segment_seal_failure();
+        }
+    }
+}
+
+/// Serves a `HISTORY` request: re-mines a sealed time range straight out
+/// of a stream's cold segment directory. Runs entirely on the calling
+/// connection thread and touches no session state — no ingest lock, no
+/// registry entry — so the stream may be live, draining or long dropped;
+/// ingestion never waits on a historical mine. Bounded by
+/// [`HISTORY_DEADLINE`] so a huge range cannot pin the connection.
+pub fn mine_history(
+    dir: &Path,
+    from: Time,
+    to: Time,
+    support: Option<SupportSpec>,
+    top: Option<usize>,
+    threads: usize,
+) -> Result<QueryReply, String> {
+    let reader = SegmentReader::open(dir).map_err(|e| e.to_string())?;
+    let load = reader.load_range(from, to).map_err(|e| e.to_string())?;
+    let min_support = support.map_or(1, |s| s.absolute_for(load.sequences));
+    // Every symbol is dirty: a historical mine has no carried state to be
+    // incremental against, so the whole range is mined fresh.
+    let dirty: Vec<_> = load.symbols.iter().map(|(id, _)| id).collect();
+    let view = FrozenView::from_parts(dirty, load.seq_indexes, Some(to), Some(from), load.symbols);
+    let mut miner = IncrementalMiner::new(MinerConfig::with_min_support(min_support), threads);
+    let budget = MiningBudget::unlimited().with_timeout(HISTORY_DEADLINE);
+    let snapshot = miner.refresh_frozen(&view, budget);
+    let mut lines: Vec<QueryLine> = snapshot
+        .result
+        .patterns()
+        .iter()
+        .map(|fp| QueryLine {
+            support: fp.support,
+            pattern: fp.pattern.display(&snapshot.symbols).to_string(),
+        })
+        .collect();
+    lines.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| a.pattern.cmp(&b.pattern))
+    });
+    if let Some(k) = top {
+        lines.truncate(k);
+    }
+    Ok(QueryReply {
+        revision: snapshot.revision,
+        watermark: snapshot.watermark,
+        sequences: snapshot.sequences,
+        lines,
+    })
 }
 
 /// Polls the worker until its queue is empty. Bounded: a worker that died

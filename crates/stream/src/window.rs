@@ -146,6 +146,11 @@ pub struct SlidingWindowDatabase {
     support: Vec<usize>,
     /// Root symbols touched by any sequence change since `take_dirty`.
     dirty: BTreeSet<SymbolId>,
+    /// When `Some`, intervals leaving the window (watermark eviction and
+    /// late drops) are captured here instead of vanishing, so a persistence
+    /// layer can spill them to cold storage. `None` (the default) keeps the
+    /// historical fire-and-forget behaviour with zero overhead.
+    evicted: Option<Vec<(SequenceId, EventInterval)>>,
     stats: IngestStats,
 }
 
@@ -185,6 +190,7 @@ impl SlidingWindowDatabase {
             sequences: Vec::new(),
             support: Vec::new(),
             dirty: BTreeSet::new(),
+            evicted: None,
             stats: IngestStats::default(),
         }
     }
@@ -254,6 +260,36 @@ impl SlidingWindowDatabase {
     /// sequence whose in-window intervals changed.
     pub fn take_dirty(&mut self) -> Vec<SymbolId> {
         std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    /// Turns capture of expiring intervals on or off.
+    ///
+    /// With capture on, every interval that leaves the window — evicted by
+    /// a watermark or dropped on arrival because it was already expired —
+    /// is recorded with its sequence id and can be drained with
+    /// [`take_evicted`](Self::take_evicted). Turning capture off discards
+    /// anything not yet drained.
+    pub fn retain_evicted(&mut self, on: bool) {
+        self.evicted = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the intervals captured since the previous call (empty unless
+    /// [`retain_evicted`](Self::retain_evicted) is on).
+    pub fn take_evicted(&mut self) -> Vec<(SequenceId, EventInterval)> {
+        match self.evicted.as_mut() {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// All completed in-window intervals with their sequence ids, in
+    /// `SequenceId` order. Non-draining: the window is unchanged. Used by
+    /// the persistence layer to spill the final (never-to-be-evicted)
+    /// window contents at shutdown so cold storage covers every interval.
+    pub fn completed_intervals(&self) -> impl Iterator<Item = (SequenceId, EventInterval)> + '_ {
+        self.sequences
+            .iter()
+            .flat_map(|(id, s)| s.intervals.iter().map(move |iv| (*id, *iv)))
     }
 
     /// Applies one stream event.
@@ -347,6 +383,11 @@ impl SlidingWindowDatabase {
         if let Some(cutoff) = self.cutoff() {
             if interval.end < cutoff {
                 self.stats.late_intervals_dropped += 1;
+                // A late interval never enters the window, but it is still
+                // real history: capture it for the persistence layer.
+                if let Some(buf) = self.evicted.as_mut() {
+                    buf.push((sequence, interval));
+                }
                 return;
             }
         }
@@ -376,7 +417,8 @@ impl SlidingWindowDatabase {
         let mut evicted_sequences = 0u64;
         let support = &mut self.support;
         let dirty = &mut self.dirty;
-        self.sequences.retain_mut(|(_, seq)| {
+        let evicted = &mut self.evicted;
+        self.sequences.retain_mut(|(id, seq)| {
             let expired = seq.intervals.iter().any(|iv| iv.end < cutoff);
             if expired {
                 // Pre-change symbol set is a superset of the post-change
@@ -388,6 +430,9 @@ impl SlidingWindowDatabase {
                         return true;
                     }
                     evicted_intervals += 1;
+                    if let Some(buf) = evicted.as_mut() {
+                        buf.push((*id, *iv));
+                    }
                     // Every in-window interval was counted on insert, so its
                     // symbol must be present in both tables.
                     match seq
@@ -500,6 +545,29 @@ pub struct FrozenView {
 }
 
 impl FrozenView {
+    /// Assembles a view directly from reconstructed parts, bypassing a live
+    /// window. This is how cold storage re-enters the mining pipeline: a
+    /// segment reader rebuilds per-sequence indexes for a historical range
+    /// and wraps them in a view the existing
+    /// [`IncrementalMiner`](crate::IncrementalMiner) can refresh against,
+    /// with every symbol dirty (nothing is incremental about a cold load).
+    pub fn from_parts(
+        dirty: Vec<SymbolId>,
+        seq_indexes: Vec<Arc<SeqIndex>>,
+        watermark: Option<Time>,
+        window_start: Option<Time>,
+        symbols: SymbolTable,
+    ) -> Self {
+        FrozenView {
+            sequences: seq_indexes.len(),
+            dirty,
+            seq_indexes,
+            watermark,
+            window_start,
+            symbols,
+        }
+    }
+
     /// Root symbols dirtied since the previous freeze (drained from the
     /// window by [`SlidingWindowDatabase::freeze`]).
     pub fn dirty(&self) -> &[SymbolId] {
@@ -778,6 +846,56 @@ mod tests {
         let third = w.seq_indexes();
         assert!(!Arc::ptr_eq(&first[0], &third[0]), "changed: rebuilt");
         assert!(Arc::ptr_eq(&first[1], &third[1]), "unchanged: reused");
+    }
+
+    #[test]
+    fn retain_evicted_captures_evictions_and_late_drops() {
+        let mut w = SlidingWindowDatabase::new(10);
+        w.retain_evicted(true);
+        w.ingest(interval(1, "a", 0, 5)).unwrap();
+        w.ingest(interval(2, "b", 1, 4)).unwrap();
+        // cutoff 6: both expire.
+        w.ingest(StreamEvent::Watermark(16)).unwrap();
+        // end 2 < cutoff 6: dropped on arrival, still captured.
+        w.ingest(interval(3, "c", 0, 2)).unwrap();
+
+        let a = w.symbols().lookup("a").unwrap();
+        let b = w.symbols().lookup("b").unwrap();
+        let c = w.symbols().lookup("c").unwrap();
+        let captured = w.take_evicted();
+        assert_eq!(
+            captured,
+            vec![
+                (1, EventInterval::new_unchecked(a, 0, 5)),
+                (2, EventInterval::new_unchecked(b, 1, 4)),
+                (3, EventInterval::new_unchecked(c, 0, 2)),
+            ]
+        );
+        assert!(w.take_evicted().is_empty(), "drained");
+
+        // Capture off: evictions vanish again.
+        w.retain_evicted(false);
+        w.ingest(interval(4, "a", 10, 12)).unwrap();
+        w.ingest(StreamEvent::Watermark(30)).unwrap();
+        assert!(w.take_evicted().is_empty());
+    }
+
+    #[test]
+    fn completed_intervals_lists_the_window_without_draining() {
+        let mut w = SlidingWindowDatabase::new(100);
+        w.ingest(interval(5, "b", 1, 6)).unwrap();
+        w.ingest(interval(2, "a", 0, 5)).unwrap();
+        let listed: Vec<_> = w.completed_intervals().collect();
+        let a = w.symbols().lookup("a").unwrap();
+        let b = w.symbols().lookup("b").unwrap();
+        assert_eq!(
+            listed,
+            vec![
+                (2, EventInterval::new_unchecked(a, 0, 5)),
+                (5, EventInterval::new_unchecked(b, 1, 6)),
+            ]
+        );
+        assert_eq!(w.len(), 2, "non-draining");
     }
 
     #[test]

@@ -76,6 +76,10 @@ struct SharedCounters {
     events_during_refresh: AtomicU64,
     wal_flushes: AtomicU64,
     wal_degraded: AtomicBool,
+    segments_sealed: AtomicU64,
+    segment_records: AtomicU64,
+    segment_bytes: AtomicU64,
+    segment_seal_failures: AtomicU64,
 }
 
 /// Point-in-time view of the pipeline's backpressure counters.
@@ -117,6 +121,17 @@ pub struct PipelineStats {
     /// ingestion continued in-memory only. Once set it never clears (see
     /// `docs/DURABILITY.md`, "Degraded mode").
     pub wal_degraded: bool,
+    /// Segment files sealed to the cold store on behalf of this pipeline.
+    /// Zero when no `--segment-dir` is attached (see `docs/STORAGE.md`).
+    pub segments_sealed: u64,
+    /// Evicted interval records persisted across all sealed segments.
+    pub segment_records: u64,
+    /// Bytes written across all sealed segment files (magic + body +
+    /// footer + trailer).
+    pub segment_bytes: u64,
+    /// Seal attempts that failed and degraded the segment store; the WAL
+    /// reclaim floor freezes so no durable data is lost.
+    pub segment_seal_failures: u64,
 }
 
 /// A dedicated background dispatcher thread running [`IncrementalMiner`]
@@ -304,6 +319,28 @@ impl RefreshWorker {
         self.counters.wal_degraded.store(true, Ordering::Relaxed);
     }
 
+    /// Records one sealed segment (`records` evicted intervals persisted in
+    /// `bytes` on-disk bytes) for this pipeline's segment store.
+    pub fn note_segment_seal(&self, records: u64, bytes: u64) {
+        self.counters
+            .segments_sealed
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .segment_records
+            .fetch_add(records, Ordering::Relaxed);
+        self.counters
+            .segment_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one failed seal attempt (the segment store degraded and the
+    /// WAL reclaim floor froze).
+    pub fn note_segment_seal_failure(&self) {
+        self.counters
+            .segment_seal_failures
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Completed snapshots not yet collected, in publication order.
     /// Non-blocking.
     pub fn drain_completed(&self) -> Vec<Arc<PatternSnapshot>> {
@@ -332,6 +369,10 @@ impl RefreshWorker {
             subscriber_max_lag: subs.subscriber_max_lag,
             wal_flushes: self.counters.wal_flushes.load(Ordering::Relaxed),
             wal_degraded: self.counters.wal_degraded.load(Ordering::Relaxed),
+            segments_sealed: self.counters.segments_sealed.load(Ordering::Relaxed),
+            segment_records: self.counters.segment_records.load(Ordering::Relaxed),
+            segment_bytes: self.counters.segment_bytes.load(Ordering::Relaxed),
+            segment_seal_failures: self.counters.segment_seal_failures.load(Ordering::Relaxed),
         }
     }
 

@@ -1,0 +1,18 @@
+// Fixture for `no-unbudgeted-clock` in segment-store-ish code: timing a
+// seal (write + fsync + rename) to report `seal_micros`. Sanctioned only
+// inside `crates/segment/src/store.rs` — anywhere else the bare read fires.
+use std::fs::File;
+use std::time::Instant;
+
+fn violating_seal(file: &File) -> std::io::Result<u64> {
+    let started = Instant::now();
+    file.sync_all()?;
+    Ok(started.elapsed().as_micros() as u64)
+}
+
+fn suppressed_seal(file: &File) -> std::io::Result<u64> {
+    // xlint::allow(no-unbudgeted-clock): fixture — seal latency needs the wall clock
+    let started = Instant::now();
+    file.sync_all()?;
+    Ok(started.elapsed().as_micros() as u64)
+}

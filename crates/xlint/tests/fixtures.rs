@@ -256,6 +256,30 @@ fn no_unbudgeted_clock_wal_fixture() {
 }
 
 #[test]
+fn no_unbudgeted_clock_segment_fixture() {
+    // Timing a seal with `Instant::now` is still a violation in any
+    // ordinary library module…
+    let (v, suppressed) = lint(
+        "no_unbudgeted_clock_segment.rs",
+        "crates/fixture/src/cold.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["no-unbudgeted-clock"], "{v:?}");
+    assert_eq!(v[0].line, 8, "the bare read, not the allowed one");
+    assert_eq!(suppressed, 1);
+
+    // …but the segment crate's store module is the sanctioned home for
+    // exactly this measurement (`seal_micros` flags slow disks).
+    let (v, suppressed) = lint(
+        "no_unbudgeted_clock_segment.rs",
+        "crates/segment/src/store.rs",
+        CrateKind::Lib,
+    );
+    assert_eq!(rules(&v), ["unused-allow"], "{v:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
 fn budget_poll_fixture_pair() {
     // Violating: the unpolled growth loop fires; the bookkeeping loop is
     // silent because it never reaches a growth entry point.

@@ -311,7 +311,10 @@ fn stalled_subscriber_never_delays_publication_or_ingest() {
 
     let stats = worker.stats(window.watermark());
     assert_eq!(stats.subscribers, 1);
-    assert_eq!(stats.subscriber_delivered, 1, "only the first fit the queue");
+    assert_eq!(
+        stats.subscriber_delivered, 1,
+        "only the first fit the queue"
+    );
     let outcome = worker.shutdown();
     assert!(outcome.miner.is_some());
 
